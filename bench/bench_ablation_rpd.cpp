@@ -1,0 +1,79 @@
+// Ablation — design choices of the RSSI defense.
+//
+// Variants compared on the walking scenario, same collected data:
+//   baseline        : Eq. 4 exact-match RPD, theta_1 and theta_2 on
+//   smoothed RPD    : +-1 dB tolerance in the RPD match
+//   no theta_1      : uniform reference weights instead of inverse distance
+//   no theta_2      : no density-reliability damping
+//   no Num feature  : only Phi values in the Eq. 8 feature vector (emulated
+//                     by zeroing the Num entries is not possible from here,
+//                     so this ablation uses top_k = 4 to halve the feature
+//                     budget instead — a capacity ablation)
+#include <cstdio>
+#include <iostream>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto total = static_cast<std::size_t>(flags.get_int("total", 800));
+  const std::string mode_arg = flags.get("mode", "walking");
+  Mode mode = Mode::kWalking;
+  if (mode_arg == "cycling") mode = Mode::kCycling;
+  if (mode_arg == "driving") mode = Mode::kDriving;
+
+  std::printf("== Ablation: RSSI defense design choices (%s, %zu trajectories) ==\n\n",
+              mode_name(mode), total);
+
+  core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
+  core::RssiExperimentConfig base;
+  base.total = total;
+  const auto collected = core::collect_rssi_dataset(scenario, base);
+
+  struct Variant {
+    const char* name;
+    core::RssiExperimentConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"baseline (Eq.4 exact, theta1+theta2)", base});
+  {
+    auto cfg = base;
+    cfg.detector.confidence.rpd.rssi_tolerance_db = 1;
+    variants.push_back({"smoothed RPD (+-1 dB)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.detector.confidence.use_theta1 = false;
+    variants.push_back({"no theta_1 (uniform weights)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.detector.confidence.use_theta2 = false;
+    variants.push_back({"no theta_2 (no density damping)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.top_k = 4;
+    variants.push_back({"top_k = 4 (half feature budget)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.top_k = 12;
+    variants.push_back({"top_k = 12", cfg});
+  }
+
+  TextTable table({"variant", "Accuracy", "Precision", "Recall", "F1"});
+  for (const auto& v : variants) {
+    const auto result = core::run_rssi_experiment_on(scenario, collected, v.cfg);
+    table.add_row({v.name, TextTable::num(result.confusion.accuracy(), 3),
+                   TextTable::num(result.confusion.precision(), 3),
+                   TextTable::num(result.confusion.recall(), 3),
+                   TextTable::num(result.confusion.f1(), 3)});
+    std::printf("  %-38s acc=%.3f\n", v.name, result.confusion.accuracy());
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

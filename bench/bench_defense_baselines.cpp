@@ -1,0 +1,160 @@
+// Defense comparison — the arms race the paper narrates, measured.
+//
+// Four server-side defenses against three attacker tiers:
+//   defenses: rule-based plausibility (He/Polakis style), the server-side
+//             replay-DTW traversal, a coarse RSSI-signature check (Zhang
+//             style), and the paper's RPD/Phi RSSI detector;
+//   attacks:  naive replay (+N(0,0.25) noise), the C&W-style adversarial
+//             replay at MinD (with replayed +-1 dB scans), a no-history
+//             fabrication (invented scans on a navigation route), and — as
+//             control — genuine fresh uploads (false-positive rate).
+//
+// Expected story (the paper's): rules catch nothing that moves plausibly;
+// the replay check kills naive replays but not the MinD-targeted forgery;
+// the coarse signature misses slight-noise replays but nails fabricated
+// scans; only the RPD detector catches the adversarial tier.
+//
+// The replay threshold is the *measured* MinD of this simulated world (the
+// attacker calibrates against the same world), not the paper's 1.2 — using a
+// threshold above the world's own same-route bound floods the check with
+// false positives.
+#include <cstdio>
+#include <iostream>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto total = static_cast<std::size_t>(flags.get_int("total", 700));
+  const auto probes = static_cast<std::size_t>(flags.get_int("probes", 120));
+  const std::size_t points = 30;
+  const double interval_s = 2.0;
+  const Mode mode = Mode::kWalking;
+
+  std::printf("== defense baselines vs attacker tiers (walking, %zu history, "
+              "%zu probes per cell) ==\n\n",
+              total, probes);
+
+  core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
+  Rng& rng = scenario.rng();
+
+  // Calibrate the replay threshold to this world's same-route lower bound.
+  const auto mind = attack::estimate_mind(scenario.simulator(), mode, 150.0, 20,
+                                          points, interval_s, rng);
+  const double min_d = mind.min_d;
+  std::printf("measured MinD on this world: %.2f m/step (paper: %.1f)\n\n", min_d,
+              attack::paper_mind(mode));
+
+  // Provider state: scanned history, reference index, trained detectors.
+  const auto history = scenario.scanned_real(total, points, interval_s);
+  std::vector<wifi::ReferencePoint> refs;
+  baseline::ReplayDetector replay_check({.min_d = min_d});
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    const auto pts = history[t].reported.to_enu(sim::sim_projection());
+    replay_check.add_history(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      refs.push_back({pts[i], history[t].scans[i], static_cast<std::uint32_t>(t)});
+    }
+  }
+  const auto rules = baseline::RuleBasedDetector::for_mode(mode);
+  const wifi::ReferenceIndex sig_index(refs);  // copy for the coarse check
+  const baseline::RssiSimilarityDetector signature(sig_index, {});
+
+  wifi::RssiDetectorConfig det_cfg;
+  det_cfg.confidence.reference_radius_m = 2.5;
+  wifi::RssiDetector rpd_detector(std::move(refs), det_cfg);
+  {
+    // Train the RPD detector with the standard protocol split.
+    std::vector<wifi::ScannedUpload> train;
+    std::vector<int> labels;
+    const std::size_t real_count = total * 3 / 4;
+    for (std::size_t i = 0; i < real_count; ++i) {
+      auto upload = core::to_upload(history[i]);
+      upload.source_traj_id = static_cast<std::uint32_t>(i);
+      train.push_back(std::move(upload));
+      labels.push_back(1);
+    }
+    for (std::size_t i = real_count; i < total; ++i) {
+      train.push_back(core::forge_upload(history[i], min_d + 0.1, 1, rng));
+      labels.push_back(0);
+      train.push_back(core::forge_upload(history[i], 3.0, 1, rng));
+      labels.push_back(0);
+    }
+    rpd_detector.train(train, labels);
+  }
+
+  // One probe: an upload plus ground truth; returns flags per defense.
+  struct Flags {
+    std::size_t rules = 0, replay = 0, signature = 0, rpd = 0;
+  };
+  auto judge = [&](const sim::ScannedTrajectory& source, int tier, Flags& flags) {
+    wifi::ScannedUpload upload;
+    if (tier == 0) {  // genuine fresh upload
+      upload = core::to_upload(source);
+    } else if (tier == 1) {  // naive replay
+      upload = core::to_upload(source);
+      upload.positions = attack::naive_noise_attack(upload.positions, rng);
+      for (auto& scan : upload.scans) {
+        for (auto& obs : scan) {
+          obs.rssi_dbm += static_cast<int>(rng.uniform_int(-1, 1));
+        }
+      }
+    } else if (tier == 2) {  // adversarial replay at MinD
+      upload = core::forge_upload(source, min_d + 0.1, 1, rng);
+    } else {  // no-history fabrication: invented scans on a navigation route
+      const auto nav =
+          scenario.simulator().navigation_trajectory(mode, points, interval_s, rng);
+      upload.positions = attack::naive_noise_attack(
+          nav.reported.to_enu(sim::sim_projection()), rng);
+      upload.scans.resize(points);
+      for (auto& scan : upload.scans) {
+        for (int a = 0; a < 10; ++a) {
+          scan.push_back({rng.next(), static_cast<int>(rng.uniform_int(-75, -40))});
+        }
+      }
+    }
+    const auto traj = Trajectory::from_enu(upload.positions, sim::sim_projection(),
+                                           mode, interval_s);
+    flags.rules += rules.verify(traj, sim::sim_projection()) == 0;
+    flags.replay += replay_check.verify(upload.positions) == 0;
+    flags.signature += signature.verify(upload.positions, upload.scans) == 0;
+    flags.rpd += rpd_detector.verify(upload) == 0;
+  };
+
+  const char* tier_names[4] = {"genuine upload (false-positive rate)",
+                               "naive replay (+noise, replayed RSSI)",
+                               "adversarial replay at MinD",
+                               "no-history fabrication"};
+  TextTable table({"attacker tier", "rules", "replay-DTW", "coarse RSSI",
+                   "RPD detector (paper)"});
+  for (int tier = 0; tier < 4; ++tier) {
+    Flags flags;
+    for (std::size_t i = 0; i < probes; ++i) {
+      if (tier == 0 || tier == 3) {
+        const auto fresh = scenario.scanned_real(1, points, interval_s).front();
+        judge(fresh, tier, flags);
+      } else {
+        const auto& source = history[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(history.size()) - 1))];
+        judge(source, tier, flags);
+      }
+    }
+    auto pct = [&](std::size_t c) {
+      return TextTable::num(100.0 * static_cast<double>(c) /
+                            static_cast<double>(probes), 1) + "%";
+    };
+    table.add_row({tier_names[tier], pct(flags.rules), pct(flags.replay),
+                   pct(flags.signature), pct(flags.rpd)});
+    std::printf("tier '%s' done\n", tier_names[tier]);
+  }
+  std::printf("\n%% of uploads flagged as forged:\n");
+  table.print(std::cout);
+  std::printf("\nexpected shape: rules flag ~nothing; replay-DTW kills naive "
+              "replays only; the coarse signature misses slight-noise replays "
+              "but nails fabrications; the RPD detector is the only defense "
+              "catching the adversarial tier (at a modest false-positive "
+              "cost).\n");
+  return 0;
+}

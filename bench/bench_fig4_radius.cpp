@@ -1,0 +1,61 @@
+// Fig. 4 — Influence of the reference radius r on detection accuracy.
+//
+// Paper: accuracy is irregular below r = 1 m (too few reference points),
+// rises with r, peaks at r = 2.5 m, and flattens or dips beyond (irrelevant
+// points start to vote).  One curve per scenario.
+#include <cstdio>
+#include <iostream>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto total = static_cast<std::size_t>(flags.get_int("total", 700));
+  // The paper's curve is shaped by reference sparsity (their crowdsourced
+  // density is ~0.2-0.5 points/m^2): below r = 1 m the reference circle is
+  // usually EMPTY, which is what makes small radii unstable.  The collection
+  // is thinned to that regime; at full simulated density every radius down to
+  // 0.5 m still holds several points and small r trivially wins.
+  const double keep = flags.get_double("keep", 0.12);
+  const std::vector<double> radii = {0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 5.0};
+
+  std::printf("== Fig. 4: detection accuracy vs reference radius r ==\n");
+  std::printf("%zu trajectories per scenario, reference keep=%.2f "
+              "(paper-like density)\n\n",
+              total, keep);
+
+  TextTable table({"r (m)", "Walking", "Cycling", "Driving"});
+  std::vector<std::vector<std::string>> rows(radii.size());
+  for (std::size_t i = 0; i < radii.size(); ++i) {
+    rows[i].push_back(TextTable::num(radii[i], 1));
+  }
+
+  for (Mode mode : kAllModes) {
+    core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
+    core::RssiExperimentConfig cfg;
+    cfg.total = total;
+    cfg.reference_keep = keep;
+    const auto collected = core::collect_rssi_dataset(scenario, cfg);
+    for (std::size_t i = 0; i < radii.size(); ++i) {
+      cfg.reference_radius_m = radii[i];
+      const auto result = core::run_rssi_experiment_on(scenario, collected, cfg);
+      rows[i].push_back(TextTable::num(result.confusion.accuracy(), 3));
+      std::printf("  %s r=%.1f -> acc=%.3f (dens=%.2f/m^2, refs/pt=%.1f)\n",
+                  mode_name(mode), radii[i], result.confusion.accuracy(),
+                  result.ref_density_per_m2, result.avg_refs_per_point);
+    }
+  }
+  std::printf("\n");
+  for (auto& row : rows) table.add_row(std::move(row));
+  table.print(std::cout);
+  std::printf("\npaper (Fig. 4): irregular below 1 m, peak at r = 2.5 m, falling "
+              "beyond.\n"
+              "measured: irregular/flat below ~1.5 m, falling beyond ~2 m.  The "
+              "crossover sits left of the paper's because the simulated GPS error "
+              "(sigma = 0.5 m) keeps sub-metre references reliable, whereas the "
+              "paper's real urban fixes made r < 1 m unstable.  The dilution "
+              "effect (large r hurts) reproduces.\n");
+  return 0;
+}

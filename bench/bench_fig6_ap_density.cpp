@@ -1,0 +1,51 @@
+// Fig. 6 — Influence of the average k (AP density) on detection accuracy.
+//
+// Paper: k is varied by randomly deleting APs from the submitted scans.
+// Accuracy rises with average k, stays above 70% even at k = 1, exceeds 90%
+// once average k > 7.5, and driving saturates lowest (its full-data k is
+// already small).
+#include <cstdio>
+#include <iostream>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto total = static_cast<std::size_t>(flags.get_int("total", 1000));
+  const std::vector<double> keeps = {0.04, 0.1, 0.25, 0.5, 0.75, 1.0};
+
+  std::printf("== Fig. 6: detection accuracy vs average k (AP density) ==\n");
+  std::printf("%zu trajectories per scenario; k varied by deleting APs from "
+              "scans\n\n",
+              total);
+
+  TextTable table({"keep", "Walking avg_k", "acc", "Cycling avg_k", "acc",
+                   "Driving avg_k", "acc"});
+  std::vector<std::vector<std::string>> rows(keeps.size());
+  for (std::size_t i = 0; i < keeps.size(); ++i) {
+    rows[i].push_back(TextTable::num(keeps[i], 2));
+  }
+
+  for (Mode mode : kAllModes) {
+    core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
+    core::RssiExperimentConfig cfg;
+    cfg.total = total;
+    const auto collected = core::collect_rssi_dataset(scenario, cfg);
+    for (std::size_t i = 0; i < keeps.size(); ++i) {
+      cfg.ap_keep = keeps[i];
+      const auto result = core::run_rssi_experiment_on(scenario, collected, cfg);
+      rows[i].push_back(TextTable::num(result.avg_k, 1));
+      rows[i].push_back(TextTable::num(result.confusion.accuracy(), 3));
+      std::printf("  %s keep=%.2f -> avg_k=%.1f acc=%.3f\n", mode_name(mode),
+                  keeps[i], result.avg_k, result.confusion.accuracy());
+    }
+  }
+  std::printf("\n");
+  for (auto& row : rows) table.add_row(std::move(row));
+  table.print(std::cout);
+  std::printf("\npaper (Fig. 6): accuracy rises with k; > 70%% even at k = 1, "
+              "> 90%% once avg k > 7.5; driving saturates lowest.\n");
+  return 0;
+}

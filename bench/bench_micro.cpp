@@ -1,0 +1,221 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the library.
+//   * DTW (full and banded) at trajectory sizes used by the attack
+//   * LSTM forward and forward+backward per sequence
+//   * spatial-grid radius queries of the reference index
+//   * RPD probe and full point-confidence computation
+//   * booster training on Eq. 8-sized feature vectors
+//   * A* vs Dijkstra on the synthetic city
+#include <benchmark/benchmark.h>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+namespace {
+
+std::vector<Enu> random_walk(Rng& rng, std::size_t n) {
+  std::vector<Enu> pts = {{0, 0}};
+  for (std::size_t i = 1; i < n; ++i) {
+    pts.push_back({pts.back().east + rng.uniform(-2, 3),
+                   pts.back().north + rng.uniform(-2, 2)});
+  }
+  return pts;
+}
+
+void BM_DtwFull(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_walk(rng, n);
+  const auto b = random_walk(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw_distance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwFull)->Arg(30)->Arg(100)->Arg(400)->Complexity(benchmark::oNSquared);
+
+void BM_DtwBanded(benchmark::State& state) {
+  Rng rng(2);
+  const auto a = random_walk(rng, 400);
+  const auto b = random_walk(rng, 400);
+  const auto band = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw_banded(a, b, band).distance);
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(10)->Arg(50)->Arg(400);
+
+void BM_DtwGradient(benchmark::State& state) {
+  Rng rng(3);
+  const auto a = random_walk(rng, 100);
+  const auto b = random_walk(rng, 100);
+  std::vector<Enu> grad(b.size());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), Enu{});
+    benchmark::DoNotOptimize(dtw_gradient(a, b, grad));
+  }
+}
+BENCHMARK(BM_DtwGradient);
+
+void BM_LstmForward(benchmark::State& state) {
+  nn::LstmClassifierConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_dim = static_cast<std::size_t>(state.range(0));
+  nn::LstmClassifier model(cfg, 1);
+  Rng rng(4);
+  FeatureSequence x;
+  x.steps = 100;
+  x.dim = 2;
+  x.values.resize(200);
+  for (auto& v : x.values) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_proba(x));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  nn::LstmClassifierConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_dim = static_cast<std::size_t>(state.range(0));
+  nn::LstmClassifier model(cfg, 1);
+  Rng rng(5);
+  FeatureSequence x;
+  x.steps = 100;
+  x.dim = 2;
+  x.values.resize(200);
+  for (auto& v : x.values) v = rng.uniform(-1, 1);
+  FeatureSequence dx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.loss_and_input_gradient(x, 1, &dx));
+  }
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(32)->Arg(64);
+
+class WifiFixtureData {
+ public:
+  static const WifiFixtureData& get() {
+    static WifiFixtureData data;
+    return data;
+  }
+  std::unique_ptr<wifi::ReferenceIndex> index;
+  std::unique_ptr<wifi::ConfidenceEstimator> estimator;
+  wifi::WifiScan scan;
+
+ private:
+  WifiFixtureData() {
+    Rng rng(6);
+    std::vector<wifi::ReferencePoint> pts;
+    for (int i = 0; i < 30000; ++i) {
+      wifi::WifiScan s;
+      for (int a = 0; a < 15; ++a) {
+        s.push_back({static_cast<std::uint64_t>(rng.uniform_int(0, 400)),
+                     static_cast<int>(rng.uniform_int(-80, -40))});
+      }
+      pts.push_back({{rng.uniform(0, 250), rng.uniform(0, 250)}, std::move(s)});
+    }
+    index = std::make_unique<wifi::ReferenceIndex>(std::move(pts));
+    estimator = std::make_unique<wifi::ConfidenceEstimator>(*index);
+    for (int a = 0; a < 10; ++a) {
+      scan.push_back({static_cast<std::uint64_t>(a), -50 - a});
+    }
+  }
+};
+
+void BM_GridRadiusQuery(benchmark::State& state) {
+  const auto& data = WifiFixtureData::get();
+  Rng rng(7);
+  const double radius = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const Enu p{rng.uniform(0, 250), rng.uniform(0, 250)};
+    benchmark::DoNotOptimize(data.index->within(p, radius));
+  }
+}
+BENCHMARK(BM_GridRadiusQuery)->Arg(1)->Arg(3)->Arg(10);
+
+void BM_PointConfidence(benchmark::State& state) {
+  const auto& data = WifiFixtureData::get();
+  Rng rng(8);
+  for (auto _ : state) {
+    const Enu p{rng.uniform(0, 250), rng.uniform(0, 250)};
+    benchmark::DoNotOptimize(data.estimator->point_confidence(p, data.scan));
+  }
+}
+BENCHMARK(BM_PointConfidence);
+
+void BM_BoosterTrain(benchmark::State& state) {
+  Rng rng(9);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> x(rows, std::vector<double>(480));
+  std::vector<int> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (auto& v : x[r]) v = rng.uniform(0, 1);
+    y[r] = x[r][3] > 0.5 ? 1 : 0;
+  }
+  gbt::GbtConfig cfg;
+  cfg.num_trees = 20;
+  for (auto _ : state) {
+    gbt::GbtClassifier model(cfg);
+    model.train(x, y);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+}
+BENCHMARK(BM_BoosterTrain)->Arg(500)->Unit(benchmark::kMillisecond);
+
+class CityFixture {
+ public:
+  static const CityFixture& get() {
+    static CityFixture f;
+    return f;
+  }
+  map::RoadNetwork net;
+
+ private:
+  CityFixture() {
+    Rng rng(10);
+    net = map::make_city({.blocks_x = 20, .blocks_y = 20}, rng);
+  }
+};
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto& net = CityFixture::get().net;
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.node_count()) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.node_count()) - 1));
+    benchmark::DoNotOptimize(map::shortest_path(net, a, b, Mode::kDriving));
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_AStar(benchmark::State& state) {
+  const auto& net = CityFixture::get().net;
+  Rng rng(11);  // same seed: identical query sequence as BM_Dijkstra
+  for (auto _ : state) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.node_count()) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.node_count()) - 1));
+    benchmark::DoNotOptimize(map::astar_path(net, a, b, Mode::kDriving));
+  }
+}
+BENCHMARK(BM_AStar);
+
+void BM_MobilitySimulation(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<Enu> route = {{0, 0}};
+  for (int i = 1; i < 20; ++i) {
+    route.push_back({route.back().east + 40.0, route.back().north + (i % 2) * 30.0});
+  }
+  const auto params = sim::MobilityParams::for_mode(Mode::kWalking);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_motion(route, params, 1.0, 100, rng));
+  }
+}
+BENCHMARK(BM_MobilitySimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table III — The statistical information of k (APs heard per scan).
+//
+// Paper: volunteers collected trajectories in the three areas; k is the
+// number of APs received at each location.  Paper values:
+//   walking: avg 29, min 3,  90% of points k >= 14
+//   cycling: avg 26, min 5,  90% of points k >= 15
+//   driving: avg  9, min 0,  90% of points k >= 4
+#include <cstdio>
+#include <iostream>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto trajectories = static_cast<std::size_t>(flags.get_int("trajectories", 200));
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 30));
+
+  std::printf("== Table III: statistics of k (APs per scan), %zu trajectories "
+              "x %zu points per mode ==\n\n",
+              trajectories, points);
+
+  TextTable table({"", "Walking", "Cycling", "Driving"});
+  std::vector<std::string> avg_row = {"Average k"};
+  std::vector<std::string> min_row = {"Minimal k"};
+  std::vector<std::string> p90_row = {"90% points k >="};
+  std::vector<std::string> ap_row = {"deployed APs"};
+
+  for (Mode mode : kAllModes) {
+    core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
+    const auto scanned = scenario.scanned_real(trajectories, points, 2.0);
+    std::vector<double> ks;
+    for (const auto& traj : scanned) {
+      for (const auto& scan : traj.scans) {
+        ks.push_back(static_cast<double>(scan.size()));
+      }
+    }
+    avg_row.push_back(TextTable::num(mean(ks), 1));
+    min_row.push_back(TextTable::num(min_of(ks), 0));
+    p90_row.push_back(TextTable::num(percentile(ks, 10.0), 0));
+    ap_row.push_back(std::to_string(scenario.wifi().aps().size()));
+  }
+  table.add_row(avg_row);
+  table.add_row(min_row);
+  table.add_row(p90_row);
+  table.add_row(ap_row);
+  table.print(std::cout);
+
+  std::printf("\npaper (Table III): avg 29/26/9, min 3/5/0, 90%% >= 14/15/4\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Car-hailing mileage audit — the paper's motivating scenario.
+//
+// A ride-hailing platform pays drivers by recorded mileage.  A malicious
+// driver replays a previous trip's GPS trace, adversarially perturbed to
+// (a) look like genuine driving and (b) inflate the counted distance.
+// The platform audits trips in two stages:
+//   stage 1: the motion classifier — the adversarial forgery passes;
+//   stage 2: the WiFi RSSI check  — the forgery is caught, because the
+//            replayed scans do not match the crowdsourced RSSI distributions
+//            along the claimed (shifted) positions.
+#include <cstdio>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main() {
+  std::printf("== car-hailing mileage audit ==\n\n");
+
+  // Area C: the commercial main road (driving scenario).
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kDriving));
+  const std::size_t trip_points = 48;
+
+  // ---- The platform's infrastructure ------------------------------------
+  std::printf("[platform] training the trip-audit motion classifier...\n");
+  core::MotionDatasetConfig dcfg;
+  dcfg.train_real = 180;
+  dcfg.train_fake = 120;
+  dcfg.test_real = 30;
+  dcfg.test_fake = 30;
+  dcfg.points = trip_points;
+  const auto dataset = core::build_motion_dataset(scenario, dcfg);
+  core::MotionModelConfig mcfg;
+  mcfg.hidden = 24;
+  mcfg.epochs = 18;
+  const core::MotionModels models(dataset, mcfg);
+
+  std::printf("[platform] building the crowdsourced RSSI history...\n");
+  core::RssiExperimentConfig rssi_cfg;
+  rssi_cfg.total = 400;
+  rssi_cfg.points = 30;
+
+  // ---- The driver's forgery ----------------------------------------------
+  std::printf("\n[driver] recording one genuine trip...\n");
+  const auto trip = scenario.real_trajectories(1, trip_points, 1.0).front();
+  const auto trip_pts = trip.reported.to_enu(sim::sim_projection());
+  const double true_km = trip.reported.length_m() / 1000.0;
+
+  std::printf("[driver] forging a replayed trip with the C&W attack...\n");
+  attack::CwConfig cw;
+  cw.iterations = 300;
+  const attack::CwAttacker attacker(models.model_c(), models.dist_angle_encoder(), cw);
+  const auto forged = attacker.forge_replay(trip_pts, attack::paper_mind(Mode::kDriving));
+  const auto forged_traj =
+      Trajectory::from_enu(forged.points, sim::sim_projection(), Mode::kDriving, 1.0);
+  const double claimed_km = forged_traj.length_m() / 1000.0;
+
+  std::printf("  true trip:    %.3f km\n", true_km);
+  std::printf("  claimed trip: %.3f km (%+.1f%% mileage)\n", claimed_km,
+              100.0 * (claimed_km - true_km) / true_km);
+  std::printf("  DTW to history: %.2f m/step (MinD=%.1f => not a detectable replay)\n",
+              forged.dtw_norm, attack::paper_mind(Mode::kDriving));
+
+  // ---- Stage 1: motion audit ---------------------------------------------
+  core::MotionSample sample;
+  sample.points = forged.points;
+  sample.trajectory = forged_traj;
+  sample.label = 0;
+  const auto verdicts = models.predict_all(sample);
+  std::printf("\n[audit stage 1] motion classifiers on the forged trip:\n");
+  const auto& names = core::MotionModels::model_names();
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    std::printf("  %-8s says: %s\n", names[m].c_str(),
+                verdicts[m] == 1 ? "GENUINE (fooled)" : "FORGED");
+  }
+
+  // ---- Stage 2: RSSI audit ------------------------------------------------
+  std::printf("\n[audit stage 2] WiFi RSSI check over the whole fleet:\n");
+  const auto result = core::run_rssi_experiment(scenario, rssi_cfg);
+  std::printf("  fleet-level detection: %s\n", result.confusion.summary().c_str());
+  std::printf("  (each fake trip replays its scans +-1 dB at positions shifted "
+              "past MinD)\n");
+
+  std::printf("\nconclusion: motion characteristics alone cannot stop the "
+              "mileage fraud; the RSSI cross-check can.\n");
+  return 0;
+}

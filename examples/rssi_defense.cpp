@@ -1,0 +1,99 @@
+// Defender's-eye walkthrough of the RSSI verification pipeline (Sec. III),
+// showing the internal quantities — reference points, RPDs, theta weights,
+// per-AP confidences — for one real and one forged upload.
+#include <cstdio>
+
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+int main() {
+  std::printf("== WiFi RSSI defense walkthrough ==\n\n");
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+
+  // Crowdsourced history: the provider's H.
+  std::printf("collecting crowdsourced history (this is the LSP's asset)...\n");
+  const auto history = scenario.scanned_real(300, 30, 2.0);
+  std::vector<wifi::ScannedUpload> history_uploads;
+  for (const auto& traj : history) history_uploads.push_back(core::to_upload(traj));
+  auto refs = wifi::flatten_history(history_uploads);
+  std::printf("history: %zu trajectories -> %zu reference points\n\n", history.size(),
+              refs.size());
+
+  wifi::RssiDetectorConfig cfg;
+  cfg.confidence.reference_radius_m = 2.5;
+  cfg.confidence.top_k = 8;
+  wifi::RssiDetector detector(std::move(refs), cfg);
+
+  // One fresh real upload and one forged replay of a historical trajectory.
+  const auto fresh = scenario.scanned_real(1, 30, 2.0).front();
+  const auto real_upload = core::to_upload(fresh);
+  const auto fake_upload = core::forge_upload(
+      history.front(), attack::paper_mind(Mode::kWalking) + 0.1, 1, scenario.rng());
+
+  // Inspect the per-point verification quantities.
+  auto inspect = [&](const char* label, const wifi::ScannedUpload& upload) {
+    std::printf("-- %s --\n", label);
+    const auto& estimator = detector.confidence();
+    double phi_total = 0.0;
+    std::size_t ap_total = 0;
+    for (std::size_t j = 0; j < upload.positions.size(); j += 10) {
+      const auto confidences =
+          estimator.point_confidence(upload.positions[j], upload.scans[j]);
+      std::printf("  point %2zu: %2zu refs within r; strongest APs:", j,
+                  estimator.reference_count(upload.positions[j]));
+      for (std::size_t a = 0; a < std::min<std::size_t>(3, confidences.size()); ++a) {
+        std::printf("  [%d dBm phi=%.3f n=%zu]", confidences[a].rssi_dbm,
+                    confidences[a].phi, confidences[a].num_refs);
+      }
+      std::printf("\n");
+      for (const auto& c : confidences) {
+        phi_total += c.phi;
+        ++ap_total;
+      }
+    }
+    std::printf("  mean phi over sampled points: %.4f\n\n",
+                ap_total ? phi_total / static_cast<double>(ap_total) : 0.0);
+  };
+  inspect("fresh real upload", real_upload);
+  inspect("forged replay upload", fake_upload);
+
+  // Train J the way the evaluation protocol does: historical reals (with
+  // leave-own-trajectory-out) plus two forgeries per fake source.
+  std::printf("training the J classifier...\n");
+  std::vector<wifi::ScannedUpload> train;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < 225; ++i) {
+    auto upload = core::to_upload(history[i]);
+    upload.source_traj_id = static_cast<std::uint32_t>(i);
+    train.push_back(std::move(upload));
+    labels.push_back(1);
+  }
+  const double min_d = attack::paper_mind(Mode::kWalking);
+  for (std::size_t i = 225; i < 300; ++i) {
+    train.push_back(core::forge_upload(history[i], min_d + 0.1, 1, scenario.rng()));
+    labels.push_back(0);
+    train.push_back(core::forge_upload(history[i], 3.0, 1, scenario.rng()));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  // Verdicts on a batch of fresh reals and fresh forgeries.  (Individual
+  // uploads at this toy scale can be misjudged — the detector is statistical;
+  // bench_table4_detection runs the full-scale protocol.)
+  std::printf("\nverdicts over a fresh batch (J = 1 real, 0 forged):\n");
+  std::size_t real_ok = 0;
+  std::size_t fake_ok = 0;
+  const std::size_t batch = 15;
+  const auto fresh_batch = scenario.scanned_real(batch, 30, 2.0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    real_ok += detector.verify(core::to_upload(fresh_batch[i])) == 1;
+    const auto& source = history[static_cast<std::size_t>(
+        scenario.rng().uniform_int(0, static_cast<std::int64_t>(history.size()) - 1))];
+    fake_ok += detector.verify(
+                   core::forge_upload(source, min_d + 0.1, 1, scenario.rng())) == 0;
+  }
+  std::printf("  fresh reals accepted      : %zu/%zu\n", real_ok, batch);
+  std::printf("  fresh forgeries caught    : %zu/%zu\n", fake_ok, batch);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "attack/gradient_baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dtw/dtw.hpp"
+
+namespace trajkit::attack {
+namespace {
+
+double sign(double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); }
+
+}  // namespace
+
+GradientAttacker::GradientAttacker(const nn::LstmClassifier& model,
+                                   const FeatureEncoder& encoder,
+                                   GradientAttackConfig config)
+    : model_(&model), encoder_(&encoder), config_(config) {
+  if (config_.epsilon_m <= 0.0 || config_.step_size_m <= 0.0 || config_.steps == 0) {
+    throw std::invalid_argument("GradientAttacker: bad config");
+  }
+}
+
+GradientAttackResult GradientAttacker::fgsm(const std::vector<Enu>& reference) const {
+  return run(reference, 1, config_.epsilon_m);
+}
+
+GradientAttackResult GradientAttacker::pgd(const std::vector<Enu>& reference) const {
+  return run(reference, config_.steps, config_.step_size_m);
+}
+
+GradientAttackResult GradientAttacker::run(const std::vector<Enu>& reference,
+                                           std::size_t steps, double step_size) const {
+  if (reference.size() < 3) {
+    throw std::invalid_argument("GradientAttacker: reference needs >= 3 points");
+  }
+  const std::size_t n = reference.size();
+  std::vector<Enu> x(reference);
+  std::vector<Enu> grad(n);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const FeatureSequence feat = encoder_->encode(x);
+    FeatureSequence dfeat;
+    const double ce = model_->loss_and_input_gradient(feat, /*target=*/1, &dfeat);
+    if (std::exp(-ce) >= 0.5 && steps > 1) break;  // PGD stops once adversarial
+
+    std::fill(grad.begin(), grad.end(), Enu{});
+    encoder_->backprop(x, dfeat, grad);
+
+    for (std::size_t i = 1; i + 1 < n; ++i) {  // endpoints pinned
+      x[i].east -= step_size * sign(grad[i].east);
+      x[i].north -= step_size * sign(grad[i].north);
+      // Project back into the epsilon box around the reference.
+      x[i].east = std::clamp(x[i].east, reference[i].east - config_.epsilon_m,
+                             reference[i].east + config_.epsilon_m);
+      x[i].north = std::clamp(x[i].north, reference[i].north - config_.epsilon_m,
+                              reference[i].north + config_.epsilon_m);
+    }
+  }
+
+  GradientAttackResult result;
+  result.points = std::move(x);
+  result.p_real = model_->predict_proba(encoder_->encode(result.points));
+  result.adversarial = result.p_real >= 0.5;
+  result.dtw_norm = dtw_normalized(reference, result.points);
+  return result;
+}
+
+}  // namespace trajkit::attack

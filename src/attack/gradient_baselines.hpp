@@ -1,0 +1,59 @@
+// FGSM and PGD baselines for trajectory adversarial examples.
+//
+// The paper uses the optimization-based C&W attack (cw.hpp).  These two
+// classic gradient attacks are the natural baselines from the adversarial
+// examples literature (Szegedy et al., the paper's reference [24] line of
+// work) and let the benchmarks quantify what the C&W machinery buys:
+//   * FGSM — one signed-gradient step of size epsilon per coordinate;
+//   * PGD  — iterated signed steps projected back into the L-infinity ball
+//     of radius epsilon around the reference trajectory.
+// Both pin the endpoints like the C&W attack (P_1 = S, P_n = D).  Neither
+// controls DTW, so they cannot target the replay-distance band — which is
+// exactly the gap the benchmarks demonstrate.
+#pragma once
+
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "nn/classifier.hpp"
+#include "traj/features.hpp"
+
+namespace trajkit::attack {
+
+struct GradientAttackConfig {
+  double epsilon_m = 2.0;     ///< L-infinity budget per coordinate, metres
+  double step_size_m = 0.25;  ///< PGD step size
+  std::size_t steps = 40;     ///< PGD iterations (FGSM ignores this)
+};
+
+struct GradientAttackResult {
+  std::vector<Enu> points;
+  bool adversarial = false;
+  double p_real = 0.0;
+  double dtw_norm = 0.0;  ///< normalised DTW to the reference
+};
+
+class GradientAttacker {
+ public:
+  /// `model` and `encoder` must outlive the attacker.
+  GradientAttacker(const nn::LstmClassifier& model, const FeatureEncoder& encoder,
+                   GradientAttackConfig config = {});
+
+  /// Single-step fast gradient sign attack.
+  GradientAttackResult fgsm(const std::vector<Enu>& reference) const;
+
+  /// Projected gradient descent within the epsilon box.
+  GradientAttackResult pgd(const std::vector<Enu>& reference) const;
+
+  const GradientAttackConfig& config() const { return config_; }
+
+ private:
+  GradientAttackResult run(const std::vector<Enu>& reference, std::size_t steps,
+                           double step_size) const;
+
+  const nn::LstmClassifier* model_;
+  const FeatureEncoder* encoder_;
+  GradientAttackConfig config_;
+};
+
+}  // namespace trajkit::attack

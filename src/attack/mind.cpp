@@ -1,0 +1,52 @@
+#include "attack/mind.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dtw/dtw.hpp"
+
+namespace trajkit::attack {
+
+MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
+                           double route_length_m, std::size_t repetitions,
+                           std::size_t points, double interval_s, Rng& rng) {
+  if (repetitions < 2) {
+    throw std::invalid_argument("estimate_mind: need >= 2 repetitions");
+  }
+  const auto route = simulator.random_route(mode, route_length_m, rng);
+
+  std::vector<std::vector<Enu>> runs;
+  runs.reserve(repetitions);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    const auto sim = simulator.simulate_on_route(route, mode, points, interval_s, rng);
+    runs.push_back(sim.reported.to_enu(sim::sim_projection()));
+  }
+
+  MindEstimate est;
+  est.repetitions = repetitions;
+  est.min_d = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::size_t j = i + 1; j < runs.size(); ++j) {
+      const double d = dtw_normalized(runs[i], runs[j]);
+      est.min_d = std::min(est.min_d, d);
+      est.max_d = std::max(est.max_d, d);
+      total += d;
+      ++pairs;
+    }
+  }
+  est.mean_d = total / static_cast<double>(pairs);
+  return est;
+}
+
+double paper_mind(Mode mode) {
+  switch (mode) {
+    case Mode::kWalking: return 1.2;
+    case Mode::kCycling: return 1.5;
+    case Mode::kDriving: return 1.4;
+  }
+  return 1.2;
+}
+
+}  // namespace trajkit::attack

@@ -1,0 +1,37 @@
+// MinD estimation (Sec. IV-A3).
+//
+// MinD is the lower bound of the normalised DTW distance between two genuine
+// traversals of the same route — the paper walks a 200 m route 50 times and
+// takes the minimum pairwise distance (1.2 / 1.5 / 1.4 for walking, cycling,
+// driving).  A replayed trajectory closer than MinD to a historical record is
+// trivially flagged as a replay, so the replay attack targets a distance just
+// above it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/dataset.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::attack {
+
+struct MindEstimate {
+  double min_d = 0.0;   ///< minimum pairwise normalised DTW (the MinD bound)
+  double mean_d = 0.0;  ///< mean pairwise normalised DTW
+  double max_d = 0.0;
+  std::size_t repetitions = 0;
+};
+
+/// Traverse one fixed route `repetitions` times with the mode's mobility
+/// dynamics and GPS error, and compute pairwise normalised DTW statistics.
+MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
+                           double route_length_m, std::size_t repetitions,
+                           std::size_t points, double interval_s, Rng& rng);
+
+/// Paper-reported MinD values per mode (metres per alignment step):
+/// 1.2 (walking), 1.5 (cycling), 1.4 (driving).  Used as defaults when the
+/// caller does not run its own estimate.
+double paper_mind(Mode mode);
+
+}  // namespace trajkit::attack

@@ -1,0 +1,21 @@
+#include "attack/naive.hpp"
+
+#include <stdexcept>
+
+namespace trajkit::attack {
+
+std::vector<Enu> naive_noise_attack(const std::vector<Enu>& points, Rng& rng,
+                                    double sigma_m) {
+  if (sigma_m < 0.0) {
+    throw std::invalid_argument("naive_noise_attack: sigma must be non-negative");
+  }
+  std::vector<Enu> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    out.push_back({p.east + rng.normal(0.0, sigma_m),
+                   p.north + rng.normal(0.0, sigma_m)});
+  }
+  return out;
+}
+
+}  // namespace trajkit::attack

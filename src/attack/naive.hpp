@@ -1,0 +1,26 @@
+// Naive forgery attacks (Sec. IV-A2).
+//
+// These are the baseline attacks the target classifiers are trained against:
+//   * naive replay  — re-upload a historical trajectory with small i.i.d.
+//     noise N(0, 0.25 m^2) per axis (the paper's experimentally measured GPS
+//     error magnitude);
+//   * naive navigation — upload a constant-speed navigation resample, with
+//     the same noise "to avoid being directly detected by the defender
+//     through the direction of displacement per second".
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+
+namespace trajkit::attack {
+
+/// Per-axis standard deviation of the naive-attack noise (sigma^2 = 0.25).
+inline constexpr double kNaiveNoiseSigmaM = 0.5;
+
+/// Historical/navigation ENU points + fresh i.i.d. Gaussian noise.
+std::vector<Enu> naive_noise_attack(const std::vector<Enu>& points, Rng& rng,
+                                    double sigma_m = kNaiveNoiseSigmaM);
+
+}  // namespace trajkit::attack

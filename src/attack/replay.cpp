@@ -1,0 +1,51 @@
+#include "attack/replay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dtw/dtw.hpp"
+
+namespace trajkit::attack {
+
+std::vector<Enu> smooth_replay_perturbation(const std::vector<Enu>& historical,
+                                            double target_dtw_norm, Rng& rng,
+                                            double correlation) {
+  if (historical.size() < 3) {
+    throw std::invalid_argument("smooth_replay_perturbation: need >= 3 points");
+  }
+  if (target_dtw_norm <= 0.0) {
+    throw std::invalid_argument("smooth_replay_perturbation: target must be positive");
+  }
+  if (correlation < 0.0 || correlation >= 1.0) {
+    throw std::invalid_argument("smooth_replay_perturbation: bad correlation");
+  }
+  const std::size_t n = historical.size();
+
+  // AR(1) displacement field, tapered to zero at both endpoints.
+  const double innovation = std::sqrt(1.0 - correlation * correlation);
+  std::vector<Enu> disp(n);
+  Enu e{rng.normal(), rng.normal()};
+  for (std::size_t i = 0; i < n; ++i) {
+    e = {correlation * e.east + innovation * rng.normal(),
+         correlation * e.north + innovation * rng.normal()};
+    const double taper =
+        std::sin(M_PI * static_cast<double>(i) / static_cast<double>(n - 1));
+    disp[i] = e * taper;
+  }
+
+  // Rescale toward the target: normalised DTW is close to linear in the
+  // displacement magnitude, so two fixed-point passes suffice.
+  double scale = target_dtw_norm;  // unit-variance field => first guess
+  std::vector<Enu> out(n);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = historical[i] + disp[i] * scale;
+    out.front() = historical.front();
+    out.back() = historical.back();
+    const double achieved = dtw_normalized(historical, out);
+    if (achieved <= 1e-9) break;
+    scale *= target_dtw_norm / achieved;
+  }
+  return out;
+}
+
+}  // namespace trajkit::attack

@@ -1,0 +1,27 @@
+// Scalable geometric replay forgery.
+//
+// The full C&W attack (cw.hpp) needs a trained target model and hundreds of
+// gradient iterations per trajectory.  Its *geometric outcome* for the replay
+// scenario, however, is simple: a smoothly-perturbed copy of the historical
+// trajectory whose normalised DTW distance sits just above MinD (so it is
+// neither a detectable replay nor an implausible detour).  The RSSI
+// experiments (Sec. IV-B) need thousands of such fakes, so this header
+// provides a direct sampler of that outcome: endpoint-pinned, temporally
+// correlated displacements rescaled to hit a target normalised DTW.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+
+namespace trajkit::attack {
+
+/// Perturb `historical` into a replay forgery at normalised DTW distance
+/// ~= `target_dtw_norm` (metres per alignment step).  Endpoints are kept
+/// fixed; displacements are AR(1)-correlated (smooth, human-plausible).
+std::vector<Enu> smooth_replay_perturbation(const std::vector<Enu>& historical,
+                                            double target_dtw_norm, Rng& rng,
+                                            double correlation = 0.9);
+
+}  // namespace trajkit::attack

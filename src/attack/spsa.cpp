@@ -1,0 +1,76 @@
+#include "attack/spsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::attack {
+
+SpsaResult spsa_attack(const std::vector<Enu>& reference, const ScoreOracle& oracle,
+                       const SpsaConfig& config) {
+  if (reference.size() < 3) {
+    throw std::invalid_argument("spsa_attack: reference needs >= 3 points");
+  }
+  if (!oracle) throw std::invalid_argument("spsa_attack: null oracle");
+  if (config.perturbation_m <= 0.0 || config.step_size_m <= 0.0 ||
+      config.epsilon_m <= 0.0 || config.steps == 0) {
+    throw std::invalid_argument("spsa_attack: bad config");
+  }
+
+  const std::size_t n = reference.size();
+  Rng rng(config.seed);
+  std::vector<Enu> x(reference);
+  std::vector<double> delta(2 * n);  // +-1 probe direction per coordinate
+
+  SpsaResult result;
+  auto clamp_box = [&](std::vector<Enu>& p) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      p[i].east = std::clamp(p[i].east, reference[i].east - config.epsilon_m,
+                             reference[i].east + config.epsilon_m);
+      p[i].north = std::clamp(p[i].north, reference[i].north - config.epsilon_m,
+                              reference[i].north + config.epsilon_m);
+    }
+    p.front() = reference.front();
+    p.back() = reference.back();
+  };
+
+  std::vector<Enu> plus(n);
+  std::vector<Enu> minus(n);
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    for (auto& d : delta) d = rng.chance(0.5) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Enu probe{config.perturbation_m * delta[2 * i],
+                      config.perturbation_m * delta[2 * i + 1]};
+      plus[i] = x[i] + probe;
+      minus[i] = x[i] - probe;
+    }
+    clamp_box(plus);
+    clamp_box(minus);
+    const double f_plus = oracle(plus);
+    const double f_minus = oracle(minus);
+    result.queries += 2;
+
+    // Ascend the score: g_i = (f+ - f-) / (2c delta_i); step = a * sign-free g.
+    const double scale =
+        (f_plus - f_minus) / (2.0 * config.perturbation_m);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      x[i].east += config.step_size_m * scale / delta[2 * i];
+      x[i].north += config.step_size_m * scale / delta[2 * i + 1];
+    }
+    clamp_box(x);
+
+    if (oracle(x) >= 0.5) {
+      ++result.queries;
+      break;  // adversarial — stop querying
+    }
+    ++result.queries;
+  }
+
+  result.points = std::move(x);
+  result.final_score = oracle(result.points);
+  ++result.queries;
+  result.succeeded = result.final_score >= 0.5;
+  return result;
+}
+
+}  // namespace trajkit::attack

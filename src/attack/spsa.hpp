@@ -1,0 +1,44 @@
+// Black-box (score-only) adversarial attack via SPSA.
+//
+// The C&W attack assumes the attacker can train a surrogate and take
+// gradients.  If the provider instead exposes only a score (e.g. an API that
+// returns a risk value per uploaded trajectory), the attacker can still
+// estimate gradients from queries: simultaneous perturbation stochastic
+// approximation (SPSA) samples a random +-1 direction Delta and uses
+//   g ~= [f(x + c Delta) - f(x - c Delta)] / (2c) * Delta^-1
+// Two queries per step, no model access.  Extension beyond the paper: it
+// bounds how much secrecy of the detector actually buys the provider.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+
+namespace trajkit::attack {
+
+struct SpsaConfig {
+  std::size_t steps = 300;
+  double perturbation_m = 0.3;  ///< c: finite-difference probe size
+  double step_size_m = 0.25;    ///< gradient-descent step
+  double epsilon_m = 3.0;       ///< L-infinity budget around the reference
+  std::uint64_t seed = 7;
+};
+
+struct SpsaResult {
+  std::vector<Enu> points;
+  double final_score = 0.0;  ///< the oracle's score at the returned points
+  std::size_t queries = 0;
+  bool succeeded = false;    ///< final score >= 0.5
+};
+
+/// Oracle: maps candidate trajectory points to a "realness" score in [0, 1].
+using ScoreOracle = std::function<double(const std::vector<Enu>&)>;
+
+/// Maximise the oracle score within the epsilon box, endpoints pinned.
+SpsaResult spsa_attack(const std::vector<Enu>& reference, const ScoreOracle& oracle,
+                       const SpsaConfig& config = {});
+
+}  // namespace trajkit::attack

@@ -1,0 +1,48 @@
+#include "baseline/accel_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::baseline {
+
+AccelConsistencyCheck::AccelConsistencyCheck(AccelCheckConfig config)
+    : config_(config) {
+  if (config_.tolerance_mps2 <= 0.0) {
+    throw std::invalid_argument("AccelConsistencyCheck: tolerance must be positive");
+  }
+}
+
+double AccelConsistencyCheck::mean_gap_mps2(
+    const std::vector<Enu>& claimed_positions,
+    const std::vector<double>& reported_accel, double interval_s) const {
+  if (claimed_positions.size() != reported_accel.size() ||
+      claimed_positions.size() < 3) {
+    throw std::invalid_argument("AccelConsistencyCheck: bad upload");
+  }
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("AccelConsistencyCheck: bad interval");
+  }
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 2; i < claimed_positions.size(); ++i) {
+    const Enu v1 =
+        (claimed_positions[i - 1] - claimed_positions[i - 2]) * (1.0 / interval_s);
+    const Enu v2 =
+        (claimed_positions[i] - claimed_positions[i - 1]) * (1.0 / interval_s);
+    const double implied = (v2 - v1).norm() / interval_s;
+    total += std::fabs(implied - reported_accel[i]);
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+int AccelConsistencyCheck::verify(const std::vector<Enu>& claimed_positions,
+                                  const std::vector<double>& reported_accel,
+                                  double interval_s) const {
+  return mean_gap_mps2(claimed_positions, reported_accel, interval_s) <=
+                 config_.tolerance_mps2
+             ? 1
+             : 0;
+}
+
+}  // namespace trajkit::baseline

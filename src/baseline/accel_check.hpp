@@ -1,0 +1,43 @@
+// Accelerometer consistency check — an extension the paper teases.
+//
+// The provider compares the acceleration implied by the *claimed* positions
+// against the acceleration magnitudes the client's IMU reported.  A forger
+// who only hooks the GPS pipe uploads sensor values inconsistent with the
+// fabricated motion (e.g. a constant-speed navigation fake whose IMU says the
+// user was bouncing along at 0.5 m/s^2); a full replay forger can replay the
+// IMU stream too, and because the paper's replay perturbation is smooth, the
+// replayed stream stays kinematically consistent — which is why the RSSI
+// check (not this one) is the paper's answer to replays.
+#pragma once
+
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace trajkit::baseline {
+
+struct AccelCheckConfig {
+  double tolerance_mps2 = 0.8;  ///< allowed mean |claimed - reported| gap
+};
+
+class AccelConsistencyCheck {
+ public:
+  explicit AccelConsistencyCheck(AccelCheckConfig config = {});
+
+  /// Mean absolute gap between position-implied and reported acceleration
+  /// magnitudes, m/s^2 (computed from the third sample on).
+  double mean_gap_mps2(const std::vector<Enu>& claimed_positions,
+                       const std::vector<double>& reported_accel,
+                       double interval_s) const;
+
+  /// 1 = consistent, 0 = flagged.
+  int verify(const std::vector<Enu>& claimed_positions,
+             const std::vector<double>& reported_accel, double interval_s) const;
+
+  const AccelCheckConfig& config() const { return config_; }
+
+ private:
+  AccelCheckConfig config_;
+};
+
+}  // namespace trajkit::baseline

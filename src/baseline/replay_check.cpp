@@ -1,0 +1,47 @@
+#include "baseline/replay_check.hpp"
+
+#include <stdexcept>
+
+#include "dtw/dtw.hpp"
+
+namespace trajkit::baseline {
+
+ReplayDetector::ReplayDetector(ReplayCheckConfig config) : config_(config) {
+  if (config_.min_d <= 0.0) {
+    throw std::invalid_argument("ReplayDetector: min_d must be positive");
+  }
+}
+
+void ReplayDetector::add_history(std::vector<Enu> trajectory) {
+  if (trajectory.size() < 2) {
+    throw std::invalid_argument("ReplayDetector: history trajectory too short");
+  }
+  history_.push_back(std::move(trajectory));
+}
+
+std::optional<ReplayMatch> ReplayDetector::closest(
+    const std::vector<Enu>& upload) const {
+  if (upload.size() < 2) {
+    throw std::invalid_argument("ReplayDetector: upload too short");
+  }
+  std::optional<ReplayMatch> best;
+  for (std::size_t h = 0; h < history_.size(); ++h) {
+    const auto& record = history_[h];
+    // Cheap prefilter: a replay shares (approximately) its endpoints.
+    if (distance(record.front(), upload.front()) > config_.endpoint_prefilter_m ||
+        distance(record.back(), upload.back()) > config_.endpoint_prefilter_m) {
+      continue;
+    }
+    const auto r = dtw_banded(record, upload, config_.dtw_band);
+    const double norm = r.distance / static_cast<double>(r.path.size());
+    if (!best || norm < best->dtw_norm) best = ReplayMatch{h, norm};
+  }
+  return best;
+}
+
+int ReplayDetector::verify(const std::vector<Enu>& upload) const {
+  const auto match = closest(upload);
+  return (match && match->dtw_norm < config_.min_d) ? 0 : 1;
+}
+
+}  // namespace trajkit::baseline

@@ -1,0 +1,58 @@
+// Server-side replay check.
+//
+// The paper's Sec. II-B observes that a plain replay is trivially detectable:
+// "as the server has the records too, the server can simply traverse its
+// records and differentiate whether the new trajectory is a real one or a
+// replay."  This detector is that traversal, done efficiently: candidate
+// historical trajectories are pre-filtered by endpoint proximity, then the
+// normalised (banded) DTW to each candidate is compared against the per-mode
+// MinD bound — any upload closer than MinD to some record is a replay.
+//
+// It catches naive replays (DTW ~ noise level << MinD) and forces the
+// adversarial replay attack to target DTW > MinD, which is exactly the
+// constraint Eq. 2 encodes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::baseline {
+
+struct ReplayCheckConfig {
+  double min_d = 1.2;              ///< replay threshold (normalised DTW, m/step)
+  double endpoint_prefilter_m = 60.0;  ///< skip records with distant endpoints
+  std::size_t dtw_band = 16;       ///< Sakoe-Chiba band for the DTW scans
+};
+
+/// Result of one check: the closest historical record, if any was compared.
+struct ReplayMatch {
+  std::size_t history_index = 0;
+  double dtw_norm = 0.0;
+};
+
+class ReplayDetector {
+ public:
+  explicit ReplayDetector(ReplayCheckConfig config = {});
+
+  /// Register a historical trajectory (ENU points).
+  void add_history(std::vector<Enu> trajectory);
+  std::size_t history_size() const { return history_.size(); }
+
+  /// Closest record by normalised DTW (after the endpoint prefilter);
+  /// std::nullopt when nothing survives the prefilter.
+  std::optional<ReplayMatch> closest(const std::vector<Enu>& upload) const;
+
+  /// 1 = not a replay (or no comparable record), 0 = replay of some record.
+  int verify(const std::vector<Enu>& upload) const;
+
+  const ReplayCheckConfig& config() const { return config_; }
+
+ private:
+  ReplayCheckConfig config_;
+  std::vector<std::vector<Enu>> history_;
+};
+
+}  // namespace trajkit::baseline

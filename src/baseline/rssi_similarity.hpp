@@ -1,0 +1,47 @@
+// Coarse RSSI-signature verification — the "methods based on environmental
+// signal" baseline (Zhang et al. [15] style).
+//
+// For each uploaded point, the mean absolute RSSI difference to the *average*
+// RSSI of each common AP among nearby reference points is computed; the
+// trajectory passes if the mean deviation stays under a tolerance.  This is
+// the coarse-signature design the paper criticises: "the accuracy of the
+// proposed signatures is too coarse, i.e., the range of data variation
+// allowed is too big.  As a result, malicious users easily escape from being
+// detected by replaying their historical data with slight noises."  The
+// defense-baselines benchmark demonstrates exactly that escape, and how the
+// paper's RPD/Phi detector closes it.
+#pragma once
+
+#include "wifi/refindex.hpp"
+
+namespace trajkit::baseline {
+
+struct RssiSimilarityConfig {
+  double reference_radius_m = 10.0;  ///< coarse spatial bucket
+  double tolerance_db = 8.0;         ///< allowed mean |RSSI - mean| deviation
+  double min_match_fraction = 0.3;   ///< required overlap of APs with history
+};
+
+class RssiSimilarityDetector {
+ public:
+  /// `index` must outlive the detector.
+  RssiSimilarityDetector(const wifi::ReferenceIndex& index,
+                         RssiSimilarityConfig config = {});
+
+  /// Mean absolute deviation of the upload's RSSIs from the local averages,
+  /// dB; returns a large sentinel when too few APs match history.
+  double mean_deviation_db(const std::vector<Enu>& positions,
+                           const std::vector<wifi::WifiScan>& scans) const;
+
+  /// 1 = signature consistent with history, 0 = flagged.
+  int verify(const std::vector<Enu>& positions,
+             const std::vector<wifi::WifiScan>& scans) const;
+
+  const RssiSimilarityConfig& config() const { return config_; }
+
+ private:
+  const wifi::ReferenceIndex* index_;
+  RssiSimilarityConfig config_;
+};
+
+}  // namespace trajkit::baseline

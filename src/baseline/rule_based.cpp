@@ -1,0 +1,83 @@
+#include "baseline/rule_based.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::baseline {
+
+RuleThresholds RuleThresholds::for_mode(Mode mode) {
+  RuleThresholds t;
+  switch (mode) {
+    case Mode::kWalking:
+      t.max_speed_mps = 3.5;     // brisk jog allowance
+      t.max_accel_mps2 = 2.5;
+      t.max_step_jump_m = 10.0;
+      break;
+    case Mode::kCycling:
+      t.max_speed_mps = 12.0;
+      t.max_accel_mps2 = 3.5;
+      t.max_step_jump_m = 25.0;
+      break;
+    case Mode::kDriving:
+      t.max_speed_mps = 33.0;    // ~120 km/h
+      t.max_accel_mps2 = 5.0;
+      t.max_step_jump_m = 60.0;
+      break;
+  }
+  return t;
+}
+
+RuleBasedDetector::RuleBasedDetector(RuleThresholds thresholds)
+    : thresholds_(thresholds) {
+  if (thresholds_.max_speed_mps <= 0.0 || thresholds_.max_accel_mps2 <= 0.0) {
+    throw std::invalid_argument("RuleBasedDetector: thresholds must be positive");
+  }
+}
+
+RuleBasedDetector RuleBasedDetector::for_mode(Mode mode) {
+  return RuleBasedDetector(RuleThresholds::for_mode(mode));
+}
+
+std::vector<RuleViolation> RuleBasedDetector::check(const Trajectory& traj,
+                                                    const LocalProjection& proj) const {
+  std::vector<RuleViolation> violations;
+  if (traj.size() < 3) {
+    violations.push_back({"too_short", 0, static_cast<double>(traj.size()), 3.0});
+    return violations;
+  }
+  const auto pts = traj.to_enu(proj);
+  const double dt = traj.interval_s();
+
+  double total_progress = 0.0;
+  double prev_speed = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double step = distance(pts[i - 1], pts[i]);
+    total_progress += step;
+    if (step > thresholds_.max_step_jump_m) {
+      violations.push_back({"teleport", i, step, thresholds_.max_step_jump_m});
+    }
+    const double speed = step / dt;
+    if (speed > thresholds_.max_speed_mps) {
+      violations.push_back({"overspeed", i, speed, thresholds_.max_speed_mps});
+    }
+    if (i > 1) {
+      const double accel = std::fabs(speed - prev_speed) / dt;
+      if (accel > thresholds_.max_accel_mps2) {
+        violations.push_back({"overaccel", i, accel, thresholds_.max_accel_mps2});
+      }
+    }
+    prev_speed = speed;
+  }
+  if (total_progress < thresholds_.min_progress_m) {
+    violations.push_back({"no_progress", pts.size() - 1, total_progress,
+                          thresholds_.min_progress_m});
+  }
+  return violations;
+}
+
+int RuleBasedDetector::verify(const Trajectory& traj,
+                              const LocalProjection& proj) const {
+  return check(traj, proj).empty() ? 1 : 0;
+}
+
+}  // namespace trajkit::baseline

@@ -1,0 +1,55 @@
+// Rule-based trajectory verification — the "methods based on rules" baseline
+// of the paper's related work (He et al. [34], Polakis et al. [35]).
+//
+// Heuristic physical-plausibility checks per transport mode: maximum speed,
+// maximum acceleration, teleport detection (single-step jumps), and minimum
+// progress.  Cheap and effective against crude spoofing, but — as the paper
+// argues — defeated by replaying any genuinely-recorded trajectory, and a
+// fortiori by the adversarial forgeries, whose motion statistics are
+// indistinguishable from real ones by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.hpp"
+
+namespace trajkit::baseline {
+
+struct RuleThresholds {
+  double max_speed_mps = 2.5;
+  double max_accel_mps2 = 1.5;
+  double max_step_jump_m = 15.0;  ///< teleport guard (single displacement)
+  double min_progress_m = 5.0;    ///< total displacement floor (anti-freeze)
+
+  /// Generous per-mode physical limits.
+  static RuleThresholds for_mode(Mode mode);
+};
+
+/// One fired rule, for audit logs.
+struct RuleViolation {
+  std::string rule;
+  std::size_t point_index = 0;
+  double value = 0.0;
+  double limit = 0.0;
+};
+
+class RuleBasedDetector {
+ public:
+  explicit RuleBasedDetector(RuleThresholds thresholds);
+  static RuleBasedDetector for_mode(Mode mode);
+
+  /// All violations of the trajectory (empty = passes).
+  std::vector<RuleViolation> check(const Trajectory& traj,
+                                   const LocalProjection& proj) const;
+
+  /// The J-style verdict: 1 = plausible, 0 = flagged.
+  int verify(const Trajectory& traj, const LocalProjection& proj) const;
+
+  const RuleThresholds& thresholds() const { return thresholds_; }
+
+ private:
+  RuleThresholds thresholds_;
+};
+
+}  // namespace trajkit::baseline

@@ -1,0 +1,30 @@
+// Minimal command-line flag parser for the benchmark binaries.
+//
+// Every bench accepts `--key=value` overrides for its scaling knobs so that
+// the paper-scale experiment can be re-run on a bigger machine:
+//   bench_table1_naive_classifiers --train=20000 --epochs=100 --hidden=256
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace trajkit {
+
+/// Parsed `--key=value` flags; unknown positional arguments are rejected.
+class CliFlags {
+ public:
+  /// Parse argv; throws std::invalid_argument on a malformed argument.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace trajkit

@@ -1,0 +1,100 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace trajkit {
+
+void ConfusionMatrix::add(int truth_label, int predicted_label) {
+  const bool truth_fake = truth_label == 0;
+  const bool pred_fake = predicted_label == 0;
+  if (truth_fake && pred_fake) {
+    ++true_positive;
+  } else if (!truth_fake && pred_fake) {
+    ++false_positive;
+  } else if (!truth_fake && !pred_fake) {
+    ++true_negative;
+  } else {
+    ++false_negative;
+  }
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return true_positive + false_positive + true_negative + false_negative;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const auto flagged = true_positive + false_positive;
+  if (flagged == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(flagged);
+}
+
+double ConfusionMatrix::recall() const {
+  const auto fakes = true_positive + false_negative;
+  if (fakes == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(fakes);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::summary() const {
+  std::ostringstream os;
+  os << "acc=" << accuracy() << " prec=" << precision() << " rec=" << recall()
+     << " f1=" << f1() << " (n=" << total() << ")";
+  return os.str();
+}
+
+double roc_auc(const std::vector<int>& truth, const std::vector<double>& scores) {
+  if (truth.size() != scores.size()) {
+    throw std::invalid_argument("roc_auc: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (int t : truth) positives += t == 1;
+  const std::size_t negatives = truth.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Rank-sum with midranks for ties.
+  std::vector<std::size_t> order(truth.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (truth[order[k]] == 1) rank_sum_positive += midrank;
+    }
+    i = j + 1;
+  }
+  const double p = static_cast<double>(positives);
+  const double n = static_cast<double>(negatives);
+  return (rank_sum_positive - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+ConfusionMatrix evaluate_binary(const std::vector<int>& truth,
+                                const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("evaluate_binary: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) cm.add(truth[i], predicted[i]);
+  return cm;
+}
+
+}  // namespace trajkit

@@ -1,0 +1,44 @@
+// Binary-classification metrics.
+//
+// Label convention follows the paper's prediction function J: label 1 means
+// "real trajectory", label 0 means "forged".  The *positive class* for
+// precision/recall is the forged class (the detector's job is to catch
+// fakes), matching how Tables I and IV report precision/recall of detection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trajkit {
+
+/// Confusion matrix for the binary real(1)/fake(0) decision.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;   ///< fake predicted fake
+  std::size_t false_positive = 0;  ///< real predicted fake
+  std::size_t true_negative = 0;   ///< real predicted real
+  std::size_t false_negative = 0;  ///< fake predicted real
+
+  void add(int truth_label, int predicted_label);
+
+  std::size_t total() const;
+  double accuracy() const;
+  /// Of everything flagged as fake, the share that was fake.
+  double precision() const;
+  /// Of all fakes, the share that was flagged.
+  double recall() const;
+  double f1() const;
+
+  std::string summary() const;
+};
+
+/// Build a confusion matrix from parallel label vectors (1 = real, 0 = fake).
+ConfusionMatrix evaluate_binary(const std::vector<int>& truth,
+                                const std::vector<int>& predicted);
+
+/// Area under the ROC curve for scores where *higher means more likely real*
+/// (label 1).  Ties are handled by the rank-sum (Mann-Whitney) formulation.
+/// Returns 0.5 for degenerate inputs (single-class label sets).
+double roc_auc(const std::vector<int>& truth, const std::vector<double>& scores);
+
+}  // namespace trajkit

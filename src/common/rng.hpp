@@ -1,0 +1,73 @@
+// Deterministic random number generation for simulations and experiments.
+//
+// Every stochastic component in trajkit takes an explicit Rng (or a seed) so
+// that experiments are reproducible run-to-run.  Rng wraps a 64-bit
+// SplitMix64-seeded xoshiro256** generator with convenience samplers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trajkit {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// Not thread-safe; create one per thread / per experiment strand.  `split()`
+/// derives an independent child stream, which is the idiomatic way to hand
+/// randomness to a sub-component without coupling its draw sequence to the
+/// parent's.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (Box-Muller, cached spare).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Index draw from unnormalised non-negative weights.  Returns the index of
+  /// the chosen weight; weights summing to zero yield index 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace trajkit

@@ -1,0 +1,48 @@
+// Small descriptive-statistics helpers shared by the simulator calibration,
+// the MinD/R experiments and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace trajkit {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Population variance helper used by the GPS-error experiment.
+double variance(const std::vector<double>& xs);
+
+/// Minimum / maximum; 0 for an empty input.
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0, 100]) by linear interpolation on a sorted copy.
+double percentile(std::vector<double> xs, double p);
+
+/// Median shortcut.
+double median(std::vector<double> xs);
+
+/// Online accumulator for mean/std without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace trajkit

@@ -1,0 +1,32 @@
+// ASCII table printer used by the benchmark harnesses to print the paper's
+// tables (Table I-IV) and figure series in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace trajkit {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with a fixed precision so every bench prints consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 4);
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trajkit

@@ -1,0 +1,161 @@
+#include "core/motion_pipeline.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "attack/naive.hpp"
+
+namespace trajkit::core {
+namespace {
+
+MotionSample make_sample(std::vector<Enu> points, Mode mode, double interval_s,
+                         int label, bool from_replay) {
+  MotionSample s;
+  s.trajectory =
+      Trajectory::from_enu(points, sim::sim_projection(), mode, interval_s);
+  s.points = std::move(points);
+  s.label = label;
+  s.from_replay = from_replay;
+  return s;
+}
+
+FeatureSequence encode(const FeatureEncoder& enc, const MotionSample& s) {
+  return enc.encode(s.points);
+}
+
+std::vector<FeatureSequence> encode_all(const FeatureEncoder& enc,
+                                        const std::vector<MotionSample>& samples) {
+  std::vector<FeatureSequence> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(encode(enc, s));
+  return out;
+}
+
+std::vector<int> labels_of(const std::vector<MotionSample>& samples) {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.label);
+  return out;
+}
+
+}  // namespace
+
+MotionDataset build_motion_dataset(Scenario& scenario,
+                                   const MotionDatasetConfig& config) {
+  MotionDataset ds;
+  const Mode mode = scenario.mode();
+  Rng& rng = scenario.rng();
+
+  auto emit = [&](std::vector<MotionSample>& dest, std::size_t real_count,
+                  std::size_t fake_count) {
+    // Real trajectories: the OSM-like genuine dataset.
+    for (auto& traj :
+         scenario.real_trajectories(real_count, config.points, config.interval_s)) {
+      dest.push_back(make_sample(traj.reported.to_enu(sim::sim_projection()), mode,
+                                 config.interval_s, 1, false));
+    }
+    // Naive replay fakes: fresh genuine trajectories re-uploaded with i.i.d.
+    // noise (the attacker replays their own history).
+    const std::size_t replay_count = fake_count / 2;
+    for (auto& traj :
+         scenario.real_trajectories(replay_count, config.points, config.interval_s)) {
+      auto pts = traj.reported.to_enu(sim::sim_projection());
+      dest.push_back(make_sample(attack::naive_noise_attack(pts, rng), mode,
+                                 config.interval_s, 0, true));
+    }
+    // Naive navigation fakes: AN resamples plus the same noise.
+    const std::size_t nav_count = fake_count - replay_count;
+    for (auto& traj : scenario.navigation_trajectories(nav_count, config.points,
+                                                       config.interval_s)) {
+      auto pts = traj.reported.to_enu(sim::sim_projection());
+      dest.push_back(make_sample(attack::naive_noise_attack(pts, rng), mode,
+                                 config.interval_s, 0, false));
+    }
+  };
+  emit(ds.train, config.train_real, config.train_fake);
+  emit(ds.test, config.test_real, config.test_fake);
+  rng.shuffle(ds.train);
+  return ds;
+}
+
+const std::vector<std::string>& MotionModels::model_names() {
+  static const std::vector<std::string> names = {"C(LSTM)", "XGBoost", "LSTM-1",
+                                                 "LSTM-2"};
+  return names;
+}
+
+MotionModels::MotionModels(const MotionDataset& dataset, const MotionModelConfig& config)
+    : xgb_(config.xgb) {
+  if (dataset.train.empty()) {
+    throw std::invalid_argument("MotionModels: empty training set");
+  }
+  const auto labels = labels_of(dataset.train);
+
+  auto train_lstm = [&](const FeatureEncoder& enc, std::size_t layers,
+                        std::uint64_t seed, const char* name) {
+    nn::LstmClassifierConfig cfg;
+    cfg.input_dim = enc.dim();
+    cfg.hidden_dim = config.hidden;
+    cfg.num_layers = layers;
+    cfg.learning_rate = config.learning_rate;
+    cfg.batch_size = config.batch_size;
+    auto model = std::make_unique<nn::LstmClassifier>(cfg, seed);
+    const auto xs = encode_all(enc, dataset.train);
+    model->train(xs, labels, config.epochs,
+                 [&](std::size_t epoch, double loss, double acc) {
+                   if (config.verbose) {
+                     std::printf("  [%s] epoch %zu loss=%.4f acc=%.4f\n", name, epoch,
+                                 loss, acc);
+                   }
+                 });
+    return model;
+  };
+
+  c_ = train_lstm(dist_angle_, 1, config.seed, "C");
+  lstm1_ = train_lstm(dx_dy_, 1, config.seed + 1, "LSTM-1");
+  lstm2_ = train_lstm(dist_angle_, 2, config.seed + 2, "LSTM-2");
+
+  std::vector<std::vector<double>> xgb_x;
+  xgb_x.reserve(dataset.train.size());
+  for (const auto& s : dataset.train) {
+    xgb_x.push_back(motion_summary_features(s.trajectory, sim::sim_projection()));
+  }
+  xgb_.train(xgb_x, labels);
+}
+
+std::vector<int> MotionModels::predict_all(const MotionSample& sample) const {
+  std::vector<int> out;
+  out.reserve(4);
+  out.push_back(c_->predict(encode(dist_angle_, sample)));
+  out.push_back(xgb_.predict(
+      motion_summary_features(sample.trajectory, sim::sim_projection())));
+  out.push_back(lstm1_->predict(encode(dx_dy_, sample)));
+  out.push_back(lstm2_->predict(encode(dist_angle_, sample)));
+  return out;
+}
+
+int MotionModels::predict(const std::string& model_name,
+                          const MotionSample& sample) const {
+  const auto& names = model_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == model_name) return predict_all(sample)[i];
+  }
+  throw std::invalid_argument("MotionModels::predict: unknown model " + model_name);
+}
+
+std::vector<ModelEvaluation> evaluate_models(const MotionModels& models,
+                                             const std::vector<MotionSample>& samples) {
+  const auto& names = MotionModels::model_names();
+  std::vector<ModelEvaluation> evals;
+  evals.reserve(names.size());
+  for (const auto& name : names) evals.push_back({name, {}});
+  for (const auto& s : samples) {
+    const auto predictions = models.predict_all(s);
+    for (std::size_t m = 0; m < predictions.size(); ++m) {
+      evals[m].confusion.add(s.label, predictions[m]);
+    }
+  }
+  return evals;
+}
+
+}  // namespace trajkit::core

@@ -1,0 +1,99 @@
+// Motion-classifier experiment pipeline (Sec. IV-A, Tables I and II).
+//
+// Builds the labelled motion dataset (real trajectories vs. naive replay /
+// naive navigation fakes), trains the paper's four detection models —
+//   C       : LSTM over (Edu, Angle) displacement features (target model)
+//   XGBoost : gradient-boosted trees over location + state summary features
+//   LSTM-1  : LSTM over (dx, dy) displacement features
+//   LSTM-2  : two-layer LSTM over (Edu, Angle)
+// — and evaluates them against naive and adversarial attacks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/scenario.hpp"
+#include "gbt/booster.hpp"
+#include "nn/classifier.hpp"
+#include "traj/features.hpp"
+
+namespace trajkit::core {
+
+/// One labelled motion sample.  ENU coordinates feed the LSTMs (and the C&W
+/// attack); the Trajectory feeds the XGBoost summary features.
+struct MotionSample {
+  std::vector<Enu> points;
+  Trajectory trajectory;
+  int label = 1;          ///< 1 = real, 0 = fake
+  bool from_replay = false;  ///< fake provenance (replay vs navigation)
+};
+
+struct MotionDatasetConfig {
+  std::size_t train_real = 400;
+  std::size_t train_fake = 200;  ///< split evenly between replay / navigation
+  std::size_t test_real = 200;
+  std::size_t test_fake = 200;   ///< split evenly between replay / navigation
+  std::size_t points = 96;
+  double interval_s = 1.0;
+};
+
+struct MotionDataset {
+  std::vector<MotionSample> train;
+  std::vector<MotionSample> test;
+};
+
+/// Simulate and label the dataset inside `scenario`.
+MotionDataset build_motion_dataset(Scenario& scenario, const MotionDatasetConfig& config);
+
+struct MotionModelConfig {
+  std::size_t hidden = 32;
+  std::size_t epochs = 14;
+  double learning_rate = 3e-3;
+  std::size_t batch_size = 16;
+  gbt::GbtConfig xgb;
+  std::uint64_t seed = 17;
+  bool verbose = false;  ///< print per-epoch training telemetry
+};
+
+/// The four trained models plus the encoders they consume.
+class MotionModels {
+ public:
+  MotionModels(const MotionDataset& dataset, const MotionModelConfig& config);
+
+  const nn::LstmClassifier& model_c() const { return *c_; }
+  const nn::LstmClassifier& lstm1() const { return *lstm1_; }
+  const nn::LstmClassifier& lstm2() const { return *lstm2_; }
+  const gbt::GbtClassifier& xgboost() const { return xgb_; }
+  const DistAngleEncoder& dist_angle_encoder() const { return dist_angle_; }
+  const DxDyEncoder& dx_dy_encoder() const { return dx_dy_; }
+
+  /// Model names in paper order: C(LSTM), XGBoost, LSTM-1, LSTM-2.
+  static const std::vector<std::string>& model_names();
+
+  /// Predicted label (1 = real, 0 = fake) of one sample under each model,
+  /// in model_names() order.
+  std::vector<int> predict_all(const MotionSample& sample) const;
+
+  /// Predict with a single model by name.
+  int predict(const std::string& model_name, const MotionSample& sample) const;
+
+ private:
+  DistAngleEncoder dist_angle_;
+  DxDyEncoder dx_dy_;
+  std::unique_ptr<nn::LstmClassifier> c_;
+  std::unique_ptr<nn::LstmClassifier> lstm1_;
+  std::unique_ptr<nn::LstmClassifier> lstm2_;
+  gbt::GbtClassifier xgb_;
+};
+
+/// Table I: per-model confusion matrices over a labelled sample set.
+struct ModelEvaluation {
+  std::string name;
+  ConfusionMatrix confusion;
+};
+std::vector<ModelEvaluation> evaluate_models(const MotionModels& models,
+                                             const std::vector<MotionSample>& samples);
+
+}  // namespace trajkit::core

@@ -1,0 +1,76 @@
+// WiFi RSSI defense experiment pipeline (Sec. IV-B, Table IV, Figs. 4-6).
+//
+// Reproduces the paper's protocol in one of the three areas:
+//   1. collect `total` genuine trajectories with a scan at every point;
+//   2. keep 80% as the provider's crowdsourced history H;
+//   3. training set: 60% of H as "normal" uploads + replay/navigation fakes
+//      built from a further 20% of H, each with its RSSI values replayed with
+//      a random disturbance from {-1, 0, +1} dB;
+//   4. test set: the non-historical 20% as fresh real uploads + the same
+//      number of fakes built from randomly-chosen historical trajectories;
+//   5. train the Eq. 8 + XGBoost detector and report the confusion matrix.
+//
+// The experiment knobs mirror the paper's sweeps: reference radius r
+// (Fig. 4), reference-point keep fraction (Fig. 5), per-scan AP keep
+// fraction (Fig. 6), and ablation switches for theta_1/theta_2/RPD smoothing.
+#pragma once
+
+#include "common/metrics.hpp"
+#include "core/scenario.hpp"
+#include "wifi/detector.hpp"
+
+namespace trajkit::core {
+
+struct RssiExperimentConfig {
+  std::size_t total = 900;     ///< trajectories collected (paper: 5,000)
+  std::size_t points = 30;     ///< points per trajectory (paper: 30)
+  double interval_s = 2.0;     ///< sampling interval (paper: 2 s)
+
+  double reference_radius_m = 2.5;  ///< r (Fig. 4 sweep)
+  std::size_t top_k = 8;            ///< strongest APs per point
+  double reference_keep = 1.0;      ///< Fig. 5: fraction of H retained
+  double ap_keep = 1.0;             ///< Fig. 6: fraction of APs kept per scan
+  int rssi_disturbance_db = 1;      ///< fake RSSI +- uniform{-d..d}
+
+  /// Replay fakes sit at normalised DTW ~= this above the historical record
+  /// (the C&W replay outcome); navigation fakes roam further.
+  double replay_offset_m = 0.0;  ///< 0 = use paper MinD for the mode + 0.1
+  double navigation_offset_m = 3.0;
+
+  wifi::RssiDetectorConfig detector;
+};
+
+struct RssiExperimentResult {
+  ConfusionMatrix confusion;
+  double auc = 0.0;  ///< threshold-free detector quality (ROC AUC)
+  double avg_k = 0.0;                 ///< mean APs per scan over test uploads
+  double min_k = 0.0;                 ///< minimum APs in any test scan
+  double k_p10 = 0.0;                 ///< 10th percentile (Table III's "90% >=")
+  double avg_refs_per_point = 0.0;    ///< mean reference points within r
+  double ref_density_per_m2 = 0.0;    ///< the Fig. 5 density measure
+};
+
+/// Run the full protocol inside `scenario` (collects its own data).
+RssiExperimentResult run_rssi_experiment(Scenario& scenario,
+                                         const RssiExperimentConfig& config);
+
+/// Collect the raw scanned trajectories once; the Fig. 4-6 sweeps re-run the
+/// detector protocol over the same collection with different knobs.
+std::vector<sim::ScannedTrajectory> collect_rssi_dataset(
+    Scenario& scenario, const RssiExperimentConfig& config);
+
+/// Run the protocol on a pre-collected dataset (steps 2-5 only).
+RssiExperimentResult run_rssi_experiment_on(
+    Scenario& scenario, const std::vector<sim::ScannedTrajectory>& collected,
+    const RssiExperimentConfig& config);
+
+/// Build a forged upload from a historical scanned trajectory: positions are
+/// perturbed at the given normalised-DTW offset, RSSIs are replayed with the
+/// +-disturbance.  Exposed for the examples and tests.
+wifi::ScannedUpload forge_upload(const sim::ScannedTrajectory& historical,
+                                 double dtw_offset_m, int disturbance_db, Rng& rng);
+
+/// Convert a genuine scanned trajectory into the upload the provider sees.
+wifi::ScannedUpload to_upload(const sim::ScannedTrajectory& traj);
+
+}  // namespace trajkit::core

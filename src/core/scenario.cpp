@@ -1,0 +1,129 @@
+#include "core/scenario.hpp"
+
+namespace trajkit::core {
+
+ScenarioConfig ScenarioConfig::for_mode(Mode mode) {
+  ScenarioConfig cfg;
+  cfg.mode = mode;
+  // Shared radio defaults calibrated against Table III (see bench_table3):
+  // ~25 m practical visibility, dense storefront APs.
+  cfg.wifi.tx_dbm_mean = -35.0;
+  cfg.wifi.ple_mean = 3.0;
+  cfg.wifi.visibility_floor_dbm = -77;
+  switch (mode) {
+    case Mode::kWalking:
+      // Area A: mall outdoor area, 3.4 hm^2 (~185 m square), dense APs.
+      cfg.city = {.blocks_x = 5,
+                  .blocks_y = 5,
+                  .block_size_m = 46.0,
+                  .jitter_m = 5.0,
+                  .arterial_every = 4,
+                  .drop_probability = 0.06,
+                  .diagonal_probability = 0.08,
+                  .footpath_probability = 0.25};
+      cfg.wifi.ap_count = 370;
+      cfg.wifi.ap_road_offset_m = 6.0;
+      cfg.seed = 101;
+      break;
+    case Mode::kCycling:
+      // Area B: pedestrian street by a community, 4.1 hm^2.
+      cfg.city = {.blocks_x = 6,
+                  .blocks_y = 5,
+                  .block_size_m = 48.0,
+                  .jitter_m = 5.0,
+                  .arterial_every = 3,
+                  .drop_probability = 0.07,
+                  .diagonal_probability = 0.06,
+                  .footpath_probability = 0.20};
+      cfg.wifi.ap_count = 440;
+      cfg.wifi.ap_road_offset_m = 7.0;
+      cfg.seed = 202;
+      break;
+    case Mode::kDriving:
+      // Area C: commercial main road, 5.9 hm^2; APs sit farther from the
+      // roadway, so drivers hear markedly fewer of them (Table III: avg 9).
+      cfg.city = {.blocks_x = 8,
+                  .blocks_y = 6,
+                  .block_size_m = 58.0,
+                  .jitter_m = 6.0,
+                  .arterial_every = 2,
+                  .drop_probability = 0.06,
+                  .diagonal_probability = 0.04,
+                  .footpath_probability = 0.10};
+      cfg.wifi.ap_count = 380;
+      cfg.wifi.ap_road_offset_m = 14.0;
+      cfg.seed = 303;
+      break;
+  }
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::indoor_walking() {
+  ScenarioConfig cfg = for_mode(Mode::kWalking);
+  // A mall floor: tight corridor grid, ~120 m on a side.
+  cfg.city = {.blocks_x = 7,
+              .blocks_y = 7,
+              .block_size_m = 18.0,
+              .jitter_m = 1.5,
+              .arterial_every = 3,
+              .drop_probability = 0.10,
+              .diagonal_probability = 0.02,
+              .footpath_probability = 0.9};  // corridors, not car roads
+  // Indoor GPS: multipath-dominated, metres of correlated error.
+  cfg.gps.sigma_m = 4.0;
+  cfg.gps.correlation = 0.9;
+  // Indoor WiFi: very dense storefront APs, shorter-range propagation
+  // (walls), more structured shadowing.
+  cfg.wifi.ap_count = 350;
+  cfg.wifi.ap_road_offset_m = 3.0;
+  cfg.wifi.ple_mean = 3.6;
+  cfg.wifi.shadow_sigma_db = 5.0;
+  cfg.wifi.shadow_wavelength_min_m = 4.0;
+  cfg.wifi.shadow_wavelength_max_m = 15.0;
+  cfg.wifi.visibility_floor_dbm = -80;
+  cfg.seed = 404;
+  return cfg;
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(config), rng_(config.seed), network_(map::make_city(config.city, rng_)) {
+  wifi_ = std::make_unique<sim::WifiWorld>(
+      sim::WifiWorld::deploy(network_, config_.wifi, rng_));
+  simulator_ = std::make_unique<sim::TrajectorySimulator>(network_, config_.gps);
+}
+
+std::vector<sim::SimulatedTrajectory> Scenario::real_trajectories(std::size_t count,
+                                                                  std::size_t points,
+                                                                  double interval_s) {
+  std::vector<sim::SimulatedTrajectory> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(simulator_->simulate_real(config_.mode, points, interval_s, rng_));
+  }
+  return out;
+}
+
+std::vector<sim::SimulatedTrajectory> Scenario::navigation_trajectories(
+    std::size_t count, std::size_t points, double interval_s) {
+  std::vector<sim::SimulatedTrajectory> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(
+        simulator_->navigation_trajectory(config_.mode, points, interval_s, rng_));
+  }
+  return out;
+}
+
+std::vector<sim::ScannedTrajectory> Scenario::scanned_real(std::size_t count,
+                                                           std::size_t points,
+                                                           double interval_s) {
+  std::vector<sim::ScannedTrajectory> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto traj = simulator_->simulate_real(config_.mode, points, interval_s, rng_);
+    out.push_back(sim::attach_scans(traj, *wifi_, rng_));
+  }
+  return out;
+}
+
+}  // namespace trajkit::core

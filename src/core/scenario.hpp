@@ -1,0 +1,77 @@
+// End-to-end experiment world.
+//
+// A Scenario bundles everything one of the paper's evaluation areas needs:
+// the synthetic road network, the navigation service, the mobility/GPS
+// simulator and the deployed WiFi environment.  Per-mode default
+// configurations model the paper's three areas — the mall outdoor area A
+// (walking, 3.4 hm^2), pedestrian street B (cycling, 4.1 hm^2) and
+// commercial main road C (driving, 5.9 hm^2) — with AP densities calibrated
+// so the per-scan AP count statistics land near Table III.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "map/city.hpp"
+#include "map/nav.hpp"
+#include "sim/dataset.hpp"
+#include "sim/wifi_world.hpp"
+
+namespace trajkit::core {
+
+struct ScenarioConfig {
+  Mode mode = Mode::kWalking;
+  map::CityConfig city;
+  sim::WifiWorldConfig wifi;
+  sim::GpsErrorConfig gps;
+  std::uint64_t seed = 7;
+
+  /// Paper-area defaults: walking -> area A, cycling -> area B,
+  /// driving -> area C.
+  static ScenarioConfig for_mode(Mode mode);
+
+  /// Indoor shopping-mall variant — the paper's deferred future work
+  /// (Sec. II-A: "We leave the indoor trajectory forgery and detection in
+  /// future work").  Indoors, GPS degrades badly (multipath: sigma in metres)
+  /// while WiFi gets denser and more structured; bench_indoor_extension
+  /// quantifies how the two halves of the paper shift in that regime.
+  static ScenarioConfig indoor_walking();
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  const ScenarioConfig& config() const { return config_; }
+  Mode mode() const { return config_.mode; }
+  const map::RoadNetwork& network() const { return network_; }
+  const sim::WifiWorld& wifi() const { return *wifi_; }
+  const sim::TrajectorySimulator& simulator() const { return *simulator_; }
+  Rng& rng() { return rng_; }
+
+  /// Batch of genuine trajectories (the OSM-like dataset).
+  std::vector<sim::SimulatedTrajectory> real_trajectories(std::size_t count,
+                                                          std::size_t points,
+                                                          double interval_s);
+
+  /// Batch of navigation resamples (the AN-like dataset).
+  std::vector<sim::SimulatedTrajectory> navigation_trajectories(std::size_t count,
+                                                                std::size_t points,
+                                                                double interval_s);
+
+  /// Genuine trajectories with a WiFi scan per point (the collection app).
+  std::vector<sim::ScannedTrajectory> scanned_real(std::size_t count,
+                                                   std::size_t points,
+                                                   double interval_s);
+
+ private:
+  ScenarioConfig config_;
+  Rng rng_;
+  map::RoadNetwork network_;
+  std::unique_ptr<sim::WifiWorld> wifi_;
+  std::unique_ptr<sim::TrajectorySimulator> simulator_;
+};
+
+}  // namespace trajkit::core

@@ -1,0 +1,148 @@
+#include "dtw/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace trajkit {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEpsM = 1e-9;
+
+void check_nonempty(const std::vector<Enu>& a, const std::vector<Enu>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("dtw: sequences must be non-empty");
+  }
+}
+
+// Shared DP with an optional Sakoe-Chiba band; band == SIZE_MAX disables it.
+DtwResult dtw_impl(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                   std::size_t band) {
+  check_nonempty(a, b);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // The band must at least cover the diagonal slope difference or no
+  // monotone path from (0,0) to (n-1,m-1) exists inside it.
+  const std::size_t min_band = n > m ? n - m : m - n;
+  const std::size_t eff_band = std::max(band, min_band);
+
+  std::vector<double> cost(n * m, kInf);
+  // Back-pointer: 0 = diag, 1 = up (i-1), 2 = left (j-1), 3 = start.
+  std::vector<unsigned char> from(n * m, 3);
+  auto idx = [m](std::size_t i, std::size_t j) { return i * m + j; };
+  auto in_band = [eff_band](std::size_t i, std::size_t j) {
+    return (i >= j ? i - j : j - i) <= eff_band;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_band(i, j)) continue;
+      const double d = distance(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        cost[idx(0, 0)] = d;
+        from[idx(0, 0)] = 3;
+        continue;
+      }
+      double best = kInf;
+      unsigned char dir = 3;
+      if (i > 0 && j > 0 && cost[idx(i - 1, j - 1)] < best) {
+        best = cost[idx(i - 1, j - 1)];
+        dir = 0;
+      }
+      if (i > 0 && cost[idx(i - 1, j)] < best) {
+        best = cost[idx(i - 1, j)];
+        dir = 1;
+      }
+      if (j > 0 && cost[idx(i, j - 1)] < best) {
+        best = cost[idx(i, j - 1)];
+        dir = 2;
+      }
+      cost[idx(i, j)] = best + d;
+      from[idx(i, j)] = dir;
+    }
+  }
+
+  DtwResult result;
+  result.distance = cost[idx(n - 1, m - 1)];
+  // Backtrack.
+  std::size_t i = n - 1;
+  std::size_t j = m - 1;
+  while (true) {
+    result.path.push_back({i, j});
+    const unsigned char dir = from[idx(i, j)];
+    if (dir == 3) break;
+    if (dir == 0) {
+      --i;
+      --j;
+    } else if (dir == 1) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+}  // namespace
+
+DtwResult dtw(const std::vector<Enu>& a, const std::vector<Enu>& b) {
+  return dtw_impl(a, b, std::numeric_limits<std::size_t>::max());
+}
+
+DtwResult dtw_banded(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                     std::size_t band) {
+  return dtw_impl(a, b, band);
+}
+
+double dtw_distance(const std::vector<Enu>& a, const std::vector<Enu>& b) {
+  check_nonempty(a, b);
+  // Two-row DP; iterate over the longer sequence to keep rows short.
+  const std::vector<Enu>& rows = a.size() >= b.size() ? a : b;
+  const std::vector<Enu>& cols = a.size() >= b.size() ? b : a;
+  const std::size_t m = cols.size();
+  std::vector<double> prev(m, kInf);
+  std::vector<double> curr(m, kInf);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = distance(rows[i], cols[j]);
+      if (i == 0 && j == 0) {
+        curr[j] = d;
+        continue;
+      }
+      double best = kInf;
+      if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+      if (i > 0) best = std::min(best, prev[j]);
+      if (j > 0) best = std::min(best, curr[j - 1]);
+      curr[j] = best + d;
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+  return prev[m - 1];
+}
+
+double dtw_normalized(const std::vector<Enu>& a, const std::vector<Enu>& b) {
+  const auto r = dtw(a, b);
+  return r.distance / static_cast<double>(r.path.size());
+}
+
+double dtw_gradient(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                    std::vector<Enu>& db) {
+  if (db.size() != b.size()) {
+    throw std::invalid_argument("dtw_gradient: db size mismatch");
+  }
+  const auto r = dtw(a, b);
+  for (const auto& pair : r.path) {
+    const Enu& p = a[pair.i];
+    const Enu& q = b[pair.j];
+    const double d = std::max(distance(p, q), kEpsM);
+    db[pair.j].east += (q.east - p.east) / d;
+    db[pair.j].north += (q.north - p.north) / d;
+  }
+  return r.distance;
+}
+
+}  // namespace trajkit

@@ -1,0 +1,57 @@
+// Dynamic Time Warping between trajectories in the ENU plane.
+//
+// DTW is the trajectory-similarity metric used throughout the paper: in the
+// navigation-attack loss (Eq. 1), the replay-attack loss2 (Eq. 2), the MinD
+// lower-bound experiment, and the Fig. 3 iteration curves.
+//
+// Local cost is the Euclidean distance in metres.  Besides the value, the
+// attack needs d DTW(T, T')/dT', which we compute as the subgradient along
+// the optimal alignment path (the alignment is held fixed, each matched pair
+// contributes the derivative of its Euclidean cost — the standard DTW
+// subgradient).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace trajkit {
+
+/// One matched index pair of a DTW alignment.
+struct DtwPair {
+  std::size_t i = 0;  ///< index into the first sequence
+  std::size_t j = 0;  ///< index into the second sequence
+};
+
+/// DTW value plus its optimal alignment path (monotone, from (0,0) to
+/// (n-1, m-1)).
+struct DtwResult {
+  double distance = 0.0;
+  std::vector<DtwPair> path;
+};
+
+/// Full O(n*m) DTW with path recovery.
+DtwResult dtw(const std::vector<Enu>& a, const std::vector<Enu>& b);
+
+/// DTW distance only (no path), O(min(n,m)) memory.
+double dtw_distance(const std::vector<Enu>& a, const std::vector<Enu>& b);
+
+/// Sakoe-Chiba banded DTW: alignment constrained to |i - j| <= band.
+/// With band >= max(n, m) this equals full DTW.  Used as a faster variant in
+/// the attack ablation.
+DtwResult dtw_banded(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                     std::size_t band);
+
+/// DTW normalised by the alignment-path length (metres per matched pair).
+/// This is the "per-metre-class" quantity the paper's MinD thresholds
+/// (1.2 / 1.5 / 1.4) are expressed in.
+double dtw_normalized(const std::vector<Enu>& a, const std::vector<Enu>& b);
+
+/// Subgradient of dtw(a, b).distance w.r.t. b, holding the optimal alignment
+/// fixed.  `db` is accumulated into (+=) and must have b.size() entries.
+/// Returns the DTW distance.
+double dtw_gradient(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                    std::vector<Enu>& db);
+
+}  // namespace trajkit

@@ -1,0 +1,126 @@
+#include "dtw/soft_dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace trajkit {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double softmin3(double a, double b, double c, double gamma) {
+  const double m = std::min({a, b, c});
+  if (m == kInf) return kInf;
+  double total = 0.0;
+  if (a != kInf) total += std::exp(-(a - m) / gamma);
+  if (b != kInf) total += std::exp(-(b - m) / gamma);
+  if (c != kInf) total += std::exp(-(c - m) / gamma);
+  return m - gamma * std::log(total);
+}
+
+double sq_cost(const Enu& p, const Enu& q) { return distance_sq(p, q); }
+
+void check_inputs(const std::vector<Enu>& a, const std::vector<Enu>& b, double gamma) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("soft_dtw: sequences must be non-empty");
+  }
+  if (gamma <= 0.0) throw std::invalid_argument("soft_dtw: gamma must be positive");
+}
+
+/// Forward DP into a padded (n+2) x (m+2) R matrix (1-indexed interior).
+std::vector<double> forward_r(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                              double gamma) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<double> r((n + 2) * (m + 2), kInf);
+  auto R = [&r, m](std::size_t i, std::size_t j) -> double& {
+    return r[i * (m + 2) + j];
+  };
+  R(0, 0) = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      R(i, j) = sq_cost(a[i - 1], b[j - 1]) +
+                softmin3(R(i - 1, j), R(i, j - 1), R(i - 1, j - 1), gamma);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+double soft_dtw(const std::vector<Enu>& a, const std::vector<Enu>& b, double gamma) {
+  check_inputs(a, b, gamma);
+  const auto r = forward_r(a, b, gamma);
+  return r[a.size() * (b.size() + 2) + b.size()];
+}
+
+double soft_dtw_gradient(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                         double gamma, std::vector<Enu>& db) {
+  check_inputs(a, b, gamma);
+  if (db.size() != b.size()) {
+    throw std::invalid_argument("soft_dtw_gradient: db size mismatch");
+  }
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  auto r = forward_r(a, b, gamma);
+  auto R = [&r, m](std::size_t i, std::size_t j) -> double& {
+    return r[i * (m + 2) + j];
+  };
+  const double value = R(n, m);
+
+  // Local costs padded with a zero column/row for the backward pass.
+  std::vector<double> d((n + 2) * (m + 2), 0.0);
+  auto D = [&d, m](std::size_t i, std::size_t j) -> double& {
+    return d[i * (m + 2) + j];
+  };
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) D(i, j) = sq_cost(a[i - 1], b[j - 1]);
+  }
+
+  // Backward recursion for the soft alignment matrix E (Cuturi & Blondel).
+  std::vector<double> e((n + 2) * (m + 2), 0.0);
+  auto E = [&e, m](std::size_t i, std::size_t j) -> double& {
+    return e[i * (m + 2) + j];
+  };
+  // Boundary setup: R(i, m+1) = R(n+1, j) = -inf except the terminal corner.
+  for (std::size_t i = 0; i <= n; ++i) R(i, m + 1) = -kInf;
+  for (std::size_t j = 0; j <= m; ++j) R(n + 1, j) = -kInf;
+  R(n + 1, m + 1) = R(n, m);
+  E(n + 1, m + 1) = 1.0;
+  D(n + 1, m + 1) = 0.0;
+
+  for (std::size_t j = m; j >= 1; --j) {
+    for (std::size_t i = n; i >= 1; --i) {
+      const double rij = R(i, j);
+      const double x =
+          R(i + 1, j) == -kInf
+              ? 0.0
+              : E(i + 1, j) * std::exp((R(i + 1, j) - rij - D(i + 1, j)) / gamma);
+      const double y =
+          R(i, j + 1) == -kInf
+              ? 0.0
+              : E(i, j + 1) * std::exp((R(i, j + 1) - rij - D(i, j + 1)) / gamma);
+      const double z = R(i + 1, j + 1) == -kInf
+                           ? 0.0
+                           : E(i + 1, j + 1) *
+                                 std::exp((R(i + 1, j + 1) - rij - D(i + 1, j + 1)) /
+                                          gamma);
+      E(i, j) = x + y + z;
+    }
+  }
+
+  // Chain rule: dSDTW/db_j = sum_i E(i,j) * 2 (b_j - a_i).
+  for (std::size_t j = 1; j <= m; ++j) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      const double w = E(i, j);
+      if (w == 0.0) continue;
+      db[j - 1].east += w * 2.0 * (b[j - 1].east - a[i - 1].east);
+      db[j - 1].north += w * 2.0 * (b[j - 1].north - a[i - 1].north);
+    }
+  }
+  return value;
+}
+
+}  // namespace trajkit

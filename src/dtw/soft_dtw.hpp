@@ -1,0 +1,33 @@
+// Soft-DTW: a smoothed, everywhere-differentiable DTW variant.
+//
+// The C&W attack differentiates DTW through its optimal alignment (a
+// subgradient that is exact away from alignment switches).  Soft-DTW
+// (Cuturi & Blondel, 2017) replaces the min in the DP recursion with
+//   softmin_gamma(a, b, c) = -gamma * log(exp(-a/g) + exp(-b/g) + exp(-c/g))
+// making the distance a smooth function of both sequences, at the cost of a
+// temperature hyper-parameter and a value that underestimates true DTW.
+// It is provided as an alternative distance for the attack (ablation) and as
+// a robust similarity for analysis; gamma -> 0 recovers classic DTW.
+#pragma once
+
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace trajkit {
+
+struct SoftDtwResult {
+  double value = 0.0;
+};
+
+/// Soft-DTW value with squared-Euclidean local costs (the standard choice —
+/// squared costs keep the gradient smooth at coincident points).
+double soft_dtw(const std::vector<Enu>& a, const std::vector<Enu>& b, double gamma);
+
+/// Soft-DTW value and its exact gradient w.r.t. `b` (accumulated into `db`).
+/// Gradient computed by the standard forward-backward recursion over the
+/// soft alignment matrix.
+double soft_dtw_gradient(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                         double gamma, std::vector<Enu>& db);
+
+}  // namespace trajkit

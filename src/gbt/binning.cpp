@@ -1,0 +1,64 @@
+#include "gbt/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace trajkit::gbt {
+
+FeatureBins FeatureBins::fit(const std::vector<double>& column, std::size_t max_bins) {
+  if (column.empty()) throw std::invalid_argument("FeatureBins::fit: empty column");
+  if (max_bins < 2) throw std::invalid_argument("FeatureBins::fit: need >= 2 bins");
+  for (double v : column) {
+    if (std::isnan(v)) throw std::invalid_argument("FeatureBins::fit: NaN value");
+  }
+  std::vector<double> sorted(column);
+  std::sort(sorted.begin(), sorted.end());
+
+  FeatureBins fb;
+  // Quantile edges on unique values; constant features get one catch-all bin.
+  for (std::size_t b = 1; b < max_bins; ++b) {
+    const double q = static_cast<double>(b) / static_cast<double>(max_bins);
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    const double edge = sorted[idx];
+    if (fb.edges_.empty() || edge > fb.edges_.back()) fb.edges_.push_back(edge);
+  }
+  fb.edges_.push_back(std::numeric_limits<double>::max());  // catch-all top bin
+  return fb;
+}
+
+std::uint16_t FeatureBins::bin_of(double v) const {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  return static_cast<std::uint16_t>(std::min(idx, edges_.size() - 1));
+}
+
+BinnedMatrix BinnedMatrix::fit_transform(const std::vector<std::vector<double>>& x,
+                                         std::size_t max_bins) {
+  if (x.empty()) throw std::invalid_argument("BinnedMatrix: empty dataset");
+  BinnedMatrix m;
+  m.rows_ = x.size();
+  m.cols_ = x.front().size();
+  if (m.cols_ == 0) throw std::invalid_argument("BinnedMatrix: zero-width rows");
+  for (const auto& row : x) {
+    if (row.size() != m.cols_) {
+      throw std::invalid_argument("BinnedMatrix: ragged rows");
+    }
+  }
+  m.features_.reserve(m.cols_);
+  std::vector<double> column(m.rows_);
+  for (std::size_t c = 0; c < m.cols_; ++c) {
+    for (std::size_t r = 0; r < m.rows_; ++r) column[r] = x[r][c];
+    m.features_.push_back(FeatureBins::fit(column, max_bins));
+  }
+  m.bins_.resize(m.rows_ * m.cols_);
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      m.bins_[r * m.cols_ + c] = m.features_[c].bin_of(x[r][c]);
+    }
+  }
+  return m;
+}
+
+}  // namespace trajkit::gbt

@@ -1,0 +1,51 @@
+// Quantile feature binning for the histogram-based gradient-boosted trees.
+//
+// Continuous features are discretised into at most `max_bins` quantile bins
+// computed on the training data; tree learning then scans bin histograms
+// instead of sorted feature values (the "hist" strategy of XGBoost/LightGBM,
+// the paper's reference [29] family).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trajkit::gbt {
+
+/// Per-feature quantile bin edges.  Values v are mapped to the first bin b
+/// with v <= edge[b]; values above the last edge map to the last bin.
+class FeatureBins {
+ public:
+  FeatureBins() = default;
+
+  /// Build edges from one feature column (any order, NaN not allowed).
+  static FeatureBins fit(const std::vector<double>& column, std::size_t max_bins);
+
+  std::uint16_t bin_of(double v) const;
+  std::size_t bin_count() const { return edges_.size(); }
+  /// Upper edge of bin b — the raw-value threshold a split at b encodes.
+  double edge(std::size_t b) const { return edges_[b]; }
+
+ private:
+  std::vector<double> edges_;  // ascending upper edges, last == +max sentinel
+};
+
+/// Binned dataset: row-major uint16 bins plus per-feature edges.
+class BinnedMatrix {
+ public:
+  /// Fit bins on X (rows of equal width) and encode every row.
+  static BinnedMatrix fit_transform(const std::vector<std::vector<double>>& x,
+                                    std::size_t max_bins);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::uint16_t at(std::size_t r, std::size_t c) const { return bins_[r * cols_ + c]; }
+  const FeatureBins& feature(std::size_t c) const { return features_[c]; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint16_t> bins_;
+  std::vector<FeatureBins> features_;
+};
+
+}  // namespace trajkit::gbt

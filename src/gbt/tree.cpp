@@ -1,0 +1,174 @@
+#include "gbt/tree.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace trajkit::gbt {
+namespace {
+
+struct BinStat {
+  double grad = 0.0;
+  double hess = 0.0;
+};
+
+struct BestSplit {
+  double gain = 0.0;
+  int feature = -1;
+  std::uint16_t bin = 0;
+};
+
+double leaf_weight(double g, double h, double lambda) { return -g / (h + lambda); }
+
+double score(double g, double h, double lambda) { return g * g / (h + lambda); }
+
+}  // namespace
+
+Tree Tree::grow(const BinnedMatrix& data, const std::vector<double>& grad,
+                const std::vector<double>& hess,
+                const std::vector<std::size_t>& row_indices, const TreeConfig& config) {
+  if (grad.size() != data.rows() || hess.size() != data.rows()) {
+    throw std::invalid_argument("Tree::grow: gradient size mismatch");
+  }
+  Tree tree;
+  // Work queue entry: node id plus its row range inside `rows`.
+  struct Item {
+    int node;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t depth;
+  };
+  std::vector<std::size_t> rows(row_indices);
+  tree.nodes_.push_back({});
+  std::vector<Item> stack{{0, 0, rows.size(), 0}};
+
+  const std::size_t cols = data.cols();
+  std::vector<std::vector<BinStat>> hist(cols);
+
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (std::size_t k = item.begin; k < item.end; ++k) {
+      g_total += grad[rows[k]];
+      h_total += hess[rows[k]];
+    }
+
+    TreeNode& placeholder = tree.nodes_[static_cast<std::size_t>(item.node)];
+    placeholder.leaf_value = leaf_weight(g_total, h_total, config.lambda);
+
+    if (item.depth >= config.max_depth || item.end - item.begin < 2) continue;
+
+    // Build per-feature histograms over this node's rows.
+    for (std::size_t c = 0; c < cols; ++c) {
+      hist[c].assign(data.feature(c).bin_count(), {});
+    }
+    for (std::size_t k = item.begin; k < item.end; ++k) {
+      const std::size_t r = rows[k];
+      const double g = grad[r];
+      const double h = hess[r];
+      for (std::size_t c = 0; c < cols; ++c) {
+        BinStat& s = hist[c][data.at(r, c)];
+        s.grad += g;
+        s.hess += h;
+      }
+    }
+
+    // Scan each feature left-to-right for the best split.
+    BestSplit best;
+    const double parent_score = score(g_total, h_total, config.lambda);
+    for (std::size_t c = 0; c < cols; ++c) {
+      double gl = 0.0;
+      double hl = 0.0;
+      const auto& col_hist = hist[c];
+      for (std::size_t b = 0; b + 1 < col_hist.size(); ++b) {
+        gl += col_hist[b].grad;
+        hl += col_hist[b].hess;
+        const double gr = g_total - gl;
+        const double hr = h_total - hl;
+        if (hl < config.min_child_weight || hr < config.min_child_weight) continue;
+        const double gain =
+            0.5 * (score(gl, hl, config.lambda) + score(gr, hr, config.lambda) -
+                   parent_score) -
+            config.gamma;
+        if (gain > best.gain) {
+          best = {gain, static_cast<int>(c), static_cast<std::uint16_t>(b)};
+        }
+      }
+    }
+    if (best.feature < 0) continue;  // no positive-gain split: stay a leaf
+
+    // Partition this node's rows in place (stable not needed).
+    const auto mid_it = std::partition(
+        rows.begin() + static_cast<std::ptrdiff_t>(item.begin),
+        rows.begin() + static_cast<std::ptrdiff_t>(item.end), [&](std::size_t r) {
+          return data.at(r, static_cast<std::size_t>(best.feature)) <= best.bin;
+        });
+    const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+    if (mid == item.begin || mid == item.end) continue;  // degenerate partition
+
+    const int left_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    const int right_id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+
+    TreeNode& node = tree.nodes_[static_cast<std::size_t>(item.node)];
+    node.feature = best.feature;
+    node.split_bin = best.bin;
+    node.split_value = data.feature(static_cast<std::size_t>(best.feature)).edge(best.bin);
+    node.left = left_id;
+    node.right = right_id;
+    node.gain = best.gain;
+
+    stack.push_back({left_id, item.begin, mid, item.depth + 1});
+    stack.push_back({right_id, mid, item.end, item.depth + 1});
+  }
+  return tree;
+}
+
+double Tree::predict(const std::vector<double>& row) const {
+  std::size_t node = 0;
+  while (true) {
+    const TreeNode& n = nodes_[node];
+    if (n.feature < 0) return n.leaf_value;
+    const double v = row[static_cast<std::size_t>(n.feature)];
+    node = static_cast<std::size_t>(v <= n.split_value ? n.left : n.right);
+  }
+}
+
+void Tree::add_importance(std::vector<double>& importance) const {
+  for (const auto& n : nodes_) {
+    if (n.feature >= 0) {
+      const auto f = static_cast<std::size_t>(n.feature);
+      if (f >= importance.size()) importance.resize(f + 1, 0.0);
+      importance[f] += n.gain;
+    }
+  }
+}
+
+void Tree::save(std::ostream& os) const {
+  os << nodes_.size() << '\n';
+  for (const auto& n : nodes_) {
+    os << n.feature << ' ' << n.split_value << ' ' << n.split_bin << ' ' << n.left
+       << ' ' << n.right << ' ' << n.leaf_value << ' ' << n.gain << '\n';
+  }
+}
+
+Tree Tree::load(std::istream& is) {
+  std::size_t count = 0;
+  if (!(is >> count)) throw std::runtime_error("Tree::load: bad node count");
+  Tree tree;
+  tree.nodes_.resize(count);
+  for (auto& n : tree.nodes_) {
+    if (!(is >> n.feature >> n.split_value >> n.split_bin >> n.left >> n.right >>
+          n.leaf_value >> n.gain)) {
+      throw std::runtime_error("Tree::load: truncated node list");
+    }
+  }
+  return tree;
+}
+
+}  // namespace trajkit::gbt

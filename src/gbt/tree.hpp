@@ -1,0 +1,59 @@
+// Single regression tree of the gradient-boosting ensemble.
+//
+// Trees are grown depth-first on binned features with second-order (Newton)
+// gain, exactly the XGBoost objective: for a candidate split separating
+// gradient/hessian sums (GL, HL) / (GR, HR),
+//   gain = 1/2 [ GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ] - gamma
+// and a leaf takes weight -G/(H+lambda).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "gbt/binning.hpp"
+
+namespace trajkit::gbt {
+
+struct TreeConfig {
+  std::size_t max_depth = 4;
+  double lambda = 1.0;            ///< L2 regularisation on leaf weights
+  double gamma = 0.0;             ///< minimum split gain
+  double min_child_weight = 1.0;  ///< minimum hessian sum per child
+};
+
+/// Flat node storage; leaves have feature == -1.
+struct TreeNode {
+  int feature = -1;
+  double split_value = 0.0;      ///< raw-value threshold (go left if v <= split)
+  std::uint16_t split_bin = 0;   ///< same threshold in bin space
+  int left = -1;
+  int right = -1;
+  double leaf_value = 0.0;
+  double gain = 0.0;             ///< split gain, for feature importance
+};
+
+class Tree {
+ public:
+  /// Grow a tree on the rows `row_indices` of the binned matrix, fitting the
+  /// per-row gradients/hessians.
+  static Tree grow(const BinnedMatrix& data, const std::vector<double>& grad,
+                   const std::vector<double>& hess,
+                   const std::vector<std::size_t>& row_indices, const TreeConfig& config);
+
+  /// Predict from raw (un-binned) feature values.
+  double predict(const std::vector<double>& row) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Accumulate per-feature total split gain into `importance`.
+  void add_importance(std::vector<double>& importance) const;
+
+  void save(std::ostream& os) const;
+  static Tree load(std::istream& is);
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace trajkit::gbt

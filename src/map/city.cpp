@@ -1,0 +1,113 @@
+#include "map/city.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace trajkit::map {
+namespace {
+
+/// Union-find for the connectivity repair pass.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Segment {
+  std::size_t a;
+  std::size_t b;
+  RoadClass road_class;
+};
+
+}  // namespace
+
+RoadNetwork make_city(const CityConfig& config, Rng& rng) {
+  if (config.blocks_x < 2 || config.blocks_y < 2) {
+    throw std::invalid_argument("make_city: need at least a 2x2 grid");
+  }
+  RoadNetwork net;
+  const std::size_t nx = config.blocks_x;
+  const std::size_t ny = config.blocks_y;
+  auto node_id = [nx](std::size_t ix, std::size_t iy) { return iy * nx + ix; };
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Enu pos{static_cast<double>(ix) * config.block_size_m +
+                        rng.uniform(-config.jitter_m, config.jitter_m),
+                    static_cast<double>(iy) * config.block_size_m +
+                        rng.uniform(-config.jitter_m, config.jitter_m)};
+      net.add_node(pos);
+    }
+  }
+
+  auto line_is_arterial = [&](std::size_t index) {
+    return config.arterial_every > 0 && index % config.arterial_every == 0;
+  };
+  auto classify_local = [&]() {
+    return rng.chance(config.footpath_probability) ? RoadClass::kFootpath
+                                                   : RoadClass::kLocal;
+  };
+
+  std::vector<Segment> kept;
+  std::vector<Segment> dropped;
+  auto consider = [&](std::size_t a, std::size_t b, bool arterial) {
+    const RoadClass rc = arterial ? RoadClass::kArterial : classify_local();
+    // Arterials form the guaranteed-connected driving skeleton: never drop.
+    if (!arterial && rng.chance(config.drop_probability)) {
+      dropped.push_back({a, b, rc});
+    } else {
+      kept.push_back({a, b, rc});
+    }
+  };
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix + 1 < nx; ++ix) {
+      consider(node_id(ix, iy), node_id(ix + 1, iy), line_is_arterial(iy));
+    }
+  }
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    for (std::size_t iy = 0; iy + 1 < ny; ++iy) {
+      consider(node_id(ix, iy), node_id(ix, iy + 1), line_is_arterial(ix));
+    }
+  }
+  // Occasional diagonal connectors inside a block.
+  for (std::size_t iy = 0; iy + 1 < ny; ++iy) {
+    for (std::size_t ix = 0; ix + 1 < nx; ++ix) {
+      if (rng.chance(config.diagonal_probability)) {
+        kept.push_back({node_id(ix, iy), node_id(ix + 1, iy + 1), RoadClass::kLocal});
+      }
+    }
+  }
+
+  DisjointSet components(nx * ny);
+  for (const auto& s : kept) {
+    net.add_edge(s.a, s.b, s.road_class);
+    components.merge(s.a, s.b);
+  }
+  // Re-insert dropped segments whose absence disconnects the graph.
+  for (const auto& s : dropped) {
+    if (components.merge(s.a, s.b)) net.add_edge(s.a, s.b, s.road_class);
+  }
+  return net;
+}
+
+}  // namespace trajkit::map

@@ -1,0 +1,31 @@
+// Synthetic city generator.
+//
+// Produces the road substrate the experiments run on: a jittered block grid
+// with arterial roads every few lines, occasional missing segments (so routes
+// are non-trivial), a few diagonal connectors, and footpath-only edges that
+// cars must avoid.  The defaults model the paper's commercial evaluation
+// areas (a few hectares, dense storefront streets).
+#pragma once
+
+#include "common/rng.hpp"
+#include "map/roadnet.hpp"
+
+namespace trajkit::map {
+
+struct CityConfig {
+  std::size_t blocks_x = 8;        ///< intersections along east axis
+  std::size_t blocks_y = 8;        ///< intersections along north axis
+  double block_size_m = 55.0;      ///< nominal block edge length
+  double jitter_m = 6.0;           ///< per-intersection position jitter
+  std::size_t arterial_every = 3;  ///< every k-th grid line is an arterial
+  double drop_probability = 0.08;  ///< chance a grid segment is missing
+  double diagonal_probability = 0.06;  ///< chance of a block diagonal connector
+  double footpath_probability = 0.10;  ///< chance a local street is footpath-only
+};
+
+/// Generate a connected road network.  Dropped segments are re-inserted if
+/// they would disconnect the graph, so any two nodes are mutually reachable
+/// on foot (driving reachability is guaranteed on the arterial skeleton).
+RoadNetwork make_city(const CityConfig& config, Rng& rng);
+
+}  // namespace trajkit::map

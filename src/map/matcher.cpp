@@ -1,0 +1,113 @@
+#include "map/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace trajkit::map {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MapMatcher::MapMatcher(const RoadNetwork& network, MatchConfig config)
+    : network_(&network), config_(config) {
+  if (config_.gps_sigma_m <= 0.0 || config_.transition_beta_m <= 0.0 ||
+      config_.max_candidates == 0) {
+    throw std::invalid_argument("MapMatcher: bad config");
+  }
+}
+
+std::vector<MapMatcher::Candidate> MapMatcher::candidates_for(const Enu& p) const {
+  std::vector<Candidate> out;
+  for (std::size_t e = 0; e < network_->edge_count(); ++e) {
+    const auto& edge = network_->edge(e);
+    const Enu a = network_->node(edge.a).pos;
+    const Enu b = network_->node(edge.b).pos;
+    const Enu ab = b - a;
+    const double len_sq = ab.east * ab.east + ab.north * ab.north;
+    double t = 0.0;
+    if (len_sq > 0.0) {
+      const Enu ap = p - a;
+      t = std::clamp((ap.east * ab.east + ap.north * ab.north) / len_sq, 0.0, 1.0);
+    }
+    const Enu snapped = a + ab * t;
+    const double d = distance(p, snapped);
+    if (d <= config_.max_candidate_distance_m) {
+      out.push_back({e, t, snapped, d});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& x, const Candidate& y) { return x.offset_m < y.offset_m; });
+  if (out.size() > config_.max_candidates) out.resize(config_.max_candidates);
+  return out;
+}
+
+std::optional<MatchResult> MapMatcher::match(const std::vector<Enu>& trajectory) const {
+  if (trajectory.size() < 2) {
+    throw std::invalid_argument("MapMatcher::match: need >= 2 points");
+  }
+  const std::size_t n = trajectory.size();
+  const double inv_two_sigma_sq =
+      1.0 / (2.0 * config_.gps_sigma_m * config_.gps_sigma_m);
+
+  std::vector<std::vector<Candidate>> layers(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    layers[t] = candidates_for(trajectory[t]);
+    if (layers[t].empty()) return std::nullopt;  // grossly off-map point
+  }
+
+  // Viterbi in log space.
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<std::size_t>> back(n);
+  score[0].resize(layers[0].size());
+  back[0].assign(layers[0].size(), 0);
+  for (std::size_t c = 0; c < layers[0].size(); ++c) {
+    score[0][c] = -layers[0][c].offset_m * layers[0][c].offset_m * inv_two_sigma_sq;
+  }
+  for (std::size_t t = 1; t < n; ++t) {
+    const double gps_step = distance(trajectory[t - 1], trajectory[t]);
+    score[t].assign(layers[t].size(), kNegInf);
+    back[t].assign(layers[t].size(), 0);
+    for (std::size_t c = 0; c < layers[t].size(); ++c) {
+      const Candidate& cur = layers[t][c];
+      const double emission = -cur.offset_m * cur.offset_m * inv_two_sigma_sq;
+      for (std::size_t p = 0; p < layers[t - 1].size(); ++p) {
+        const Candidate& prev = layers[t - 1][p];
+        const double snap_step = distance(prev.snapped, cur.snapped);
+        const double transition =
+            -std::fabs(snap_step - gps_step) / config_.transition_beta_m;
+        const double total = score[t - 1][p] + transition + emission;
+        if (total > score[t][c]) {
+          score[t][c] = total;
+          back[t][c] = p;
+        }
+      }
+    }
+  }
+
+  // Backtrack the best terminal state.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < layers[n - 1].size(); ++c) {
+    if (score[n - 1][c] > score[n - 1][best]) best = c;
+  }
+  MatchResult result;
+  result.points.resize(n);
+  std::size_t state = best;
+  for (std::size_t t = n; t-- > 0;) {
+    const Candidate& c = layers[t][state];
+    result.points[t] = {c.edge, c.fraction, c.snapped, c.offset_m};
+    if (t > 0) state = back[t][state];
+  }
+  double total_offset = 0.0;
+  for (const auto& mp : result.points) {
+    total_offset += mp.offset_m;
+    result.max_offset_m = std::max(result.max_offset_m, mp.offset_m);
+  }
+  result.mean_offset_m = total_offset / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace trajkit::map

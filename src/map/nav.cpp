@@ -1,0 +1,72 @@
+#include "map/nav.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::map {
+
+std::optional<RouteResult> NavigationService::route(const RouteRequest& request) const {
+  const std::size_t from = network_->nearest_node(request.from, request.mode);
+  const std::size_t to = network_->nearest_node(request.to, request.mode);
+  if (from == to) return std::nullopt;  // degenerate request
+  const auto path = shortest_path(*network_, from, to, request.mode);
+  if (!path) return std::nullopt;
+  RouteResult result;
+  result.polyline = path_polyline(*network_, *path);
+  result.length_m = path->length_m;
+  result.travel_time_s = path->travel_time_s;
+  result.recommended_speed_mps =
+      path->travel_time_s > 0.0 ? path->length_m / path->travel_time_s : 0.0;
+  return result;
+}
+
+std::vector<Enu> sample_route(const std::vector<Enu>& polyline, double speed_mps,
+                              double interval_s) {
+  if (polyline.size() < 2) {
+    throw std::invalid_argument("sample_route: need a polyline of >= 2 points");
+  }
+  if (speed_mps <= 0.0 || interval_s <= 0.0) {
+    throw std::invalid_argument("sample_route: speed and interval must be positive");
+  }
+  std::vector<Enu> out;
+  out.push_back(polyline.front());
+  const double step_m = speed_mps * interval_s;
+
+  std::size_t seg = 0;
+  double seg_offset = 0.0;  // metres already consumed on segment `seg`
+  while (seg + 1 < polyline.size()) {
+    double remaining = step_m;
+    Enu pos{};
+    bool emitted = false;
+    while (seg + 1 < polyline.size()) {
+      const double seg_len = distance(polyline[seg], polyline[seg + 1]);
+      const double left_on_seg = seg_len - seg_offset;
+      if (remaining < left_on_seg) {
+        seg_offset += remaining;
+        const double t = seg_len > 0.0 ? seg_offset / seg_len : 0.0;
+        pos = polyline[seg] + (polyline[seg + 1] - polyline[seg]) * t;
+        emitted = true;
+        break;
+      }
+      remaining -= left_on_seg;
+      ++seg;
+      seg_offset = 0.0;
+    }
+    if (!emitted) break;
+    out.push_back(pos);
+  }
+  if (distance(out.back(), polyline.back()) > 1e-9) out.push_back(polyline.back());
+  return out;
+}
+
+double route_deviation_m(const std::vector<Enu>& trajectory,
+                         const std::vector<Enu>& route) {
+  if (trajectory.empty()) {
+    throw std::invalid_argument("route_deviation_m: empty trajectory");
+  }
+  double total = 0.0;
+  for (const auto& p : trajectory) total += point_polyline_distance(p, route);
+  return total / static_cast<double>(trajectory.size());
+}
+
+}  // namespace trajkit::map

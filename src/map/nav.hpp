@@ -1,0 +1,54 @@
+// Navigation service facade — the offline stand-in for Amap/Google routing
+// used by the navigation-attack scenario (Sec. II-B).
+//
+// Given start/end positions and a transport mode it returns what the paper's
+// attacker fetches from the commercial service: a route polyline and a
+// recommended average speed.  It also offers uniform resampling of a route at
+// a fixed time interval, which is how the AN dataset trajectories are drawn.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "map/route.hpp"
+
+namespace trajkit::map {
+
+struct RouteRequest {
+  Enu from;
+  Enu to;
+  Mode mode = Mode::kWalking;
+};
+
+struct RouteResult {
+  std::vector<Enu> polyline;      ///< road-node positions from snap(from) to snap(to)
+  double length_m = 0.0;
+  double travel_time_s = 0.0;
+  double recommended_speed_mps = 0.0;  ///< length / travel time
+};
+
+class NavigationService {
+ public:
+  explicit NavigationService(const RoadNetwork& network) : network_(&network) {}
+
+  /// Plan a route; std::nullopt when no mode-feasible path exists.
+  std::optional<RouteResult> route(const RouteRequest& request) const;
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  const RoadNetwork* network_;
+};
+
+/// Walk the polyline at constant `speed_mps`, emitting a position every
+/// `interval_s` seconds — the paper's "sample at 1 s intervals on the route
+/// based on this speed".  The final point is the polyline end.
+std::vector<Enu> sample_route(const std::vector<Enu>& polyline, double speed_mps,
+                              double interval_s);
+
+/// Mean distance from trajectory points to the route polyline, metres.  The
+/// route-rationality score used to validate forged trajectories.
+double route_deviation_m(const std::vector<Enu>& trajectory,
+                         const std::vector<Enu>& route);
+
+}  // namespace trajkit::map

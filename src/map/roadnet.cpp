@@ -1,0 +1,93 @@
+#include "map/roadnet.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace trajkit::map {
+
+bool mode_allowed(Mode mode, RoadClass rc) {
+  if (rc == RoadClass::kFootpath) return mode != Mode::kDriving;
+  return true;
+}
+
+double free_flow_speed_mps(Mode mode, RoadClass rc) {
+  switch (mode) {
+    case Mode::kWalking:
+      return 1.4;
+    case Mode::kCycling:
+      return rc == RoadClass::kArterial ? 5.5 : 4.5;
+    case Mode::kDriving:
+      return rc == RoadClass::kArterial ? 13.9 : 8.3;  // ~50 / ~30 km/h
+  }
+  return 1.0;
+}
+
+std::size_t RoadNetwork::add_node(Enu pos) {
+  nodes_.push_back({pos});
+  adjacency_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+std::size_t RoadNetwork::add_edge(std::size_t a, std::size_t b, RoadClass rc) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("RoadNetwork::add_edge: node out of range");
+  }
+  if (a == b) throw std::invalid_argument("RoadNetwork::add_edge: self-loop");
+  RoadEdge e;
+  e.a = a;
+  e.b = b;
+  e.length_m = distance(nodes_[a].pos, nodes_[b].pos);
+  e.road_class = rc;
+  edges_.push_back(e);
+  const std::size_t id = edges_.size() - 1;
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+std::size_t RoadNetwork::other_end(std::size_t e, std::size_t n) const {
+  const RoadEdge& edge = edges_[e];
+  return edge.a == n ? edge.b : edge.a;
+}
+
+std::size_t RoadNetwork::nearest_node(const Enu& p, Mode mode) const {
+  if (nodes_.empty()) throw std::logic_error("RoadNetwork: empty network");
+  std::size_t best = nodes_.size();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    bool reachable = false;
+    for (std::size_t e : adjacency_[i]) {
+      if (mode_allowed(mode, edges_[e].road_class)) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) continue;
+    const double d = distance_sq(p, nodes_[i].pos);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  if (best == nodes_.size()) {
+    throw std::logic_error("RoadNetwork: no node reachable by mode");
+  }
+  return best;
+}
+
+double RoadNetwork::distance_to_network(const Enu& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : edges_) {
+    best = std::min(best, point_segment_distance(p, nodes_[e.a].pos, nodes_[e.b].pos));
+  }
+  return best;
+}
+
+BoundingBox RoadNetwork::bounds() const {
+  std::vector<Enu> pts;
+  pts.reserve(nodes_.size());
+  for (const auto& n : nodes_) pts.push_back(n.pos);
+  return BoundingBox::of(pts);
+}
+
+}  // namespace trajkit::map

@@ -1,0 +1,79 @@
+// Road network substrate.
+//
+// The paper obtains "rational routes" from a commercial navigation service
+// (Amap) and real trajectories from OpenStreetMap.  Offline, we build the
+// equivalent substrate ourselves: a road graph (synthetic city generator in
+// city.hpp), shortest-path routing (route.hpp) and a navigation facade that
+// returns a polyline plus a recommended speed (nav.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::map {
+
+/// Road classification; drives speed limits and mode accessibility.
+enum class RoadClass {
+  kFootpath,  ///< pedestrians/cyclists only
+  kLocal,     ///< local street, all modes, low speed
+  kArterial,  ///< main road, all modes, higher driving speed
+};
+
+struct RoadNode {
+  Enu pos;
+};
+
+struct RoadEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double length_m = 0.0;
+  RoadClass road_class = RoadClass::kLocal;
+};
+
+/// Whether `mode` may traverse a road of class `rc`.
+bool mode_allowed(Mode mode, RoadClass rc);
+
+/// Free-flow speed of `mode` on a road of class `rc`, m/s.
+double free_flow_speed_mps(Mode mode, RoadClass rc);
+
+/// Undirected road graph with adjacency lists.
+class RoadNetwork {
+ public:
+  std::size_t add_node(Enu pos);
+  /// Add an undirected edge; length is computed from the endpoints.
+  /// Returns the edge id.  Self-loops are rejected.
+  std::size_t add_edge(std::size_t a, std::size_t b, RoadClass rc);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const RoadNode& node(std::size_t i) const { return nodes_[i]; }
+  const RoadEdge& edge(std::size_t i) const { return edges_[i]; }
+  const std::vector<std::size_t>& edges_at(std::size_t node) const {
+    return adjacency_[node];
+  }
+
+  /// Other endpoint of edge e relative to node n.
+  std::size_t other_end(std::size_t e, std::size_t n) const;
+
+  /// Closest node to a position that is reachable by `mode` (has at least one
+  /// traversable incident edge).  Linear scan; networks here are small.
+  std::size_t nearest_node(const Enu& p, Mode mode) const;
+
+  /// Distance from p to the closest edge segment of the network, metres.
+  /// This is the "route rationality" primitive: a trajectory whose points all
+  /// stay within GPS error of some road is map-consistent.
+  double distance_to_network(const Enu& p) const;
+
+  /// Bounding box of all nodes.
+  BoundingBox bounds() const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace trajkit::map

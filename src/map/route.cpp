@@ -1,0 +1,90 @@
+#include "map/route.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace trajkit::map {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double priority;
+  std::size_t node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+/// Shared Dijkstra/A* core; `heuristic(n)` must be admissible (0 for Dijkstra).
+template <typename Heuristic>
+std::optional<Path> search(const RoadNetwork& net, std::size_t from, std::size_t to,
+                           Mode mode, Heuristic heuristic) {
+  if (from >= net.node_count() || to >= net.node_count()) {
+    throw std::out_of_range("route: node id out of range");
+  }
+  std::vector<double> dist(net.node_count(), kInf);
+  std::vector<std::size_t> prev(net.node_count(), net.node_count());
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> open;
+
+  dist[from] = 0.0;
+  open.push({heuristic(from), from});
+  while (!open.empty()) {
+    const auto [priority, n] = open.top();
+    open.pop();
+    if (n == to) break;
+    if (priority > dist[n] + heuristic(n) + 1e-12) continue;  // stale entry
+    for (std::size_t e : net.edges_at(n)) {
+      const RoadEdge& edge = net.edge(e);
+      if (!mode_allowed(mode, edge.road_class)) continue;
+      const std::size_t m = net.other_end(e, n);
+      const double cost = edge.length_m / free_flow_speed_mps(mode, edge.road_class);
+      if (dist[n] + cost < dist[m]) {
+        dist[m] = dist[n] + cost;
+        prev[m] = n;
+        open.push({dist[m] + heuristic(m), m});
+      }
+    }
+  }
+  if (dist[to] == kInf) return std::nullopt;
+
+  Path path;
+  path.travel_time_s = dist[to];
+  for (std::size_t n = to; n != net.node_count(); n = prev[n]) {
+    path.nodes.push_back(n);
+    if (n == from) break;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  for (std::size_t i = 1; i < path.nodes.size(); ++i) {
+    path.length_m += distance(net.node(path.nodes[i - 1]).pos,
+                              net.node(path.nodes[i]).pos);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const RoadNetwork& net, std::size_t from,
+                                  std::size_t to, Mode mode) {
+  return search(net, from, to, mode, [](std::size_t) { return 0.0; });
+}
+
+std::optional<Path> astar_path(const RoadNetwork& net, std::size_t from,
+                               std::size_t to, Mode mode) {
+  const Enu goal = net.node(to).pos;
+  // Straight-line distance at the mode's best speed never overestimates time.
+  const double top_speed = std::max(free_flow_speed_mps(mode, RoadClass::kArterial),
+                                    free_flow_speed_mps(mode, RoadClass::kLocal));
+  return search(net, from, to, mode, [&, top_speed](std::size_t n) {
+    return distance(net.node(n).pos, goal) / top_speed;
+  });
+}
+
+std::vector<Enu> path_polyline(const RoadNetwork& net, const Path& path) {
+  std::vector<Enu> out;
+  out.reserve(path.nodes.size());
+  for (std::size_t n : path.nodes) out.push_back(net.node(n).pos);
+  return out;
+}
+
+}  // namespace trajkit::map

@@ -1,0 +1,34 @@
+// Shortest-path routing over the road network.
+//
+// Dijkstra and A* with per-mode edge costs: cost = length / free-flow speed,
+// i.e. routes minimise travel time for the requested transport mode, and
+// edges the mode may not traverse are skipped entirely.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "map/roadnet.hpp"
+
+namespace trajkit::map {
+
+/// A routed path: node ids plus aggregate cost.
+struct Path {
+  std::vector<std::size_t> nodes;
+  double travel_time_s = 0.0;
+  double length_m = 0.0;
+};
+
+/// Dijkstra shortest-travel-time path; std::nullopt if unreachable by mode.
+std::optional<Path> shortest_path(const RoadNetwork& net, std::size_t from,
+                                  std::size_t to, Mode mode);
+
+/// A* with a straight-line/top-speed admissible heuristic.  Produces the same
+/// path cost as Dijkstra but expands fewer nodes; used by the micro-bench.
+std::optional<Path> astar_path(const RoadNetwork& net, std::size_t from,
+                               std::size_t to, Mode mode);
+
+/// Polyline of node positions along a path.
+std::vector<Enu> path_polyline(const RoadNetwork& net, const Path& path);
+
+}  // namespace trajkit::map

@@ -1,0 +1,48 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::nn {
+
+Adam::Adam(AdamConfig config) : config_(config) {}
+
+void Adam::attach(Matrix* param, Matrix* grad) {
+  if (param == nullptr || grad == nullptr) {
+    throw std::invalid_argument("Adam::attach: null tensor");
+  }
+  if (param->rows() != grad->rows() || param->cols() != grad->cols()) {
+    throw std::invalid_argument("Adam::attach: shape mismatch");
+  }
+  slots_.push_back({param, grad, std::vector<double>(param->size(), 0.0),
+                    std::vector<double>(param->size(), 0.0)});
+}
+
+void Adam::step() {
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (auto& slot : slots_) {
+    double* p = slot.param->data();
+    const double* g = slot.grad->data();
+    for (std::size_t i = 0; i < slot.param->size(); ++i) {
+      slot.m[i] = b1 * slot.m[i] + (1.0 - b1) * g[i];
+      slot.v[i] = b2 * slot.v[i] + (1.0 - b2) * g[i] * g[i];
+      const double m_hat = slot.m[i] / correction1;
+      const double v_hat = slot.v[i] / correction2;
+      p[i] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void Adam::reset() {
+  t_ = 0;
+  for (auto& slot : slots_) {
+    std::fill(slot.m.begin(), slot.m.end(), 0.0);
+    std::fill(slot.v.begin(), slot.v.end(), 0.0);
+  }
+}
+
+}  // namespace trajkit::nn

@@ -1,0 +1,178 @@
+#include "nn/classifier.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace trajkit::nn {
+namespace {
+
+Rng make_rng(std::uint64_t seed) { return Rng(seed); }
+
+}  // namespace
+
+LstmClassifier::LstmClassifier(LstmClassifierConfig config, std::uint64_t seed)
+    : config_(config),
+      head_([&] {
+        // DenseLayer has no default ctor; build it with a throwaway rng first
+        // and re-init everything consistently below.
+        Rng tmp = make_rng(seed);
+        return DenseLayer(config.hidden_dim, 1, tmp);
+      }()) {
+  if (config_.num_layers == 0 || config_.num_layers > 4) {
+    throw std::invalid_argument("LstmClassifier: num_layers must be in [1, 4]");
+  }
+  Rng rng = make_rng(seed);
+  layers_.clear();
+  layers_.reserve(config_.num_layers);
+  layers_.emplace_back(config_.input_dim, config_.hidden_dim, rng);
+  for (std::size_t l = 1; l < config_.num_layers; ++l) {
+    layers_.emplace_back(config_.hidden_dim, config_.hidden_dim, rng);
+  }
+  head_ = DenseLayer(config_.hidden_dim, 1, rng);
+}
+
+double LstmClassifier::forward_logit(const FeatureSequence& x,
+                                     std::vector<LstmTrace>* traces) const {
+  if (x.dim != config_.input_dim) {
+    throw std::invalid_argument("LstmClassifier: feature dim mismatch");
+  }
+  if (x.steps == 0) throw std::invalid_argument("LstmClassifier: empty sequence");
+
+  const std::vector<double>* input = &x.values;
+  std::vector<LstmTrace> local;
+  std::vector<LstmTrace>& tr = traces ? *traces : local;
+  tr.clear();
+  tr.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    tr.push_back(layer.forward(*input, x.steps));
+    input = &tr.back().hiddens;
+  }
+  const std::size_t H = config_.hidden_dim;
+  const std::vector<double>& hiddens = tr.back().hiddens;
+  std::vector<double> h_last(hiddens.end() - static_cast<std::ptrdiff_t>(H),
+                             hiddens.end());
+  return head_.forward(h_last)[0];
+}
+
+void LstmClassifier::backward_from_logit(const std::vector<LstmTrace>& traces,
+                                         double dlogit,
+                                         std::vector<double>* dx_flat) const {
+  const std::size_t H = config_.hidden_dim;
+  const std::vector<double>& top_hiddens = traces.back().hiddens;
+  std::vector<double> h_last(top_hiddens.end() - static_cast<std::ptrdiff_t>(H),
+                             top_hiddens.end());
+  std::vector<double> dh_last = head_.backward(h_last, {dlogit});
+
+  // Walk the stack top-down; each layer's input gradient is the per-step
+  // hidden-state injection for the layer below.
+  std::vector<double> inject;  // per-step dh injection for the current layer
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    std::vector<double> dx_local;
+    std::vector<double>* out = (l == 0) ? dx_flat : &dx_local;
+    if (l + 1 == layers_.size()) {
+      layers_[l].backward(traces[l], dh_last, out);
+    } else {
+      layers_[l].backward_seq(traces[l], inject, out);
+    }
+    if (l > 0) inject = std::move(dx_local);
+  }
+}
+
+double LstmClassifier::clip_gradients() {
+  double norm_sq = head_.grad_norm_sq();
+  for (const auto& layer : layers_) norm_sq += layer.grad_norm_sq();
+  const double norm = std::sqrt(norm_sq);
+  if (config_.grad_clip > 0.0 && norm > config_.grad_clip) {
+    const double s = config_.grad_clip / norm;
+    head_.scale_grad(s);
+    for (auto& layer : layers_) layer.scale_grad(s);
+  }
+  return norm;
+}
+
+TrainReport LstmClassifier::train(
+    const std::vector<FeatureSequence>& xs, const std::vector<int>& ys,
+    std::size_t epochs,
+    const std::function<void(std::size_t, double, double)>& progress) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("LstmClassifier::train: bad dataset");
+  }
+  TrainReport report;
+  Rng shuffle_rng = make_rng(0xc1a551f1e5ULL);
+
+  Adam optimizer(AdamConfig{config_.learning_rate});
+  for (auto& layer : layers_) {
+    optimizer.attach(&layer.weights(), &layer.weight_grad());
+    optimizer.attach(&layer.bias(), &layer.bias_grad());
+  }
+  optimizer.attach(&head_.weights(), &head_.weight_grad());
+  optimizer.attach(&head_.bias(), &head_.bias_grad());
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double total_loss = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (auto& layer : layers_) layer.zero_grad();
+      head_.zero_grad();
+
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& x = xs[order[k]];
+        const int y = ys[order[k]];
+        std::vector<LstmTrace> traces;
+        const double logit = forward_logit(x, &traces);
+        double dlogit = 0.0;
+        total_loss += sigmoid_bce_loss(logit, y, &dlogit);
+        if ((logit >= 0.0) == (y == 1)) ++correct;
+        backward_from_logit(traces, dlogit * inv_batch, nullptr);
+      }
+      clip_gradients();
+      optimizer.step();
+    }
+
+    const double loss = total_loss / static_cast<double>(xs.size());
+    const double acc = static_cast<double>(correct) / static_cast<double>(xs.size());
+    report.epoch_loss.push_back(loss);
+    report.epoch_accuracy.push_back(acc);
+    if (progress) progress(epoch, loss, acc);
+  }
+  return report;
+}
+
+double LstmClassifier::predict_proba(const FeatureSequence& x) const {
+  return sigmoid(forward_logit(x, nullptr));
+}
+
+int LstmClassifier::predict(const FeatureSequence& x, double threshold) const {
+  return predict_proba(x) >= threshold ? 1 : 0;
+}
+
+double LstmClassifier::loss_and_input_gradient(const FeatureSequence& x,
+                                               int target_label,
+                                               FeatureSequence* dx) const {
+  std::vector<LstmTrace> traces;
+  const double logit = forward_logit(x, &traces);
+  double dlogit = 0.0;
+  const double loss = sigmoid_bce_loss(logit, target_label, &dlogit);
+  if (dx) {
+    // Parameter-gradient buffers serve as scratch here; training zeroes them
+    // before every batch, so clobbering them is safe.
+    for (auto& layer : layers_) layer.zero_grad();
+    head_.zero_grad();
+    std::vector<double> dx_flat;
+    backward_from_logit(traces, dlogit, &dx_flat);
+    dx->steps = x.steps;
+    dx->dim = x.dim;
+    dx->values = std::move(dx_flat);
+  }
+  return loss;
+}
+
+}  // namespace trajkit::nn

@@ -1,0 +1,93 @@
+// LSTM-based binary trajectory classifier.
+//
+// This is the paper's target model C (1 LSTM layer + sigmoid head over the
+// final hidden state) and, with num_layers = 2, the LSTM-2 variant of
+// Sec. IV-A4.  Label convention: 1 = real trajectory, 0 = fake.
+//
+// Besides train/predict, the classifier exposes
+// loss_and_input_gradient() — the cross-entropy loss toward a target label
+// together with its gradient w.r.t. the input feature sequence, which is the
+// model-side half of the C&W adversarial attack (Sec. II-B).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "traj/features.hpp"
+
+namespace trajkit::nn {
+
+struct LstmClassifierConfig {
+  std::size_t input_dim = 2;
+  std::size_t hidden_dim = 64;
+  std::size_t num_layers = 1;  ///< 1 = classifier C, 2 = LSTM-2
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;      ///< global gradient-norm clip
+  std::size_t batch_size = 16;
+};
+
+/// Per-epoch training telemetry.
+struct TrainReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+};
+
+class LstmClassifier {
+ public:
+  LstmClassifier(LstmClassifierConfig config, std::uint64_t seed);
+
+  const LstmClassifierConfig& config() const { return config_; }
+
+  /// Mini-batch Adam training.  `xs[i]` must have dim == config.input_dim.
+  /// `progress` (optional) is called after each epoch with (epoch, loss, acc).
+  TrainReport train(const std::vector<FeatureSequence>& xs, const std::vector<int>& ys,
+                    std::size_t epochs,
+                    const std::function<void(std::size_t, double, double)>& progress = {});
+
+  /// Probability that the sequence is a real trajectory.
+  double predict_proba(const FeatureSequence& x) const;
+
+  /// Hard decision at the given threshold (1 = real, 0 = fake).
+  int predict(const FeatureSequence& x, double threshold = 0.5) const;
+
+  /// Cross-entropy of the model output toward `target_label`, plus its
+  /// gradient w.r.t. the input features (overwritten into `dx` if non-null).
+  /// Parameter gradients are left untouched.
+  double loss_and_input_gradient(const FeatureSequence& x, int target_label,
+                                 FeatureSequence* dx) const;
+
+  /// Serialise to / from a text stream (architecture + weights).
+  void save(std::ostream& os) const;
+  static LstmClassifier load(std::istream& is);
+
+  void save_file(const std::string& path) const;
+  static LstmClassifier load_file(const std::string& path);
+
+ private:
+  double forward_logit(const FeatureSequence& x, std::vector<LstmTrace>* traces) const;
+  /// Full backward from a logit gradient; accumulates parameter gradients and
+  /// optionally the input gradient.  The forward traces carry the inputs.
+  void backward_from_logit(const std::vector<LstmTrace>& traces, double dlogit,
+                           std::vector<double>* dx_flat) const;
+  double clip_gradients();
+
+  LstmClassifierConfig config_;
+  // mutable: backward passes scratch through the layers' gradient buffers
+  // even when only the input gradient is wanted (predict paths never touch
+  // them).  Logical constness is "the parameters do not change".
+  //
+  // The Adam optimizer is created inside train() (it holds raw pointers into
+  // the layers, which must not outlive a move of this object); calling
+  // train() twice restarts the moment estimates.
+  mutable std::vector<LstmLayer> layers_;
+  mutable DenseLayer head_;
+};
+
+}  // namespace trajkit::nn

@@ -1,0 +1,65 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::nn {
+
+DenseLayer::DenseLayer(std::size_t input_dim, std::size_t output_dim, Rng& rng)
+    : input_dim_(input_dim),
+      output_dim_(output_dim),
+      w_(output_dim, input_dim),
+      b_(output_dim, 1),
+      dw_(output_dim, input_dim),
+      db_(output_dim, 1) {
+  if (input_dim == 0 || output_dim == 0) {
+    throw std::invalid_argument("DenseLayer: dims must be positive");
+  }
+  w_.init_glorot(rng);
+}
+
+std::vector<double> DenseLayer::forward(const std::vector<double>& x) const {
+  if (x.size() != input_dim_) {
+    throw std::invalid_argument("DenseLayer::forward: input size mismatch");
+  }
+  std::vector<double> y(output_dim_);
+  for (std::size_t r = 0; r < output_dim_; ++r) y[r] = b_(r, 0);
+  gemv_acc(w_, x.data(), y.data());
+  return y;
+}
+
+std::vector<double> DenseLayer::backward(const std::vector<double>& x,
+                                         const std::vector<double>& dy) {
+  if (x.size() != input_dim_ || dy.size() != output_dim_) {
+    throw std::invalid_argument("DenseLayer::backward: size mismatch");
+  }
+  rank1_acc(dw_, 1.0, dy.data(), x.data());
+  for (std::size_t r = 0; r < output_dim_; ++r) db_(r, 0) += dy[r];
+  std::vector<double> dx(input_dim_, 0.0);
+  gemv_t_acc(w_, dy.data(), dx.data());
+  return dx;
+}
+
+void DenseLayer::zero_grad() {
+  dw_.zero();
+  db_.zero();
+}
+
+double DenseLayer::grad_norm_sq() const { return dw_.norm_sq() + db_.norm_sq(); }
+
+void DenseLayer::scale_grad(double s) {
+  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] *= s;
+  for (std::size_t i = 0; i < db_.size(); ++i) db_.data()[i] *= s;
+}
+
+double sigmoid_bce_loss(double logit, int label, double* dlogit) {
+  // loss = -[y log p + (1-y) log(1-p)], p = sigmoid(logit).
+  // Numerically stable form: max(z,0) - z*y + log(1 + exp(-|z|)).
+  const double y = label ? 1.0 : 0.0;
+  const double z = logit;
+  const double loss = std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  if (dlogit) *dlogit = sigmoid(z) - y;
+  return loss;
+}
+
+}  // namespace trajkit::nn

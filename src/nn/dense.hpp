@@ -1,0 +1,51 @@
+// Fully-connected layer used as the classification head on top of the final
+// LSTM hidden state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace trajkit::nn {
+
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t input_dim, std::size_t output_dim, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+
+  /// y = W x + b.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Accumulate parameter gradients for the pair (x, dy) and return dx.
+  std::vector<double> backward(const std::vector<double>& x,
+                               const std::vector<double>& dy);
+
+  void zero_grad();
+  double grad_norm_sq() const;
+  void scale_grad(double s);
+
+  Matrix& weights() { return w_; }
+  const Matrix& weights() const { return w_; }
+  Matrix& bias() { return b_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& weight_grad() { return dw_; }
+  Matrix& bias_grad() { return db_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t output_dim_;
+  Matrix w_;
+  Matrix b_;
+  Matrix dw_;
+  Matrix db_;
+};
+
+/// Fused sigmoid + binary cross-entropy on a single logit.
+/// Returns the loss; sets d(loss)/d(logit).  `label` is 1 for "real".
+double sigmoid_bce_loss(double logit, int label, double* dlogit);
+
+}  // namespace trajkit::nn

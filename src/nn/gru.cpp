@@ -1,0 +1,179 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace trajkit::nn {
+
+GruLayer::GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_gates_(2 * hidden_dim, input_dim + hidden_dim),
+      b_gates_(2 * hidden_dim, 1),
+      w_nx_(hidden_dim, input_dim),
+      w_nh_(hidden_dim, hidden_dim),
+      b_nx_(hidden_dim, 1),
+      b_nh_(hidden_dim, 1),
+      dw_gates_(2 * hidden_dim, input_dim + hidden_dim),
+      db_gates_(2 * hidden_dim, 1),
+      dw_nx_(hidden_dim, input_dim),
+      dw_nh_(hidden_dim, hidden_dim),
+      db_nx_(hidden_dim, 1),
+      db_nh_(hidden_dim, 1) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("GruLayer: dims must be positive");
+  }
+  w_gates_.init_glorot(rng);
+  w_nx_.init_glorot(rng);
+  w_nh_.init_glorot(rng);
+}
+
+GruTrace GruLayer::forward(const std::vector<double>& xs, std::size_t steps) const {
+  if (xs.size() != steps * input_dim_ || steps == 0) {
+    throw std::invalid_argument("GruLayer::forward: input size mismatch");
+  }
+  const std::size_t H = hidden_dim_;
+  const std::size_t I = input_dim_;
+  GruTrace tr;
+  tr.steps = steps;
+  tr.inputs = xs;
+  tr.r_gate.assign(steps * H, 0.0);
+  tr.z_gate.assign(steps * H, 0.0);
+  tr.n_cand.assign(steps * H, 0.0);
+  tr.nh_pre.assign(steps * H, 0.0);
+  tr.hiddens.assign(steps * H, 0.0);
+
+  std::vector<double> zin(I + H, 0.0);
+  std::vector<double> gates(2 * H, 0.0);
+  std::vector<double> n_pre(H, 0.0);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double* h_prev = t > 0 ? tr.hiddens.data() + (t - 1) * H : nullptr;
+    std::memcpy(zin.data(), xs.data() + t * I, I * sizeof(double));
+    if (h_prev) {
+      std::memcpy(zin.data() + I, h_prev, H * sizeof(double));
+    } else {
+      std::memset(zin.data() + I, 0, H * sizeof(double));
+    }
+    for (std::size_t k = 0; k < 2 * H; ++k) gates[k] = b_gates_(k, 0);
+    gemv_acc(w_gates_, zin.data(), gates.data());
+
+    double* nh = tr.nh_pre.data() + t * H;
+    for (std::size_t k = 0; k < H; ++k) nh[k] = b_nh_(k, 0);
+    if (h_prev) gemv_acc(w_nh_, h_prev, nh);
+
+    for (std::size_t k = 0; k < H; ++k) n_pre[k] = b_nx_(k, 0);
+    gemv_acc(w_nx_, xs.data() + t * I, n_pre.data());
+
+    double* r = tr.r_gate.data() + t * H;
+    double* z = tr.z_gate.data() + t * H;
+    double* n = tr.n_cand.data() + t * H;
+    double* h = tr.hiddens.data() + t * H;
+    for (std::size_t k = 0; k < H; ++k) {
+      r[k] = sigmoid(gates[k]);
+      z[k] = sigmoid(gates[H + k]);
+      n[k] = std::tanh(n_pre[k] + r[k] * nh[k]);
+      const double hp = h_prev ? h_prev[k] : 0.0;
+      h[k] = (1.0 - z[k]) * n[k] + z[k] * hp;
+    }
+  }
+  return tr;
+}
+
+void GruLayer::backward_seq(const GruTrace& trace, const std::vector<double>& dh_seq,
+                            std::vector<double>* dx) {
+  const std::size_t H = hidden_dim_;
+  const std::size_t I = input_dim_;
+  const std::size_t steps = trace.steps;
+  if (dh_seq.size() != steps * H) {
+    throw std::invalid_argument("GruLayer::backward_seq: dh_seq size mismatch");
+  }
+  if (dx) dx->assign(steps * I, 0.0);
+
+  std::vector<double> dh(dh_seq.end() - static_cast<std::ptrdiff_t>(H), dh_seq.end());
+  std::vector<double> dgates(2 * H, 0.0);
+  std::vector<double> dn_pre(H, 0.0);
+  std::vector<double> dnh(H, 0.0);
+  std::vector<double> zin(I + H, 0.0);
+  std::vector<double> dzin(I + H, 0.0);
+  std::vector<double> dh_prev(H, 0.0);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const double* r = trace.r_gate.data() + t * H;
+    const double* z = trace.z_gate.data() + t * H;
+    const double* n = trace.n_cand.data() + t * H;
+    const double* nh = trace.nh_pre.data() + t * H;
+    const double* h_prev = t > 0 ? trace.hiddens.data() + (t - 1) * H : nullptr;
+    const double* x = trace.inputs.data() + t * I;
+
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
+    for (std::size_t k = 0; k < H; ++k) {
+      const double hp = h_prev ? h_prev[k] : 0.0;
+      const double dz = dh[k] * (hp - n[k]) * z[k] * (1.0 - z[k]);
+      const double dn = dh[k] * (1.0 - z[k]);
+      dn_pre[k] = dn * (1.0 - n[k] * n[k]);
+      const double dr = dn_pre[k] * nh[k] * r[k] * (1.0 - r[k]);
+      dgates[k] = dr;
+      dgates[H + k] = dz;
+      dnh[k] = dn_pre[k] * r[k];
+      dh_prev[k] += dh[k] * z[k];  // direct carry-through
+    }
+
+    // Candidate-path parameter gradients.
+    rank1_acc(dw_nx_, 1.0, dn_pre.data(), x);
+    for (std::size_t k = 0; k < H; ++k) db_nx_(k, 0) += dn_pre[k];
+    if (h_prev) rank1_acc(dw_nh_, 1.0, dnh.data(), h_prev);
+    for (std::size_t k = 0; k < H; ++k) db_nh_(k, 0) += dnh[k];
+    if (dx) {
+      gemv_t_acc(w_nx_, dn_pre.data(),
+                 dx->data() + t * I);  // dx += W_nx^T dn_pre
+    }
+    gemv_t_acc(w_nh_, dnh.data(), dh_prev.data());  // dh_prev += W_nh^T dnh
+
+    // Gate-path parameter gradients.
+    std::memcpy(zin.data(), x, I * sizeof(double));
+    if (h_prev) {
+      std::memcpy(zin.data() + I, h_prev, H * sizeof(double));
+    } else {
+      std::memset(zin.data() + I, 0, H * sizeof(double));
+    }
+    rank1_acc(dw_gates_, 1.0, dgates.data(), zin.data());
+    for (std::size_t k = 0; k < 2 * H; ++k) db_gates_(k, 0) += dgates[k];
+    std::fill(dzin.begin(), dzin.end(), 0.0);
+    gemv_t_acc(w_gates_, dgates.data(), dzin.data());
+    if (dx) {
+      for (std::size_t k = 0; k < I; ++k) (*dx)[t * I + k] += dzin[k];
+    }
+    for (std::size_t k = 0; k < H; ++k) dh_prev[k] += dzin[I + k];
+
+    // Flow to the previous step, plus that step's own injection.
+    dh = dh_prev;
+    if (t > 0) {
+      const double* inject = dh_seq.data() + (t - 1) * H;
+      for (std::size_t k = 0; k < H; ++k) dh[k] += inject[k];
+    }
+  }
+}
+
+void GruLayer::zero_grad() {
+  dw_gates_.zero();
+  db_gates_.zero();
+  dw_nx_.zero();
+  dw_nh_.zero();
+  db_nx_.zero();
+  db_nh_.zero();
+}
+
+double GruLayer::grad_norm_sq() const {
+  return dw_gates_.norm_sq() + db_gates_.norm_sq() + dw_nx_.norm_sq() +
+         dw_nh_.norm_sq() + db_nx_.norm_sq() + db_nh_.norm_sq();
+}
+
+void GruLayer::scale_grad(double s) {
+  for (Matrix* m : {&dw_gates_, &db_gates_, &dw_nx_, &dw_nh_, &db_nx_, &db_nh_}) {
+    for (std::size_t i = 0; i < m->size(); ++i) m->data()[i] *= s;
+  }
+}
+
+}  // namespace trajkit::nn

@@ -1,0 +1,79 @@
+// GRU layer — an alternative recurrent cell for the classifier substrate.
+//
+// The paper's models are all LSTMs; the GRU is provided for architecture
+// experiments (the defender could deploy any sequence model, and the attack's
+// transferability claims deserve a structurally different cell to test
+// against).  Standard formulation (gate order [r, z, n] in the stacked
+// weights):
+//   r = sigmoid(W_r [x; h_{t-1}] + b_r)          reset gate
+//   z = sigmoid(W_z [x; h_{t-1}] + b_z)          update gate
+//   n = tanh(W_nx x + b_nx + r * (W_nh h_{t-1} + b_nh))   candidate
+//   h_t = (1 - z) * n + z * h_{t-1}
+// forward() caches activations; backward() produces parameter and input
+// gradients like LstmLayer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace trajkit::nn {
+
+/// Cached activations of one GRU forward pass.
+struct GruTrace {
+  std::size_t steps = 0;
+  std::vector<double> inputs;   ///< steps x input_dim
+  std::vector<double> r_gate;   ///< steps x hidden
+  std::vector<double> z_gate;   ///< steps x hidden
+  std::vector<double> n_cand;   ///< steps x hidden (post-tanh)
+  std::vector<double> nh_pre;   ///< steps x hidden (W_nh h + b_nh, pre-reset)
+  std::vector<double> hiddens;  ///< steps x hidden
+};
+
+class GruLayer {
+ public:
+  GruLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  GruTrace forward(const std::vector<double>& xs, std::size_t steps) const;
+
+  /// BPTT with the loss gradient injected at every step's hidden output
+  /// (pass zeros except the last block for final-state objectives).
+  /// Parameter gradients accumulate; `dx` (optional) receives input grads.
+  void backward_seq(const GruTrace& trace, const std::vector<double>& dh_seq,
+                    std::vector<double>* dx);
+
+  void zero_grad();
+  double grad_norm_sq() const;
+  void scale_grad(double s);
+
+  Matrix& gate_weights() { return w_gates_; }
+  Matrix& gate_bias() { return b_gates_; }
+  Matrix& cand_x_weights() { return w_nx_; }
+  Matrix& cand_h_weights() { return w_nh_; }
+  Matrix& cand_x_bias() { return b_nx_; }
+  Matrix& cand_h_bias() { return b_nh_; }
+  Matrix& gate_weight_grad() { return dw_gates_; }
+  Matrix& gate_bias_grad() { return db_gates_; }
+  Matrix& cand_x_weight_grad() { return dw_nx_; }
+  Matrix& cand_h_weight_grad() { return dw_nh_; }
+  Matrix& cand_x_bias_grad() { return db_nx_; }
+  Matrix& cand_h_bias_grad() { return db_nh_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Matrix w_gates_;  ///< (2*hidden) x (input + hidden): [r; z]
+  Matrix b_gates_;  ///< (2*hidden) x 1
+  Matrix w_nx_;     ///< hidden x input
+  Matrix w_nh_;     ///< hidden x hidden
+  Matrix b_nx_;     ///< hidden x 1
+  Matrix b_nh_;     ///< hidden x 1
+  Matrix dw_gates_, db_gates_, dw_nx_, dw_nh_, db_nx_, db_nh_;
+};
+
+}  // namespace trajkit::nn

@@ -1,0 +1,162 @@
+#include "nn/lstm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace trajkit::nn {
+
+LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_(4 * hidden_dim, input_dim + hidden_dim),
+      b_(4 * hidden_dim, 1),
+      dw_(4 * hidden_dim, input_dim + hidden_dim),
+      db_(4 * hidden_dim, 1) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("LstmLayer: dims must be positive");
+  }
+  w_.init_glorot(rng);
+  // Forget-gate bias of 1: standard trick, keeps early-training memory open.
+  for (std::size_t h = 0; h < hidden_dim_; ++h) b_(hidden_dim_ + h, 0) = 1.0;
+}
+
+LstmTrace LstmLayer::forward(const std::vector<double>& xs, std::size_t steps) const {
+  if (xs.size() != steps * input_dim_) {
+    throw std::invalid_argument("LstmLayer::forward: input size mismatch");
+  }
+  if (steps == 0) throw std::invalid_argument("LstmLayer::forward: empty sequence");
+
+  const std::size_t H = hidden_dim_;
+  const std::size_t I = input_dim_;
+  LstmTrace tr;
+  tr.steps = steps;
+  tr.inputs = xs;
+  tr.gates.assign(steps * 4 * H, 0.0);
+  tr.cells.assign(steps * H, 0.0);
+  tr.hiddens.assign(steps * H, 0.0);
+
+  std::vector<double> zin(I + H, 0.0);  // [x_t ; h_{t-1}]
+  std::vector<double> z(4 * H, 0.0);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::memcpy(zin.data(), xs.data() + t * I, I * sizeof(double));
+    if (t > 0) {
+      std::memcpy(zin.data() + I, tr.hiddens.data() + (t - 1) * H, H * sizeof(double));
+    } else {
+      std::memset(zin.data() + I, 0, H * sizeof(double));
+    }
+    for (std::size_t k = 0; k < 4 * H; ++k) z[k] = b_(k, 0);
+    gemv_acc(w_, zin.data(), z.data());
+
+    double* gate = tr.gates.data() + t * 4 * H;
+    double* c = tr.cells.data() + t * H;
+    double* h = tr.hiddens.data() + t * H;
+    const double* c_prev = t > 0 ? tr.cells.data() + (t - 1) * H : nullptr;
+    for (std::size_t k = 0; k < H; ++k) {
+      const double i_g = sigmoid(z[k]);
+      const double f_g = sigmoid(z[H + k]);
+      const double g_g = std::tanh(z[2 * H + k]);
+      const double o_g = sigmoid(z[3 * H + k]);
+      gate[k] = i_g;
+      gate[H + k] = f_g;
+      gate[2 * H + k] = g_g;
+      gate[3 * H + k] = o_g;
+      const double cp = c_prev ? c_prev[k] : 0.0;
+      c[k] = f_g * cp + i_g * g_g;
+      h[k] = o_g * std::tanh(c[k]);
+    }
+  }
+  return tr;
+}
+
+void LstmLayer::backward(const LstmTrace& trace, const std::vector<double>& dh_last,
+                         std::vector<double>* dx) {
+  if (dh_last.size() != hidden_dim_) {
+    throw std::invalid_argument("LstmLayer::backward: dh_last size mismatch");
+  }
+  std::vector<double> dh_seq(trace.steps * hidden_dim_, 0.0);
+  std::copy(dh_last.begin(), dh_last.end(),
+            dh_seq.end() - static_cast<std::ptrdiff_t>(hidden_dim_));
+  backward_seq(trace, dh_seq, dx);
+}
+
+void LstmLayer::backward_seq(const LstmTrace& trace, const std::vector<double>& dh_seq,
+                             std::vector<double>* dx) {
+  const std::size_t H = hidden_dim_;
+  const std::size_t I = input_dim_;
+  const std::size_t steps = trace.steps;
+  if (dh_seq.size() != steps * H) {
+    throw std::invalid_argument("LstmLayer::backward_seq: dh_seq size mismatch");
+  }
+  if (dx) dx->assign(steps * I, 0.0);
+
+  // d(loss)/d(h_t): the recurrent flow plus the per-step injection.
+  std::vector<double> dh(dh_seq.end() - static_cast<std::ptrdiff_t>(H), dh_seq.end());
+  std::vector<double> dc(H, 0.0);        // d(loss)/d(c_t)
+  std::vector<double> dz(4 * H, 0.0);    // d(loss)/d(z_t) (pre-activation)
+  std::vector<double> dzin(I + H, 0.0);  // d(loss)/d([x_t ; h_{t-1}])
+  std::vector<double> zin(I + H, 0.0);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const double* gate = trace.gates.data() + t * 4 * H;
+    const double* c = trace.cells.data() + t * H;
+    const double* c_prev = t > 0 ? trace.cells.data() + (t - 1) * H : nullptr;
+
+    for (std::size_t k = 0; k < H; ++k) {
+      const double i_g = gate[k];
+      const double f_g = gate[H + k];
+      const double g_g = gate[2 * H + k];
+      const double o_g = gate[3 * H + k];
+      const double tanh_c = std::tanh(c[k]);
+      // h = o * tanh(c)
+      const double dct = dc[k] + dh[k] * o_g * (1.0 - tanh_c * tanh_c);
+      const double cp = c_prev ? c_prev[k] : 0.0;
+      dz[k] = dct * g_g * i_g * (1.0 - i_g);              // input gate
+      dz[H + k] = dct * cp * f_g * (1.0 - f_g);           // forget gate
+      dz[2 * H + k] = dct * i_g * (1.0 - g_g * g_g);      // candidate
+      dz[3 * H + k] = dh[k] * tanh_c * o_g * (1.0 - o_g); // output gate
+      dc[k] = dct * f_g;                                  // flows to c_{t-1}
+    }
+
+    // Parameter gradients: dw += dz * zin^T, db += dz.
+    std::memcpy(zin.data(), trace.inputs.data() + t * I, I * sizeof(double));
+    if (t > 0) {
+      std::memcpy(zin.data() + I, trace.hiddens.data() + (t - 1) * H,
+                  H * sizeof(double));
+    } else {
+      std::memset(zin.data() + I, 0, H * sizeof(double));
+    }
+    rank1_acc(dw_, 1.0, dz.data(), zin.data());
+    for (std::size_t k = 0; k < 4 * H; ++k) db_(k, 0) += dz[k];
+
+    // Input-side gradients: dzin = W^T dz.
+    std::fill(dzin.begin(), dzin.end(), 0.0);
+    gemv_t_acc(w_, dz.data(), dzin.data());
+    if (dx) {
+      std::memcpy(dx->data() + t * I, dzin.data(), I * sizeof(double));
+    }
+    // dh for the previous step: recurrent flow through zin plus that step's
+    // own injection from the layer above.
+    std::memcpy(dh.data(), dzin.data() + I, H * sizeof(double));
+    if (t > 0) {
+      const double* inject = dh_seq.data() + (t - 1) * H;
+      for (std::size_t k = 0; k < H; ++k) dh[k] += inject[k];
+    }
+  }
+}
+
+void LstmLayer::zero_grad() {
+  dw_.zero();
+  db_.zero();
+}
+
+double LstmLayer::grad_norm_sq() const { return dw_.norm_sq() + db_.norm_sq(); }
+
+void LstmLayer::scale_grad(double s) {
+  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] *= s;
+  for (std::size_t i = 0; i < db_.size(); ++i) db_.data()[i] *= s;
+}
+
+}  // namespace trajkit::nn

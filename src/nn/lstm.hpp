@@ -1,0 +1,78 @@
+// LSTM layer with full backpropagation through time.
+//
+// Standard formulation (Hochreiter & Schmidhuber, the paper's reference
+// [23]); gate order in the stacked weight matrix is [i, f, g, o]:
+//   z_t = W [x_t ; h_{t-1}] + b
+//   i = sigmoid(z_i), f = sigmoid(z_f), g = tanh(z_g), o = sigmoid(z_o)
+//   c_t = f * c_{t-1} + i * g
+//   h_t = o * tanh(c_t)
+//
+// forward() caches all activations; backward() returns parameter gradients
+// *and* input-sequence gradients — the latter is what lets the C&W attack
+// differentiate the classifier loss w.r.t. trajectory coordinates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace trajkit::nn {
+
+/// Cached activations of one LSTM forward pass (one sequence).
+struct LstmTrace {
+  std::size_t steps = 0;
+  std::vector<double> inputs;   ///< steps x input_dim
+  std::vector<double> gates;    ///< steps x 4*hidden, post-activation [i,f,g,o]
+  std::vector<double> cells;    ///< steps x hidden (c_t)
+  std::vector<double> hiddens;  ///< steps x hidden (h_t)
+};
+
+class LstmLayer {
+ public:
+  LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Run the layer over a sequence (row-major steps x input_dim), producing a
+  /// trace for backward().  Initial h and c are zero.
+  LstmTrace forward(const std::vector<double>& xs, std::size_t steps) const;
+
+  /// BPTT with loss gradient injected only at the final hidden state.
+  /// `dh_last` is d(loss)/d(h_T) (hidden_dim entries); gradients accumulate
+  /// into dw_/db_ (call zero_grad() between batches).  If `dx` is non-null it
+  /// receives d(loss)/d(inputs) (steps x input_dim, overwritten).
+  void backward(const LstmTrace& trace, const std::vector<double>& dh_last,
+                std::vector<double>* dx);
+
+  /// BPTT with loss gradient injected at every step's hidden output — needed
+  /// when another LSTM layer is stacked on top.  `dh_seq` has
+  /// steps x hidden_dim entries.
+  void backward_seq(const LstmTrace& trace, const std::vector<double>& dh_seq,
+                    std::vector<double>* dx);
+
+  void zero_grad();
+  /// Squared L2 norm of all gradients (for global-norm clipping).
+  double grad_norm_sq() const;
+  /// Scale all gradients by `s`.
+  void scale_grad(double s);
+
+  Matrix& weights() { return w_; }
+  const Matrix& weights() const { return w_; }
+  Matrix& bias() { return b_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& weight_grad() { return dw_; }
+  Matrix& bias_grad() { return db_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Matrix w_;   ///< (4*hidden) x (input + hidden)
+  Matrix b_;   ///< (4*hidden) x 1
+  Matrix dw_;
+  Matrix db_;
+};
+
+}  // namespace trajkit::nn

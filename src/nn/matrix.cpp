@@ -1,0 +1,72 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::init_glorot(Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (auto& v : data_) v = rng.uniform(-limit, limit);
+}
+
+void Matrix::axpy(double alpha, const Matrix& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("Matrix::axpy: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Matrix::norm_sq() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+void gemv_acc(const Matrix& m, const double* x, double* y) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* mr = m.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += mr[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void gemv_t_acc(const Matrix& m, const double* x, double* y) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* mr = m.row(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols; ++c) y[c] += mr[c] * xr;
+  }
+}
+
+void rank1_acc(Matrix& m, double alpha, const double* x, const double* y) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* mr = m.row(r);
+    const double ax = alpha * x[r];
+    for (std::size_t c = 0; c < cols; ++c) mr[c] += ax * y[c];
+  }
+}
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace trajkit::nn

@@ -1,0 +1,65 @@
+// Dense row-major matrix for the from-scratch neural-network library.
+//
+// Deliberately minimal: the LSTM and dense layers only need matrix-vector
+// products, rank-1 accumulation and elementwise ops, all of which the
+// compiler vectorizes well at -O3.  No expression templates, no views — the
+// shapes in this project are small (hidden sizes <= a few hundred).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace trajkit::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double v);
+  void zero() { fill(0.0); }
+
+  /// Glorot-uniform initialisation, the default for gates and dense layers.
+  void init_glorot(Rng& rng);
+
+  /// In-place scaled accumulate: *this += alpha * other (same shape).
+  void axpy(double alpha, const Matrix& other);
+
+  /// Frobenius norm squared.
+  double norm_sq() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y += M * x  (y has M.rows() entries, x has M.cols()).
+void gemv_acc(const Matrix& m, const double* x, double* y);
+
+/// y += M^T * x (y has M.cols() entries, x has M.rows()).
+void gemv_t_acc(const Matrix& m, const double* x, double* y);
+
+/// M += alpha * x * y^T (rank-1 update; x has M.rows(), y has M.cols()).
+void rank1_acc(Matrix& m, double alpha, const double* x, const double* y);
+
+/// Numerically safe sigmoid.
+double sigmoid(double x);
+
+}  // namespace trajkit::nn

@@ -1,0 +1,90 @@
+// Text (de)serialisation of LstmClassifier: architecture line followed by all
+// weight matrices in full precision.  Human-inspectable and
+// platform-independent; model files are small (hidden sizes are modest).
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/classifier.hpp"
+
+namespace trajkit::nn {
+namespace {
+
+constexpr const char* kMagic = "trajkit_lstm_classifier_v1";
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os << m.rows() << ' ' << m.cols() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    os << m.data()[i] << (((i + 1) % 8 == 0) ? '\n' : ' ');
+  }
+  os << '\n';
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(is >> rows >> cols)) throw std::runtime_error("model load: bad matrix header");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!(is >> m.data()[i])) throw std::runtime_error("model load: truncated matrix");
+  }
+  return m;
+}
+
+void copy_into(Matrix& dst, const Matrix& src, const char* what) {
+  if (dst.rows() != src.rows() || dst.cols() != src.cols()) {
+    throw std::runtime_error(std::string("model load: shape mismatch in ") + what);
+  }
+  dst = src;
+}
+
+}  // namespace
+
+void LstmClassifier::save(std::ostream& os) const {
+  os << kMagic << '\n';
+  os << config_.input_dim << ' ' << config_.hidden_dim << ' ' << config_.num_layers
+     << ' ' << config_.learning_rate << ' ' << config_.grad_clip << ' '
+     << config_.batch_size << '\n';
+  for (const auto& layer : layers_) {
+    write_matrix(os, layer.weights());
+    write_matrix(os, layer.bias());
+  }
+  write_matrix(os, head_.weights());
+  write_matrix(os, head_.bias());
+}
+
+LstmClassifier LstmClassifier::load(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) {
+    throw std::runtime_error("model load: bad magic");
+  }
+  LstmClassifierConfig cfg;
+  if (!(is >> cfg.input_dim >> cfg.hidden_dim >> cfg.num_layers >> cfg.learning_rate >>
+        cfg.grad_clip >> cfg.batch_size)) {
+    throw std::runtime_error("model load: bad config line");
+  }
+  LstmClassifier model(cfg, /*seed=*/0);
+  for (auto& layer : model.layers_) {
+    copy_into(layer.weights(), read_matrix(is), "lstm weights");
+    copy_into(layer.bias(), read_matrix(is), "lstm bias");
+  }
+  copy_into(model.head_.weights(), read_matrix(is), "head weights");
+  copy_into(model.head_.bias(), read_matrix(is), "head bias");
+  return model;
+}
+
+void LstmClassifier::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("model save: cannot open " + path);
+  save(os);
+}
+
+LstmClassifier LstmClassifier::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("model load: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace trajkit::nn

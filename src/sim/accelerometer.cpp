@@ -1,0 +1,35 @@
+#include "sim/accelerometer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::sim {
+
+std::vector<double> synthesize_accelerometer(const std::vector<Enu>& true_positions,
+                                             double interval_s, Mode mode,
+                                             const AccelerometerConfig& config,
+                                             Rng& rng) {
+  if (true_positions.size() < 3) {
+    throw std::invalid_argument("synthesize_accelerometer: need >= 3 positions");
+  }
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("synthesize_accelerometer: bad interval");
+  }
+  const double bounce =
+      mode == Mode::kWalking ? config.walking_bounce_mps2
+                             : (mode == Mode::kCycling ? 0.2 : 0.05);
+  std::vector<double> out(true_positions.size(), 0.0);
+  for (std::size_t i = 0; i < true_positions.size(); ++i) {
+    double kinematic = 0.0;
+    if (i >= 2) {
+      const Enu v1 = (true_positions[i - 1] - true_positions[i - 2]) * (1.0 / interval_s);
+      const Enu v2 = (true_positions[i] - true_positions[i - 1]) * (1.0 / interval_s);
+      kinematic = (v2 - v1).norm() / interval_s;
+    }
+    out[i] = std::max(0.0, kinematic + bounce * std::fabs(rng.normal()) +
+                               rng.normal(0.0, config.noise_mps2));
+  }
+  return out;
+}
+
+}  // namespace trajkit::sim

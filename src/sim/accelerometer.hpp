@@ -1,0 +1,34 @@
+// Accelerometer side-channel simulation.
+//
+// The paper notes (Sec. II-A) that providers may require "additional
+// information ... (e.g., RSSI, accelerometer)" alongside the trajectory.
+// This models the horizontal-acceleration magnitude an IMU would report at
+// each trajectory sample:
+//   a_t = |v_t - v_{t-1}| / dt + device noise + walking-bounce floor
+// computed from the *true* motion (the device feels real physics even when
+// the GPS pipe is hooked).  A forger without the sensor must fabricate these
+// values; a replaying forger can replay them — the consistency check in
+// baseline/accel_check.hpp quantifies both cases.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::sim {
+
+struct AccelerometerConfig {
+  double noise_mps2 = 0.15;         ///< IMU noise per sample
+  double walking_bounce_mps2 = 0.4;  ///< step-impact floor for pedestrians
+};
+
+/// Per-sample horizontal acceleration magnitudes (m/s^2), one per position;
+/// the first two samples carry only noise/bounce (no velocity history yet).
+std::vector<double> synthesize_accelerometer(const std::vector<Enu>& true_positions,
+                                             double interval_s, Mode mode,
+                                             const AccelerometerConfig& config,
+                                             Rng& rng);
+
+}  // namespace trajkit::sim

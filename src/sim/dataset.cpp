@@ -1,0 +1,116 @@
+#include "sim/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::sim {
+namespace {
+
+constexpr std::size_t kMaxAttempts = 64;
+
+}  // namespace
+
+const LocalProjection& sim_projection() {
+  static const LocalProjection proj({0.0, 0.0});
+  return proj;
+}
+
+TrajectorySimulator::TrajectorySimulator(const map::RoadNetwork& network,
+                                         GpsErrorConfig gps_config)
+    : network_(&network), nav_(network), gps_(gps_config) {
+  if (network.node_count() < 2) {
+    throw std::invalid_argument("TrajectorySimulator: network too small");
+  }
+}
+
+std::vector<Enu> TrajectorySimulator::random_route(Mode mode, double min_length_m,
+                                                   Rng& rng) const {
+  const auto node_count = static_cast<std::int64_t>(network_->node_count());
+  for (std::size_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<Enu> polyline;
+    double total = 0.0;
+    auto current = static_cast<std::size_t>(rng.uniform_int(0, node_count - 1));
+    std::size_t legs = 0;
+    while (total < min_length_m && legs < 16) {
+      const auto target = static_cast<std::size_t>(rng.uniform_int(0, node_count - 1));
+      if (target == current) continue;
+      const auto path = map::shortest_path(*network_, current, target, mode);
+      ++legs;
+      if (!path || path->nodes.size() < 2) continue;
+      auto leg = map::path_polyline(*network_, *path);
+      if (polyline.empty()) {
+        polyline = std::move(leg);
+      } else {
+        polyline.insert(polyline.end(), leg.begin() + 1, leg.end());
+      }
+      total += path->length_m;
+      current = target;
+    }
+    if (total >= min_length_m) return polyline;
+  }
+  throw std::runtime_error("random_route: could not build a long-enough route");
+}
+
+SimulatedTrajectory TrajectorySimulator::simulate_real(Mode mode, std::size_t points,
+                                                       double interval_s,
+                                                       Rng& rng) const {
+  const MobilityParams params = MobilityParams::for_mode(mode);
+  // Route long enough that the mobility model cannot run off the end even at
+  // +3 sigma speed with no stops.
+  const double need_m = (params.mean_speed_mps + 3.0 * params.speed_stddev) *
+                            static_cast<double>(points) * interval_s +
+                        4.0 * params.mean_speed_mps;
+  for (std::size_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const auto route = random_route(mode, need_m, rng);
+    auto result = simulate_on_route(route, mode, points, interval_s, rng);
+    if (result.reported.size() == points) return result;
+  }
+  throw std::runtime_error("simulate_real: failed to produce a full trajectory");
+}
+
+SimulatedTrajectory TrajectorySimulator::simulate_on_route(
+    const std::vector<Enu>& route, Mode mode, std::size_t points, double interval_s,
+    Rng& rng) const {
+  const MobilityParams params = MobilityParams::for_mode(mode);
+  SimulatedTrajectory out;
+  out.route = route;
+  out.true_positions = simulate_motion(route, params, interval_s, points, rng);
+  const auto noisy = gps_.corrupt(out.true_positions, rng);
+  out.reported = Trajectory::from_enu(noisy, sim_projection(), mode, interval_s);
+  return out;
+}
+
+SimulatedTrajectory TrajectorySimulator::navigation_trajectory(Mode mode,
+                                                               std::size_t points,
+                                                               double interval_s,
+                                                               Rng& rng) const {
+  const double speed = map::free_flow_speed_mps(mode, map::RoadClass::kLocal);
+  const double need_m =
+      speed * static_cast<double>(points + 2) * interval_s + 4.0 * speed;
+  for (std::size_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    SimulatedTrajectory out;
+    out.route = random_route(mode, need_m, rng);
+    // The paper sets "a reasonable speed" from the route feedback; our
+    // navigation substrate recommends the mode's free-flow speed mix, which
+    // for a resampled polyline reduces to constant-speed sampling.
+    auto sampled = map::sample_route(out.route, speed, interval_s);
+    if (sampled.size() < points) continue;
+    sampled.resize(points);
+    out.true_positions = sampled;
+    out.reported = Trajectory::from_enu(sampled, sim_projection(), mode, interval_s);
+    return out;
+  }
+  throw std::runtime_error("navigation_trajectory: failed to sample a route");
+}
+
+ScannedTrajectory attach_scans(const SimulatedTrajectory& traj, const WifiWorld& world,
+                               Rng& rng) {
+  ScannedTrajectory out;
+  out.reported = traj.reported;
+  out.true_positions = traj.true_positions;
+  out.scans.reserve(traj.true_positions.size());
+  for (const auto& p : traj.true_positions) out.scans.push_back(world.scan(p, rng));
+  return out;
+}
+
+}  // namespace trajkit::sim

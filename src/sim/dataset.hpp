@@ -1,0 +1,86 @@
+// Dataset builders: the offline equivalents of the paper's OSM, AN and
+// WiFi-collection datasets.
+//
+//   * simulate_real()      -> one "OSM-like" genuine trajectory: human motion
+//                             dynamics along a routed path + correlated GPS
+//                             error on the reported positions.
+//   * navigation_route() / navigation_trajectory()
+//                          -> one "AN-like" fake: a navigation polyline
+//                             resampled at the recommended constant speed.
+//   * attach_scans()       -> the WiFi collection step: a scan at every
+//                             (true) position of a trajectory, as the paper's
+//                             signal-collection app records.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "map/nav.hpp"
+#include "sim/gps.hpp"
+#include "sim/mobility.hpp"
+#include "sim/wifi_world.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::sim {
+
+/// The canonical projection of the simulated world: the synthetic city's ENU
+/// frame is anchored at lat/lon (0, 0).  Every module that needs to project a
+/// simulated trajectory must use this projection so that metres round-trip
+/// exactly.
+const LocalProjection& sim_projection();
+
+/// A simulated genuine trajectory: what the client uploads plus the ground
+/// truth the simulator knows.
+struct SimulatedTrajectory {
+  Trajectory reported;              ///< GPS-noisy positions (what the LSP sees)
+  std::vector<Enu> true_positions;  ///< noise-free motion ground truth
+  std::vector<Enu> route;           ///< underlying road polyline
+};
+
+/// A trajectory with WiFi scans attached to every point (Sec. III design
+/// goal: P_i = [loc_i, RSSI_i, MAC_i]).
+struct ScannedTrajectory {
+  Trajectory reported;
+  std::vector<Enu> true_positions;
+  std::vector<WifiScan> scans;  ///< one scan per point, taken at the true position
+};
+
+class TrajectorySimulator {
+ public:
+  TrajectorySimulator(const map::RoadNetwork& network, GpsErrorConfig gps_config = {});
+
+  const map::RoadNetwork& network() const { return *network_; }
+  const GpsErrorModel& gps() const { return gps_; }
+
+  /// Random multi-leg road route of at least `min_length_m`, traversable by
+  /// `mode`.  Legs chain random intermediate destinations until long enough.
+  std::vector<Enu> random_route(Mode mode, double min_length_m, Rng& rng) const;
+
+  /// Genuine trajectory of exactly `points` samples every `interval_s`
+  /// seconds: mobility dynamics on a random route + GPS error.
+  SimulatedTrajectory simulate_real(Mode mode, std::size_t points, double interval_s,
+                                    Rng& rng) const;
+
+  /// Genuine trajectory on a *given* route (same-route repetitions for the
+  /// MinD experiment).
+  SimulatedTrajectory simulate_on_route(const std::vector<Enu>& route, Mode mode,
+                                        std::size_t points, double interval_s,
+                                        Rng& rng) const;
+
+  /// AN-like navigation fake: route polyline resampled at the navigation
+  /// service's recommended speed (no human dynamics, no GPS noise — the naive
+  /// attack adds its own noise).  Returns the route too.
+  SimulatedTrajectory navigation_trajectory(Mode mode, std::size_t points,
+                                            double interval_s, Rng& rng) const;
+
+ private:
+  const map::RoadNetwork* network_;
+  map::NavigationService nav_;
+  GpsErrorModel gps_;
+};
+
+/// Attach a WiFi scan (taken at each true position) to a trajectory.
+ScannedTrajectory attach_scans(const SimulatedTrajectory& traj, const WifiWorld& world,
+                               Rng& rng);
+
+}  // namespace trajkit::sim

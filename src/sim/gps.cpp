@@ -1,0 +1,41 @@
+#include "sim/gps.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::sim {
+
+GpsErrorModel::GpsErrorModel(GpsErrorConfig config) : config_(config) {
+  if (config_.sigma_m < 0.0) {
+    throw std::invalid_argument("GpsErrorModel: sigma must be non-negative");
+  }
+  if (config_.correlation < 0.0 || config_.correlation >= 1.0) {
+    throw std::invalid_argument("GpsErrorModel: correlation must be in [0, 1)");
+  }
+}
+
+std::vector<Enu> GpsErrorModel::corrupt(const std::vector<Enu>& truth, Rng& rng) const {
+  std::vector<Enu> out;
+  out.reserve(truth.size());
+  const double rho = config_.correlation;
+  const double innovation = std::sqrt(1.0 - rho * rho) * config_.sigma_m;
+  Enu err{};
+  bool first = true;
+  for (const auto& p : truth) {
+    if (first) {
+      err = {rng.normal(0.0, config_.sigma_m), rng.normal(0.0, config_.sigma_m)};
+      first = false;
+    } else {
+      err = {rho * err.east + rng.normal(0.0, innovation),
+             rho * err.north + rng.normal(0.0, innovation)};
+    }
+    out.push_back(p + err);
+  }
+  return out;
+}
+
+Enu GpsErrorModel::sample_error(Rng& rng) const {
+  return {rng.normal(0.0, config_.sigma_m), rng.normal(0.0, config_.sigma_m)};
+}
+
+}  // namespace trajkit::sim

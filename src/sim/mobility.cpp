@@ -1,0 +1,175 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::sim {
+namespace {
+
+/// Tracks an arc-length position on a polyline.
+class PolylineCursor {
+ public:
+  explicit PolylineCursor(const std::vector<Enu>& polyline) : polyline_(&polyline) {}
+
+  bool at_end() const { return segment_ + 1 >= polyline_->size(); }
+
+  Enu position() const {
+    if (at_end()) return polyline_->back();
+    const Enu& a = (*polyline_)[segment_];
+    const Enu& b = (*polyline_)[segment_ + 1];
+    const double len = distance(a, b);
+    const double t = len > 0.0 ? offset_ / len : 0.0;
+    return a + (b - a) * t;
+  }
+
+  /// Advance by `metres`; returns the number of polyline vertices crossed.
+  std::size_t advance(double metres) {
+    std::size_t crossed = 0;
+    while (metres > 0.0 && !at_end()) {
+      const double len = distance((*polyline_)[segment_], (*polyline_)[segment_ + 1]);
+      const double left = len - offset_;
+      if (metres < left) {
+        offset_ += metres;
+        return crossed;
+      }
+      metres -= left;
+      ++segment_;
+      offset_ = 0.0;
+      ++crossed;
+    }
+    return crossed;
+  }
+
+  /// Interior angle change at the upcoming vertex, radians in [0, pi];
+  /// 0 when there is no next corner.
+  double upcoming_turn() const {
+    if (segment_ + 2 >= polyline_->size()) return 0.0;
+    const double h1 = heading_rad((*polyline_)[segment_], (*polyline_)[segment_ + 1]);
+    const double h2 = heading_rad((*polyline_)[segment_ + 1], (*polyline_)[segment_ + 2]);
+    return std::fabs(heading_diff(h1, h2));
+  }
+
+  /// Metres left on the current segment.
+  double to_next_vertex() const {
+    if (at_end()) return 0.0;
+    return distance((*polyline_)[segment_], (*polyline_)[segment_ + 1]) - offset_;
+  }
+
+ private:
+  const std::vector<Enu>* polyline_;
+  std::size_t segment_ = 0;
+  double offset_ = 0.0;
+};
+
+}  // namespace
+
+MobilityParams MobilityParams::for_mode(Mode mode) {
+  MobilityParams p;
+  switch (mode) {
+    case Mode::kWalking:
+      p.mean_speed_mps = 1.4;
+      p.speed_stddev = 0.25;
+      p.speed_reversion = 0.35;
+      p.max_accel_mps2 = 0.8;
+      p.min_speed_mps = 0.3;
+      p.corner_slowdown = 0.3;
+      p.stop_probability = 0.05;
+      p.stop_duration_mean_s = 4.0;
+      break;
+    case Mode::kCycling:
+      p.mean_speed_mps = 4.5;
+      p.speed_stddev = 0.7;
+      p.speed_reversion = 0.25;
+      p.max_accel_mps2 = 1.2;
+      p.min_speed_mps = 1.0;
+      p.corner_slowdown = 0.6;
+      p.stop_probability = 0.07;
+      p.stop_duration_mean_s = 8.0;
+      break;
+    case Mode::kDriving:
+      p.mean_speed_mps = 10.0;
+      p.speed_stddev = 2.0;
+      p.speed_reversion = 0.2;
+      p.max_accel_mps2 = 2.2;
+      p.min_speed_mps = 2.0;
+      p.corner_slowdown = 0.7;
+      p.stop_probability = 0.12;
+      p.stop_duration_mean_s = 15.0;
+      break;
+  }
+  return p;
+}
+
+std::vector<Enu> simulate_motion(const std::vector<Enu>& route,
+                                 const MobilityParams& params, double interval_s,
+                                 std::size_t max_points, Rng& rng) {
+  if (route.size() < 2) {
+    throw std::invalid_argument("simulate_motion: route needs >= 2 points");
+  }
+  if (interval_s <= 0.0 || max_points == 0) {
+    throw std::invalid_argument("simulate_motion: bad interval or max_points");
+  }
+
+  // Integrate dynamics on a fine sub-tick so accel limits act smoothly even
+  // with coarse sampling intervals.
+  const double dt = std::min(interval_s, 0.5);
+  const auto substeps = static_cast<std::size_t>(std::round(interval_s / dt));
+  const double sub_dt = interval_s / static_cast<double>(substeps);
+
+  PolylineCursor cursor(route);
+  std::vector<Enu> out;
+  out.push_back(cursor.position());
+
+  double speed = std::max(params.min_speed_mps,
+                          rng.normal(params.mean_speed_mps, params.speed_stddev));
+  double target = speed;
+  double stop_left_s = 0.0;
+
+  const double ou_theta = params.speed_reversion;
+  const double ou_innov =
+      params.speed_stddev * std::sqrt(std::max(0.0, 2.0 * ou_theta * sub_dt));
+
+  while (out.size() < max_points && !cursor.at_end()) {
+    for (std::size_t s = 0; s < substeps; ++s) {
+      if (stop_left_s > 0.0) {
+        stop_left_s -= sub_dt;
+        speed = 0.0;
+        continue;
+      }
+      // OU update of the target speed.
+      target += ou_theta * (params.mean_speed_mps - target) * sub_dt +
+                ou_innov * rng.normal();
+      target = std::clamp(target, params.min_speed_mps,
+                          params.mean_speed_mps + 3.0 * params.speed_stddev);
+
+      // Corner anticipation: shed speed when a sharp turn is close.
+      double limit = target;
+      const double turn = cursor.upcoming_turn();
+      if (turn > 0.1 && cursor.to_next_vertex() < std::max(2.0, speed * 2.0)) {
+        const double shed = params.corner_slowdown * (turn / (M_PI / 2.0));
+        limit = std::max(params.min_speed_mps, target * std::max(0.15, 1.0 - shed));
+      }
+
+      // Bounded acceleration toward the limit.
+      const double dv = std::clamp(limit - speed, -params.max_accel_mps2 * sub_dt,
+                                   params.max_accel_mps2 * sub_dt);
+      speed = std::max(0.0, speed + dv);
+
+      const std::size_t crossed = cursor.advance(speed * sub_dt);
+      // Stop decision at each crossed vertex (intersection).
+      for (std::size_t k = 0; k < crossed && stop_left_s <= 0.0; ++k) {
+        if (rng.chance(params.stop_probability)) {
+          stop_left_s = std::max(1.0, rng.normal(params.stop_duration_mean_s,
+                                                 params.stop_duration_mean_s * 0.4));
+          speed = 0.0;
+        }
+      }
+      if (cursor.at_end()) break;
+    }
+    out.push_back(cursor.position());
+  }
+  return out;
+}
+
+}  // namespace trajkit::sim

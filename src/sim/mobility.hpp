@@ -1,0 +1,44 @@
+// Human mobility models.
+//
+// Generates the *true* motion of a walker / cyclist / driver along a route
+// polyline, producing one position per sampling tick.  The dynamics give
+// trajectories the motion characteristics the paper's classifiers key on:
+//   * speed follows an Ornstein-Uhlenbeck process around a per-mode mean
+//     (humans do not hold constant speed — this is what separates real traces
+//     from naively resampled navigation routes),
+//   * acceleration is bounded per mode,
+//   * sharp turns force a slowdown proportional to the corner angle,
+//   * intersections can trigger full stops (traffic lights, crossings).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit::sim {
+
+/// Per-mode dynamics parameters.
+struct MobilityParams {
+  double mean_speed_mps = 1.4;
+  double speed_stddev = 0.25;       ///< OU stationary std-dev
+  double speed_reversion = 0.3;     ///< OU mean-reversion rate (1/s)
+  double max_accel_mps2 = 0.8;
+  double min_speed_mps = 0.2;
+  double corner_slowdown = 0.6;     ///< fraction of speed shed on a 90-degree turn
+  double stop_probability = 0.08;   ///< chance of a stop at each polyline vertex
+  double stop_duration_mean_s = 6.0;
+
+  /// Paper-calibrated defaults per mode.
+  static MobilityParams for_mode(Mode mode);
+};
+
+/// Simulate true motion along `route` (a road polyline), emitting a position
+/// every `interval_s` seconds until the route end is reached or `max_points`
+/// positions exist.  The first position is the route start.
+std::vector<Enu> simulate_motion(const std::vector<Enu>& route,
+                                 const MobilityParams& params, double interval_s,
+                                 std::size_t max_points, Rng& rng);
+
+}  // namespace trajkit::sim

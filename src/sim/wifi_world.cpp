@@ -1,0 +1,156 @@
+#include "sim/wifi_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::sim {
+
+AccessPoint::AccessPoint(std::uint64_t mac, Enu pos, double tx_dbm, double ple,
+                         const WifiWorldConfig& config, Rng& rng)
+    : mac_(mac), pos_(pos), tx_dbm_(tx_dbm), ple_(std::max(1.5, ple)) {
+  // Random sinusoid field with total variance shadow_sigma^2:
+  // each component contributes amplitude^2 / 2.
+  const double amp =
+      config.shadow_sigma_db * std::sqrt(2.0 / static_cast<double>(kShadowComponents));
+  for (auto& c : shadow_) {
+    const double wavelength =
+        rng.uniform(config.shadow_wavelength_min_m, config.shadow_wavelength_max_m);
+    const double angle = rng.uniform(0.0, 2.0 * M_PI);
+    const double k = 2.0 * M_PI / wavelength;
+    c.kx = k * std::cos(angle);
+    c.ky = k * std::sin(angle);
+    c.phase = rng.uniform(0.0, 2.0 * M_PI);
+    c.amplitude = amp;
+  }
+}
+
+double AccessPoint::shadow_db(const Enu& p) const {
+  double s = 0.0;
+  for (const auto& c : shadow_) {
+    s += c.amplitude * std::sin(c.kx * p.east + c.ky * p.north + c.phase);
+  }
+  return s;
+}
+
+double AccessPoint::mean_rssi_dbm(const Enu& p) const {
+  const double d = std::max(distance(p, pos_), 1.0);
+  return tx_dbm_ - 10.0 * ple_ * std::log10(d) + shadow_db(p);
+}
+
+double AccessPoint::max_range_m(int floor_dbm, double margin_db) const {
+  // tx - 10 ple log10(d) + margin >= floor  =>  d <= 10^((tx + margin - floor)/(10 ple))
+  const double exponent =
+      (tx_dbm_ + margin_db - static_cast<double>(floor_dbm)) / (10.0 * ple_);
+  return std::pow(10.0, exponent);
+}
+
+WifiWorld::WifiWorld(WifiWorldConfig config, BoundingBox bounds)
+    : config_(config), bounds_(bounds) {}
+
+WifiWorld WifiWorld::deploy(const map::RoadNetwork& net, const WifiWorldConfig& config,
+                            Rng& rng) {
+  if (net.edge_count() == 0) {
+    throw std::invalid_argument("WifiWorld::deploy: empty road network");
+  }
+  WifiWorld world(config, net.bounds().expanded(config.ap_road_offset_m + 10.0));
+
+  // Length-weighted edge sampler: APs line the streets like storefronts.
+  std::vector<double> weights;
+  weights.reserve(net.edge_count());
+  for (std::size_t e = 0; e < net.edge_count(); ++e) {
+    weights.push_back(net.edge(e).length_m);
+  }
+
+  for (std::size_t i = 0; i < config.ap_count; ++i) {
+    const std::size_t e = rng.weighted_index(weights);
+    const auto& edge = net.edge(e);
+    const Enu a = net.node(edge.a).pos;
+    const Enu b = net.node(edge.b).pos;
+    const double t = rng.uniform();
+    const Enu on_road = a + (b - a) * t;
+    // Perpendicular storefront offset with jitter, either side of the road.
+    const double heading = heading_rad(a, b);
+    const double side = rng.chance(0.5) ? 1.0 : -1.0;
+    const double off = config.ap_road_offset_m * side + rng.normal(0.0, 2.0);
+    const Enu pos{on_road.east - std::sin(heading) * off,
+                  on_road.north + std::cos(heading) * off};
+
+    const double tx = rng.normal(config.tx_dbm_mean, config.tx_dbm_stddev);
+    const double ple = rng.normal(config.ple_mean, config.ple_stddev);
+    // MACs are opaque 48-bit-style ids, deterministic from the deployment rng.
+    const std::uint64_t mac = (rng.next() & 0xffffffffffffULL) | (i << 48);
+    world.aps_.emplace_back(mac, pos, tx, ple, config, rng);
+  }
+
+  // Grid for range-limited scan queries.
+  double max_range = 0.0;
+  for (const auto& ap : world.aps_) {
+    max_range = std::max(
+        max_range, ap.max_range_m(config.visibility_floor_dbm,
+                                  config.shadow_sigma_db + 3.0 * config.device_noise_db));
+  }
+  world.query_radius_m_ = max_range;
+  world.cell_size_m_ = std::max(25.0, max_range / 4.0);
+  world.grid_w_ = static_cast<std::size_t>(
+                      std::ceil(world.bounds_.width() / world.cell_size_m_)) +
+                  1;
+  world.grid_h_ = static_cast<std::size_t>(
+                      std::ceil(world.bounds_.height() / world.cell_size_m_)) +
+                  1;
+  world.grid_.assign(world.grid_w_ * world.grid_h_, {});
+  for (std::size_t i = 0; i < world.aps_.size(); ++i) {
+    world.grid_[world.cell_of(world.aps_[i].pos())].push_back(i);
+  }
+  return world;
+}
+
+std::size_t WifiWorld::cell_of(const Enu& pos) const {
+  const double cx = (pos.east - bounds_.min_east) / cell_size_m_;
+  const double cy = (pos.north - bounds_.min_north) / cell_size_m_;
+  const auto ix = static_cast<std::size_t>(
+      std::clamp(cx, 0.0, static_cast<double>(grid_w_ - 1)));
+  const auto iy = static_cast<std::size_t>(
+      std::clamp(cy, 0.0, static_cast<double>(grid_h_ - 1)));
+  return iy * grid_w_ + ix;
+}
+
+std::vector<std::size_t> WifiWorld::aps_near(const Enu& pos) const {
+  const auto reach = static_cast<long>(std::ceil(query_radius_m_ / cell_size_m_));
+  const double cx = (pos.east - bounds_.min_east) / cell_size_m_;
+  const double cy = (pos.north - bounds_.min_north) / cell_size_m_;
+  const long ix = static_cast<long>(cx);
+  const long iy = static_cast<long>(cy);
+  std::vector<std::size_t> out;
+  for (long dy = -reach; dy <= reach; ++dy) {
+    const long y = iy + dy;
+    if (y < 0 || y >= static_cast<long>(grid_h_)) continue;
+    for (long dx = -reach; dx <= reach; ++dx) {
+      const long x = ix + dx;
+      if (x < 0 || x >= static_cast<long>(grid_w_)) continue;
+      const auto& cell = grid_[static_cast<std::size_t>(y) * grid_w_ +
+                               static_cast<std::size_t>(x)];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  return out;
+}
+
+WifiScan WifiWorld::scan(const Enu& pos, Rng& rng) const {
+  WifiScan result;
+  for (std::size_t i : aps_near(pos)) {
+    const AccessPoint& ap = aps_[i];
+    const double rssi =
+        ap.mean_rssi_dbm(pos) + rng.normal(0.0, config_.device_noise_db);
+    const int quantised = static_cast<int>(std::lround(rssi));
+    if (quantised >= config_.visibility_floor_dbm) {
+      result.push_back({ap.mac(), quantised});
+    }
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return a.rssi_dbm > b.rssi_dbm || (a.rssi_dbm == b.rssi_dbm && a.mac < b.mac);
+  });
+  return result;
+}
+
+}  // namespace trajkit::sim

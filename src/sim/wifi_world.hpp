@@ -1,0 +1,110 @@
+// WiFi radio environment simulator.
+//
+// Substitute for the paper's real-world signal collection (Sec. IV-B):
+// access points are deployed along roads (storefronts), and the RSSI observed
+// at a position follows the log-distance path-loss model plus two noise
+// terms with very different roles:
+//   * a *static* spatially-correlated shadowing field per AP (sum of random
+//     sinusoids, smooth over metres) — revisiting the same spot reproduces
+//     the same value, which is what makes crowdsourced RPD histograms
+//     meaningful, and what makes RSSI *location-dependent at metre scale*,
+//     the property the defense exploits;
+//   * per-scan i.i.d. device noise — the irreducible jitter that makes an
+//     RPD a distribution instead of a constant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+#include "map/roadnet.hpp"
+#include "wifi/scan.hpp"
+
+namespace trajkit::sim {
+
+// Scan vocabulary lives in wifi/scan.hpp; the simulator produces what the
+// detector consumes.
+using wifi::ApObservation;
+using wifi::WifiScan;
+
+struct WifiWorldConfig {
+  std::size_t ap_count = 450;
+  double tx_dbm_mean = -28.0;   ///< RSSI at 1 m
+  double tx_dbm_stddev = 4.0;
+  double ple_mean = 3.0;        ///< path-loss exponent (urban outdoor)
+  double ple_stddev = 0.25;
+  double shadow_sigma_db = 3.5;
+  double shadow_wavelength_min_m = 8.0;
+  double shadow_wavelength_max_m = 40.0;
+  double device_noise_db = 1.2;
+  int visibility_floor_dbm = -85;
+  double ap_road_offset_m = 7.0;  ///< storefront offset from the road centreline
+};
+
+/// A deployed access point with its private propagation parameters.
+class AccessPoint {
+ public:
+  static constexpr std::size_t kShadowComponents = 6;
+
+  AccessPoint(std::uint64_t mac, Enu pos, double tx_dbm, double ple,
+              const WifiWorldConfig& config, Rng& rng);
+
+  std::uint64_t mac() const { return mac_; }
+  const Enu& pos() const { return pos_; }
+
+  /// Deterministic shadowing value at a position, dB.
+  double shadow_db(const Enu& p) const;
+
+  /// Mean (noise-free) RSSI at a position, dBm.
+  double mean_rssi_dbm(const Enu& p) const;
+
+  /// Maximum distance at which the AP can clear `floor_dbm` given a noise
+  /// allowance, metres.  Used to bound scan queries.
+  double max_range_m(int floor_dbm, double margin_db) const;
+
+ private:
+  struct ShadowComponent {
+    double kx, ky, phase, amplitude;
+  };
+
+  std::uint64_t mac_;
+  Enu pos_;
+  double tx_dbm_;
+  double ple_;
+  std::array<ShadowComponent, kShadowComponents> shadow_;
+};
+
+/// The deployed radio environment of one evaluation area.
+class WifiWorld {
+ public:
+  /// Deploy `config.ap_count` APs along the road network's edges.
+  static WifiWorld deploy(const map::RoadNetwork& net, const WifiWorldConfig& config,
+                          Rng& rng);
+
+  /// Scan at a (true) position: every AP whose noisy RSSI clears the
+  /// visibility floor, sorted by descending RSSI.
+  WifiScan scan(const Enu& pos, Rng& rng) const;
+
+  const std::vector<AccessPoint>& aps() const { return aps_; }
+  const WifiWorldConfig& config() const { return config_; }
+
+ private:
+  WifiWorld(WifiWorldConfig config, BoundingBox bounds);
+
+  /// Uniform grid over the deployment bounds for range-limited AP lookup.
+  std::vector<std::size_t> aps_near(const Enu& pos) const;
+  std::size_t cell_of(const Enu& pos) const;
+
+  WifiWorldConfig config_;
+  BoundingBox bounds_;
+  double cell_size_m_ = 50.0;
+  std::size_t grid_w_ = 1;
+  std::size_t grid_h_ = 1;
+  double query_radius_m_ = 0.0;
+  std::vector<AccessPoint> aps_;
+  std::vector<std::vector<std::size_t>> grid_;
+};
+
+}  // namespace trajkit::sim

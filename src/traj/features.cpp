@@ -1,0 +1,177 @@
+#include "traj/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace trajkit {
+namespace {
+
+// Guards the 1/r terms of the distance/angle Jacobians at zero displacement.
+constexpr double kEpsM = 1e-9;
+
+void check_backprop_shapes(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                           const std::vector<Enu>& dpts, std::size_t dim) {
+  if (pts.size() < 2) throw std::invalid_argument("backprop: need >= 2 points");
+  if (dfeat.steps != pts.size() - 1 || dfeat.dim != dim) {
+    throw std::invalid_argument("backprop: feature gradient shape mismatch");
+  }
+  if (dpts.size() != pts.size()) {
+    throw std::invalid_argument("backprop: dpts size mismatch");
+  }
+}
+
+void append_stats(std::vector<double>& out, const std::vector<double>& xs) {
+  out.push_back(mean(xs));
+  out.push_back(stddev(xs));
+  out.push_back(min_of(xs));
+  out.push_back(max_of(xs));
+}
+
+}  // namespace
+
+DistAngleEncoder::DistAngleEncoder(double length_scale_m)
+    : length_scale_m_(length_scale_m) {
+  if (length_scale_m <= 0.0) {
+    throw std::invalid_argument("DistAngleEncoder: scale must be positive");
+  }
+}
+
+FeatureSequence DistAngleEncoder::encode(const std::vector<Enu>& pts) const {
+  if (pts.size() < 2) throw std::invalid_argument("encode: need >= 2 points");
+  FeatureSequence seq;
+  seq.steps = pts.size() - 1;
+  seq.dim = 2;
+  seq.values.resize(seq.steps * 2);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double de = pts[i + 1].east - pts[i].east;
+    const double dn = pts[i + 1].north - pts[i].north;
+    seq.at(i, 0) = std::hypot(de, dn) / length_scale_m_;
+    seq.at(i, 1) = std::atan2(dn, de) / M_PI;
+  }
+  return seq;
+}
+
+void DistAngleEncoder::backprop(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                                std::vector<Enu>& dpts) const {
+  check_backprop_shapes(pts, dfeat, dpts, 2);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double de = pts[i + 1].east - pts[i].east;
+    const double dn = pts[i + 1].north - pts[i].north;
+    const double r = std::max(std::hypot(de, dn), kEpsM);
+    const double r_sq = std::max(de * de + dn * dn, kEpsM * kEpsM);
+
+    // d(dist_scaled)/d(de, dn)
+    const double g_dist = dfeat.at(i, 0) / length_scale_m_;
+    double g_de = g_dist * de / r;
+    double g_dn = g_dist * dn / r;
+
+    // d(angle_scaled)/d(de, dn); angle = atan2(dn, de)
+    const double g_ang = dfeat.at(i, 1) / M_PI;
+    g_de += g_ang * (-dn / r_sq);
+    g_dn += g_ang * (de / r_sq);
+
+    dpts[i + 1].east += g_de;
+    dpts[i + 1].north += g_dn;
+    dpts[i].east -= g_de;
+    dpts[i].north -= g_dn;
+  }
+}
+
+DxDyEncoder::DxDyEncoder(double length_scale_m) : length_scale_m_(length_scale_m) {
+  if (length_scale_m <= 0.0) {
+    throw std::invalid_argument("DxDyEncoder: scale must be positive");
+  }
+}
+
+FeatureSequence DxDyEncoder::encode(const std::vector<Enu>& pts) const {
+  if (pts.size() < 2) throw std::invalid_argument("encode: need >= 2 points");
+  FeatureSequence seq;
+  seq.steps = pts.size() - 1;
+  seq.dim = 2;
+  seq.values.resize(seq.steps * 2);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    seq.at(i, 0) = (pts[i + 1].east - pts[i].east) / length_scale_m_;
+    seq.at(i, 1) = (pts[i + 1].north - pts[i].north) / length_scale_m_;
+  }
+  return seq;
+}
+
+void DxDyEncoder::backprop(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                           std::vector<Enu>& dpts) const {
+  check_backprop_shapes(pts, dfeat, dpts, 2);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double g_de = dfeat.at(i, 0) / length_scale_m_;
+    const double g_dn = dfeat.at(i, 1) / length_scale_m_;
+    dpts[i + 1].east += g_de;
+    dpts[i + 1].north += g_dn;
+    dpts[i].east -= g_de;
+    dpts[i].north -= g_dn;
+  }
+}
+
+std::vector<double> motion_summary_features(const Trajectory& traj,
+                                            const LocalProjection& proj) {
+  if (traj.size() < 3) {
+    throw std::invalid_argument("motion_summary_features: need >= 3 points");
+  }
+  const auto pts = traj.to_enu(proj);
+  const double dt = traj.interval_s();
+
+  std::vector<double> ve, vn, speed;
+  ve.reserve(pts.size() - 1);
+  vn.reserve(pts.size() - 1);
+  speed.reserve(pts.size() - 1);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double de = (pts[i].east - pts[i - 1].east) / dt;
+    const double dn = (pts[i].north - pts[i - 1].north) / dt;
+    ve.push_back(de);
+    vn.push_back(dn);
+    speed.push_back(std::hypot(de, dn));
+  }
+  std::vector<double> ae, an, acc;
+  for (std::size_t i = 1; i < speed.size(); ++i) {
+    ae.push_back((ve[i] - ve[i - 1]) / dt);
+    an.push_back((vn[i] - vn[i - 1]) / dt);
+    acc.push_back((speed[i] - speed[i - 1]) / dt);
+  }
+  std::vector<double> vdiff;  // per-step |v_east - v_north| ("velocity difference
+                              // in longitude and latitude" of Sec. IV-A4)
+  vdiff.reserve(ve.size());
+  for (std::size_t i = 0; i < ve.size(); ++i) vdiff.push_back(std::fabs(ve[i] - vn[i]));
+
+  std::vector<double> out;
+  out.reserve(40);
+  // Location features: start/end position and time.
+  out.push_back(pts.front().east);
+  out.push_back(pts.front().north);
+  out.push_back(pts.back().east);
+  out.push_back(pts.back().north);
+  out.push_back(traj.front().time_s);
+  out.push_back(traj.back().time_s);
+  // State features: mean/std/min/max of each motion series.
+  append_stats(out, speed);
+  append_stats(out, acc);
+  append_stats(out, ve);
+  append_stats(out, ae);
+  append_stats(out, vn);
+  append_stats(out, an);
+  append_stats(out, vdiff);
+  return out;
+}
+
+std::vector<std::string> motion_summary_feature_names() {
+  std::vector<std::string> names = {"start_east", "start_north", "end_east",
+                                    "end_north",  "start_time",  "end_time"};
+  for (const char* series :
+       {"speed", "accel", "v_east", "a_east", "v_north", "a_north", "vdiff"}) {
+    for (const char* stat : {"mean", "std", "min", "max"}) {
+      names.push_back(std::string(series) + "_" + stat);
+    }
+  }
+  return names;
+}
+
+}  // namespace trajkit

@@ -1,0 +1,92 @@
+// Feature extraction from trajectories, with analytic gradients.
+//
+// The paper's classifiers consume per-step displacement features:
+//   * classifier C and LSTM-2:  Δ(P_i, P_{i+1}) = (Edu, Angle)   (Sec. IV-A2)
+//   * LSTM-1:                   Δ(P_i, P_{i+1}) = (dx, dy)        (Sec. IV-A4)
+//   * XGBoost:                  fixed-length location + state summary features
+//
+// The C&W attack differentiates the classifier loss w.r.t. the raw ENU
+// coordinates, so each sequential encoder also exposes the vector-Jacobian
+// product of its encoding (backprop()).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "traj/trajectory.hpp"
+
+namespace trajkit {
+
+/// Dense per-step feature matrix: `steps` rows of `dim` features, row-major.
+struct FeatureSequence {
+  std::size_t steps = 0;
+  std::size_t dim = 0;
+  std::vector<double> values;
+
+  double at(std::size_t step, std::size_t d) const { return values[step * dim + d]; }
+  double& at(std::size_t step, std::size_t d) { return values[step * dim + d]; }
+};
+
+/// Differentiable encoder from ENU point sequences to per-step features.
+class FeatureEncoder {
+ public:
+  virtual ~FeatureEncoder() = default;
+
+  /// Features per step.
+  virtual std::size_t dim() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Encode an n-point trajectory into n-1 feature steps.
+  virtual FeatureSequence encode(const std::vector<Enu>& pts) const = 0;
+
+  /// Accumulate d(loss)/d(points) given d(loss)/d(features).
+  /// `dpts` must have pts.size() entries and is accumulated into (+=).
+  virtual void backprop(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                        std::vector<Enu>& dpts) const = 0;
+};
+
+/// (Euclidean step length, heading angle) features — the paper's Δ for
+/// classifier C.  Length is scaled by 1/length_scale_m, angle by 1/pi, so
+/// both features live in comparable ranges for LSTM training.
+class DistAngleEncoder final : public FeatureEncoder {
+ public:
+  explicit DistAngleEncoder(double length_scale_m = 5.0);
+
+  std::size_t dim() const override { return 2; }
+  std::string name() const override { return "dist_angle"; }
+  FeatureSequence encode(const std::vector<Enu>& pts) const override;
+  void backprop(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                std::vector<Enu>& dpts) const override;
+
+ private:
+  double length_scale_m_;
+};
+
+/// (dx, dy) displacement features — the paper's Δ for LSTM-1.
+class DxDyEncoder final : public FeatureEncoder {
+ public:
+  explicit DxDyEncoder(double length_scale_m = 2.0);
+
+  std::size_t dim() const override { return 2; }
+  std::string name() const override { return "dx_dy"; }
+  FeatureSequence encode(const std::vector<Enu>& pts) const override;
+  void backprop(const std::vector<Enu>& pts, const FeatureSequence& dfeat,
+                std::vector<Enu>& dpts) const override;
+
+ private:
+  double length_scale_m_;
+};
+
+/// Fixed-length summary features for the XGBoost motion classifier
+/// (Sec. IV-A4): start/end position and time, plus mean/std/min/max of speed
+/// and acceleration overall and per axis, and the per-axis velocity
+/// difference.
+std::vector<double> motion_summary_features(const Trajectory& traj,
+                                            const LocalProjection& proj);
+
+/// Names of motion_summary_features entries, for feature-importance reports.
+std::vector<std::string> motion_summary_feature_names();
+
+}  // namespace trajkit

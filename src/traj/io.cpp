@@ -1,0 +1,92 @@
+#include "traj/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace trajkit {
+namespace {
+
+Mode parse_mode(const std::string& s) {
+  if (s == "walking") return Mode::kWalking;
+  if (s == "cycling") return Mode::kCycling;
+  if (s == "driving") return Mode::kDriving;
+  throw std::runtime_error("read_csv: unknown mode '" + s + "'");
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const TrajectoryList& trajs) {
+  os << "traj_id,mode,lat,lon,time_s\n";
+  os.precision(10);
+  for (std::size_t id = 0; id < trajs.size(); ++id) {
+    for (const auto& p : trajs[id].points()) {
+      os << id << ',' << mode_name(trajs[id].mode()) << ',' << p.pos.lat << ','
+         << p.pos.lon << ',' << p.time_s << '\n';
+    }
+  }
+}
+
+void write_csv_file(const std::string& path, const TrajectoryList& trajs) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(os, trajs);
+}
+
+TrajectoryList read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "traj_id,mode,lat,lon,time_s") {
+    throw std::runtime_error("read_csv: missing or bad header");
+  }
+  // id -> (mode, points); ids must be contiguous but rows of one id must be
+  // consecutive, so a simple current-id accumulator suffices.
+  TrajectoryList out;
+  std::vector<TrajPoint> current;
+  Mode current_mode = Mode::kWalking;
+  long current_id = -1;
+  auto flush = [&] {
+    if (!current.empty()) out.emplace_back(std::move(current), current_mode);
+    current.clear();
+  };
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 5) {
+      throw std::runtime_error("read_csv: bad column count at line " +
+                               std::to_string(lineno));
+    }
+    try {
+      const long id = std::stol(cells[0]);
+      if (id != current_id) {
+        flush();
+        current_id = id;
+        current_mode = parse_mode(cells[1]);
+      }
+      current.push_back({{std::stod(cells[2]), std::stod(cells[3])}, std::stod(cells[4])});
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("read_csv: non-numeric cell at line " +
+                               std::to_string(lineno));
+    }
+  }
+  flush();
+  return out;
+}
+
+TrajectoryList read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(is);
+}
+
+}  // namespace trajkit

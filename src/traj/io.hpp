@@ -1,0 +1,26 @@
+// CSV serialization for trajectories.
+//
+// Format (one file per trajectory list):
+//   traj_id,mode,lat,lon,time_s
+// Rows of a trajectory are consecutive and time-ordered, ids are contiguous
+// from 0.  This is the interchange format used by the examples to dump
+// forged trajectories for inspection (e.g. plotting them on a map).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traj/trajectory.hpp"
+
+namespace trajkit {
+
+/// Write a trajectory list as CSV (with header).
+void write_csv(std::ostream& os, const TrajectoryList& trajs);
+void write_csv_file(const std::string& path, const TrajectoryList& trajs);
+
+/// Parse the CSV produced by write_csv.  Throws std::runtime_error on
+/// malformed input (bad header, non-numeric cell, unordered timestamps).
+TrajectoryList read_csv(std::istream& is);
+TrajectoryList read_csv_file(const std::string& path);
+
+}  // namespace trajkit

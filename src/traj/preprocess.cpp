@@ -1,0 +1,104 @@
+#include "traj/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit {
+
+Trajectory resample_uniform(const Trajectory& traj, double interval_s) {
+  if (traj.size() < 2) {
+    throw std::invalid_argument("resample_uniform: need >= 2 points");
+  }
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("resample_uniform: interval must be positive");
+  }
+  const auto& pts = traj.points();
+  std::vector<TrajPoint> out;
+  const double t0 = pts.front().time_s;
+  const double t_end = pts.back().time_s;
+  std::size_t seg = 0;
+  for (double t = t0; t <= t_end + 1e-9; t += interval_s) {
+    while (seg + 2 < pts.size() && pts[seg + 1].time_s < t) ++seg;
+    const auto& a = pts[seg];
+    const auto& b = pts[seg + 1];
+    const double span = b.time_s - a.time_s;
+    const double f = std::clamp((t - a.time_s) / span, 0.0, 1.0);
+    out.push_back({{a.pos.lat + f * (b.pos.lat - a.pos.lat),
+                    a.pos.lon + f * (b.pos.lon - a.pos.lon)},
+                   t});
+  }
+  return Trajectory(std::move(out), traj.mode());
+}
+
+Trajectory moving_average_smooth(const Trajectory& traj, std::size_t half_window,
+                                 const LocalProjection& proj) {
+  if (traj.size() < 2) {
+    throw std::invalid_argument("moving_average_smooth: need >= 2 points");
+  }
+  const auto pts = traj.to_enu(proj);
+  std::vector<Enu> smoothed(pts.size());
+  const auto n = pts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half_window ? i - half_window : 0;
+    const std::size_t hi = std::min(n - 1, i + half_window);
+    Enu sum{};
+    for (std::size_t j = lo; j <= hi; ++j) sum = sum + pts[j];
+    smoothed[i] = sum * (1.0 / static_cast<double>(hi - lo + 1));
+  }
+  Trajectory out = traj;
+  out.set_positions(smoothed, proj);
+  return out;
+}
+
+std::vector<StayPoint> detect_stay_points(const Trajectory& traj,
+                                          const LocalProjection& proj,
+                                          double radius_m, double min_duration_s) {
+  if (radius_m <= 0.0 || min_duration_s <= 0.0) {
+    throw std::invalid_argument("detect_stay_points: bad parameters");
+  }
+  const auto pts = traj.to_enu(proj);
+  std::vector<StayPoint> out;
+  std::size_t i = 0;
+  while (i < pts.size()) {
+    std::size_t j = i + 1;
+    while (j < pts.size() && distance(pts[i], pts[j]) <= radius_m) ++j;
+    const double duration = traj[j - 1].time_s - traj[i].time_s;
+    if (j > i + 1 && duration >= min_duration_s) {
+      Enu centroid{};
+      for (std::size_t k = i; k < j; ++k) centroid = centroid + pts[k];
+      centroid = centroid * (1.0 / static_cast<double>(j - i));
+      out.push_back({centroid, traj[i].time_s, traj[j - 1].time_s, i, j - 1});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Trajectory> split_on_gaps(const Trajectory& traj, double max_gap_s) {
+  if (max_gap_s <= 0.0) {
+    throw std::invalid_argument("split_on_gaps: gap must be positive");
+  }
+  std::vector<Trajectory> out;
+  const auto& pts = traj.points();
+  std::size_t start = 0;
+  auto flush = [&](std::size_t end) {  // [start, end)
+    if (end - start >= 2) {
+      std::vector<TrajPoint> seg(pts.begin() + static_cast<std::ptrdiff_t>(start),
+                                 pts.begin() + static_cast<std::ptrdiff_t>(end));
+      out.emplace_back(std::move(seg), traj.mode());
+    }
+  };
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].time_s - pts[i - 1].time_s > max_gap_s) {
+      flush(i);
+      start = i;
+    }
+  }
+  flush(pts.size());
+  return out;
+}
+
+}  // namespace trajkit

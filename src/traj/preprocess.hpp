@@ -1,0 +1,52 @@
+// Trajectory preprocessing utilities.
+//
+// Real LSP pipelines never consume raw GPS uploads directly: sampling rates
+// differ per device, fixes drop out, and traces carry noise bursts.  These
+// are the standard cleaning passes used before the detection pipelines:
+//   * resample_uniform — linear-interpolation resampling to a fixed interval
+//     (the paper preprocesses OSM traces to 1 s intervals the same way);
+//   * moving_average_smooth — box smoothing of positions;
+//   * detect_stay_points — classic stay-point extraction (Li/Zheng style):
+//     maximal time windows whose positions stay within a distance bound;
+//   * split_on_gaps — cut a trace at timestamp gaps.
+#pragma once
+
+#include <vector>
+
+#include "traj/trajectory.hpp"
+
+namespace trajkit {
+
+/// Resample to a fixed interval by linear interpolation along time.
+/// The first/last samples coincide with the original endpoints' times.
+Trajectory resample_uniform(const Trajectory& traj, double interval_s);
+
+/// Centered moving-average position smoothing with the given half window
+/// (window = 2*half + 1 samples, truncated at the ends).  Timestamps are
+/// unchanged.
+Trajectory moving_average_smooth(const Trajectory& traj, std::size_t half_window,
+                                 const LocalProjection& proj);
+
+/// A dwell episode: the user stayed within `radius` for at least `min_time`.
+struct StayPoint {
+  Enu centroid;
+  double arrive_s = 0.0;
+  double depart_s = 0.0;
+  std::size_t first_index = 0;
+  std::size_t last_index = 0;
+
+  double duration_s() const { return depart_s - arrive_s; }
+};
+
+/// Classic stay-point detection: scan for maximal windows whose members all
+/// lie within `radius_m` of the window anchor and whose duration reaches
+/// `min_duration_s`.
+std::vector<StayPoint> detect_stay_points(const Trajectory& traj,
+                                          const LocalProjection& proj,
+                                          double radius_m, double min_duration_s);
+
+/// Split wherever consecutive timestamps differ by more than `max_gap_s`.
+/// Segments shorter than 2 points are dropped.
+std::vector<Trajectory> split_on_gaps(const Trajectory& traj, double max_gap_s);
+
+}  // namespace trajkit

@@ -1,0 +1,100 @@
+#include "traj/trajectory.hpp"
+
+#include <stdexcept>
+
+namespace trajkit {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kWalking: return "walking";
+    case Mode::kCycling: return "cycling";
+    case Mode::kDriving: return "driving";
+  }
+  return "unknown";
+}
+
+Trajectory::Trajectory(std::vector<TrajPoint> points, Mode mode)
+    : points_(std::move(points)), mode_(mode) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].time_s <= points_[i - 1].time_s) {
+      throw std::invalid_argument("Trajectory: timestamps must be strictly increasing");
+    }
+  }
+}
+
+Trajectory Trajectory::from_enu(const std::vector<Enu>& pts, const LocalProjection& proj,
+                                Mode mode, double interval_s, double t0_s) {
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("Trajectory::from_enu: interval must be positive");
+  }
+  std::vector<TrajPoint> points;
+  points.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    points.push_back({proj.to_latlon(pts[i]), t0_s + static_cast<double>(i) * interval_s});
+  }
+  return Trajectory(std::move(points), mode);
+}
+
+double Trajectory::interval_s() const {
+  if (points_.size() < 2) return 0.0;
+  return points_[1].time_s - points_[0].time_s;
+}
+
+double Trajectory::duration_s() const {
+  if (points_.size() < 2) return 0.0;
+  return points_.back().time_s - points_.front().time_s;
+}
+
+std::vector<Enu> Trajectory::to_enu(const LocalProjection& proj) const {
+  std::vector<Enu> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(proj.to_enu(p.pos));
+  return out;
+}
+
+void Trajectory::set_positions(const std::vector<Enu>& pts, const LocalProjection& proj) {
+  if (pts.size() != points_.size()) {
+    throw std::invalid_argument("Trajectory::set_positions: point count mismatch");
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) points_[i].pos = proj.to_latlon(pts[i]);
+}
+
+double Trajectory::length_m() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    total += haversine_m(points_[i - 1].pos, points_[i].pos);
+  }
+  return total;
+}
+
+std::vector<double> Trajectory::speeds_mps() const {
+  std::vector<double> out;
+  if (points_.size() < 2) return out;
+  out.reserve(points_.size() - 1);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = points_[i].time_s - points_[i - 1].time_s;
+    out.push_back(haversine_m(points_[i - 1].pos, points_[i].pos) / dt);
+  }
+  return out;
+}
+
+std::vector<double> Trajectory::accelerations_mps2() const {
+  const auto v = speeds_mps();
+  std::vector<double> out;
+  if (v.size() < 2) return out;
+  out.reserve(v.size() - 1);
+  const double dt = interval_s();
+  for (std::size_t i = 1; i < v.size(); ++i) out.push_back((v[i] - v[i - 1]) / dt);
+  return out;
+}
+
+Trajectory Trajectory::slice(std::size_t first, std::size_t count) const {
+  if (first + count > points_.size()) {
+    throw std::out_of_range("Trajectory::slice: range out of bounds");
+  }
+  std::vector<TrajPoint> pts(points_.begin() + static_cast<std::ptrdiff_t>(first),
+                             points_.begin() + static_cast<std::ptrdiff_t>(first + count));
+  return Trajectory(std::move(pts), mode_);
+}
+
+}  // namespace trajkit

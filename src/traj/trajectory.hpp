@@ -1,0 +1,86 @@
+// Trajectory representation.
+//
+// Following the paper (Sec. II-A), a trajectory is a time-ordered sequence of
+// [lat, lon, time] samples taken at a fixed interval.  trajkit stores both
+// the geographic coordinates and — because all numerical work happens in the
+// local metric frame — offers projected ENU views and metric statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace trajkit {
+
+/// Transport mode of a trajectory; drives both the mobility simulator and
+/// the per-mode MinD thresholds.
+enum class Mode { kWalking, kCycling, kDriving };
+
+/// Human-readable mode name ("walking" / "cycling" / "driving").
+const char* mode_name(Mode m);
+
+/// All modes, in paper order.
+inline constexpr Mode kAllModes[] = {Mode::kWalking, Mode::kCycling, Mode::kDriving};
+
+/// One GPS sample: position plus Unix timestamp (seconds).
+struct TrajPoint {
+  LatLon pos;
+  double time_s = 0.0;
+};
+
+/// A time-ordered GPS trajectory with a fixed sampling interval.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  Trajectory(std::vector<TrajPoint> points, Mode mode);
+
+  /// Build from ENU positions sampled every `interval_s` seconds starting at
+  /// `t0_s`, projecting back to lat/lon with `proj`.
+  static Trajectory from_enu(const std::vector<Enu>& pts, const LocalProjection& proj,
+                             Mode mode, double interval_s, double t0_s = 0.0);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajPoint& operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<TrajPoint>& points() const { return points_; }
+  Mode mode() const { return mode_; }
+  void set_mode(Mode m) { mode_ = m; }
+
+  const TrajPoint& front() const { return points_.front(); }
+  const TrajPoint& back() const { return points_.back(); }
+
+  /// Sampling interval, inferred from the first two timestamps (0 for < 2 pts).
+  double interval_s() const;
+  /// Total duration in seconds.
+  double duration_s() const;
+
+  /// ENU projection of all positions.
+  std::vector<Enu> to_enu(const LocalProjection& proj) const;
+
+  /// Replace all positions from ENU coordinates, keeping timestamps and mode.
+  /// The point count must match.
+  void set_positions(const std::vector<Enu>& pts, const LocalProjection& proj);
+
+  /// Path length: sum of consecutive haversine distances, metres.
+  double length_m() const;
+
+  /// Per-step speeds (m/s); size() - 1 entries.
+  std::vector<double> speeds_mps() const;
+
+  /// Per-step accelerations (m/s^2); size() - 2 entries.
+  std::vector<double> accelerations_mps2() const;
+
+  /// Keep only points [first, first+count).
+  Trajectory slice(std::size_t first, std::size_t count) const;
+
+ private:
+  std::vector<TrajPoint> points_;
+  Mode mode_ = Mode::kWalking;
+};
+
+/// Convenience dataset alias used throughout sim/attack/wifi.
+using TrajectoryList = std::vector<Trajectory>;
+
+}  // namespace trajkit

@@ -1,0 +1,66 @@
+#include "wifi/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::wifi {
+namespace {
+
+/// Reported positions carry GPS noise; two crowd reports can land on the same
+/// coordinate, so the inverse-distance weight needs a floor.
+constexpr double kMinDistanceM = 0.05;
+
+}  // namespace
+
+ConfidenceEstimator::ConfidenceEstimator(const ReferenceIndex& index,
+                                         ConfidenceParams params)
+    : index_(&index), params_(params), rpd_(index, params.rpd) {
+  if (params_.reference_radius_m <= 0.0) {
+    throw std::invalid_argument("ConfidenceEstimator: radius must be positive");
+  }
+  if (params_.top_k == 0) {
+    throw std::invalid_argument("ConfidenceEstimator: top_k must be positive");
+  }
+}
+
+std::vector<ApConfidence> ConfidenceEstimator::point_confidence(
+    const Enu& pos, const WifiScan& scan, std::uint32_t exclude_traj) const {
+  const auto refs = index_->within(pos, params_.reference_radius_m, exclude_traj);
+
+  // theta_1 normalisation: sum of inverse distances over C_O(r).
+  std::vector<double> inv_dist(refs.size());
+  double inv_sum = 0.0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double d = std::max(distance((*index_)[refs[i]].pos, pos), kMinDistanceM);
+    inv_dist[i] = 1.0 / d;
+    inv_sum += inv_dist[i];
+  }
+
+  const std::size_t k = std::min(params_.top_k, scan.size());
+  std::vector<ApConfidence> out;
+  out.reserve(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    ApConfidence ac;
+    ac.mac = scan[a].mac;
+    ac.rssi_dbm = scan[a].rssi_dbm;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const std::size_t h = refs[i];
+      int observed = 0;
+      if (scan_lookup((*index_)[h].scan, ac.mac, observed)) ++ac.num_refs;
+      const double theta1 =
+          params_.use_theta1 ? inv_dist[i] / inv_sum
+                             : 1.0 / static_cast<double>(refs.size());
+      const double theta2 = params_.use_theta2 ? rpd_.theta2(h) : 1.0;
+      ac.phi += theta1 * theta2 * rpd_.rpd(h, ac.mac, ac.rssi_dbm);
+    }
+    out.push_back(ac);
+  }
+  return out;
+}
+
+std::size_t ConfidenceEstimator::reference_count(const Enu& pos) const {
+  return index_->count_within(pos, params_.reference_radius_m);
+}
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,82 @@
+#include "wifi/detector.hpp"
+
+#include <stdexcept>
+
+namespace trajkit::wifi {
+
+RssiDetector::RssiDetector(std::vector<ReferencePoint> history,
+                           RssiDetectorConfig config)
+    : index_(std::move(history)),
+      confidence_params_(config.confidence),
+      estimator_(index_, config.confidence),
+      classifier_(config.classifier) {}
+
+void RssiDetector::train(const std::vector<ScannedUpload>& uploads,
+                         const std::vector<int>& labels) {
+  if (uploads.size() != labels.size() || uploads.empty()) {
+    throw std::invalid_argument("RssiDetector::train: bad dataset");
+  }
+  trained_points_ = uploads.front().positions.size();
+  std::vector<std::vector<double>> x;
+  x.reserve(uploads.size());
+  for (const auto& upload : uploads) {
+    if (upload.positions.size() != trained_points_) {
+      throw std::invalid_argument("RssiDetector::train: uneven upload lengths");
+    }
+    x.push_back(features(upload));
+  }
+  classifier_.train(x, labels);
+}
+
+std::vector<double> RssiDetector::features(const ScannedUpload& upload) const {
+  return trajectory_features(estimator_, upload);
+}
+
+double RssiDetector::predict_proba(const ScannedUpload& upload) const {
+  if (trained_points_ == 0) {
+    throw std::logic_error("RssiDetector: classifier not trained");
+  }
+  if (upload.positions.size() != trained_points_) {
+    throw std::invalid_argument("RssiDetector: upload length differs from training");
+  }
+  return classifier_.predict_proba(features(upload));
+}
+
+int RssiDetector::verify(const ScannedUpload& upload, double threshold) const {
+  return predict_proba(upload) >= threshold ? 1 : 0;
+}
+
+std::vector<double> RssiDetector::point_scores(const ScannedUpload& upload) const {
+  if (upload.positions.size() != upload.scans.size()) {
+    throw std::invalid_argument("RssiDetector::point_scores: bad upload");
+  }
+  std::vector<double> out;
+  out.reserve(upload.positions.size());
+  for (std::size_t j = 0; j < upload.positions.size(); ++j) {
+    const auto confidences = estimator_.point_confidence(
+        upload.positions[j], upload.scans[j], upload.source_traj_id);
+    double total = 0.0;
+    for (const auto& c : confidences) total += c.phi;
+    out.push_back(confidences.empty()
+                      ? 0.0
+                      : total / static_cast<double>(confidences.size()));
+  }
+  return out;
+}
+
+std::vector<ReferencePoint> flatten_history(
+    const std::vector<ScannedUpload>& historical) {
+  std::vector<ReferencePoint> out;
+  for (std::size_t t = 0; t < historical.size(); ++t) {
+    const auto& traj = historical[t];
+    if (traj.positions.size() != traj.scans.size()) {
+      throw std::invalid_argument("flatten_history: positions/scans mismatch");
+    }
+    for (std::size_t i = 0; i < traj.positions.size(); ++i) {
+      out.push_back({traj.positions[i], traj.scans[i], static_cast<std::uint32_t>(t)});
+    }
+  }
+  return out;
+}
+
+}  // namespace trajkit::wifi

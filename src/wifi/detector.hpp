@@ -1,0 +1,70 @@
+// The paper's prediction function J : (T, H) -> {0, 1}  (Sec. III-B/C).
+//
+// Wraps the whole defense pipeline: the crowdsourced ReferenceIndex, the
+// RPD/confidence estimators and an XGBoost-style classifier over the Eq. 8
+// feature vectors.  1 = the trajectory is judged real, 0 = forged.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gbt/booster.hpp"
+#include "wifi/features.hpp"
+
+namespace trajkit::wifi {
+
+struct RssiDetectorConfig {
+  ConfidenceParams confidence;
+  gbt::GbtConfig classifier;
+};
+
+class RssiDetector {
+ public:
+  /// Take ownership of the provider's historical dataset.
+  RssiDetector(std::vector<ReferencePoint> history, RssiDetectorConfig config = {});
+
+  /// Train the verdict classifier on labelled uploads (1 = real, 0 = fake).
+  /// All uploads must have the same point count.
+  void train(const std::vector<ScannedUpload>& uploads, const std::vector<int>& labels);
+
+  /// Eq. 8 features of one upload (exposed for analysis / custom models).
+  std::vector<double> features(const ScannedUpload& upload) const;
+
+  /// Confidence that the upload is real, in [0, 1].
+  double predict_proba(const ScannedUpload& upload) const;
+
+  /// The J function: 1 = real, 0 = forged.
+  int verify(const ScannedUpload& upload, double threshold = 0.5) const;
+
+  /// Per-point suspicion localisation: the mean Eq. 7 confidence of each
+  /// point's top-k APs (higher = better supported by the crowd).  Lets an
+  /// auditor see *which stretch* of an upload disagrees with history, e.g.
+  /// when only part of a trip was forged.  Independent of the classifier.
+  std::vector<double> point_scores(const ScannedUpload& upload) const;
+
+  const ReferenceIndex& index() const { return index_; }
+  const ConfidenceEstimator& confidence() const { return estimator_; }
+  const gbt::GbtClassifier& classifier() const { return classifier_; }
+
+  /// Persist the full detector — configuration, crowdsourced reference store
+  /// and the trained classifier — so a provider can train once and deploy.
+  void save(std::ostream& os) const;
+  static std::unique_ptr<RssiDetector> load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static std::unique_ptr<RssiDetector> load_file(const std::string& path);
+
+ private:
+  ReferenceIndex index_;
+  ConfidenceParams confidence_params_;
+  ConfidenceEstimator estimator_;
+  gbt::GbtClassifier classifier_;
+  std::size_t trained_points_ = 0;  ///< upload length the classifier expects
+};
+
+/// Flatten historical trajectories (positions + scans) into reference points.
+std::vector<ReferencePoint> flatten_history(
+    const std::vector<ScannedUpload>& historical);
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,88 @@
+// RssiDetector persistence: a text header (config + reference store) followed
+// by the serialised GBT classifier.  The store dominates the file size; RSSIs
+// are written as compact integer pairs.
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "wifi/detector.hpp"
+
+namespace trajkit::wifi {
+namespace {
+
+constexpr const char* kMagic = "trajkit_rssi_detector_v1";
+
+}  // namespace
+
+void RssiDetector::save(std::ostream& os) const {
+  os << kMagic << '\n';
+  const auto& conf = confidence_params_;
+  os << std::setprecision(17);
+  os << conf.reference_radius_m << ' ' << conf.top_k << ' ' << conf.use_theta1 << ' '
+     << conf.use_theta2 << ' ' << conf.rpd.counting_radius_m << ' '
+     << conf.rpd.rssi_tolerance_db << ' ' << conf.rpd.theta2_base << '\n';
+  os << trained_points_ << '\n';
+  os << index_.size() << '\n';
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    const ReferencePoint& p = index_[i];
+    os << p.pos.east << ' ' << p.pos.north << ' ' << p.traj_id << ' '
+       << p.scan.size();
+    for (const auto& obs : p.scan) os << ' ' << obs.mac << ' ' << obs.rssi_dbm;
+    os << '\n';
+  }
+  classifier_.save(os);
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::load(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) {
+    throw std::runtime_error("RssiDetector::load: bad magic");
+  }
+  RssiDetectorConfig cfg;
+  if (!(is >> cfg.confidence.reference_radius_m >> cfg.confidence.top_k >>
+        cfg.confidence.use_theta1 >> cfg.confidence.use_theta2 >>
+        cfg.confidence.rpd.counting_radius_m >> cfg.confidence.rpd.rssi_tolerance_db >>
+        cfg.confidence.rpd.theta2_base)) {
+    throw std::runtime_error("RssiDetector::load: bad config");
+  }
+  std::size_t trained_points = 0;
+  std::size_t ref_count = 0;
+  if (!(is >> trained_points >> ref_count)) {
+    throw std::runtime_error("RssiDetector::load: bad header");
+  }
+  std::vector<ReferencePoint> refs;
+  refs.reserve(ref_count);
+  for (std::size_t i = 0; i < ref_count; ++i) {
+    ReferencePoint p;
+    std::size_t scan_size = 0;
+    if (!(is >> p.pos.east >> p.pos.north >> p.traj_id >> scan_size)) {
+      throw std::runtime_error("RssiDetector::load: truncated reference point");
+    }
+    p.scan.resize(scan_size);
+    for (auto& obs : p.scan) {
+      if (!(is >> obs.mac >> obs.rssi_dbm)) {
+        throw std::runtime_error("RssiDetector::load: truncated scan");
+      }
+    }
+    refs.push_back(std::move(p));
+  }
+  auto detector = std::make_unique<RssiDetector>(std::move(refs), cfg);
+  detector->classifier_ = gbt::GbtClassifier::load(is);
+  detector->trained_points_ = trained_points;
+  return detector;
+}
+
+void RssiDetector::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("RssiDetector::save_file: cannot open " + path);
+  save(os);
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("RssiDetector::load_file: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,36 @@
+#include "wifi/features.hpp"
+
+#include <stdexcept>
+
+namespace trajkit::wifi {
+
+std::vector<double> trajectory_features(const ConfidenceEstimator& estimator,
+                                        const ScannedUpload& upload) {
+  if (upload.positions.size() != upload.scans.size()) {
+    throw std::invalid_argument("trajectory_features: positions/scans mismatch");
+  }
+  const std::size_t k = estimator.params().top_k;
+  std::vector<double> out;
+  out.reserve(2 * k * upload.positions.size());
+  for (std::size_t j = 0; j < upload.positions.size(); ++j) {
+    const auto confidences = estimator.point_confidence(
+        upload.positions[j], upload.scans[j], upload.source_traj_id);
+    for (std::size_t a = 0; a < k; ++a) {
+      if (a < confidences.size()) {
+        out.push_back(static_cast<double>(confidences[a].num_refs));
+        out.push_back(confidences[a].phi);
+      } else {
+        out.push_back(0.0);
+        out.push_back(0.0);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t trajectory_feature_width(const ConfidenceEstimator& estimator,
+                                     std::size_t points) {
+  return 2 * estimator.params().top_k * points;
+}
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,89 @@
+#include "wifi/refindex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::wifi {
+
+bool scan_lookup(const WifiScan& scan, std::uint64_t mac, int& out) {
+  for (const auto& obs : scan) {
+    if (obs.mac == mac) {
+      out = obs.rssi_dbm;
+      return true;
+    }
+  }
+  return false;
+}
+
+ReferenceIndex::ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m)
+    : points_(std::move(points)), cell_size_m_(cell_size_m) {
+  if (cell_size_m_ <= 0.0) {
+    throw std::invalid_argument("ReferenceIndex: cell size must be positive");
+  }
+  std::vector<Enu> positions;
+  positions.reserve(points_.size());
+  for (const auto& p : points_) positions.push_back(p.pos);
+  bounds_ = BoundingBox::of(positions).expanded(1.0);
+
+  grid_w_ = static_cast<std::size_t>(
+                std::max(1.0, std::ceil(bounds_.width() / cell_size_m_))) +
+            1;
+  grid_h_ = static_cast<std::size_t>(
+                std::max(1.0, std::ceil(bounds_.height() / cell_size_m_))) +
+            1;
+  grid_.assign(grid_w_ * grid_h_, {});
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    grid_[cell_of(points_[i].pos)].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t ReferenceIndex::cell_of(const Enu& p) const {
+  const double cx = (p.east - bounds_.min_east) / cell_size_m_;
+  const double cy = (p.north - bounds_.min_north) / cell_size_m_;
+  const auto ix = static_cast<std::size_t>(
+      std::clamp(cx, 0.0, static_cast<double>(grid_w_ - 1)));
+  const auto iy = static_cast<std::size_t>(
+      std::clamp(cy, 0.0, static_cast<double>(grid_h_ - 1)));
+  return iy * grid_w_ + ix;
+}
+
+template <typename Visitor>
+void ReferenceIndex::visit(const Enu& center, double radius, Visitor&& visitor) const {
+  if (points_.empty()) return;
+  const auto reach = static_cast<long>(std::ceil(radius / cell_size_m_));
+  const long ix = static_cast<long>((center.east - bounds_.min_east) / cell_size_m_);
+  const long iy = static_cast<long>((center.north - bounds_.min_north) / cell_size_m_);
+  const double radius_sq = radius * radius;
+  for (long dy = -reach; dy <= reach; ++dy) {
+    const long y = iy + dy;
+    if (y < 0 || y >= static_cast<long>(grid_h_)) continue;
+    for (long dx = -reach; dx <= reach; ++dx) {
+      const long x = ix + dx;
+      if (x < 0 || x >= static_cast<long>(grid_w_)) continue;
+      for (std::uint32_t idx :
+           grid_[static_cast<std::size_t>(y) * grid_w_ + static_cast<std::size_t>(x)]) {
+        if (distance_sq(points_[idx].pos, center) <= radius_sq) visitor(idx);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> ReferenceIndex::within(const Enu& center, double radius,
+                                                std::uint32_t exclude_traj) const {
+  std::vector<std::size_t> out;
+  visit(center, radius, [&](std::uint32_t i) {
+    if (exclude_traj == kNoTrajectory || points_[i].traj_id != exclude_traj) {
+      out.push_back(i);
+    }
+  });
+  return out;
+}
+
+std::size_t ReferenceIndex::count_within(const Enu& center, double radius) const {
+  std::size_t count = 0;
+  visit(center, radius, [&count](std::uint32_t) { ++count; });
+  return count;
+}
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,62 @@
+// Crowdsourced reference-point store with spatial radius queries.
+//
+// The provider's dataset H = {H_1 ... H_k} (Sec. III-B): every point of every
+// historical trajectory, with its reported GPS position and WiFi scan.  The
+// detector issues two kinds of radius queries per verified point — reference
+// points within r of the uploaded position, and RPD counting neighbours
+// within R of each reference point — so the store is backed by a uniform
+// hash grid sized to the typical query radius.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "wifi/scan.hpp"
+
+namespace trajkit::wifi {
+
+/// Sentinel trajectory id: "not part of any tracked trajectory".
+inline constexpr std::uint32_t kNoTrajectory = 0xffffffffu;
+
+/// One crowdsourced historical point.
+struct ReferencePoint {
+  Enu pos;        ///< reported (GPS-noisy) position
+  WifiScan scan;  ///< RSSIs/MACs observed there
+  std::uint32_t traj_id = kNoTrajectory;  ///< source trajectory (for
+                                          ///< leave-own-trajectory-out queries)
+};
+
+class ReferenceIndex {
+ public:
+  /// Build over a fixed set of points; `cell_size_m` should be close to the
+  /// largest common query radius (default suits r = 2.5 m, R = 3 m).
+  explicit ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m = 4.0);
+
+  std::size_t size() const { return points_.size(); }
+  const ReferencePoint& operator[](std::size_t i) const { return points_[i]; }
+
+  /// Indices of all points within `radius` of `center` (inclusive).
+  /// `exclude_traj` drops points of one source trajectory — used when the
+  /// verified upload is itself part of the historical store, so it does not
+  /// self-certify (kNoTrajectory excludes nothing).
+  std::vector<std::size_t> within(const Enu& center, double radius,
+                                  std::uint32_t exclude_traj = kNoTrajectory) const;
+
+  /// Number of points within `radius` of `center` — cheaper than within().
+  std::size_t count_within(const Enu& center, double radius) const;
+
+ private:
+  std::size_t cell_of(const Enu& p) const;
+  template <typename Visitor>
+  void visit(const Enu& center, double radius, Visitor&& visitor) const;
+
+  std::vector<ReferencePoint> points_;
+  double cell_size_m_;
+  BoundingBox bounds_;
+  std::size_t grid_w_ = 1;
+  std::size_t grid_h_ = 1;
+  std::vector<std::vector<std::uint32_t>> grid_;
+};
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,63 @@
+#include "wifi/rpd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trajkit::wifi {
+
+RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params)
+    : index_(&index), params_(params), cache_(index.size()) {
+  if (params_.counting_radius_m <= 0.0) {
+    throw std::invalid_argument("RpdEstimator: counting radius must be positive");
+  }
+  if (params_.theta2_base <= 0.0 || params_.theta2_base >= 1.0) {
+    throw std::invalid_argument("RpdEstimator: theta2 base must be in (0, 1)");
+  }
+  if (params_.rssi_tolerance_db < 0) {
+    throw std::invalid_argument("RpdEstimator: tolerance must be non-negative");
+  }
+}
+
+const RpdEstimator::PointStats& RpdEstimator::stats(std::size_t h) const {
+  PointStats& entry = cache_[h];
+  if (!entry.ready) {
+    const auto nbrs = index_->within((*index_)[h].pos, params_.counting_radius_m);
+    entry.neighbour_count = nbrs.size();
+    for (std::size_t q : nbrs) {
+      for (const auto& obs : (*index_)[q].scan) {
+        ++entry.histograms[obs.mac][obs.rssi_dbm];
+      }
+    }
+    entry.ready = true;
+  }
+  return entry;
+}
+
+double RpdEstimator::rpd(std::size_t h, std::uint64_t mac, int rssi) const {
+  const PointStats& s = stats(h);
+  if (s.neighbour_count == 0) return 0.0;
+  const auto hist_it = s.histograms.find(mac);
+  if (hist_it == s.histograms.end()) return 0.0;
+  std::uint64_t matches = 0;
+  for (int v = rssi - params_.rssi_tolerance_db; v <= rssi + params_.rssi_tolerance_db;
+       ++v) {
+    const auto it = hist_it->second.find(v);
+    if (it != hist_it->second.end()) matches += it->second;
+  }
+  return static_cast<double>(matches) / static_cast<double>(s.neighbour_count);
+}
+
+std::size_t RpdEstimator::counting_size(std::size_t h) const {
+  return stats(h).neighbour_count;
+}
+
+double RpdEstimator::density(std::size_t h) const {
+  const double area = M_PI * params_.counting_radius_m * params_.counting_radius_m;
+  return static_cast<double>(counting_size(h)) / area;
+}
+
+double RpdEstimator::theta2(std::size_t h) const {
+  return 1.0 - std::pow(params_.theta2_base, density(h));
+}
+
+}  // namespace trajkit::wifi

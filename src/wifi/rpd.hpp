@@ -1,0 +1,66 @@
+// RSSI probability distributions around historical points (Eq. 4) and the
+// reliability weight theta_2 (Eq. 6).
+//
+// For a historical point H, the RSSIs of an AP observed inside the counting
+// circle C_H(R) are treated as a discrete random variable;
+// RPD_H^mac(x) = |{Q in C_H(R) : Q.rssi(mac) == x}| / |C_H(R)|.
+// The estimator caches each historical point's counting neighbourhood on
+// first use, since the detector probes the same reference points for every
+// AP of every verified trajectory point.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wifi/refindex.hpp"
+
+namespace trajkit::wifi {
+
+struct RpdParams {
+  double counting_radius_m = 3.0;  ///< the paper's R = 6 sigma = 3 m
+  int rssi_tolerance_db = 0;       ///< 0 = exact match (Eq. 4); >0 = smoothed
+  double theta2_base = 0.9;        ///< the paper's 1/t = 0.9 in Eq. 6
+};
+
+class RpdEstimator {
+ public:
+  /// `index` must outlive the estimator.
+  RpdEstimator(const ReferenceIndex& index, RpdParams params = {});
+
+  /// RPD_H^mac(x): probability that AP `mac` reads `rssi` near reference
+  /// point `h` (an index into the ReferenceIndex).
+  double rpd(std::size_t h, std::uint64_t mac, int rssi) const;
+
+  /// Number of historical points in C_H(R) (the Eq. 4 denominator).
+  std::size_t counting_size(std::size_t h) const;
+
+  /// Density eps = |C_H(R)| / (pi R^2), points per square metre.
+  double density(std::size_t h) const;
+
+  /// Reliability weight theta_2(H) = 1 - base^eps (Eq. 6, rewritten with the
+  /// paper's 1/t = base): more points in the counting area => closer to 1.
+  double theta2(std::size_t h) const;
+
+  const RpdParams& params() const { return params_; }
+  const ReferenceIndex& index() const { return *index_; }
+
+ private:
+  /// Cached per-reference-point statistics: the C_H(R) membership count and,
+  /// per AP heard in the counting area, its RSSI histogram.  Built lazily on
+  /// first probe of a point — detectors only ever touch reference points near
+  /// verified trajectories.
+  struct PointStats {
+    bool ready = false;
+    std::size_t neighbour_count = 0;
+    std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint32_t>> histograms;
+  };
+
+  const PointStats& stats(std::size_t h) const;
+
+  const ReferenceIndex* index_;
+  RpdParams params_;
+  mutable std::vector<PointStats> cache_;
+};
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,29 @@
+// WiFi scan vocabulary shared between the simulator (which produces scans)
+// and the detector (which verifies them).
+//
+// A scan is the client-side observation at one trajectory point: the paper's
+// P_i = [loc_i, RSSI_i, MAC_i] carries the RSSIs and MACs of the m APs heard
+// at that point.  RSSIs are integer dBm, as reported by real drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trajkit::wifi {
+
+/// One observed AP in a scan.
+struct ApObservation {
+  std::uint64_t mac = 0;
+  int rssi_dbm = 0;
+
+  friend bool operator==(const ApObservation&, const ApObservation&) = default;
+};
+
+/// A scan: visible APs sorted by descending RSSI (strongest first).
+using WifiScan = std::vector<ApObservation>;
+
+/// RSSI of `mac` within `scan`, or std::nullopt-like sentinel: returns true
+/// and writes `out` when present.
+bool scan_lookup(const WifiScan& scan, std::uint64_t mac, int& out);
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,351 @@
+// Forgery attacks: naive noise, the smooth replay perturbation, MinD
+// estimation and the C&W adversarial generator against a trained model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/cw.hpp"
+#include "attack/gradient_baselines.hpp"
+#include "attack/mind.hpp"
+#include "attack/naive.hpp"
+#include "attack/replay.hpp"
+#include "common/stats.hpp"
+#include "dtw/dtw.hpp"
+#include "map/city.hpp"
+#include "sim/dataset.hpp"
+
+namespace trajkit::attack {
+namespace {
+
+std::vector<Enu> straight_line(std::size_t n, double step) {
+  std::vector<Enu> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<double>(i) * step, 0.0});
+  }
+  return pts;
+}
+
+TEST(NaiveAttack, AddsNoiseOfRequestedMagnitude) {
+  Rng rng(1);
+  const auto pts = straight_line(500, 2.0);
+  const auto noisy = naive_noise_attack(pts, rng, 0.5);
+  ASSERT_EQ(noisy.size(), pts.size());
+  RunningStats err;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    err.add(noisy[i].east - pts[i].east);
+    err.add(noisy[i].north - pts[i].north);
+  }
+  EXPECT_NEAR(err.mean(), 0.0, 0.1);
+  EXPECT_NEAR(err.stddev(), 0.5, 0.06);
+}
+
+TEST(NaiveAttack, ZeroSigmaIsIdentity) {
+  Rng rng(2);
+  const auto pts = straight_line(5, 1.0);
+  EXPECT_EQ(naive_noise_attack(pts, rng, 0.0), pts);
+  EXPECT_THROW(naive_noise_attack(pts, rng, -1.0), std::invalid_argument);
+}
+
+TEST(ReplayPerturbation, HitsTargetDtwNorm) {
+  Rng rng(3);
+  const auto hist = straight_line(40, 2.0);
+  for (double target : {0.8, 1.3, 2.5}) {
+    const auto fake = smooth_replay_perturbation(hist, target, rng);
+    const double achieved = dtw_normalized(hist, fake);
+    EXPECT_NEAR(achieved, target, target * 0.25) << "target " << target;
+  }
+}
+
+TEST(ReplayPerturbation, EndpointsPinned) {
+  Rng rng(4);
+  const auto hist = straight_line(20, 3.0);
+  const auto fake = smooth_replay_perturbation(hist, 1.5, rng);
+  EXPECT_EQ(fake.front(), hist.front());
+  EXPECT_EQ(fake.back(), hist.back());
+}
+
+TEST(ReplayPerturbation, DisplacementIsSmooth) {
+  Rng rng(5);
+  const auto hist = straight_line(60, 2.0);
+  const auto fake = smooth_replay_perturbation(hist, 1.5, rng);
+  // Correlated displacements: consecutive displacement deltas stay small
+  // relative to the overall displacement scale.
+  RunningStats disp;
+  RunningStats delta;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    disp.add(distance(fake[i], hist[i]));
+    if (i > 0) {
+      const Enu d1 = fake[i] - hist[i];
+      const Enu d0 = fake[i - 1] - hist[i - 1];
+      delta.add((d1 - d0).norm());
+    }
+  }
+  EXPECT_LT(delta.mean(), disp.mean());
+}
+
+TEST(ReplayPerturbation, ValidatesInput) {
+  Rng rng(6);
+  EXPECT_THROW(smooth_replay_perturbation(straight_line(2, 1.0), 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(smooth_replay_perturbation(straight_line(5, 1.0), 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(smooth_replay_perturbation(straight_line(5, 1.0), 1.0, rng, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Mind, SameRouteRunsAreApartButBounded) {
+  Rng city_rng(7);
+  const auto net = map::make_city({.blocks_x = 6, .blocks_y = 6}, city_rng);
+  const sim::TrajectorySimulator simulator(net);
+  Rng rng(8);
+  const auto est =
+      estimate_mind(simulator, Mode::kWalking, 200.0, 10, 40, 1.0, rng);
+  // Two genuine runs of the same route are never identical (GPS + human
+  // variation) but also stay within a few metres of each other.
+  EXPECT_GT(est.min_d, 0.05);
+  EXPECT_LT(est.min_d, 5.0);
+  EXPECT_GE(est.mean_d, est.min_d);
+  EXPECT_GE(est.max_d, est.mean_d);
+  EXPECT_EQ(est.repetitions, 10u);
+}
+
+TEST(Mind, PaperValuesPerMode) {
+  EXPECT_DOUBLE_EQ(paper_mind(Mode::kWalking), 1.2);
+  EXPECT_DOUBLE_EQ(paper_mind(Mode::kCycling), 1.5);
+  EXPECT_DOUBLE_EQ(paper_mind(Mode::kDriving), 1.4);
+}
+
+TEST(Mind, RequiresTwoRepetitions) {
+  Rng city_rng(9);
+  const auto net = map::make_city({}, city_rng);
+  const sim::TrajectorySimulator simulator(net);
+  Rng rng(10);
+  EXPECT_THROW(estimate_mind(simulator, Mode::kWalking, 100.0, 1, 20, 1.0, rng),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// C&W attack against a genuinely trained (small) model.
+
+class CwAttackFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng city_rng(11);
+    net_ = new map::RoadNetwork(map::make_city({.blocks_x = 6, .blocks_y = 6},
+                                               city_rng));
+    simulator_ = new sim::TrajectorySimulator(*net_);
+    encoder_ = new DistAngleEncoder();
+
+    // Small but real training set: genuine vs naive-replay trajectories.
+    Rng rng(12);
+    std::vector<FeatureSequence> xs;
+    std::vector<int> ys;
+    for (int i = 0; i < 240; ++i) {
+      if (i % 4 == 3) {
+        // Naive navigation fake: constant-speed resample + noise.
+        const auto nav = simulator_->navigation_trajectory(Mode::kWalking, 32, 1.0, rng);
+        const auto pts = nav.reported.to_enu(sim::sim_projection());
+        xs.push_back(encoder_->encode(naive_noise_attack(pts, rng)));
+        ys.push_back(0);
+        continue;
+      }
+      const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+      auto pts = traj.reported.to_enu(sim::sim_projection());
+      if (i % 2 == 0) {
+        xs.push_back(encoder_->encode(pts));
+        ys.push_back(1);
+      } else {
+        xs.push_back(encoder_->encode(naive_noise_attack(pts, rng)));
+        ys.push_back(0);
+      }
+    }
+    nn::LstmClassifierConfig cfg;
+    cfg.input_dim = 2;
+    cfg.hidden_dim = 32;
+    cfg.learning_rate = 3e-3;
+    model_ = new nn::LstmClassifier(cfg, 13);
+    model_->train(xs, ys, 50);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete encoder_;
+    delete simulator_;
+    delete net_;
+  }
+
+  static map::RoadNetwork* net_;
+  static sim::TrajectorySimulator* simulator_;
+  static DistAngleEncoder* encoder_;
+  static nn::LstmClassifier* model_;
+};
+
+map::RoadNetwork* CwAttackFixture::net_ = nullptr;
+sim::TrajectorySimulator* CwAttackFixture::simulator_ = nullptr;
+DistAngleEncoder* CwAttackFixture::encoder_ = nullptr;
+nn::LstmClassifier* CwAttackFixture::model_ = nullptr;
+
+TEST_F(CwAttackFixture, ModelActuallyDetectsNaiveAttacks) {
+  Rng rng(14);
+  int caught = 0;
+  int passed = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+    auto pts = traj.reported.to_enu(sim::sim_projection());
+    passed += model_->predict(encoder_->encode(pts)) == 1;
+    caught += model_->predict(encoder_->encode(naive_noise_attack(pts, rng))) == 0;
+  }
+  EXPECT_GE(passed, 14);
+  EXPECT_GE(caught, 14);
+}
+
+TEST_F(CwAttackFixture, ReplayAttackBecomesAdversarialAtTargetDistance) {
+  Rng rng(15);
+  const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+  const auto hist = traj.reported.to_enu(sim::sim_projection());
+
+  CwConfig cfg;
+  cfg.iterations = 300;
+  const CwAttacker attacker(*model_, *encoder_, cfg);
+  const auto result = attacker.forge_replay(hist, 1.2, 0.1);
+
+  EXPECT_TRUE(result.adversarial);
+  EXPECT_GE(result.p_real, 0.5);
+  // Not a trivial replay: clearly away from the historical trace...
+  EXPECT_GT(result.dtw_norm, 0.6);
+  // ...but not an implausible detour either.
+  EXPECT_LT(result.dtw_norm, 4.0);
+  // Endpoints honoured.
+  EXPECT_EQ(result.points.front(), hist.front());
+  EXPECT_EQ(result.points.back(), hist.back());
+}
+
+TEST_F(CwAttackFixture, NavigationAttackStaysNearRoute) {
+  Rng rng(16);
+  const auto nav = simulator_->navigation_trajectory(Mode::kWalking, 32, 1.0, rng);
+  const auto reference = nav.reported.to_enu(sim::sim_projection());
+  // The naive navigation attack (resample + noise, Sec. IV-A2) is mostly
+  // flagged; individual samples can slip through a model this small, so the
+  // check is statistical.
+  Rng noise_rng(160);
+  int flagged = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto other =
+        simulator_->navigation_trajectory(Mode::kWalking, 32, 1.0, noise_rng);
+    const auto pts = other.reported.to_enu(sim::sim_projection());
+    flagged += model_->predict(encoder_->encode(
+                   naive_noise_attack(pts, noise_rng))) == 0;
+  }
+  EXPECT_GE(flagged, 6);
+
+  CwConfig cfg;
+  cfg.iterations = 300;
+  const CwAttacker attacker(*model_, *encoder_, cfg);
+  const auto result = attacker.forge_navigation(reference);
+  // ...while the adversarial version passes and stays close to the route.
+  EXPECT_TRUE(result.adversarial);
+  EXPECT_LT(result.dtw_norm, 5.0);
+}
+
+TEST_F(CwAttackFixture, HistoryIsRecordedAtStride) {
+  Rng rng(17);
+  const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+  const auto hist = traj.reported.to_enu(sim::sim_projection());
+  CwConfig cfg;
+  cfg.iterations = 100;
+  cfg.history_stride = 10;
+  const CwAttacker attacker(*model_, *encoder_, cfg);
+  const auto result = attacker.forge_replay(hist, 1.2);
+  ASSERT_GE(result.history.size(), 10u);
+  EXPECT_EQ(result.history.front().iteration, 0u);
+  // Wall time is monotone.
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].seconds, result.history[i - 1].seconds);
+  }
+}
+
+TEST_F(CwAttackFixture, ReplayForgeryIsDeterministic) {
+  Rng rng(25);
+  const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+  const auto hist = traj.reported.to_enu(sim::sim_projection());
+  CwConfig cfg;
+  cfg.iterations = 80;
+  const CwAttacker attacker(*model_, *encoder_, cfg);
+  const auto a = attacker.forge_replay(hist, 1.2);
+  const auto b = attacker.forge_replay(hist, 1.2);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+  }
+}
+
+TEST_F(CwAttackFixture, PgdCrossesBoundaryWithinBudget) {
+  Rng rng(18);
+  const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+  auto reference = traj.reported.to_enu(sim::sim_projection());
+  reference = naive_noise_attack(reference, rng);  // start from a flagged fake
+
+  GradientAttackConfig cfg;
+  cfg.epsilon_m = 2.0;
+  cfg.steps = 60;
+  const GradientAttacker attacker(*model_, *encoder_, cfg);
+  const auto result = attacker.pgd(reference);
+  EXPECT_TRUE(result.adversarial);
+  // The box projection really constrains the perturbation.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_LE(std::fabs(result.points[i].east - reference[i].east), 2.0 + 1e-9);
+    EXPECT_LE(std::fabs(result.points[i].north - reference[i].north), 2.0 + 1e-9);
+  }
+  // Endpoints pinned.
+  EXPECT_EQ(result.points.front(), reference.front());
+  EXPECT_EQ(result.points.back(), reference.back());
+}
+
+TEST_F(CwAttackFixture, FgsmIsWeakerThanPgd) {
+  Rng rng(19);
+  std::size_t fgsm_wins = 0;
+  std::size_t pgd_wins = 0;
+  const GradientAttacker attacker(*model_, *encoder_, {});
+  for (int i = 0; i < 8; ++i) {
+    const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+    auto reference = traj.reported.to_enu(sim::sim_projection());
+    reference = naive_noise_attack(reference, rng);
+    fgsm_wins += attacker.fgsm(reference).adversarial;
+    pgd_wins += attacker.pgd(reference).adversarial;
+  }
+  EXPECT_GE(pgd_wins, fgsm_wins);
+  EXPECT_GE(pgd_wins, 6u);
+}
+
+TEST_F(CwAttackFixture, GradientAttacksCannotTargetReplayBand) {
+  // Unlike C&W's Eq. 2, FGSM/PGD have no DTW control: their outputs sit at
+  // whatever distance the gradient walk produced, typically far below MinD —
+  // i.e. detectable replays.
+  Rng rng(20);
+  const auto traj = simulator_->simulate_real(Mode::kWalking, 32, 1.0, rng);
+  const auto reference = traj.reported.to_enu(sim::sim_projection());
+  const GradientAttacker attacker(*model_, *encoder_, {});
+  const auto result = attacker.pgd(reference);
+  EXPECT_LT(result.dtw_norm, 1.2);  // below MinD: the replay check wins
+}
+
+TEST_F(CwAttackFixture, GradientAttackerValidatesInput) {
+  const GradientAttacker attacker(*model_, *encoder_, {});
+  EXPECT_THROW(attacker.pgd({{0, 0}, {1, 1}}), std::invalid_argument);
+  GradientAttackConfig bad;
+  bad.epsilon_m = 0.0;
+  EXPECT_THROW(GradientAttacker(*model_, *encoder_, bad), std::invalid_argument);
+}
+
+TEST_F(CwAttackFixture, ValidatesInput) {
+  const CwAttacker attacker(*model_, *encoder_, {});
+  EXPECT_THROW(attacker.forge_navigation({{0, 0}, {1, 1}}), std::invalid_argument);
+  EXPECT_THROW(attacker.forge_replay(straight_line(5, 1.0), -1.0),
+               std::invalid_argument);
+  CwConfig bad;
+  bad.iterations = 0;
+  EXPECT_THROW(CwAttacker(*model_, *encoder_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trajkit::attack

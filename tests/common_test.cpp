@@ -1,0 +1,241 @@
+// RNG determinism and distribution sanity, stats helpers, classification
+// metrics, the table printer and the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace trajkit {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) {
+    ++counts[rng.weighted_index({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0] / 9000.0, 1.0 / 9.0, 0.02);
+  EXPECT_NEAR(counts[2] / 9000.0, 6.0 / 9.0, 0.02);
+}
+
+TEST(Rng, WeightedIndexDegenerateCases) {
+  Rng rng(8);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+  EXPECT_EQ(rng.weighted_index({0.0, 0.0}), 0u);
+  EXPECT_EQ(rng.weighted_index({0.0, 5.0, 0.0}), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(10);
+  Rng child = a.split();
+  // The child stream should not replicate the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == child.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stats, MeanStdPercentile) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(11);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(Metrics, ConfusionMatrixPositiveClassIsFake) {
+  ConfusionMatrix cm;
+  cm.add(0, 0);  // fake caught -> TP
+  cm.add(0, 1);  // fake missed -> FN
+  cm.add(1, 1);  // real passed -> TN
+  cm.add(1, 0);  // real flagged -> FP
+  EXPECT_EQ(cm.true_positive, 1u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.5);
+}
+
+TEST(Metrics, PerfectAndDegenerate) {
+  ConfusionMatrix perfect;
+  perfect.add(0, 0);
+  perfect.add(1, 1);
+  EXPECT_DOUBLE_EQ(perfect.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1(), 1.0);
+
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+}
+
+TEST(Metrics, EvaluateBinaryChecksSizes) {
+  EXPECT_THROW(evaluate_binary({1, 0}, {1}), std::invalid_argument);
+  const auto cm = evaluate_binary({1, 0, 0}, {1, 0, 1});
+  EXPECT_EQ(cm.total(), 3u);
+  EXPECT_EQ(cm.true_positive, 1u);
+}
+
+TEST(Metrics, RocAucPerfectAndRandomAndInverted) {
+  // Perfect separation.
+  EXPECT_DOUBLE_EQ(roc_auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  // Perfectly inverted scores.
+  EXPECT_DOUBLE_EQ(roc_auc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+  // All-tied scores: chance level.
+  EXPECT_DOUBLE_EQ(roc_auc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+  // Degenerate single-class labels.
+  EXPECT_DOUBLE_EQ(roc_auc({1, 1}, {0.1, 0.9}), 0.5);
+  EXPECT_THROW(roc_auc({1}, {0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(Metrics, RocAucMatchesPairCounting) {
+  Rng rng(12);
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 60; ++i) {
+    truth.push_back(rng.chance(0.5) ? 1 : 0);
+    scores.push_back(rng.uniform(0.0, 1.0));
+  }
+  // Brute-force pair counting.
+  double wins = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < truth.size(); ++a) {
+    for (std::size_t b = 0; b < truth.size(); ++b) {
+      if (truth[a] == 1 && truth[b] == 0) {
+        ++pairs;
+        if (scores[a] > scores[b]) wins += 1.0;
+        if (scores[a] == scores[b]) wins += 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(roc_auc(truth, scores), wins / static_cast<double>(pairs), 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 2)});
+  t.add_row({"b", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1.50  |"), std::string::npos);
+  EXPECT_NE(s.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--count=42", "--rate=0.5", "--name=x", "--flag"};
+  CliFlags flags(5, argv);
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(flags.get("name", ""), "x");
+  EXPECT_TRUE(flags.get_bool("flag", false));
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliFlags(2, argv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trajkit

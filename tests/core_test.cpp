@@ -1,0 +1,170 @@
+// Core facade: scenario construction, dataset builders, the motion-model
+// pipeline and the RSSI experiment pipeline (scaled down).
+#include <gtest/gtest.h>
+
+#include "core/motion_pipeline.hpp"
+#include "core/rssi_pipeline.hpp"
+#include "core/scenario.hpp"
+
+namespace trajkit::core {
+namespace {
+
+TEST(ScenarioConfig, PerModeDefaultsDiffer) {
+  const auto walk = ScenarioConfig::for_mode(Mode::kWalking);
+  const auto drive = ScenarioConfig::for_mode(Mode::kDriving);
+  EXPECT_EQ(walk.mode, Mode::kWalking);
+  EXPECT_EQ(drive.mode, Mode::kDriving);
+  // Area C is bigger and its APs sit farther from the road.
+  EXPECT_GT(drive.city.blocks_x, walk.city.blocks_x);
+  EXPECT_GT(drive.wifi.ap_road_offset_m, walk.wifi.ap_road_offset_m);
+}
+
+TEST(ScenarioConfig, IndoorVariantDiffersInTheRightDirections) {
+  const auto outdoor = ScenarioConfig::for_mode(Mode::kWalking);
+  const auto indoor = ScenarioConfig::indoor_walking();
+  EXPECT_GT(indoor.gps.sigma_m, outdoor.gps.sigma_m);           // worse GPS
+  EXPECT_LT(indoor.city.block_size_m, outdoor.city.block_size_m);  // corridors
+  EXPECT_LT(indoor.wifi.ap_road_offset_m, outdoor.wifi.ap_road_offset_m);
+  // The indoor world is buildable and produces trajectories.
+  Scenario scenario(indoor);
+  const auto trajs = scenario.real_trajectories(2, 20, 2.0);
+  EXPECT_EQ(trajs.size(), 2u);
+}
+
+TEST(Scenario, BuildsWorld) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  EXPECT_GT(scenario.network().node_count(), 10u);
+  EXPECT_GT(scenario.network().edge_count(), 10u);
+  EXPECT_EQ(scenario.wifi().aps().size(),
+            ScenarioConfig::for_mode(Mode::kWalking).wifi.ap_count);
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  Scenario a(ScenarioConfig::for_mode(Mode::kCycling));
+  Scenario b(ScenarioConfig::for_mode(Mode::kCycling));
+  const auto ta = a.real_trajectories(2, 20, 1.0);
+  const auto tb = b.real_trajectories(2, 20, 1.0);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].reported.size(), tb[i].reported.size());
+    for (std::size_t j = 0; j < ta[i].reported.size(); ++j) {
+      EXPECT_EQ(ta[i].reported[j].pos, tb[i].reported[j].pos);
+    }
+  }
+}
+
+TEST(Scenario, BatchBuildersProduceRequestedCounts) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  EXPECT_EQ(scenario.real_trajectories(3, 25, 1.0).size(), 3u);
+  EXPECT_EQ(scenario.navigation_trajectories(2, 25, 1.0).size(), 2u);
+  const auto scanned = scenario.scanned_real(2, 15, 2.0);
+  ASSERT_EQ(scanned.size(), 2u);
+  EXPECT_EQ(scanned[0].scans.size(), 15u);
+}
+
+TEST(MotionDataset, LabelsAndCounts) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  MotionDatasetConfig cfg;
+  cfg.train_real = 20;
+  cfg.train_fake = 10;
+  cfg.test_real = 8;
+  cfg.test_fake = 6;
+  cfg.points = 24;
+  const auto ds = build_motion_dataset(scenario, cfg);
+  EXPECT_EQ(ds.train.size(), 30u);
+  EXPECT_EQ(ds.test.size(), 14u);
+
+  std::size_t train_real = 0;
+  for (const auto& s : ds.train) train_real += s.label == 1;
+  EXPECT_EQ(train_real, 20u);
+  for (const auto& s : ds.train) {
+    EXPECT_EQ(s.points.size(), 24u);
+    EXPECT_EQ(s.trajectory.size(), 24u);
+  }
+}
+
+TEST(MotionModels, TrainPredictEvaluate) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  MotionDatasetConfig dcfg;
+  dcfg.train_real = 60;
+  dcfg.train_fake = 40;
+  dcfg.test_real = 20;
+  dcfg.test_fake = 20;
+  dcfg.points = 32;
+  const auto ds = build_motion_dataset(scenario, dcfg);
+
+  MotionModelConfig mcfg;
+  mcfg.hidden = 12;
+  mcfg.epochs = 10;
+  mcfg.xgb.num_trees = 40;
+  const MotionModels models(ds, mcfg);
+
+  const auto preds = models.predict_all(ds.test.front());
+  EXPECT_EQ(preds.size(), 4u);
+  EXPECT_EQ(models.predict("XGBoost", ds.test.front()),
+            preds[1]);
+  EXPECT_THROW(models.predict("nope", ds.test.front()), std::invalid_argument);
+
+  const auto evals = evaluate_models(models, ds.test);
+  ASSERT_EQ(evals.size(), 4u);
+  EXPECT_EQ(evals[0].name, "C(LSTM)");
+  EXPECT_EQ(evals[0].confusion.total(), ds.test.size());
+  // XGBoost on summary features separates these easily even at tiny scale.
+  EXPECT_GT(evals[1].confusion.accuracy(), 0.8);
+}
+
+TEST(RssiPipeline, ForgeUploadPerturbsPositionsAndRssi) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  const auto scanned = scenario.scanned_real(1, 20, 2.0).front();
+  Rng rng(1);
+  const auto fake = forge_upload(scanned, 1.5, 1, rng);
+  ASSERT_EQ(fake.positions.size(), 20u);
+  ASSERT_EQ(fake.scans.size(), 20u);
+
+  const auto hist = scanned.reported.to_enu(sim::sim_projection());
+  bool moved = false;
+  for (std::size_t i = 1; i + 1 < hist.size(); ++i) {
+    if (distance(hist[i], fake.positions[i]) > 0.3) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  // RSSI disturbance stays within +-1 dB of the original.
+  for (std::size_t i = 0; i < fake.scans.size(); ++i) {
+    ASSERT_EQ(fake.scans[i].size(), scanned.scans[i].size());
+    for (std::size_t a = 0; a < fake.scans[i].size(); ++a) {
+      EXPECT_LE(std::abs(fake.scans[i][a].rssi_dbm - scanned.scans[i][a].rssi_dbm), 1);
+      EXPECT_EQ(fake.scans[i][a].mac, scanned.scans[i][a].mac);
+    }
+  }
+}
+
+TEST(RssiPipeline, ToUploadPreservesShape) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  const auto scanned = scenario.scanned_real(1, 12, 2.0).front();
+  const auto upload = to_upload(scanned);
+  EXPECT_EQ(upload.positions.size(), 12u);
+  EXPECT_EQ(upload.scans.size(), 12u);
+  EXPECT_EQ(upload.source_traj_id, wifi::kNoTrajectory);
+}
+
+TEST(RssiPipeline, SmallExperimentBeatsChance) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  RssiExperimentConfig cfg;
+  cfg.total = 250;
+  cfg.points = 20;
+  const auto result = run_rssi_experiment(scenario, cfg);
+  EXPECT_EQ(result.confusion.total(), 100u);  // 50 fresh real + 50 fake
+  EXPECT_GT(result.confusion.accuracy(), 0.6);
+  EXPECT_GT(result.avg_k, 1.0);
+  EXPECT_GT(result.avg_refs_per_point, 0.5);
+  EXPECT_GT(result.ref_density_per_m2, 0.0);
+}
+
+TEST(RssiPipeline, RejectsTinyTotals) {
+  Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
+  RssiExperimentConfig cfg;
+  cfg.total = 10;
+  EXPECT_THROW(run_rssi_experiment(scenario, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trajkit::core

@@ -1,0 +1,280 @@
+// DTW value, path, banded variant and the optimal-alignment subgradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "dtw/dtw.hpp"
+#include "dtw/soft_dtw.hpp"
+
+namespace trajkit {
+namespace {
+
+std::vector<Enu> random_walk(Rng& rng, std::size_t n, double step = 3.0) {
+  std::vector<Enu> pts = {{0, 0}};
+  for (std::size_t i = 1; i < n; ++i) {
+    pts.push_back({pts.back().east + rng.uniform(-step, step),
+                   pts.back().north + rng.uniform(-step, step)});
+  }
+  return pts;
+}
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  Rng rng(1);
+  const auto a = random_walk(rng, 20);
+  const auto r = dtw(a, a);
+  EXPECT_NEAR(r.distance, 0.0, 1e-9);
+  // The alignment of identical sequences is the diagonal.
+  ASSERT_EQ(r.path.size(), 20u);
+  for (std::size_t i = 0; i < r.path.size(); ++i) {
+    EXPECT_EQ(r.path[i].i, i);
+    EXPECT_EQ(r.path[i].j, i);
+  }
+}
+
+TEST(Dtw, SymmetricValue) {
+  Rng rng(2);
+  for (int k = 0; k < 5; ++k) {
+    const auto a = random_walk(rng, 15);
+    const auto b = random_walk(rng, 18);
+    EXPECT_NEAR(dtw(a, b).distance, dtw(b, a).distance, 1e-9);
+  }
+}
+
+TEST(Dtw, SinglePointSequences) {
+  const auto r = dtw({{0, 0}}, {{3, 4}});
+  EXPECT_DOUBLE_EQ(r.distance, 5.0);
+  ASSERT_EQ(r.path.size(), 1u);
+}
+
+TEST(Dtw, RejectsEmptyInput) {
+  EXPECT_THROW(dtw({}, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(dtw_distance({{0, 0}}, {}), std::invalid_argument);
+}
+
+TEST(Dtw, KnownSmallCase) {
+  // b equals a with one repeated point; DTW should absorb the repeat freely.
+  const std::vector<Enu> a = {{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Enu> b = {{0, 0}, {1, 0}, {1, 0}, {2, 0}};
+  EXPECT_NEAR(dtw(a, b).distance, 0.0, 1e-12);
+}
+
+TEST(Dtw, PathIsMonotoneAndContiguous) {
+  Rng rng(3);
+  const auto a = random_walk(rng, 12);
+  const auto b = random_walk(rng, 17);
+  const auto r = dtw(a, b);
+  EXPECT_EQ(r.path.front().i, 0u);
+  EXPECT_EQ(r.path.front().j, 0u);
+  EXPECT_EQ(r.path.back().i, a.size() - 1);
+  EXPECT_EQ(r.path.back().j, b.size() - 1);
+  for (std::size_t k = 1; k < r.path.size(); ++k) {
+    const auto di = r.path[k].i - r.path[k - 1].i;
+    const auto dj = r.path[k].j - r.path[k - 1].j;
+    EXPECT_TRUE((di == 0 || di == 1) && (dj == 0 || dj == 1));
+    EXPECT_TRUE(di + dj >= 1);
+  }
+}
+
+TEST(Dtw, StreamingDistanceMatchesFull) {
+  Rng rng(4);
+  for (int k = 0; k < 8; ++k) {
+    const auto a = random_walk(rng, 10 + k);
+    const auto b = random_walk(rng, 14);
+    EXPECT_NEAR(dtw(a, b).distance, dtw_distance(a, b), 1e-9);
+    EXPECT_NEAR(dtw(b, a).distance, dtw_distance(b, a), 1e-9);
+  }
+}
+
+TEST(DtwBanded, WideBandEqualsFull) {
+  Rng rng(5);
+  const auto a = random_walk(rng, 25);
+  const auto b = random_walk(rng, 25);
+  EXPECT_NEAR(dtw_banded(a, b, 25).distance, dtw(a, b).distance, 1e-9);
+}
+
+TEST(DtwBanded, NarrowBandUpperBoundsFull) {
+  Rng rng(6);
+  for (int k = 0; k < 6; ++k) {
+    const auto a = random_walk(rng, 30);
+    const auto b = random_walk(rng, 30);
+    const double full = dtw(a, b).distance;
+    const double banded = dtw_banded(a, b, 3).distance;
+    EXPECT_GE(banded, full - 1e-9);  // constraining can only increase cost
+  }
+}
+
+TEST(DtwBanded, BandWidensToCoverLengthDifference) {
+  // With very different lengths even band=0 must remain feasible.
+  Rng rng(7);
+  const auto a = random_walk(rng, 5);
+  const auto b = random_walk(rng, 20);
+  const auto r = dtw_banded(a, b, 0);
+  EXPECT_TRUE(std::isfinite(r.distance));
+}
+
+TEST(DtwNormalized, PureTranslationEqualsOffset) {
+  std::vector<Enu> a;
+  std::vector<Enu> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back({i * 5.0, 0.0});
+    b.push_back({i * 5.0, 2.0});  // constant 2 m lateral offset
+  }
+  EXPECT_NEAR(dtw_normalized(a, b), 2.0, 1e-9);
+}
+
+TEST(DtwGradient, MatchesFiniteDifference) {
+  Rng rng(8);
+  const auto a = random_walk(rng, 10);
+  auto b = random_walk(rng, 10);
+
+  std::vector<Enu> grad(b.size(), Enu{});
+  const double value = dtw_gradient(a, b, grad);
+  EXPECT_NEAR(value, dtw(a, b).distance, 1e-9);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (int axis = 0; axis < 2; ++axis) {
+      auto plus = b;
+      auto minus = b;
+      (axis == 0 ? plus[i].east : plus[i].north) += eps;
+      (axis == 0 ? minus[i].east : minus[i].north) -= eps;
+      const double numeric =
+          (dtw(a, plus).distance - dtw(a, minus).distance) / (2 * eps);
+      const double analytic = axis == 0 ? grad[i].east : grad[i].north;
+      // The subgradient holds the alignment fixed; tiny epsilon keeps the
+      // optimal path unchanged so the values must agree.
+      EXPECT_NEAR(analytic, numeric, 1e-4) << "point " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(DtwGradient, RejectsWrongBufferSize) {
+  std::vector<Enu> grad(2);
+  EXPECT_THROW(dtw_gradient({{0, 0}}, {{1, 1}}, grad), std::invalid_argument);
+}
+
+TEST(DtwGradient, DescentStepReducesDistance) {
+  Rng rng(9);
+  const auto a = random_walk(rng, 15);
+  auto b = random_walk(rng, 15);
+  const double before = dtw(a, b).distance;
+  std::vector<Enu> grad(b.size(), Enu{});
+  dtw_gradient(a, b, grad);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i].east -= 0.05 * grad[i].east;
+    b[i].north -= 0.05 * grad[i].north;
+  }
+  EXPECT_LT(dtw(a, b).distance, before);
+}
+
+// Property sweep: triangle-like bound DTW(a,c) <= DTW(a,b) + DTW(b,c) does
+// NOT hold for DTW in general, but non-negativity and identity do.
+class DtwProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtwProperty, NonNegativeAndZeroOnlyOnSelf) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto a = random_walk(rng, 12);
+  auto b = a;
+  b[5].east += 1.0;
+  EXPECT_GT(dtw(a, b).distance, 0.0);
+  EXPECT_GE(dtw(a, random_walk(rng, 9)).distance, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Soft-DTW.
+
+TEST(SoftDtw, ApproachesSquaredDtwAsGammaShrinks) {
+  Rng rng(30);
+  const auto a = random_walk(rng, 12);
+  const auto b = random_walk(rng, 12);
+  // Exact squared-cost DTW via a local DP (the Euclidean-cost optimal path
+  // is not optimal for squared costs, so dtw()'s path cannot be reused).
+  double hard;
+  {
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    std::vector<double> cost(n * m, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = distance_sq(a[i], b[j]);
+        if (i == 0 && j == 0) {
+          cost[0] = d;
+          continue;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        if (i > 0 && j > 0) best = std::min(best, cost[(i - 1) * m + j - 1]);
+        if (i > 0) best = std::min(best, cost[(i - 1) * m + j]);
+        if (j > 0) best = std::min(best, cost[i * m + j - 1]);
+        cost[i * m + j] = best + d;
+      }
+    }
+    hard = cost[n * m - 1];
+  }
+  const double s_tight = soft_dtw(a, b, 0.01);
+  const double s_loose = soft_dtw(a, b, 10.0);
+  // Soft-DTW lower-bounds the (squared-cost) DTW and tightens as gamma -> 0.
+  EXPECT_LE(s_tight, hard + 1e-6);
+  EXPECT_LE(s_loose, s_tight + 1e-9);
+  EXPECT_NEAR(s_tight, hard, std::max(1.0, 0.05 * hard));
+}
+
+TEST(SoftDtw, ZeroForIdenticalSequencesAtSmallGamma) {
+  Rng rng(31);
+  const auto a = random_walk(rng, 10);
+  // Identical sequences: value can go slightly negative (softmin < min).
+  EXPECT_LT(std::fabs(soft_dtw(a, a, 0.01)), 1.0);
+}
+
+TEST(SoftDtw, GradientMatchesFiniteDifference) {
+  Rng rng(32);
+  const auto a = random_walk(rng, 8);
+  auto b = random_walk(rng, 9);
+  const double gamma = 1.0;
+
+  std::vector<Enu> grad(b.size(), Enu{});
+  const double value = soft_dtw_gradient(a, b, gamma, grad);
+  EXPECT_NEAR(value, soft_dtw(a, b, gamma), 1e-9);
+
+  const double eps = 1e-5;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    for (int axis = 0; axis < 2; ++axis) {
+      auto plus = b;
+      auto minus = b;
+      (axis == 0 ? plus[i].east : plus[i].north) += eps;
+      (axis == 0 ? minus[i].east : minus[i].north) -= eps;
+      const double numeric =
+          (soft_dtw(a, plus, gamma) - soft_dtw(a, minus, gamma)) / (2 * eps);
+      const double analytic = axis == 0 ? grad[i].east : grad[i].north;
+      EXPECT_NEAR(analytic, numeric, 1e-3 * std::max(1.0, std::fabs(numeric)))
+          << "point " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(SoftDtw, ValidatesInput) {
+  EXPECT_THROW(soft_dtw({}, {{0, 0}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(soft_dtw({{0, 0}}, {{0, 0}}, 0.0), std::invalid_argument);
+  std::vector<Enu> db(3);
+  EXPECT_THROW(soft_dtw_gradient({{0, 0}}, {{1, 1}}, 1.0, db), std::invalid_argument);
+}
+
+TEST(SoftDtw, DescentStepReducesValue) {
+  Rng rng(33);
+  const auto a = random_walk(rng, 12);
+  auto b = random_walk(rng, 12);
+  const double before = soft_dtw(a, b, 1.0);
+  std::vector<Enu> grad(b.size(), Enu{});
+  soft_dtw_gradient(a, b, 1.0, grad);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i].east -= 1e-3 * grad[i].east;
+    b[i].north -= 1e-3 * grad[i].north;
+  }
+  EXPECT_LT(soft_dtw(a, b, 1.0), before);
+}
+
+}  // namespace
+}  // namespace trajkit

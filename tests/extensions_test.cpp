@@ -1,0 +1,217 @@
+// Extensions beyond the paper's core: the accelerometer side-channel and
+// consistency check, and the black-box SPSA attack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/naive.hpp"
+#include "attack/replay.hpp"
+#include "attack/spsa.hpp"
+#include "baseline/accel_check.hpp"
+#include "common/stats.hpp"
+#include "core/motion_pipeline.hpp"
+#include "core/scenario.hpp"
+#include "sim/accelerometer.hpp"
+
+namespace trajkit {
+namespace {
+
+TEST(Accelerometer, ConstantSpeedReadsNearBounceFloor) {
+  Rng rng(1);
+  std::vector<Enu> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * 1.4, 0.0});
+  const auto accel =
+      sim::synthesize_accelerometer(pts, 1.0, Mode::kDriving, {}, rng);
+  ASSERT_EQ(accel.size(), 50u);
+  double total = 0.0;
+  for (double a : accel) {
+    EXPECT_GE(a, 0.0);
+    total += a;
+  }
+  // Driving bounce floor is 0.05; constant speed => tiny readings.
+  EXPECT_LT(total / 50.0, 0.4);
+}
+
+TEST(Accelerometer, SpeedChangeShowsUp) {
+  Rng rng(2);
+  std::vector<Enu> pts;
+  double x = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    x += i < 20 ? 1.0 : 3.0;  // speed jumps from 1 to 3 m/s at i = 20
+    pts.push_back({x, 0.0});
+  }
+  const auto accel =
+      sim::synthesize_accelerometer(pts, 1.0, Mode::kDriving, {}, rng);
+  EXPECT_GT(accel[20], 1.0);  // the 2 m/s^2 jump at sample 20 dominates noise
+  EXPECT_LT(accel[10], 1.0);
+}
+
+TEST(Accelerometer, ValidatesInput) {
+  Rng rng(3);
+  EXPECT_THROW(sim::synthesize_accelerometer({{0, 0}, {1, 0}}, 1.0, Mode::kWalking,
+                                             {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sim::synthesize_accelerometer({{0, 0}, {1, 0}, {2, 0}}, 0.0,
+                                             Mode::kWalking, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(AccelCheck, GenuineUploadsBeatFabricatedSensorData) {
+  // Genuine: IMU synthesised from the true motion; fabricated: all-zero
+  // sensor stream with a constant-speed navigation fake.
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  Rng rng(4);
+  const baseline::AccelConsistencyCheck check({.tolerance_mps2 = 1.0});
+
+  std::vector<double> genuine_gaps;
+  std::vector<double> fabricated_gaps;
+  for (int i = 0; i < 10; ++i) {
+    const auto real = scenario.real_trajectories(1, 40, 1.0).front();
+    const auto accel =
+        sim::synthesize_accelerometer(real.true_positions, 1.0, Mode::kWalking, {}, rng);
+    genuine_gaps.push_back(check.mean_gap_mps2(
+        real.reported.to_enu(sim::sim_projection()), accel, 1.0));
+
+    const auto nav = scenario.navigation_trajectories(1, 40, 1.0).front();
+    const auto positions = attack::naive_noise_attack(
+        nav.reported.to_enu(sim::sim_projection()), rng);
+    const std::vector<double> zeros(positions.size(), 0.0);
+    fabricated_gaps.push_back(check.mean_gap_mps2(positions, zeros, 1.0));
+  }
+  // Fabricated sensor streams are systematically less consistent.
+  EXPECT_GT(mean(fabricated_gaps), mean(genuine_gaps));
+}
+
+TEST(AccelCheck, ReplayedSensorStreamEscapes) {
+  // A full replay (positions smoothly perturbed, IMU stream replayed) stays
+  // kinematically consistent — the check cannot catch it, which is the
+  // paper's motivation for the RSSI defense.
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  Rng rng(5);
+  const baseline::AccelConsistencyCheck check;
+
+  const auto real = scenario.real_trajectories(1, 40, 1.0).front();
+  const auto accel =
+      sim::synthesize_accelerometer(real.true_positions, 1.0, Mode::kWalking, {}, rng);
+  const auto genuine_gap = check.mean_gap_mps2(
+      real.reported.to_enu(sim::sim_projection()), accel, 1.0);
+
+  const auto forged_positions = attack::smooth_replay_perturbation(
+      real.reported.to_enu(sim::sim_projection()), 1.3, rng, 0.997);
+  const auto replay_gap = check.mean_gap_mps2(forged_positions, accel, 1.0);
+  // Smooth perturbation adds almost no second-derivative energy.
+  EXPECT_LT(replay_gap, genuine_gap + 0.3);
+}
+
+TEST(AccelCheck, ValidatesInput) {
+  const baseline::AccelConsistencyCheck check;
+  EXPECT_THROW(check.verify({{0, 0}, {1, 0}}, {0.0, 0.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(check.verify({{0, 0}, {1, 0}, {2, 0}}, {0.0, 0.0, 0.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(baseline::AccelConsistencyCheck({.tolerance_mps2 = 0.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SPSA black-box attack.
+
+TEST(Spsa, MaximisesSmoothSyntheticOracle) {
+  // Oracle: score peaks when every interior point sits at north = +2.
+  const std::size_t n = 10;
+  std::vector<Enu> reference;
+  for (std::size_t i = 0; i < n; ++i) {
+    reference.push_back({static_cast<double>(i) * 3.0, 0.0});
+  }
+  const auto oracle = [](const std::vector<Enu>& pts) {
+    double penalty = 0.0;
+    for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+      penalty += (pts[i].north - 2.0) * (pts[i].north - 2.0);
+    }
+    return std::exp(-penalty / static_cast<double>(pts.size()));
+  };
+
+  attack::SpsaConfig cfg;
+  cfg.steps = 400;
+  cfg.epsilon_m = 3.0;
+  const auto result = attack::spsa_attack(reference, oracle, cfg);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_GT(result.final_score, oracle(reference));
+  // Endpoints pinned and the box respected.
+  EXPECT_EQ(result.points.front(), reference.front());
+  EXPECT_EQ(result.points.back(), reference.back());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::fabs(result.points[i].north - reference[i].north), 3.0 + 1e-9);
+  }
+}
+
+TEST(Spsa, CountsQueries) {
+  std::vector<Enu> reference = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  std::size_t calls = 0;
+  const auto oracle = [&calls](const std::vector<Enu>&) {
+    ++calls;
+    return 0.0;  // never adversarial: runs the full budget
+  };
+  attack::SpsaConfig cfg;
+  cfg.steps = 10;
+  const auto result = attack::spsa_attack(reference, oracle, cfg);
+  EXPECT_EQ(result.queries, calls);
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_GE(calls, 30u);  // 3 oracle calls per step + final
+}
+
+TEST(Spsa, ValidatesInput) {
+  const auto oracle = [](const std::vector<Enu>&) { return 0.0; };
+  EXPECT_THROW(attack::spsa_attack({{0, 0}, {1, 0}}, oracle, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      attack::spsa_attack({{0, 0}, {1, 0}, {2, 0}}, attack::ScoreOracle{}, {}),
+      std::invalid_argument);
+  attack::SpsaConfig bad;
+  bad.steps = 0;
+  EXPECT_THROW(attack::spsa_attack({{0, 0}, {1, 0}, {2, 0}}, oracle, bad),
+               std::invalid_argument);
+}
+
+TEST(Spsa, BeatsRealDetectorThroughScoresOnly) {
+  // Black-box attack against a genuinely trained LSTM oracle: no gradients,
+  // only p(real) queries.
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  core::MotionDatasetConfig dcfg;
+  dcfg.train_real = 120;
+  dcfg.train_fake = 80;
+  dcfg.test_real = 10;
+  dcfg.test_fake = 10;
+  dcfg.points = 32;
+  const auto dataset = core::build_motion_dataset(scenario, dcfg);
+  core::MotionModelConfig mcfg;
+  mcfg.hidden = 16;
+  mcfg.epochs = 20;
+  const core::MotionModels models(dataset, mcfg);
+
+  const auto& model = models.model_c();
+  const auto& encoder = models.dist_angle_encoder();
+  const auto oracle = [&](const std::vector<Enu>& pts) {
+    return model.predict_proba(encoder.encode(pts));
+  };
+
+  // Start from a flagged naive replay.
+  Rng rng(6);
+  std::size_t wins = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    auto reference = scenario.real_trajectories(1, dcfg.points, 1.0)
+                         .front()
+                         .reported.to_enu(sim::sim_projection());
+    reference = attack::naive_noise_attack(reference, rng);
+    if (oracle(reference) >= 0.5) continue;  // already passes; trivial
+    attack::SpsaConfig cfg;
+    cfg.steps = 250;
+    cfg.seed = static_cast<std::uint64_t>(trial) + 11;
+    const auto result = attack::spsa_attack(reference, oracle, cfg);
+    wins += result.succeeded;
+  }
+  EXPECT_GE(wins, 1u);  // black-box attacks work, just less reliably than C&W
+}
+
+}  // namespace
+}  // namespace trajkit

@@ -1,0 +1,137 @@
+// Geodesy primitives: projections, distances, bearings, polyline geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "geo/geo.hpp"
+
+namespace trajkit {
+namespace {
+
+TEST(Distance, EuclideanBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Distance, SymmetricAndNonNegative) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Enu a{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const Enu b{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+    EXPECT_GE(distance(a, b), 0.0);
+  }
+}
+
+TEST(Haversine, KnownDistanceOneDegreeLat) {
+  // One degree of latitude is ~111.2 km on the mean sphere.
+  const double d = haversine_m({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(d, 111195.0, 50.0);
+}
+
+TEST(Haversine, ZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_m({32.06, 118.78}, {32.06, 118.78}), 0.0);
+}
+
+TEST(Heading, CardinalDirections) {
+  EXPECT_NEAR(heading_rad({0, 0}, {1, 0}), 0.0, 1e-12);          // east
+  EXPECT_NEAR(heading_rad({0, 0}, {0, 1}), M_PI / 2, 1e-12);     // north
+  EXPECT_NEAR(std::fabs(heading_rad({0, 0}, {-1, 0})), M_PI, 1e-12);  // west
+  EXPECT_NEAR(heading_rad({0, 0}, {0, -1}), -M_PI / 2, 1e-12);   // south
+}
+
+TEST(Heading, DiffWrapsAround) {
+  EXPECT_NEAR(heading_diff(3.0, -3.0), 2 * M_PI - 6.0, 1e-12);
+  EXPECT_NEAR(heading_diff(0.1, 0.3), 0.2, 1e-12);
+  EXPECT_NEAR(heading_diff(0.3, 0.1), -0.2, 1e-12);
+}
+
+TEST(LocalProjection, RoundTripsExactlyAtCityScale) {
+  const LocalProjection proj({32.0603, 118.7969});  // Nanjing
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Enu p{rng.uniform(-2000, 2000), rng.uniform(-2000, 2000)};
+    const Enu q = proj.to_enu(proj.to_latlon(p));
+    EXPECT_NEAR(p.east, q.east, 1e-6);
+    EXPECT_NEAR(p.north, q.north, 1e-6);
+  }
+}
+
+TEST(LocalProjection, AgreesWithHaversineNearOrigin) {
+  const LocalProjection proj({32.0603, 118.7969});
+  const Enu a{120.0, -340.0};
+  const Enu b{-80.0, 95.0};
+  const double metric = distance(a, b);
+  const double geodesic = haversine_m(proj.to_latlon(a), proj.to_latlon(b));
+  EXPECT_NEAR(metric, geodesic, metric * 1e-4 + 0.01);
+}
+
+TEST(LocalProjection, VectorOverloadsMatchScalar) {
+  const LocalProjection proj({10.0, 20.0});
+  const std::vector<Enu> pts = {{1, 2}, {-3, 4}, {0, 0}};
+  const auto lls = proj.to_latlon(pts);
+  const auto back = proj.to_enu(lls);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(back[i].east, pts[i].east, 1e-9);
+    EXPECT_NEAR(back[i].north, pts[i].north, 1e-9);
+  }
+}
+
+TEST(BoundingBox, OfPointsAndContains) {
+  const auto box = BoundingBox::of({{0, 0}, {10, -5}, {3, 7}});
+  EXPECT_DOUBLE_EQ(box.min_east, 0.0);
+  EXPECT_DOUBLE_EQ(box.max_east, 10.0);
+  EXPECT_DOUBLE_EQ(box.min_north, -5.0);
+  EXPECT_DOUBLE_EQ(box.max_north, 7.0);
+  EXPECT_TRUE(box.contains({5, 0}));
+  EXPECT_FALSE(box.contains({11, 0}));
+  EXPECT_DOUBLE_EQ(box.area(), 120.0);
+}
+
+TEST(BoundingBox, ExpandedGrowsEverySide) {
+  const auto box = BoundingBox::of({{0, 0}, {10, 10}}).expanded(2.0);
+  EXPECT_DOUBLE_EQ(box.min_east, -2.0);
+  EXPECT_DOUBLE_EQ(box.max_north, 12.0);
+  EXPECT_TRUE(box.contains({-1, 11}));
+}
+
+TEST(PointSegment, ProjectionCases) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, {0, 0}, {10, 0}), 3.0);
+  // Clamped to the endpoints.
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, {0, 0}, {10, 0}), 5.0);
+  // Degenerate zero-length segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(PointPolyline, PicksClosestSegment) {
+  const std::vector<Enu> poly = {{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(point_polyline_distance({5, 2}, poly), 2.0);
+  EXPECT_DOUBLE_EQ(point_polyline_distance({12, 5}, poly), 2.0);
+  EXPECT_TRUE(std::isinf(point_polyline_distance({0, 0}, {})));
+  EXPECT_DOUBLE_EQ(point_polyline_distance({3, 4}, {{0, 0}}), 5.0);
+}
+
+// Property sweep: the distance to a polyline is never larger than the
+// distance to any of its vertices.
+class PolylineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolylineProperty, BoundedByVertexDistance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Enu> poly;
+  for (int i = 0; i < 8; ++i) {
+    poly.push_back({rng.uniform(-50, 50), rng.uniform(-50, 50)});
+  }
+  const Enu p{rng.uniform(-80, 80), rng.uniform(-80, 80)};
+  const double d = point_polyline_distance(p, poly);
+  for (const auto& v : poly) EXPECT_LE(d, distance(p, v) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolylineProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace trajkit

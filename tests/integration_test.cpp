@@ -1,0 +1,122 @@
+// End-to-end integration: the paper's full attack/defense story on one
+// shared (small) world.
+//
+//   1. provider trains motion classifiers on real vs naive fakes — naive
+//      attacks are caught;
+//   2. attacker runs the C&W replay attack against classifier C — the
+//      adversarial forgeries now pass C *and transfer* to models the
+//      attacker never saw;
+//   3. provider deploys the RSSI defense — the same class of forgeries is
+//      caught again.
+#include <gtest/gtest.h>
+
+#include "core/motion_pipeline.hpp"
+#include "core/rssi_pipeline.hpp"
+#include "core/scenario.hpp"
+#include "attack/cw.hpp"
+#include "attack/mind.hpp"
+
+namespace trajkit {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new core::Scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+
+    core::MotionDatasetConfig dcfg;
+    dcfg.train_real = 260;
+    dcfg.train_fake = 160;
+    dcfg.test_real = 40;
+    dcfg.test_fake = 40;
+    dcfg.points = 40;
+    dataset_ = new core::MotionDataset(core::build_motion_dataset(*scenario_, dcfg));
+
+    core::MotionModelConfig mcfg;
+    mcfg.hidden = 24;
+    mcfg.epochs = 32;
+    models_ = new core::MotionModels(*dataset_, mcfg);
+  }
+
+  static void TearDownTestSuite() {
+    delete models_;
+    delete dataset_;
+    delete scenario_;
+  }
+
+  static core::Scenario* scenario_;
+  static core::MotionDataset* dataset_;
+  static core::MotionModels* models_;
+};
+
+core::Scenario* EndToEnd::scenario_ = nullptr;
+core::MotionDataset* EndToEnd::dataset_ = nullptr;
+core::MotionModels* EndToEnd::models_ = nullptr;
+
+TEST_F(EndToEnd, Step1_NaiveAttacksAreCaught) {
+  const auto evals = core::evaluate_models(*models_, dataset_->test);
+  for (const auto& eval : evals) {
+    EXPECT_GT(eval.confusion.accuracy(), 0.8) << eval.name;
+  }
+}
+
+TEST_F(EndToEnd, Step2_AdversarialForgeryPassesAndTransfers) {
+  attack::CwConfig cfg;
+  cfg.iterations = 350;
+  const attack::CwAttacker attacker(models_->model_c(), models_->dist_angle_encoder(),
+                                    cfg);
+
+  int fooled_c = 0;
+  int fooled_transfer = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    const auto hist =
+        scenario_->real_trajectories(1, 40, 1.0).front().reported.to_enu(
+            sim::sim_projection());
+    const auto forged = attacker.forge_replay(hist, attack::paper_mind(Mode::kWalking));
+    if (!forged.adversarial) continue;
+    ++fooled_c;
+
+    core::MotionSample sample;
+    sample.points = forged.points;
+    sample.trajectory =
+        Trajectory::from_enu(forged.points, sim::sim_projection(), Mode::kWalking, 1.0);
+    sample.label = 0;
+    // Transfer: LSTM-1 and LSTM-2 never saw these adversarial examples.
+    const auto preds = models_->predict_all(sample);
+    if (preds[2] == 1 || preds[3] == 1) ++fooled_transfer;
+  }
+  EXPECT_GE(fooled_c, trials - 1);         // C is directly attacked
+  EXPECT_GE(fooled_transfer, trials / 2);  // transferability (Table II shape)
+}
+
+TEST_F(EndToEnd, Step3_RssiDefenseCatchesForgeries) {
+  core::RssiExperimentConfig cfg;
+  cfg.total = 400;
+  cfg.points = 24;
+  const auto result = core::run_rssi_experiment(*scenario_, cfg);
+  // Detection well above chance at this scale; the paper-scale benches push
+  // this above 0.9 (see bench_table4).
+  EXPECT_GT(result.confusion.accuracy(), 0.68);
+  EXPECT_GT(result.confusion.recall(), 0.6);
+}
+
+TEST_F(EndToEnd, ForgedTrajectoriesRemainRouteRational) {
+  attack::CwConfig cfg;
+  cfg.iterations = 250;
+  const attack::CwAttacker attacker(models_->model_c(), models_->dist_angle_encoder(),
+                                    cfg);
+  const auto traj = scenario_->real_trajectories(1, 40, 1.0).front();
+  const auto hist = traj.reported.to_enu(sim::sim_projection());
+  const auto forged = attacker.forge_replay(hist, attack::paper_mind(Mode::kWalking));
+
+  // The forgery must stay within GPS-plausible distance of the road system.
+  double worst = 0.0;
+  for (const auto& p : forged.points) {
+    worst = std::max(worst, scenario_->network().distance_to_network(p));
+  }
+  EXPECT_LT(worst, 12.0);
+}
+
+}  // namespace
+}  // namespace trajkit

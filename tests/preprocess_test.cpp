@@ -1,0 +1,268 @@
+// Trajectory preprocessing (resampling, smoothing, stay points, gap
+// splitting) and HMM map matching.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "map/city.hpp"
+#include "map/matcher.hpp"
+#include "sim/dataset.hpp"
+#include "traj/preprocess.hpp"
+
+namespace trajkit {
+namespace {
+
+const LocalProjection kProj({0.0, 0.0});
+
+Trajectory make_traj(const std::vector<Enu>& pts, const std::vector<double>& times,
+                     Mode mode = Mode::kWalking) {
+  std::vector<TrajPoint> tp;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tp.push_back({kProj.to_latlon(pts[i]), times[i]});
+  }
+  return Trajectory(std::move(tp), mode);
+}
+
+TEST(Resample, UniformOutputFromIrregularInput) {
+  // Positions on a line at irregular times; resampled at 1 s.
+  const auto t = make_traj({{0, 0}, {2, 0}, {10, 0}}, {0.0, 2.0, 10.0});
+  const auto r = resample_uniform(t, 1.0);
+  ASSERT_EQ(r.size(), 11u);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i].time_s, static_cast<double>(i), 1e-9);
+    EXPECT_NEAR(r.to_enu(kProj)[i].east, static_cast<double>(i), 1e-6);
+  }
+}
+
+TEST(Resample, DownsamplesToo) {
+  std::vector<Enu> pts;
+  std::vector<double> times;
+  for (int i = 0; i < 21; ++i) {
+    pts.push_back({i * 1.0, 0.0});
+    times.push_back(i * 1.0);
+  }
+  const auto r = resample_uniform(make_traj(pts, times), 5.0);
+  EXPECT_EQ(r.size(), 5u);  // t = 0, 5, 10, 15, 20
+  EXPECT_NEAR(r.to_enu(kProj)[1].east, 5.0, 1e-6);
+}
+
+TEST(Resample, Validates) {
+  const auto t = make_traj({{0, 0}, {1, 0}}, {0.0, 1.0});
+  EXPECT_THROW(resample_uniform(t, 0.0), std::invalid_argument);
+}
+
+TEST(Smooth, ReducesNoiseButKeepsShape) {
+  Rng rng(1);
+  std::vector<Enu> pts;
+  std::vector<double> times;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({i * 2.0 + rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)});
+    times.push_back(i * 1.0);
+  }
+  const auto t = make_traj(pts, times);
+  const auto s = moving_average_smooth(t, 2, kProj);
+  ASSERT_EQ(s.size(), t.size());
+
+  // Lateral (north) deviation from the true line y = 0 shrinks.
+  double rough = 0.0;
+  double smooth = 0.0;
+  const auto sp = s.to_enu(kProj);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    rough += std::fabs(pts[i].north);
+    smooth += std::fabs(sp[i].north);
+  }
+  EXPECT_LT(smooth, rough * 0.7);
+  // Timestamps untouched.
+  EXPECT_DOUBLE_EQ(s[10].time_s, t[10].time_s);
+}
+
+TEST(Smooth, ZeroWindowIsIdentity) {
+  const auto t = make_traj({{0, 0}, {3, 1}, {6, 0}}, {0, 1, 2});
+  const auto s = moving_average_smooth(t, 0, kProj);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(s.to_enu(kProj)[i].east, t.to_enu(kProj)[i].east, 1e-9);
+  }
+}
+
+TEST(StayPoints, DetectsDwellBetweenMovement) {
+  std::vector<Enu> pts;
+  std::vector<double> times;
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i) {  // walk east
+    pts.push_back({i * 3.0, 0.0});
+    times.push_back(t++);
+  }
+  for (int i = 0; i < 30; ++i) {  // dwell at (30, 0)
+    pts.push_back({30.0 + (i % 2) * 0.5, 0.0});
+    times.push_back(t++);
+  }
+  for (int i = 1; i <= 10; ++i) {  // walk on
+    pts.push_back({30.0 + i * 3.0, 0.0});
+    times.push_back(t++);
+  }
+  const auto sps = detect_stay_points(make_traj(pts, times), kProj, 5.0, 20.0);
+  ASSERT_EQ(sps.size(), 1u);
+  EXPECT_NEAR(sps[0].centroid.east, 30.0, 1.5);
+  EXPECT_GE(sps[0].duration_s(), 20.0);
+  EXPECT_GE(sps[0].first_index, 8u);
+}
+
+TEST(StayPoints, NoneOnSteadyMovement) {
+  std::vector<Enu> pts;
+  std::vector<double> times;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({i * 2.0, 0.0});
+    times.push_back(i * 1.0);
+  }
+  EXPECT_TRUE(detect_stay_points(make_traj(pts, times), kProj, 5.0, 10.0).empty());
+}
+
+TEST(SplitOnGaps, CutsAtTimestampHoles) {
+  const auto t = make_traj({{0, 0}, {1, 0}, {2, 0}, {50, 0}, {51, 0}},
+                           {0.0, 1.0, 2.0, 60.0, 61.0});
+  const auto segments = split_on_gaps(t, 5.0);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].size(), 3u);
+  EXPECT_EQ(segments[1].size(), 2u);
+}
+
+TEST(SplitOnGaps, DropsSingletonSegments) {
+  const auto t = make_traj({{0, 0}, {100, 0}, {101, 0}}, {0.0, 60.0, 61.0});
+  const auto segments = split_on_gaps(t, 5.0);
+  ASSERT_EQ(segments.size(), 1u);  // the leading lone point is dropped
+  EXPECT_EQ(segments[0].size(), 2u);
+}
+
+TEST(Resample, SinglePairEndpointsExact) {
+  const auto t = make_traj({{0, 0}, {10, 0}}, {0.0, 4.0});
+  const auto r = resample_uniform(t, 2.0);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r.to_enu(kProj)[0].east, 0.0, 1e-9);
+  EXPECT_NEAR(r.to_enu(kProj)[1].east, 5.0, 1e-6);
+  EXPECT_NEAR(r.to_enu(kProj)[2].east, 10.0, 1e-6);
+}
+
+TEST(StayPoints, TwoSeparateDwells) {
+  std::vector<Enu> pts;
+  std::vector<double> times;
+  double t = 0.0;
+  auto dwell = [&](Enu where, int ticks) {
+    for (int i = 0; i < ticks; ++i) {
+      pts.push_back({where.east + (i % 2) * 0.3, where.north});
+      times.push_back(t++);
+    }
+  };
+  auto walk = [&](Enu from, Enu to, int ticks) {
+    for (int i = 1; i <= ticks; ++i) {
+      const double f = static_cast<double>(i) / ticks;
+      pts.push_back(from + (to - from) * f);
+      times.push_back(t++);
+    }
+  };
+  dwell({0, 0}, 25);
+  walk({0, 0}, {60, 0}, 15);
+  dwell({60, 0}, 25);
+  const auto sps = detect_stay_points(make_traj(pts, times), kProj, 4.0, 15.0);
+  ASSERT_EQ(sps.size(), 2u);
+  EXPECT_NEAR(sps[0].centroid.east, 0.0, 2.0);
+  EXPECT_NEAR(sps[1].centroid.east, 60.0, 2.0);
+  EXPECT_LT(sps[0].depart_s, sps[1].arrive_s);
+}
+
+TEST(SplitOnGaps, NoGapsReturnsWhole) {
+  const auto t = make_traj({{0, 0}, {1, 0}, {2, 0}}, {0.0, 1.0, 2.0});
+  const auto segments = split_on_gaps(t, 5.0);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].size(), 3u);
+}
+
+TEST(Preprocess, ValidatesParameters) {
+  const auto t = make_traj({{0, 0}, {1, 0}, {2, 0}}, {0.0, 1.0, 2.0});
+  EXPECT_THROW(detect_stay_points(t, kProj, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(detect_stay_points(t, kProj, 5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(split_on_gaps(t, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Map matching.
+
+TEST(MapMatcher, SnapsNoisyTraceToItsRoad) {
+  Rng rng(2);
+  const auto net = map::make_city({.blocks_x = 5, .blocks_y = 5}, rng);
+  const sim::TrajectorySimulator simulator(net);
+  const auto traj = simulator.simulate_real(Mode::kWalking, 30, 1.0, rng);
+
+  const map::MapMatcher matcher(net);
+  const auto result = matcher.match(traj.reported.to_enu(sim::sim_projection()));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->points.size(), 30u);
+  // Genuine on-road traces snap within GPS error.
+  EXPECT_LT(result->mean_offset_m, 2.5);
+  // Every snapped point is on the network.
+  for (const auto& mp : result->points) {
+    EXPECT_LT(net.distance_to_network(mp.snapped), 1e-6);
+  }
+}
+
+TEST(MapMatcher, RejectsOffMapTrajectory) {
+  Rng rng(3);
+  const auto net = map::make_city({.blocks_x = 4, .blocks_y = 4}, rng);
+  const map::MapMatcher matcher(net);
+  // A trace far outside the city bounds.
+  std::vector<Enu> off = {{5000, 5000}, {5010, 5000}, {5020, 5000}};
+  EXPECT_FALSE(matcher.match(off).has_value());
+}
+
+TEST(MapMatcher, ForgedTrajectoryStillMatchesItsRoute) {
+  // Route rationality of the replay forgery: the perturbed trace must still
+  // map-match with small offsets.
+  Rng rng(4);
+  const auto net = map::make_city({.blocks_x = 5, .blocks_y = 5}, rng);
+  const sim::TrajectorySimulator simulator(net);
+  const auto traj = simulator.simulate_real(Mode::kWalking, 30, 1.0, rng);
+  const auto hist = traj.reported.to_enu(sim::sim_projection());
+
+  const map::MapMatcher matcher(net);
+  const auto matched = matcher.match(hist);
+  ASSERT_TRUE(matched.has_value());
+  // 1.4 m/step displacement keeps the trace within matching tolerance.
+  EXPECT_LT(matched->mean_offset_m + 1.4, matcher.config().max_candidate_distance_m);
+}
+
+TEST(MapMatcher, ValidatesInput) {
+  Rng rng(5);
+  const auto net = map::make_city({.blocks_x = 3, .blocks_y = 3}, rng);
+  const map::MapMatcher matcher(net);
+  EXPECT_THROW(matcher.match({{0, 0}}), std::invalid_argument);
+  map::MatchConfig bad;
+  bad.gps_sigma_m = 0.0;
+  EXPECT_THROW(map::MapMatcher(net, bad), std::invalid_argument);
+}
+
+TEST(MapMatcher, PrefersContinuousPathOverNearestEdge) {
+  // Two parallel roads 12 m apart; the trace runs along the north one but one
+  // noisy fix leans toward the south road.  HMM continuity should keep the
+  // match on the north road.
+  map::RoadNetwork net;
+  const auto a0 = net.add_node({0, 0});
+  const auto a1 = net.add_node({100, 0});
+  const auto b0 = net.add_node({0, 12});
+  const auto b1 = net.add_node({100, 12});
+  net.add_edge(a0, a1, map::RoadClass::kLocal);
+  const auto north_edge = net.add_edge(b0, b1, map::RoadClass::kLocal);
+
+  std::vector<Enu> trace;
+  for (int i = 0; i <= 10; ++i) trace.push_back({i * 10.0, 11.0});
+  trace[5].north = 5.4;  // an outlier fix leaning to the south road
+
+  map::MatchConfig cfg;
+  cfg.gps_sigma_m = 4.0;
+  const map::MapMatcher matcher(net, cfg);
+  const auto result = matcher.match(trace);
+  ASSERT_TRUE(result.has_value());
+  std::size_t on_north = 0;
+  for (const auto& mp : result->points) on_north += mp.edge == north_edge;
+  EXPECT_GE(on_north, 10u);  // at most the outlier itself may flip
+}
+
+}  // namespace
+}  // namespace trajkit

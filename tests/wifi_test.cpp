@@ -1,0 +1,388 @@
+// WiFi RSSI defense: spatial index, RPD estimation (Eq. 4), weights
+// (Eqs. 5-6), confidence (Eq. 7), feature vector (Eq. 8), detector J.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "wifi/confidence.hpp"
+#include "wifi/detector.hpp"
+#include "wifi/features.hpp"
+#include "wifi/refindex.hpp"
+#include "wifi/rpd.hpp"
+
+namespace trajkit::wifi {
+namespace {
+
+ReferencePoint ref(double east, double north, WifiScan scan,
+                   std::uint32_t traj = kNoTrajectory) {
+  return {{east, north}, std::move(scan), traj};
+}
+
+TEST(ScanLookup, FindsAndMisses) {
+  const WifiScan scan = {{10, -40}, {20, -55}};
+  int out = 0;
+  EXPECT_TRUE(scan_lookup(scan, 20, out));
+  EXPECT_EQ(out, -55);
+  EXPECT_FALSE(scan_lookup(scan, 99, out));
+}
+
+TEST(ReferenceIndex, RadiusQueryMatchesBruteForce) {
+  Rng rng(1);
+  std::vector<ReferencePoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(ref(rng.uniform(0, 100), rng.uniform(0, 100), {}));
+  }
+  const ReferenceIndex index(pts);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Enu center{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double radius = rng.uniform(1.0, 20.0);
+    auto got = index.within(center, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i].pos, center) <= radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "trial " << trial;
+    EXPECT_EQ(index.count_within(center, radius), want.size());
+  }
+}
+
+TEST(ReferenceIndex, ExclusionDropsOneTrajectory) {
+  std::vector<ReferencePoint> pts = {
+      ref(0, 0, {}, 7), ref(1, 0, {}, 7), ref(0, 1, {}, 8)};
+  const ReferenceIndex index(pts);
+  EXPECT_EQ(index.within({0, 0}, 5.0).size(), 3u);
+  EXPECT_EQ(index.within({0, 0}, 5.0, 7).size(), 1u);
+  EXPECT_EQ(index.within({0, 0}, 5.0, 8).size(), 2u);
+}
+
+TEST(ReferenceIndex, EmptyAndBoundary) {
+  const ReferenceIndex empty({});
+  EXPECT_TRUE(empty.within({0, 0}, 100.0).empty());
+
+  // Inclusive radius boundary.
+  const ReferenceIndex one({ref(3, 4, {})});
+  EXPECT_EQ(one.within({0, 0}, 5.0).size(), 1u);
+  EXPECT_EQ(one.within({0, 0}, 4.999).size(), 0u);
+}
+
+TEST(Rpd, ExactMatchRatio) {
+  // Counting circle of H contains 4 points; mac 1 reads -50 twice, -52 once,
+  // absent once => RPD(-50) = 2/4, RPD(-52) = 1/4, RPD(-60) = 0.
+  std::vector<ReferencePoint> pts = {
+      ref(0, 0, {{1, -50}}),
+      ref(1, 0, {{1, -50}}),
+      ref(0, 1, {{1, -52}}),
+      ref(1, 1, {{2, -70}}),
+  };
+  const ReferenceIndex index(pts);
+  const RpdEstimator rpd(index, {.counting_radius_m = 3.0});
+  EXPECT_DOUBLE_EQ(rpd.rpd(0, 1, -50), 0.5);
+  EXPECT_DOUBLE_EQ(rpd.rpd(0, 1, -52), 0.25);
+  EXPECT_DOUBLE_EQ(rpd.rpd(0, 1, -60), 0.0);
+  EXPECT_DOUBLE_EQ(rpd.rpd(0, 99, -50), 0.0);  // unknown AP
+  EXPECT_EQ(rpd.counting_size(0), 4u);
+}
+
+TEST(Rpd, ToleranceSmoothsMatches) {
+  std::vector<ReferencePoint> pts = {
+      ref(0, 0, {{1, -50}}),
+      ref(1, 0, {{1, -51}}),
+  };
+  const ReferenceIndex index(pts);
+  const RpdEstimator exact(index, {.counting_radius_m = 3.0, .rssi_tolerance_db = 0});
+  const RpdEstimator smooth(index, {.counting_radius_m = 3.0, .rssi_tolerance_db = 1});
+  EXPECT_DOUBLE_EQ(exact.rpd(0, 1, -50), 0.5);
+  EXPECT_DOUBLE_EQ(smooth.rpd(0, 1, -50), 1.0);
+}
+
+TEST(Rpd, DensityAndTheta2Monotone) {
+  // Two clusters of different density.
+  std::vector<ReferencePoint> dense;
+  for (int i = 0; i < 20; ++i) {
+    dense.push_back(ref(i * 0.1, 0, {}));
+  }
+  dense.push_back(ref(100, 100, {}));  // isolated point
+  const ReferenceIndex index(dense);
+  const RpdEstimator rpd(index, {.counting_radius_m = 3.0});
+  EXPECT_GT(rpd.density(0), rpd.density(20));
+  EXPECT_GT(rpd.theta2(0), rpd.theta2(20));
+  EXPECT_GT(rpd.theta2(0), 0.0);
+  EXPECT_LT(rpd.theta2(0), 1.0);
+}
+
+TEST(Rpd, ValidatesParams) {
+  const ReferenceIndex index({ref(0, 0, {})});
+  EXPECT_THROW(RpdEstimator(index, {.counting_radius_m = 0.0}), std::invalid_argument);
+  EXPECT_THROW(RpdEstimator(index, {.counting_radius_m = 1.0, .theta2_base = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RpdEstimator(index, {.counting_radius_m = 1.0, .rssi_tolerance_db = -1}),
+      std::invalid_argument);
+}
+
+TEST(Confidence, PerfectAgreementGivesHighPhi) {
+  // All reference points in a tight cluster agree: mac 1 reads -50.
+  std::vector<ReferencePoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(ref(i * 0.3, 0, {{1, -50}}));
+  }
+  const ReferenceIndex index(pts);
+  const ConfidenceEstimator estimator(index, {.reference_radius_m = 2.5, .top_k = 4});
+  const auto good = estimator.point_confidence({1.0, 0.2}, {{1, -50}});
+  ASSERT_EQ(good.size(), 1u);
+  const auto bad = estimator.point_confidence({1.0, 0.2}, {{1, -60}});
+  EXPECT_GT(good[0].phi, 10.0 * bad[0].phi + 1e-9);
+  EXPECT_GT(good[0].num_refs, 0u);
+}
+
+TEST(Confidence, CloserReferencesWeighMore) {
+  // Two references with conflicting readings; the nearer one should dominate.
+  // The RPD counting radius is kept below their separation so each reference
+  // votes from its own histogram.
+  std::vector<ReferencePoint> pts = {
+      ref(0.2, 0, {{1, -50}}),  // near, says -50
+      ref(2.4, 0, {{1, -70}}),  // far, says -70
+  };
+  const ReferenceIndex index(pts);
+  ConfidenceParams params;
+  params.reference_radius_m = 2.5;
+  params.top_k = 1;
+  params.rpd.counting_radius_m = 1.0;
+  const ConfidenceEstimator estimator(index, params);
+  const auto at_near = estimator.point_confidence({0.0, 0.0}, {{1, -50}});
+  const auto at_far = estimator.point_confidence({0.0, 0.0}, {{1, -70}});
+  EXPECT_GT(at_near[0].phi, at_far[0].phi);
+}
+
+TEST(Confidence, NoReferencesMeansZeroPhi) {
+  const ReferenceIndex index({ref(100, 100, {{1, -40}})});
+  const ConfidenceEstimator estimator(index, {.reference_radius_m = 2.5});
+  const auto out = estimator.point_confidence({0, 0}, {{1, -40}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].phi, 0.0);
+  EXPECT_EQ(out[0].num_refs, 0u);
+  EXPECT_EQ(estimator.reference_count({0, 0}), 0u);
+}
+
+TEST(Confidence, TopKTruncatesScan) {
+  const ReferenceIndex index({ref(0, 0, {{1, -40}, {2, -50}, {3, -60}})});
+  const ConfidenceEstimator estimator(index, {.reference_radius_m = 2.5, .top_k = 2});
+  const auto out =
+      estimator.point_confidence({0.5, 0}, {{1, -40}, {2, -50}, {3, -60}});
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].mac, 1u);
+  EXPECT_EQ(out[1].mac, 2u);
+}
+
+TEST(Confidence, AblationSwitchesChangeWeights) {
+  std::vector<ReferencePoint> pts = {
+      ref(0.2, 0, {{1, -50}}),
+      ref(2.0, 0, {{1, -50}}),
+  };
+  const ReferenceIndex index(pts);
+  ConfidenceParams with;
+  with.reference_radius_m = 2.5;
+  ConfidenceParams without = with;
+  without.use_theta1 = false;
+  without.use_theta2 = false;
+  const ConfidenceEstimator a(index, with);
+  const ConfidenceEstimator b(index, without);
+  // Without theta2 damping, phi is the plain average of RPDs = 1.0.
+  EXPECT_NEAR(b.point_confidence({0, 0}, {{1, -50}})[0].phi, 1.0, 1e-9);
+  EXPECT_LT(a.point_confidence({0, 0}, {{1, -50}})[0].phi, 1.0);
+}
+
+TEST(Features, WidthAndPadding) {
+  const ReferenceIndex index({ref(0, 0, {{1, -40}})});
+  const ConfidenceEstimator estimator(index, {.reference_radius_m = 2.5, .top_k = 3});
+  ScannedUpload upload;
+  upload.positions = {{0, 0}, {1, 0}};
+  upload.scans = {{{1, -40}}, {}};  // second point heard nothing
+  const auto f = trajectory_features(estimator, upload);
+  EXPECT_EQ(f.size(), trajectory_feature_width(estimator, 2));
+  EXPECT_EQ(f.size(), 12u);  // 2 points * 3 aps * 2 values
+  // Padding entries are zero.
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+  for (std::size_t i = 6; i < 12; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(Features, MismatchedUploadRejected) {
+  const ReferenceIndex index({ref(0, 0, {})});
+  const ConfidenceEstimator estimator(index, {});
+  ScannedUpload upload;
+  upload.positions = {{0, 0}};
+  upload.scans = {};
+  EXPECT_THROW(trajectory_features(estimator, upload), std::invalid_argument);
+}
+
+TEST(Detector, SeparatesMatchingFromMismatchedRssi) {
+  // Synthetic world: a spatial RSSI field rssi(x) = -40 - x (1 dB per metre).
+  // Real uploads report the field value at their position; fakes report the
+  // field value 10 m away.  The detector must learn the difference.
+  Rng rng(2);
+  auto field = [](const Enu& p) {
+    return static_cast<int>(std::lround(-40.0 - p.east));
+  };
+  std::vector<ReferencePoint> history;
+  for (int i = 0; i < 2000; ++i) {
+    const Enu p{rng.uniform(0, 40), rng.uniform(0, 40)};
+    history.push_back(ref(p.east, p.north, {{1, field(p)}}));
+  }
+
+  auto make_upload = [&](bool genuine) {
+    ScannedUpload upload;
+    for (int j = 0; j < 5; ++j) {
+      const Enu p{rng.uniform(5, 35), rng.uniform(5, 35)};
+      upload.positions.push_back(p);
+      const Enu src = genuine ? p : Enu{p.east + 10.0, p.north};
+      upload.scans.push_back({{1, field(src)}});
+    }
+    return upload;
+  };
+
+  RssiDetectorConfig cfg;
+  cfg.confidence.reference_radius_m = 2.5;
+  cfg.confidence.top_k = 2;
+  cfg.classifier.num_trees = 40;
+  RssiDetector detector(history, cfg);
+
+  std::vector<ScannedUpload> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    train.push_back(make_upload(true));
+    labels.push_back(1);
+    train.push_back(make_upload(false));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  int correct = 0;
+  for (int i = 0; i < 40; ++i) {
+    correct += detector.verify(make_upload(true)) == 1;
+    correct += detector.verify(make_upload(false)) == 0;
+  }
+  EXPECT_GT(correct, 72);  // > 90%
+}
+
+TEST(Detector, SaveLoadRoundTrip) {
+  Rng rng(3);
+  auto field = [](const Enu& p) {
+    return static_cast<int>(std::lround(-40.0 - p.east));
+  };
+  std::vector<ReferencePoint> history;
+  for (int i = 0; i < 500; ++i) {
+    const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
+    history.push_back(ref(p.east, p.north, {{1, field(p)}}, i / 10));
+  }
+  RssiDetectorConfig cfg;
+  cfg.confidence.reference_radius_m = 3.0;
+  cfg.confidence.top_k = 2;
+  cfg.classifier.num_trees = 15;
+  RssiDetector detector(history, cfg);
+
+  auto make_upload = [&](bool genuine) {
+    ScannedUpload upload;
+    for (int j = 0; j < 4; ++j) {
+      const Enu p{rng.uniform(5, 25), rng.uniform(5, 25)};
+      upload.positions.push_back(p);
+      const Enu src = genuine ? p : Enu{p.east + 8.0, p.north};
+      upload.scans.push_back({{1, field(src)}});
+    }
+    return upload;
+  };
+  std::vector<ScannedUpload> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    train.push_back(make_upload(true));
+    labels.push_back(1);
+    train.push_back(make_upload(false));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  std::stringstream ss;
+  detector.save(ss);
+  const auto loaded = RssiDetector::load(ss);
+  ASSERT_EQ(loaded->index().size(), detector.index().size());
+  for (int i = 0; i < 20; ++i) {
+    const auto upload = make_upload(i % 2 == 0);
+    EXPECT_NEAR(detector.predict_proba(upload), loaded->predict_proba(upload), 1e-12);
+  }
+}
+
+TEST(Detector, LoadRejectsGarbage) {
+  std::stringstream ss("definitely_not_a_detector");
+  EXPECT_THROW(RssiDetector::load(ss), std::runtime_error);
+}
+
+TEST(Detector, PointScoresLocaliseMismatchedStretch) {
+  Rng rng(4);
+  auto field = [](const Enu& p) {
+    return static_cast<int>(std::lround(-40.0 - p.east));
+  };
+  std::vector<ReferencePoint> history;
+  for (int i = 0; i < 3000; ++i) {
+    const Enu p{rng.uniform(0, 60), rng.uniform(0, 60)};
+    history.push_back(ref(p.east, p.north, {{1, field(p)}}));
+  }
+  RssiDetector detector(history, {});
+
+  // First half consistent, second half claims positions 20 m away from where
+  // the (genuine) scans were heard.
+  ScannedUpload upload;
+  for (int j = 0; j < 10; ++j) {
+    const Enu p{10.0 + j * 3.0, 30.0};
+    // The synthetic field varies with east, so the fraud must shift east.
+    upload.positions.push_back(j < 5 ? p : Enu{p.east + 20.0, p.north});
+    upload.scans.push_back({{1, field(p)}});
+  }
+  const auto scores = detector.point_scores(upload);
+  ASSERT_EQ(scores.size(), 10u);
+  double good = 0.0;
+  double bad = 0.0;
+  for (int j = 0; j < 5; ++j) good += scores[j];
+  for (int j = 5; j < 10; ++j) bad += scores[j];
+  EXPECT_GT(good, 4.0 * bad + 1e-9);
+}
+
+TEST(Detector, RequiresTrainingBeforeVerify) {
+  RssiDetector detector({ref(0, 0, {})}, {});
+  ScannedUpload upload;
+  upload.positions = {{0, 0}};
+  upload.scans = {{}};
+  EXPECT_THROW(detector.verify(upload), std::logic_error);
+}
+
+TEST(Detector, RejectsUnevenUploadLengths) {
+  RssiDetector detector({ref(0, 0, {})}, {});
+  ScannedUpload a;
+  a.positions = {{0, 0}};
+  a.scans = {{}};
+  ScannedUpload b;
+  b.positions = {{0, 0}, {1, 0}};
+  b.scans = {{}, {}};
+  EXPECT_THROW(detector.train({a, b}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Detector, FlattenHistoryTagsAndChecks) {
+  std::vector<ScannedUpload> history(2);
+  history[0].positions = {{0, 0}, {1, 0}};
+  history[0].scans = {{}, {}};
+  history[1].positions = {{2, 0}};
+  history[1].scans = {{}};
+  const auto flat = flatten_history(history);
+  EXPECT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0].traj_id, 0u);
+  EXPECT_EQ(flat[1].traj_id, 0u);
+  EXPECT_EQ(flat[2].traj_id, 1u);
+
+  std::vector<ScannedUpload> bad(1);
+  bad[0].positions = {{0, 0}};
+  EXPECT_THROW(flatten_history(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trajkit::wifi
