@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rpd.dir/bench_ablation_rpd.cpp.o"
+  "CMakeFiles/bench_ablation_rpd.dir/bench_ablation_rpd.cpp.o.d"
+  "bench_ablation_rpd"
+  "bench_ablation_rpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_baselines.dir/bench_attack_baselines.cpp.o"
+  "CMakeFiles/bench_attack_baselines.dir/bench_attack_baselines.cpp.o.d"
+  "bench_attack_baselines"
+  "bench_attack_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_density.cpp" "bench/CMakeFiles/bench_fig5_density.dir/bench_fig5_density.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_density.dir/bench_fig5_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/traj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/traj_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/traj_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/traj_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/traj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/traj_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/traj_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/traj_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/traj_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

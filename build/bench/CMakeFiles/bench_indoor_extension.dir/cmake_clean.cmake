@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indoor_extension.dir/bench_indoor_extension.cpp.o"
+  "CMakeFiles/bench_indoor_extension.dir/bench_indoor_extension.cpp.o.d"
+  "bench_indoor_extension"
+  "bench_indoor_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indoor_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

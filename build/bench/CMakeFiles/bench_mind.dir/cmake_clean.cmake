@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mind.dir/bench_mind.cpp.o"
+  "CMakeFiles/bench_mind.dir/bench_mind.cpp.o.d"
+  "bench_mind"
+  "bench_mind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

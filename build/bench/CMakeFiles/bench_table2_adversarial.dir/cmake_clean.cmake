@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_adversarial.dir/bench_table2_adversarial.cpp.o"
+  "CMakeFiles/bench_table2_adversarial.dir/bench_table2_adversarial.cpp.o.d"
+  "bench_table2_adversarial"
+  "bench_table2_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

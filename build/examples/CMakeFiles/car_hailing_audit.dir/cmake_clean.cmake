@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_hailing_audit.dir/car_hailing_audit.cpp.o"
+  "CMakeFiles/car_hailing_audit.dir/car_hailing_audit.cpp.o.d"
+  "car_hailing_audit"
+  "car_hailing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_hailing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

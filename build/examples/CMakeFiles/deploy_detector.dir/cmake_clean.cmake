@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_detector.dir/deploy_detector.cpp.o"
+  "CMakeFiles/deploy_detector.dir/deploy_detector.cpp.o.d"
+  "deploy_detector"
+  "deploy_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forge_trajectory.dir/forge_trajectory.cpp.o"
+  "CMakeFiles/forge_trajectory.dir/forge_trajectory.cpp.o.d"
+  "forge_trajectory"
+  "forge_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forge_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

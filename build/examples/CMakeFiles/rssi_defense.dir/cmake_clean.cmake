@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rssi_defense.dir/rssi_defense.cpp.o"
+  "CMakeFiles/rssi_defense.dir/rssi_defense.cpp.o.d"
+  "rssi_defense"
+  "rssi_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rssi_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

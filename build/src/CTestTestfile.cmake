@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("traj")
+subdirs("dtw")
+subdirs("nn")
+subdirs("gbt")
+subdirs("map")
+subdirs("sim")
+subdirs("attack")
+subdirs("baseline")
+subdirs("wifi")
+subdirs("core")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/cw.cpp" "src/attack/CMakeFiles/traj_attack.dir/cw.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/cw.cpp.o.d"
+  "/root/repo/src/attack/gradient_baselines.cpp" "src/attack/CMakeFiles/traj_attack.dir/gradient_baselines.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/gradient_baselines.cpp.o.d"
+  "/root/repo/src/attack/mind.cpp" "src/attack/CMakeFiles/traj_attack.dir/mind.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/mind.cpp.o.d"
+  "/root/repo/src/attack/naive.cpp" "src/attack/CMakeFiles/traj_attack.dir/naive.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/naive.cpp.o.d"
+  "/root/repo/src/attack/replay.cpp" "src/attack/CMakeFiles/traj_attack.dir/replay.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/replay.cpp.o.d"
+  "/root/repo/src/attack/spsa.cpp" "src/attack/CMakeFiles/traj_attack.dir/spsa.cpp.o" "gcc" "src/attack/CMakeFiles/traj_attack.dir/spsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/traj_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/traj_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/traj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/traj_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

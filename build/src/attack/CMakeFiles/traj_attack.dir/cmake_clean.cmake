@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_attack.dir/cw.cpp.o"
+  "CMakeFiles/traj_attack.dir/cw.cpp.o.d"
+  "CMakeFiles/traj_attack.dir/gradient_baselines.cpp.o"
+  "CMakeFiles/traj_attack.dir/gradient_baselines.cpp.o.d"
+  "CMakeFiles/traj_attack.dir/mind.cpp.o"
+  "CMakeFiles/traj_attack.dir/mind.cpp.o.d"
+  "CMakeFiles/traj_attack.dir/naive.cpp.o"
+  "CMakeFiles/traj_attack.dir/naive.cpp.o.d"
+  "CMakeFiles/traj_attack.dir/replay.cpp.o"
+  "CMakeFiles/traj_attack.dir/replay.cpp.o.d"
+  "CMakeFiles/traj_attack.dir/spsa.cpp.o"
+  "CMakeFiles/traj_attack.dir/spsa.cpp.o.d"
+  "libtraj_attack.a"
+  "libtraj_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

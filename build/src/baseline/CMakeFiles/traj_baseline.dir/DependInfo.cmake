@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/accel_check.cpp" "src/baseline/CMakeFiles/traj_baseline.dir/accel_check.cpp.o" "gcc" "src/baseline/CMakeFiles/traj_baseline.dir/accel_check.cpp.o.d"
+  "/root/repo/src/baseline/replay_check.cpp" "src/baseline/CMakeFiles/traj_baseline.dir/replay_check.cpp.o" "gcc" "src/baseline/CMakeFiles/traj_baseline.dir/replay_check.cpp.o.d"
+  "/root/repo/src/baseline/rssi_similarity.cpp" "src/baseline/CMakeFiles/traj_baseline.dir/rssi_similarity.cpp.o" "gcc" "src/baseline/CMakeFiles/traj_baseline.dir/rssi_similarity.cpp.o.d"
+  "/root/repo/src/baseline/rule_based.cpp" "src/baseline/CMakeFiles/traj_baseline.dir/rule_based.cpp.o" "gcc" "src/baseline/CMakeFiles/traj_baseline.dir/rule_based.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wifi/CMakeFiles/traj_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/traj_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbt/CMakeFiles/traj_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_baseline.dir/accel_check.cpp.o"
+  "CMakeFiles/traj_baseline.dir/accel_check.cpp.o.d"
+  "CMakeFiles/traj_baseline.dir/replay_check.cpp.o"
+  "CMakeFiles/traj_baseline.dir/replay_check.cpp.o.d"
+  "CMakeFiles/traj_baseline.dir/rssi_similarity.cpp.o"
+  "CMakeFiles/traj_baseline.dir/rssi_similarity.cpp.o.d"
+  "CMakeFiles/traj_baseline.dir/rule_based.cpp.o"
+  "CMakeFiles/traj_baseline.dir/rule_based.cpp.o.d"
+  "libtraj_baseline.a"
+  "libtraj_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

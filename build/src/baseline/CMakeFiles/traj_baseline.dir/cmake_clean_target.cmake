@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtraj_baseline.a"
+)

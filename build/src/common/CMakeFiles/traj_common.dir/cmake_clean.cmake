@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_common.dir/cli.cpp.o"
+  "CMakeFiles/traj_common.dir/cli.cpp.o.d"
+  "CMakeFiles/traj_common.dir/metrics.cpp.o"
+  "CMakeFiles/traj_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/traj_common.dir/rng.cpp.o"
+  "CMakeFiles/traj_common.dir/rng.cpp.o.d"
+  "CMakeFiles/traj_common.dir/stats.cpp.o"
+  "CMakeFiles/traj_common.dir/stats.cpp.o.d"
+  "CMakeFiles/traj_common.dir/table.cpp.o"
+  "CMakeFiles/traj_common.dir/table.cpp.o.d"
+  "libtraj_common.a"
+  "libtraj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

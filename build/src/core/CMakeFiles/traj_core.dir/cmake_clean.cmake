@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_core.dir/motion_pipeline.cpp.o"
+  "CMakeFiles/traj_core.dir/motion_pipeline.cpp.o.d"
+  "CMakeFiles/traj_core.dir/rssi_pipeline.cpp.o"
+  "CMakeFiles/traj_core.dir/rssi_pipeline.cpp.o.d"
+  "CMakeFiles/traj_core.dir/scenario.cpp.o"
+  "CMakeFiles/traj_core.dir/scenario.cpp.o.d"
+  "libtraj_core.a"
+  "libtraj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

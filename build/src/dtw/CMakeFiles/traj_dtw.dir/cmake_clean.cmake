@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_dtw.dir/dtw.cpp.o"
+  "CMakeFiles/traj_dtw.dir/dtw.cpp.o.d"
+  "CMakeFiles/traj_dtw.dir/soft_dtw.cpp.o"
+  "CMakeFiles/traj_dtw.dir/soft_dtw.cpp.o.d"
+  "libtraj_dtw.a"
+  "libtraj_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

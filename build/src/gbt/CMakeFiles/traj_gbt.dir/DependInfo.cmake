@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbt/binning.cpp" "src/gbt/CMakeFiles/traj_gbt.dir/binning.cpp.o" "gcc" "src/gbt/CMakeFiles/traj_gbt.dir/binning.cpp.o.d"
+  "/root/repo/src/gbt/booster.cpp" "src/gbt/CMakeFiles/traj_gbt.dir/booster.cpp.o" "gcc" "src/gbt/CMakeFiles/traj_gbt.dir/booster.cpp.o.d"
+  "/root/repo/src/gbt/tree.cpp" "src/gbt/CMakeFiles/traj_gbt.dir/tree.cpp.o" "gcc" "src/gbt/CMakeFiles/traj_gbt.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

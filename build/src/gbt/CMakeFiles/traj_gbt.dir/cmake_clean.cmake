@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_gbt.dir/binning.cpp.o"
+  "CMakeFiles/traj_gbt.dir/binning.cpp.o.d"
+  "CMakeFiles/traj_gbt.dir/booster.cpp.o"
+  "CMakeFiles/traj_gbt.dir/booster.cpp.o.d"
+  "CMakeFiles/traj_gbt.dir/tree.cpp.o"
+  "CMakeFiles/traj_gbt.dir/tree.cpp.o.d"
+  "libtraj_gbt.a"
+  "libtraj_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_geo.dir/geo.cpp.o"
+  "CMakeFiles/traj_geo.dir/geo.cpp.o.d"
+  "libtraj_geo.a"
+  "libtraj_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

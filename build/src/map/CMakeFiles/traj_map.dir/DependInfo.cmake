@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/city.cpp" "src/map/CMakeFiles/traj_map.dir/city.cpp.o" "gcc" "src/map/CMakeFiles/traj_map.dir/city.cpp.o.d"
+  "/root/repo/src/map/matcher.cpp" "src/map/CMakeFiles/traj_map.dir/matcher.cpp.o" "gcc" "src/map/CMakeFiles/traj_map.dir/matcher.cpp.o.d"
+  "/root/repo/src/map/nav.cpp" "src/map/CMakeFiles/traj_map.dir/nav.cpp.o" "gcc" "src/map/CMakeFiles/traj_map.dir/nav.cpp.o.d"
+  "/root/repo/src/map/roadnet.cpp" "src/map/CMakeFiles/traj_map.dir/roadnet.cpp.o" "gcc" "src/map/CMakeFiles/traj_map.dir/roadnet.cpp.o.d"
+  "/root/repo/src/map/route.cpp" "src/map/CMakeFiles/traj_map.dir/route.cpp.o" "gcc" "src/map/CMakeFiles/traj_map.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

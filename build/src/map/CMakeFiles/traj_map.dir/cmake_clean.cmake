@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_map.dir/city.cpp.o"
+  "CMakeFiles/traj_map.dir/city.cpp.o.d"
+  "CMakeFiles/traj_map.dir/matcher.cpp.o"
+  "CMakeFiles/traj_map.dir/matcher.cpp.o.d"
+  "CMakeFiles/traj_map.dir/nav.cpp.o"
+  "CMakeFiles/traj_map.dir/nav.cpp.o.d"
+  "CMakeFiles/traj_map.dir/roadnet.cpp.o"
+  "CMakeFiles/traj_map.dir/roadnet.cpp.o.d"
+  "CMakeFiles/traj_map.dir/route.cpp.o"
+  "CMakeFiles/traj_map.dir/route.cpp.o.d"
+  "libtraj_map.a"
+  "libtraj_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/traj_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/classifier.cpp" "src/nn/CMakeFiles/traj_nn.dir/classifier.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/classifier.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/traj_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/traj_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/traj_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/traj_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/traj_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/traj_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_nn.dir/adam.cpp.o"
+  "CMakeFiles/traj_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/classifier.cpp.o"
+  "CMakeFiles/traj_nn.dir/classifier.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/dense.cpp.o"
+  "CMakeFiles/traj_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/gru.cpp.o"
+  "CMakeFiles/traj_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/lstm.cpp.o"
+  "CMakeFiles/traj_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/matrix.cpp.o"
+  "CMakeFiles/traj_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/traj_nn.dir/serialize.cpp.o"
+  "CMakeFiles/traj_nn.dir/serialize.cpp.o.d"
+  "libtraj_nn.a"
+  "libtraj_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerometer.cpp" "src/sim/CMakeFiles/traj_sim.dir/accelerometer.cpp.o" "gcc" "src/sim/CMakeFiles/traj_sim.dir/accelerometer.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/traj_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/traj_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/gps.cpp" "src/sim/CMakeFiles/traj_sim.dir/gps.cpp.o" "gcc" "src/sim/CMakeFiles/traj_sim.dir/gps.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/traj_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/traj_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/wifi_world.cpp" "src/sim/CMakeFiles/traj_sim.dir/wifi_world.cpp.o" "gcc" "src/sim/CMakeFiles/traj_sim.dir/wifi_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/map/CMakeFiles/traj_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/traj_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

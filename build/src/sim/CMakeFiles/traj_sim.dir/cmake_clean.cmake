@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_sim.dir/accelerometer.cpp.o"
+  "CMakeFiles/traj_sim.dir/accelerometer.cpp.o.d"
+  "CMakeFiles/traj_sim.dir/dataset.cpp.o"
+  "CMakeFiles/traj_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/traj_sim.dir/gps.cpp.o"
+  "CMakeFiles/traj_sim.dir/gps.cpp.o.d"
+  "CMakeFiles/traj_sim.dir/mobility.cpp.o"
+  "CMakeFiles/traj_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/traj_sim.dir/wifi_world.cpp.o"
+  "CMakeFiles/traj_sim.dir/wifi_world.cpp.o.d"
+  "libtraj_sim.a"
+  "libtraj_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/features.cpp" "src/traj/CMakeFiles/traj_traj.dir/features.cpp.o" "gcc" "src/traj/CMakeFiles/traj_traj.dir/features.cpp.o.d"
+  "/root/repo/src/traj/io.cpp" "src/traj/CMakeFiles/traj_traj.dir/io.cpp.o" "gcc" "src/traj/CMakeFiles/traj_traj.dir/io.cpp.o.d"
+  "/root/repo/src/traj/preprocess.cpp" "src/traj/CMakeFiles/traj_traj.dir/preprocess.cpp.o" "gcc" "src/traj/CMakeFiles/traj_traj.dir/preprocess.cpp.o.d"
+  "/root/repo/src/traj/trajectory.cpp" "src/traj/CMakeFiles/traj_traj.dir/trajectory.cpp.o" "gcc" "src/traj/CMakeFiles/traj_traj.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

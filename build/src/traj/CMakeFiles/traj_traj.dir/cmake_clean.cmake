@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_traj.dir/features.cpp.o"
+  "CMakeFiles/traj_traj.dir/features.cpp.o.d"
+  "CMakeFiles/traj_traj.dir/io.cpp.o"
+  "CMakeFiles/traj_traj.dir/io.cpp.o.d"
+  "CMakeFiles/traj_traj.dir/preprocess.cpp.o"
+  "CMakeFiles/traj_traj.dir/preprocess.cpp.o.d"
+  "CMakeFiles/traj_traj.dir/trajectory.cpp.o"
+  "CMakeFiles/traj_traj.dir/trajectory.cpp.o.d"
+  "libtraj_traj.a"
+  "libtraj_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

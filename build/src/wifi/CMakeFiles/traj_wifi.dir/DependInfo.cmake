@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/confidence.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/confidence.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/confidence.cpp.o.d"
+  "/root/repo/src/wifi/detector.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/detector.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/detector.cpp.o.d"
+  "/root/repo/src/wifi/detector_io.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/detector_io.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/detector_io.cpp.o.d"
+  "/root/repo/src/wifi/features.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/features.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/features.cpp.o.d"
+  "/root/repo/src/wifi/refindex.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/refindex.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/refindex.cpp.o.d"
+  "/root/repo/src/wifi/rpd.cpp" "src/wifi/CMakeFiles/traj_wifi.dir/rpd.cpp.o" "gcc" "src/wifi/CMakeFiles/traj_wifi.dir/rpd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gbt/CMakeFiles/traj_gbt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/traj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/traj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_wifi.dir/confidence.cpp.o"
+  "CMakeFiles/traj_wifi.dir/confidence.cpp.o.d"
+  "CMakeFiles/traj_wifi.dir/detector.cpp.o"
+  "CMakeFiles/traj_wifi.dir/detector.cpp.o.d"
+  "CMakeFiles/traj_wifi.dir/detector_io.cpp.o"
+  "CMakeFiles/traj_wifi.dir/detector_io.cpp.o.d"
+  "CMakeFiles/traj_wifi.dir/features.cpp.o"
+  "CMakeFiles/traj_wifi.dir/features.cpp.o.d"
+  "CMakeFiles/traj_wifi.dir/refindex.cpp.o"
+  "CMakeFiles/traj_wifi.dir/refindex.cpp.o.d"
+  "CMakeFiles/traj_wifi.dir/rpd.cpp.o"
+  "CMakeFiles/traj_wifi.dir/rpd.cpp.o.d"
+  "libtraj_wifi.a"
+  "libtraj_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

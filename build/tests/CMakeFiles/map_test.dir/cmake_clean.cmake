@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_test.dir/map_test.cpp.o"
+  "CMakeFiles/map_test.dir/map_test.cpp.o.d"
+  "map_test"
+  "map_test.pdb"
+  "map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

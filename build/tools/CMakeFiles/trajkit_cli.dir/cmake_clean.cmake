@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajkit_cli.dir/trajkit_cli.cpp.o"
+  "CMakeFiles/trajkit_cli.dir/trajkit_cli.cpp.o.d"
+  "trajkit_cli"
+  "trajkit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
