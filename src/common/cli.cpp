@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace trajkit {
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
@@ -16,6 +18,11 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
     } else {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     }
+  }
+  if (has("threads")) {
+    const std::int64_t n = get_int("threads", 0);
+    if (n < 0) throw std::invalid_argument("--threads must be >= 0");
+    set_global_threads(static_cast<std::size_t>(n));
   }
 }
 

@@ -3,6 +3,13 @@
 // Every bench accepts `--key=value` overrides for its scaling knobs so that
 // the paper-scale experiment can be re-run on a bigger machine:
 //   bench_table1_naive_classifiers --train=20000 --epochs=100 --hidden=256
+//
+// The parser also owns one global knob: `--threads=N` configures the
+// process-wide thread pool (common/parallel.hpp) for every binary that
+// parses its arguments through CliFlags.  `--threads=1` forces the serial
+// path; omitting the flag defers to the TRAJKIT_THREADS environment
+// variable, then to hardware_concurrency().  Results are identical for any
+// value (see DESIGN.md, "Threading & determinism").
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,184 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace trajkit {
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+/// RAII flag marking the current thread as inside a parallel region.
+struct RegionGuard {
+  bool saved;
+  RegionGuard() : saved(tl_in_parallel) { tl_in_parallel = true; }
+  ~RegionGuard() { tl_in_parallel = saved; }
+};
+
+std::size_t resolve_auto_threads() {
+  if (const char* env = std::getenv("TRAJKIT_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& pool_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  explicit Batch(std::size_t n, const std::function<void(std::size_t)>& f)
+      : nchunks(n), fn(&f), errors(n) {}
+  std::size_t nchunks;
+  const std::function<void(std::size_t)>* fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::exception_ptr> errors;  // slot per chunk; disjoint writes
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
+
+void ThreadPool::participate(Batch& batch) {
+  RegionGuard guard;
+  for (;;) {
+    const std::size_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.nchunks) break;
+    try {
+      (*batch.fn)(c);
+    } catch (...) {
+      batch.errors[c] = std::current_exception();
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.nchunks) {
+      std::lock_guard<std::mutex> lock(batch.done_mu);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || (batch_ && epoch_ != seen); });
+      if (stop_) return;
+      batch = batch_;
+      seen = epoch_;
+    }
+    participate(*batch);
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t nchunks,
+                            const std::function<void(std::size_t)>& chunk_fn) {
+  if (nchunks == 0) return;
+  // Serial fallback: no workers, a single chunk, or a nested region.  The
+  // chunk order (0, 1, ...) matches the reduction order of the parallel path.
+  if (workers_.empty() || nchunks == 1 || tl_in_parallel) {
+    RegionGuard guard;
+    for (std::size_t c = 0; c < nchunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>(nchunks, chunk_fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  participate(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mu);
+    batch->done_cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == nchunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_.reset();
+  }
+  // Deterministic error semantics: rethrow the lowest-indexed failure.
+  for (auto& err : batch->errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+std::size_t global_threads() { return global_pool().size(); }
+
+void set_global_threads(std::size_t n) {
+  if (ThreadPool::in_parallel_region()) {
+    throw std::logic_error("set_global_threads: called inside a parallel region");
+  }
+  auto& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const std::size_t resolved = n > 0 ? n : resolve_auto_threads();
+  if (state.pool && state.pool->size() == resolved) return;
+  state.pool.reset();  // joins old workers before spawning replacements
+  state.pool = std::make_unique<ThreadPool>(resolved);
+}
+
+ThreadPool& global_pool() {
+  auto& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(resolve_auto_threads());
+  }
+  return *state.pool;
+}
+
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = (end - begin + grain - 1) / grain;
+  global_pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    fn(lo, hi);
+  });
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(begin, end, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace trajkit

@@ -1,0 +1,118 @@
+// Deterministic thread-pool execution layer.
+//
+// Every hot path in trajkit (dataset simulation, per-point RPD confidence,
+// minibatch gradient accumulation, batch DTW) fans out over independent work
+// items.  This header provides the one sanctioned way to do that without
+// giving up bit-reproducibility:
+//
+//   * The work decomposition depends only on (range, grain) — never on the
+//     thread count.  Threads only decide *which worker* executes a chunk,
+//     not what the chunks are.
+//   * Reductions (parallel_map_reduce) combine per-chunk partials in chunk
+//     index order on the calling thread, so floating-point summation order
+//     is identical for --threads 1 and --threads N.
+//   * Randomised tasks draw from counter-based RNG sub-streams
+//     (Rng::substream(key, index)) instead of a shared generator, so the
+//     draw sequence seen by task i is a pure function of (key, i).
+//
+// Together these give the invariant the determinism regression tests assert:
+// for a fixed seed, results are byte-identical for any thread count.
+//
+// Nested parallel regions are serialized: a parallel_for issued from inside a
+// running task executes inline on the calling worker (same chunk order), so
+// composed parallel code cannot deadlock and stays deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace trajkit {
+
+/// Fixed-size thread pool (no work stealing: chunks are claimed from a single
+/// shared counter, which keeps the scheduler trivial and the decomposition
+/// deterministic).  `threads` counts the calling thread: a pool of size 1
+/// spawns no workers and runs everything inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Execute chunk_fn(c) for every c in [0, nchunks), blocking until all
+  /// chunks finish.  The calling thread participates.  If one or more chunks
+  /// throw, the exception of the lowest-indexed failing chunk is rethrown
+  /// (other chunks may or may not have run).  Nested calls run inline.
+  void run_chunks(std::size_t nchunks,
+                  const std::function<void(std::size_t)>& chunk_fn);
+
+  /// True while the current thread is executing inside a parallel region
+  /// (used to serialize nested parallelism).
+  static bool in_parallel_region();
+
+ private:
+  struct Batch;
+  void worker_loop();
+  static void participate(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> batch_;  // batch being executed, or null
+  std::uint64_t epoch_ = 0;       // bumped when a new batch is published
+  bool stop_ = false;
+};
+
+/// Current global thread count (resolves and builds the pool on first use).
+std::size_t global_threads();
+
+/// Reconfigure the global pool.  n = 0 means "auto": the TRAJKIT_THREADS
+/// environment variable if set and positive, else hardware_concurrency().
+/// Must not be called while a parallel region is running.
+void set_global_threads(std::size_t n);
+
+/// The process-wide pool used by all parallel_* helpers.
+ThreadPool& global_pool();
+
+/// Run fn(lo, hi) over [begin, end) split into contiguous chunks of `grain`
+/// indices (last chunk may be short).  The decomposition depends only on the
+/// range and grain, never on the thread count.
+void parallel_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Run fn(i) for every i in [begin, end), chunked by `grain` to amortise
+/// scheduling.  Iterations must be independent; writes must go to disjoint
+/// locations (e.g. out[i]).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Deterministic reduction: map_chunk(lo, hi) produces one partial per chunk;
+/// partials are combined with combine(acc, partial) strictly in chunk index
+/// order on the calling thread, so the result is independent of the thread
+/// count (floating-point order included).
+template <typename T, typename MapChunk, typename Combine>
+T parallel_map_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                      T init, MapChunk&& map_chunk, Combine&& combine) {
+  if (end <= begin) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t nchunks = (end - begin + grain - 1) / grain;
+  std::vector<std::optional<T>> partials(nchunks);
+  global_pool().run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    partials[c].emplace(map_chunk(lo, hi));
+  });
+  T acc = std::move(init);
+  for (auto& p : partials) acc = combine(std::move(acc), std::move(*p));
+  return acc;
+}
+
+}  // namespace trajkit

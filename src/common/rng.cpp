@@ -83,4 +83,14 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng Rng::substream(std::uint64_t key, std::uint64_t index) {
+  // Two splitmix64 rounds over a golden-ratio-spread counter decorrelate
+  // adjacent indices; the Rng constructor then expands the result into the
+  // full 256-bit xoshiro state.
+  std::uint64_t x = key + 0x9e3779b97f4a7c15ULL * (index + 1);
+  const std::uint64_t a = splitmix64(x);
+  const std::uint64_t b = splitmix64(x);
+  return Rng(a ^ rotl(b, 32));
+}
+
 }  // namespace trajkit

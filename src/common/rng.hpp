@@ -61,8 +61,16 @@ class Rng {
     }
   }
 
-  /// Derive an independent child generator.
+  /// Derive an independent child generator (advances this generator).
   Rng split();
+
+  /// Counter-based sub-stream derivation: a generator that is a pure function
+  /// of (key, index), with no shared state between indices.  This is how
+  /// parallel tasks get their randomness — the caller draws one `key` from
+  /// its own stream (e.g. `key = rng.next()`), then task i seeds itself with
+  /// `Rng::substream(key, i)`.  Results are therefore independent of how
+  /// tasks are scheduled across threads.
+  static Rng substream(std::uint64_t key, std::uint64_t index);
 
  private:
   std::uint64_t s_[4];

@@ -5,6 +5,7 @@
 
 #include "attack/mind.hpp"
 #include "attack/replay.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace trajkit::core {
@@ -149,6 +150,31 @@ RssiExperimentResult run_rssi_experiment_on(
   // 5. Train and evaluate.
   detector.train(train, train_labels);
 
+  // Evaluation fans out per upload: the reference index and trained
+  // classifier are read-only here, so each test trajectory's score and
+  // per-point statistics can be computed independently.  The running-stat
+  // accumulators are filled serially in index order afterwards, keeping the
+  // floating-point reduction identical for every thread count.
+  struct EvalRow {
+    double p_real = 0.0;
+    std::vector<double> scan_sizes;
+    std::vector<double> ref_counts;
+  };
+  std::vector<EvalRow> rows(test.size());
+  parallel_for(0, test.size(), 1, [&](std::size_t i) {
+    EvalRow& row = rows[i];
+    row.p_real = detector.predict_proba(test[i]);
+    row.scan_sizes.reserve(test[i].scans.size());
+    for (const auto& scan : test[i].scans) {
+      row.scan_sizes.push_back(static_cast<double>(scan.size()));
+    }
+    row.ref_counts.reserve(test[i].positions.size());
+    for (const auto& pos : test[i].positions) {
+      row.ref_counts.push_back(
+          static_cast<double>(detector.confidence().reference_count(pos)));
+    }
+  });
+
   RssiExperimentResult result;
   RunningStats k_stats;
   RunningStats ref_stats;
@@ -156,16 +182,13 @@ RssiExperimentResult run_rssi_experiment_on(
   std::vector<double> scores;
   scores.reserve(test.size());
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const double p_real = detector.predict_proba(test[i]);
-    scores.push_back(p_real);
-    result.confusion.add(test_labels[i], p_real >= 0.5 ? 1 : 0);
-    for (const auto& scan : test[i].scans) {
-      k_stats.add(static_cast<double>(scan.size()));
-      k_values.push_back(static_cast<double>(scan.size()));
+    scores.push_back(rows[i].p_real);
+    result.confusion.add(test_labels[i], rows[i].p_real >= 0.5 ? 1 : 0);
+    for (const double k : rows[i].scan_sizes) {
+      k_stats.add(k);
+      k_values.push_back(k);
     }
-    for (const auto& pos : test[i].positions) {
-      ref_stats.add(static_cast<double>(detector.confidence().reference_count(pos)));
-    }
+    for (const double c : rows[i].ref_counts) ref_stats.add(c);
   }
   result.auc = roc_auc(test_labels, scores);
   result.avg_k = k_stats.mean();

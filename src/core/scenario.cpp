@@ -1,5 +1,7 @@
 #include "core/scenario.hpp"
 
+#include "common/parallel.hpp"
+
 namespace trajkit::core {
 
 ScenarioConfig ScenarioConfig::for_mode(Mode mode) {
@@ -92,37 +94,46 @@ Scenario::Scenario(ScenarioConfig config)
   simulator_ = std::make_unique<sim::TrajectorySimulator>(network_, config_.gps);
 }
 
+// Batch generation fans out one trajectory per task.  Each task draws from
+// its own counter-based RNG sub-stream keyed by a single draw from the
+// scenario stream, so (a) the batch is a deterministic function of the
+// scenario seed and how many draws preceded it, and (b) the result is
+// byte-identical for any thread count.
+
 std::vector<sim::SimulatedTrajectory> Scenario::real_trajectories(std::size_t count,
                                                                   std::size_t points,
                                                                   double interval_s) {
-  std::vector<sim::SimulatedTrajectory> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(simulator_->simulate_real(config_.mode, points, interval_s, rng_));
-  }
+  std::vector<sim::SimulatedTrajectory> out(count);
+  const std::uint64_t key = rng_.next();
+  parallel_for(0, count, 1, [&](std::size_t i) {
+    Rng sub = Rng::substream(key, i);
+    out[i] = simulator_->simulate_real(config_.mode, points, interval_s, sub);
+  });
   return out;
 }
 
 std::vector<sim::SimulatedTrajectory> Scenario::navigation_trajectories(
     std::size_t count, std::size_t points, double interval_s) {
-  std::vector<sim::SimulatedTrajectory> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(
-        simulator_->navigation_trajectory(config_.mode, points, interval_s, rng_));
-  }
+  std::vector<sim::SimulatedTrajectory> out(count);
+  const std::uint64_t key = rng_.next();
+  parallel_for(0, count, 1, [&](std::size_t i) {
+    Rng sub = Rng::substream(key, i);
+    out[i] = simulator_->navigation_trajectory(config_.mode, points, interval_s, sub);
+  });
   return out;
 }
 
 std::vector<sim::ScannedTrajectory> Scenario::scanned_real(std::size_t count,
                                                            std::size_t points,
                                                            double interval_s) {
-  std::vector<sim::ScannedTrajectory> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const auto traj = simulator_->simulate_real(config_.mode, points, interval_s, rng_);
-    out.push_back(sim::attach_scans(traj, *wifi_, rng_));
-  }
+  std::vector<sim::ScannedTrajectory> out(count);
+  const std::uint64_t key = rng_.next();
+  parallel_for(0, count, 1, [&](std::size_t i) {
+    Rng sub = Rng::substream(key, i);
+    const auto traj =
+        simulator_->simulate_real(config_.mode, points, interval_s, sub);
+    out[i] = sim::attach_scans(traj, *wifi_, sub);
+  });
   return out;
 }
 

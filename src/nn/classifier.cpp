@@ -2,12 +2,21 @@
 
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+
+#include "common/parallel.hpp"
 
 namespace trajkit::nn {
 namespace {
 
 Rng make_rng(std::uint64_t seed) { return Rng(seed); }
+
+/// Samples per gradient-accumulation chunk.  Fixed (never derived from the
+/// thread count) so the minibatch decomposition — and therefore the
+/// floating-point summation order of the index-ordered reduction below — is
+/// identical for any --threads value.
+constexpr std::size_t kGradGrain = 8;
 
 }  // namespace
 
@@ -123,15 +132,41 @@ TrainReport LstmClassifier::train(
       for (auto& layer : layers_) layer.zero_grad();
       head_.zero_grad();
 
-      for (std::size_t k = start; k < end; ++k) {
-        const auto& x = xs[order[k]];
-        const int y = ys[order[k]];
-        std::vector<LstmTrace> traces;
-        const double logit = forward_logit(x, &traces);
-        double dlogit = 0.0;
-        total_loss += sigmoid_bce_loss(logit, y, &dlogit);
-        if ((logit >= 0.0) == (y == 1)) ++correct;
-        backward_from_logit(traces, dlogit * inv_batch, nullptr);
+      // Per-sample gradient accumulation fans out over fixed-size chunks of
+      // the minibatch.  Each chunk clones the model (weights are read-only
+      // within a batch; the clone's freshly-zeroed gradient buffers are the
+      // chunk-private accumulators), then the partials are folded back into
+      // the main buffers strictly in chunk index order.
+      struct ChunkPartial {
+        LstmClassifier model;
+        double loss = 0.0;
+        std::size_t correct = 0;
+      };
+      const std::size_t nchunks = (end - start + kGradGrain - 1) / kGradGrain;
+      std::vector<std::optional<ChunkPartial>> partials(nchunks);
+      parallel_chunks(start, end, kGradGrain, [&](std::size_t lo, std::size_t hi) {
+        ChunkPartial part{*this, 0.0, 0};
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& x = xs[order[k]];
+          const int y = ys[order[k]];
+          std::vector<LstmTrace> traces;
+          const double logit = part.model.forward_logit(x, &traces);
+          double dlogit = 0.0;
+          part.loss += sigmoid_bce_loss(logit, y, &dlogit);
+          if ((logit >= 0.0) == (y == 1)) ++part.correct;
+          part.model.backward_from_logit(traces, dlogit * inv_batch, nullptr);
+        }
+        partials[(lo - start) / kGradGrain].emplace(std::move(part));
+      });
+      for (auto& p : partials) {
+        total_loss += p->loss;
+        correct += p->correct;
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          layers_[l].weight_grad().axpy(1.0, p->model.layers_[l].weight_grad());
+          layers_[l].bias_grad().axpy(1.0, p->model.layers_[l].bias_grad());
+        }
+        head_.weight_grad().axpy(1.0, p->model.head_.weight_grad());
+        head_.bias_grad().axpy(1.0, p->model.head_.bias_grad());
       }
       clip_gradients();
       optimizer.step();

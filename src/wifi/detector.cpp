@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace trajkit::wifi {
 
 RssiDetector::RssiDetector(std::vector<ReferencePoint> history,
@@ -17,14 +19,17 @@ void RssiDetector::train(const std::vector<ScannedUpload>& uploads,
     throw std::invalid_argument("RssiDetector::train: bad dataset");
   }
   trained_points_ = uploads.front().positions.size();
-  std::vector<std::vector<double>> x;
-  x.reserve(uploads.size());
   for (const auto& upload : uploads) {
     if (upload.positions.size() != trained_points_) {
       throw std::invalid_argument("RssiDetector::train: uneven upload lengths");
     }
-    x.push_back(features(upload));
   }
+  // Feature extraction dominates training cost and only reads the reference
+  // index, so uploads are featurised in parallel; the classifier itself
+  // trains serially on the index-ordered feature matrix.
+  std::vector<std::vector<double>> x(uploads.size());
+  parallel_for(0, uploads.size(), 1,
+               [&](std::size_t i) { x[i] = features(uploads[i]); });
   classifier_.train(x, labels);
 }
 
@@ -50,17 +55,15 @@ std::vector<double> RssiDetector::point_scores(const ScannedUpload& upload) cons
   if (upload.positions.size() != upload.scans.size()) {
     throw std::invalid_argument("RssiDetector::point_scores: bad upload");
   }
-  std::vector<double> out;
-  out.reserve(upload.positions.size());
-  for (std::size_t j = 0; j < upload.positions.size(); ++j) {
+  std::vector<double> out(upload.positions.size(), 0.0);
+  parallel_for(0, upload.positions.size(), 8, [&](std::size_t j) {
     const auto confidences = estimator_.point_confidence(
         upload.positions[j], upload.scans[j], upload.source_traj_id);
     double total = 0.0;
     for (const auto& c : confidences) total += c.phi;
-    out.push_back(confidences.empty()
-                      ? 0.0
-                      : total / static_cast<double>(confidences.size()));
-  }
+    out[j] = confidences.empty() ? 0.0
+                                 : total / static_cast<double>(confidences.size());
+  });
   return out;
 }
 

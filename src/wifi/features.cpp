@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace trajkit::wifi {
 
 std::vector<double> trajectory_features(const ConfidenceEstimator& estimator,
@@ -9,22 +11,22 @@ std::vector<double> trajectory_features(const ConfidenceEstimator& estimator,
   if (upload.positions.size() != upload.scans.size()) {
     throw std::invalid_argument("trajectory_features: positions/scans mismatch");
   }
+  // Per-point Phi evaluation (Eq. 5-7) is the detector's hottest loop; every
+  // point writes its own 2k-wide slot, so points evaluate in parallel.  When
+  // the caller is itself a parallel region (e.g. RssiDetector::train fanning
+  // out over uploads), this serializes automatically.
   const std::size_t k = estimator.params().top_k;
-  std::vector<double> out;
-  out.reserve(2 * k * upload.positions.size());
-  for (std::size_t j = 0; j < upload.positions.size(); ++j) {
+  std::vector<double> out(2 * k * upload.positions.size(), 0.0);
+  parallel_for(0, upload.positions.size(), 8, [&](std::size_t j) {
     const auto confidences = estimator.point_confidence(
         upload.positions[j], upload.scans[j], upload.source_traj_id);
-    for (std::size_t a = 0; a < k; ++a) {
-      if (a < confidences.size()) {
-        out.push_back(static_cast<double>(confidences[a].num_refs));
-        out.push_back(confidences[a].phi);
-      } else {
-        out.push_back(0.0);
-        out.push_back(0.0);
-      }
+    double* slot = out.data() + 2 * k * j;
+    const std::size_t filled = confidences.size() < k ? confidences.size() : k;
+    for (std::size_t a = 0; a < filled; ++a) {
+      slot[2 * a] = static_cast<double>(confidences[a].num_refs);
+      slot[2 * a + 1] = confidences[a].phi;
     }
-  }
+  });
   return out;
 }
 

@@ -20,16 +20,18 @@ RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params)
 
 const RpdEstimator::PointStats& RpdEstimator::stats(std::size_t h) const {
   PointStats& entry = cache_[h];
-  if (!entry.ready) {
-    const auto nbrs = index_->within((*index_)[h].pos, params_.counting_radius_m);
-    entry.neighbour_count = nbrs.size();
-    for (std::size_t q : nbrs) {
-      for (const auto& obs : (*index_)[q].scan) {
-        ++entry.histograms[obs.mac][obs.rssi_dbm];
-      }
+  // Fast path: entry already published (acquire pairs with the release below).
+  if (entry.ready.load(std::memory_order_acquire)) return entry;
+  std::lock_guard<std::mutex> lock(stripes_[h % stripes_.size()]);
+  if (entry.ready.load(std::memory_order_relaxed)) return entry;
+  const auto nbrs = index_->within((*index_)[h].pos, params_.counting_radius_m);
+  entry.neighbour_count = nbrs.size();
+  for (std::size_t q : nbrs) {
+    for (const auto& obs : (*index_)[q].scan) {
+      ++entry.histograms[obs.mac][obs.rssi_dbm];
     }
-    entry.ready = true;
   }
+  entry.ready.store(true, std::memory_order_release);
   return entry;
 }
 

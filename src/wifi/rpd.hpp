@@ -9,7 +9,10 @@
 // AP of every verified trajectory point.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,8 +53,14 @@ class RpdEstimator {
   /// per AP heard in the counting area, its RSSI histogram.  Built lazily on
   /// first probe of a point — detectors only ever touch reference points near
   /// verified trajectories.
+  ///
+  /// Thread safety: detectors probe the cache concurrently from parallel
+  /// evaluation (common/parallel.hpp), so each entry is published with an
+  /// acquire/release `ready` flag and built under a striped mutex.  The
+  /// cached value is a pure function of the (immutable) reference index, so
+  /// lazy filling does not affect determinism.
   struct PointStats {
-    bool ready = false;
+    std::atomic<bool> ready{false};
     std::size_t neighbour_count = 0;
     std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint32_t>> histograms;
   };
@@ -61,6 +70,7 @@ class RpdEstimator {
   const ReferenceIndex* index_;
   RpdParams params_;
   mutable std::vector<PointStats> cache_;
+  mutable std::array<std::mutex, 64> stripes_;
 };
 
 }  // namespace trajkit::wifi

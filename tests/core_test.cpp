@@ -149,11 +149,15 @@ TEST(RssiPipeline, ToUploadPreservesShape) {
 TEST(RssiPipeline, SmallExperimentBeatsChance) {
   Scenario scenario(ScenarioConfig::for_mode(Mode::kWalking));
   RssiExperimentConfig cfg;
-  cfg.total = 250;
-  cfg.points = 20;
+  // Paper-default 30 points per trajectory; at 20 points / 250 trajectories
+  // the accuracy of individual seeds straddles the 0.6 threshold (seed
+  // lottery), while at this scale every probed seed clears it with margin.
+  cfg.total = 400;
+  cfg.points = 30;
   const auto result = run_rssi_experiment(scenario, cfg);
-  EXPECT_EQ(result.confusion.total(), 100u);  // 50 fresh real + 50 fake
+  EXPECT_EQ(result.confusion.total(), 160u);  // 80 fresh real + 80 fake
   EXPECT_GT(result.confusion.accuracy(), 0.6);
+  EXPECT_GT(result.auc, 0.65);  // threshold-free: well above chance
   EXPECT_GT(result.avg_k, 1.0);
   EXPECT_GT(result.avg_refs_per_point, 0.5);
   EXPECT_GT(result.ref_density_per_m2, 0.0);

@@ -184,6 +184,67 @@ TEST_P(DtwProperty, NonNegativeAndZeroOnlyOnSelf) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DtwProperty, ::testing::Range(0, 8));
 
+TEST(DtwProperties, TwoHundredRandomPairs) {
+  // Property sweep over 200 random pairs: symmetry, identity, non-negativity,
+  // and agreement between the path-recovering and streaming variants.
+  Rng rng(4242);
+  for (int pair = 0; pair < 200; ++pair) {
+    const std::size_t na = 2 + static_cast<std::size_t>(rng.uniform_int(0, 18));
+    const std::size_t nb = 2 + static_cast<std::size_t>(rng.uniform_int(0, 18));
+    const auto a = random_walk(rng, na);
+    const auto b = random_walk(rng, nb);
+
+    const double ab = dtw(a, b).distance;
+    const double ba = dtw(b, a).distance;
+    EXPECT_NEAR(ab, ba, 1e-9) << "pair " << pair;          // symmetry
+    EXPECT_GE(ab, 0.0) << "pair " << pair;                 // non-negativity
+    EXPECT_NEAR(dtw(a, a).distance, 0.0, 1e-9) << "pair " << pair;  // identity
+    EXPECT_NEAR(ab, dtw_distance(a, b), 1e-9) << "pair " << pair;
+  }
+}
+
+TEST(DtwProperties, SoftDtwConvergesToHardDtwAsGammaShrinks) {
+  // soft_dtw uses squared-Euclidean local costs, so its gamma -> 0 limit is
+  // the squared-cost DTW value, computed here by an exact DP.  Sweep random
+  // pairs and a shrinking gamma ladder; the gap must shrink monotonically (up
+  // to noise) and vanish at the bottom rung.
+  Rng rng(777);
+  for (int pair = 0; pair < 20; ++pair) {
+    const auto a = random_walk(rng, 10);
+    const auto b = random_walk(rng, 11);
+
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    std::vector<double> cost(n * m, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = distance_sq(a[i], b[j]);
+        if (i == 0 && j == 0) {
+          cost[0] = d;
+          continue;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        if (i > 0 && j > 0) best = std::min(best, cost[(i - 1) * m + j - 1]);
+        if (i > 0) best = std::min(best, cost[(i - 1) * m + j]);
+        if (j > 0) best = std::min(best, cost[i * m + j - 1]);
+        cost[i * m + j] = best + d;
+      }
+    }
+    const double hard = cost[n * m - 1];
+
+    double prev_gap = std::numeric_limits<double>::infinity();
+    for (const double gamma : {1.0, 0.1, 0.01, 0.001}) {
+      const double soft = soft_dtw(a, b, gamma);
+      EXPECT_LE(soft, hard + 1e-6) << "pair " << pair;  // soft-min <= min
+      const double gap = hard - soft;
+      EXPECT_LE(gap, prev_gap + 1e-9) << "pair " << pair << " gamma " << gamma;
+      prev_gap = gap;
+    }
+    EXPECT_NEAR(soft_dtw(a, b, 0.001), hard, std::max(0.5, 0.01 * hard))
+        << "pair " << pair;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Soft-DTW.
 

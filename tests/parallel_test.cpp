@@ -1,0 +1,258 @@
+// ThreadPool / parallel_for / parallel_map_reduce unit tests, plus the RNG
+// sub-stream scheme that makes parallel simulation deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace trajkit {
+namespace {
+
+/// Run `fn` under a global pool of `n` threads, restoring a multi-thread pool
+/// afterwards so test order does not matter.
+template <typename Fn>
+void with_threads(std::size_t n, Fn&& fn) {
+  set_global_threads(n);
+  fn();
+  set_global_threads(0);
+}
+
+TEST(ThreadPool, SizeCountsCallerThread) {
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool1.size(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4u);
+  ThreadPool pool0(0);  // clamped: the caller always exists
+  EXPECT_EQ(pool0.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 257;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run_chunks(kChunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < kChunks; ++c) EXPECT_EQ(hits[c].load(), 1);
+}
+
+TEST(ThreadPool, ZeroChunksIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.run_chunks(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  with_threads(4, [] {
+    std::atomic<int> calls{0};
+    parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+    parallel_for(7, 3, 1, [&](std::size_t) { ++calls; });  // end < begin
+    EXPECT_EQ(calls.load(), 0);
+  });
+}
+
+TEST(ParallelFor, GrainLargerThanRangeStillCoversAllIndices) {
+  with_threads(4, [] {
+    std::vector<int> hits(10, 0);
+    parallel_for(0, 10, 1000, [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  });
+}
+
+TEST(ParallelFor, ZeroGrainIsClampedToOne) {
+  with_threads(2, [] {
+    std::vector<int> hits(16, 0);
+    parallel_for(0, 16, 0, [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  });
+}
+
+TEST(ParallelFor, CoversOffsetRanges) {
+  with_threads(4, [] {
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(100, 200, 7, [&](std::size_t i) { sum += i; });
+    std::uint64_t expect = 0;
+    for (std::size_t i = 100; i < 200; ++i) expect += i;
+    EXPECT_EQ(sum.load(), expect);
+  });
+}
+
+TEST(ParallelFor, ExceptionsPropagateToCaller) {
+  with_threads(4, [] {
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [&](std::size_t i) {
+                       if (i == 37) throw std::runtime_error("chunk 37 failed");
+                     }),
+        std::runtime_error);
+  });
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically) {
+  for (const std::size_t threads : {1u, 4u}) {
+    with_threads(threads, [] {
+      try {
+        parallel_for(0, 64, 1, [&](std::size_t i) {
+          if (i == 11 || i == 52) throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "11");
+      }
+    });
+  }
+}
+
+TEST(ParallelFor, NestedUseIsSerializedNotDeadlocked) {
+  with_threads(4, [] {
+    EXPECT_FALSE(ThreadPool::in_parallel_region());
+    std::vector<std::array<int, 8>> inner_hits(8, std::array<int, 8>{});
+    std::atomic<int> nested_regions{0};
+    parallel_for(0, 8, 1, [&](std::size_t i) {
+      EXPECT_TRUE(ThreadPool::in_parallel_region());
+      const auto outer_thread = std::this_thread::get_id();
+      parallel_for(0, 8, 1, [&, outer_thread](std::size_t j) {
+        // Inner region must execute inline on the same worker.
+        EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+        ++inner_hits[i][j];
+      });
+      ++nested_regions;
+    });
+    EXPECT_FALSE(ThreadPool::in_parallel_region());
+    EXPECT_EQ(nested_regions.load(), 8);
+    for (const auto& row : inner_hits) {
+      for (int h : row) EXPECT_EQ(h, 1);
+    }
+  });
+}
+
+TEST(ParallelFor, StressTenThousandTinyTasks) {
+  with_threads(4, [] {
+    constexpr std::size_t kTasks = 10000;
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::atomic<int>> hits(kTasks);
+    parallel_for(0, kTasks, 1, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+    for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+  });
+}
+
+TEST(ParallelMapReduce, SumsInIndexOrderRegardlessOfThreads) {
+  // The partial vectors are concatenated in chunk order, so the result must
+  // be the identity permutation for every thread count.
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    with_threads(threads, [] {
+      const auto ordered = parallel_map_reduce(
+          0, 103, 10, std::vector<std::size_t>{},
+          [](std::size_t lo, std::size_t hi) {
+            std::vector<std::size_t> part;
+            for (std::size_t i = lo; i < hi; ++i) part.push_back(i);
+            return part;
+          },
+          [](std::vector<std::size_t> acc, std::vector<std::size_t> part) {
+            acc.insert(acc.end(), part.begin(), part.end());
+            return acc;
+          });
+      ASSERT_EQ(ordered.size(), 103u);
+      for (std::size_t i = 0; i < ordered.size(); ++i) EXPECT_EQ(ordered[i], i);
+    });
+  }
+}
+
+TEST(ParallelMapReduce, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  // Awkwardly-scaled addends make the sum order-sensitive; identical results
+  // across thread counts prove the reduction order is fixed.
+  std::vector<double> values(1000);
+  Rng rng(99);
+  for (auto& v : values) v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform_int(-8, 8));
+  auto run = [&] {
+    return parallel_map_reduce(
+        0, values.size(), 13, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  set_global_threads(1);
+  const double serial = run();
+  set_global_threads(2);
+  const double two = run();
+  set_global_threads(8);
+  const double eight = run();
+  set_global_threads(0);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(ParallelMapReduce, EmptyRangeReturnsInit) {
+  with_threads(4, [] {
+    const int v = parallel_map_reduce(
+        3, 3, 1, 42, [](std::size_t, std::size_t) { return 0; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(v, 42);
+  });
+}
+
+TEST(GlobalThreads, SetAndAutoResolve) {
+  set_global_threads(3);
+  EXPECT_EQ(global_threads(), 3u);
+  // 0 = auto: the TRAJKIT_THREADS env override wins when set.
+  setenv("TRAJKIT_THREADS", "5", 1);
+  set_global_threads(0);
+  EXPECT_EQ(global_threads(), 5u);
+  unsetenv("TRAJKIT_THREADS");
+  set_global_threads(0);
+  EXPECT_GE(global_threads(), 1u);
+}
+
+TEST(GlobalThreads, RejectsReconfigurationInsideRegion) {
+  with_threads(2, [] {
+    EXPECT_THROW(parallel_for(0, 4, 1, [&](std::size_t) { set_global_threads(3); }),
+                 std::logic_error);
+  });
+}
+
+TEST(RngSubstream, IsAPureFunctionOfKeyAndIndex) {
+  Rng a = Rng::substream(123, 7);
+  Rng b = Rng::substream(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSubstream, AdjacentIndicesAreDecorrelated) {
+  // Distinct streams and no obvious collisions over a modest window.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    firsts.insert(Rng::substream(42, i).next());
+  }
+  EXPECT_EQ(firsts.size(), 1000u);
+  // Crude uniformity check on the leading bit of each stream's first draw.
+  int ones = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ones += (Rng::substream(7, i).next() >> 63) & 1;
+  }
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 600);
+}
+
+TEST(RngSubstream, DoesNotPerturbParentStream) {
+  Rng parent1(5);
+  Rng parent2(5);
+  (void)Rng::substream(parent1.next(), 0);
+  (void)parent2.next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(parent1.next(), parent2.next());
+}
+
+}  // namespace
+}  // namespace trajkit

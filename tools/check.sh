@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the deterministic execution layer.
+#
+#   tools/check.sh          # TSan on the threading tests, then ASan full suite
+#   tools/check.sh tsan     # TSan leg only
+#   tools/check.sh asan     # ASan leg only
+#
+# TSan exercises the parallel/determinism tests (the only code paths with real
+# cross-thread sharing); ASan runs the entire suite.  Build trees live in
+# build-tsan/ and build-asan/ so they never pollute the primary build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LEG="${1:-all}"
+JOBS="${JOBS:-$(nproc)}"
+
+run_leg() {
+  local name="$1" sanitize="$2" filter="$3"
+  local dir="build-${name}"
+  echo "== ${name}: configuring ${dir} (TRAJKIT_SANITIZE=${sanitize}) =="
+  cmake -B "${dir}" -S . -DTRAJKIT_SANITIZE="${sanitize}" >/dev/null
+  echo "== ${name}: building =="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "== ${name}: testing (filter: ${filter:-<all>}) =="
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
+}
+
+case "${LEG}" in
+  tsan) run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream' ;;
+  asan) run_leg asan address '' ;;
+  all)
+    run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream'
+    run_leg asan address ''
+    ;;
+  *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
+esac
+
+echo "== all sanitizer legs passed =="
