@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
     flags.rules += rules.verify(traj, sim::sim_projection()) == 0;
     flags.replay += replay_check.verify(upload.positions) == 0;
     flags.signature += signature.verify(upload.positions, upload.scans) == 0;
-    flags.rpd += rpd_detector.verify(upload) == 0;
+    flags.rpd += rpd_detector.analyze(upload).verdict == 0;
   };
 
   const char* tier_names[4] = {"genuine upload (false-positive rate)",

@@ -1,0 +1,167 @@
+// Serving-layer benchmark: batched VerifierService vs a stateless
+// one-request-at-a-time handler.
+//
+// The baseline models the pre-serving deployment shape: each request is
+// analysed with cold per-request RPD state, so every point pays the radius
+// query + histogram derivation from scratch.  The service leg runs the same
+// requests through submit()/micro-batching with the shared bounded RPD LRU,
+// so spatially overlapping requests reuse each other's per-cell statistics.
+//
+//   bench_serve --total=200 --points=30 --requests=120 --batch=16
+//
+// A payload checksum (FNV-1a over the canonical response strings) is compared
+// across the two legs: the speedup must come purely from scheduling and
+// caching, never from changing a verdict.  Exit code 0 iff the checksums
+// match.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/trajkit.hpp"
+
+using namespace trajkit;
+
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);  // wires --threads into set_global_threads
+  const auto total = static_cast<std::size_t>(flags.get_int("total", 200));
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 30));
+  const auto request_count = static_cast<std::size_t>(flags.get_int("requests", 120));
+  const auto max_batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  const auto cache_capacity = static_cast<std::size_t>(
+      flags.get_int("cache", 1 << 16));
+
+  std::printf("== Serving: stateless per-request baseline vs batched service ==\n");
+  std::printf("%zu historical trajectories x %zu points, %zu requests, "
+              "max_batch %zu, cache %zu\n\n",
+              total, points, request_count, max_batch, cache_capacity);
+
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  Rng& rng = scenario.rng();
+  const auto collected = scenario.scanned_real(total, points, 2.0);
+  const double min_d = attack::paper_mind(Mode::kWalking);
+
+  // Provider-side setup: history -> reference store -> trained detector.
+  const std::size_t hist_count = collected.size() * 3 / 4;
+  std::vector<wifi::ScannedUpload> history_uploads;
+  for (std::size_t i = 0; i < hist_count; ++i) {
+    history_uploads.push_back(core::to_upload(collected[i]));
+  }
+  wifi::RssiDetector detector(wifi::flatten_history(history_uploads), {});
+
+  std::vector<wifi::ScannedUpload> train;
+  std::vector<int> labels;
+  const std::size_t train_real = hist_count * 3 / 4;
+  for (std::size_t i = 0; i < train_real; ++i) {
+    auto upload = core::to_upload(collected[i]);
+    upload.source_traj_id = static_cast<std::uint32_t>(i);
+    train.push_back(std::move(upload));
+    labels.push_back(1);
+  }
+  for (std::size_t i = train_real; i < hist_count; ++i) {
+    train.push_back(core::forge_upload(collected[i], min_d + 0.1, 1, rng));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  // Request mix: fresh reals plus forged replays of random history, cycled to
+  // the requested volume — the "many clients moving through the same city"
+  // shape a real service sees, which is what makes the shared cache pay.
+  std::vector<wifi::ScannedUpload> pool;
+  for (std::size_t i = hist_count; i < collected.size(); ++i) {
+    pool.push_back(core::to_upload(collected[i]));
+  }
+  const std::size_t fresh_count = pool.size();
+  for (std::size_t i = 0; i < fresh_count; ++i) {
+    const auto& source = collected[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hist_count) - 1))];
+    pool.push_back(core::forge_upload(source, min_d + 0.1, 1, rng));
+  }
+  std::vector<serve::VerificationRequest> requests;
+  for (std::size_t r = 0; r < request_count; ++r) {
+    requests.push_back({r, pool[r % pool.size()], 0});
+  }
+
+  // -- Baseline: stateless, one at a time, cold RPD state per request -------
+  const double t0 = now_s();
+  std::uint64_t baseline_checksum = 1469598103934665603ull;
+  for (const auto& request : requests) {
+    detector.set_rpd_cache(
+        std::make_shared<wifi::DenseRpdStatsCache>(detector.index().size()));
+    baseline_checksum =
+        fnv1a(baseline_checksum, detector.analyze(request.upload).canonical_string());
+  }
+  const double baseline_s = now_s() - t0;
+
+  // -- Service: micro-batched, shared bounded LRU across requests -----------
+  serve::VerifierServiceConfig scfg;
+  scfg.max_batch = max_batch;
+  scfg.max_queue = request_count + 1;
+  scfg.cache.capacity = cache_capacity;
+  serve::VerifierService service(detector, scfg);
+  const double t1 = now_s();
+  std::vector<std::future<serve::VerdictResponse>> futures;
+  futures.reserve(requests.size());
+  for (const auto& request : requests) futures.push_back(service.submit(request));
+  std::uint64_t service_checksum = 1469598103934665603ull;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    if (response.outcome != serve::Outcome::kOk) {
+      std::printf("request %llu failed: %s\n",
+                  static_cast<unsigned long long>(response.request_id),
+                  response.error.c_str());
+      return 1;
+    }
+    service_checksum = fnv1a(service_checksum, response.report.canonical_string());
+  }
+  const double service_s = now_s() - t1;
+  service.stop();
+
+  const auto counters = service.counters();
+  TextTable table({"leg", "seconds", "requests/s", "speedup"});
+  table.add_row({"stateless baseline", TextTable::num(baseline_s, 3),
+                 TextTable::num(static_cast<double>(request_count) / baseline_s, 1),
+                 "1.00x"});
+  table.add_row({"batched service", TextTable::num(service_s, 3),
+                 TextTable::num(static_cast<double>(request_count) / service_s, 1),
+                 TextTable::num(baseline_s / service_s, 2) + "x"});
+  table.print(std::cout);
+
+  std::printf("\nservice counters:\n%s", service.counters_table().c_str());
+  std::printf("\nrpd cache hit rate: %.1f%% (%llu hits / %llu lookups)\n",
+              100.0 * counters.cache.hit_rate(),
+              static_cast<unsigned long long>(counters.cache.hits),
+              static_cast<unsigned long long>(counters.cache.hits +
+                                              counters.cache.misses));
+
+  const bool identical = baseline_checksum == service_checksum;
+  std::printf("checksum baseline = %016llx\n",
+              static_cast<unsigned long long>(baseline_checksum));
+  std::printf("checksum service  = %016llx\n",
+              static_cast<unsigned long long>(service_checksum));
+  std::printf("verdicts: %s\n",
+              identical ? "OK (byte-identical across serving modes)"
+                        : "FAILED (serving changed a verdict!)");
+  return identical ? 0 : 1;
+}

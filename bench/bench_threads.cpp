@@ -18,6 +18,7 @@
 
 #include "common/parallel.hpp"
 #include "core/trajkit.hpp"
+#include "wifi/features.hpp"
 
 using namespace trajkit;
 
@@ -52,7 +53,7 @@ RunResult run_once(std::size_t total, std::size_t points) {
   const double t1 = now_s();
   wifi::RssiDetector detector(wifi::flatten_history(history), {});
   for (const auto& upload : test) {
-    for (double f : detector.features(upload)) {
+    for (double f : wifi::trajectory_features(detector.confidence(), upload)) {
       r.checksum = r.checksum * 1.000000059604644775390625 + f;
     }
   }

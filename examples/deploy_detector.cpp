@@ -49,8 +49,20 @@ int main() {
               detector.index().size(), model_path);
 
   // ---- Serving process ----------------------------------------------------
-  std::printf("\n[serve] loading the detector fresh from disk...\n");
-  const auto served = wifi::RssiDetector::load_file(model_path);
+  // A deployment loads models it didn't write itself, so the non-throwing
+  // try_* path is the right one: a bad path or corrupt file comes back as an
+  // error string, not an exception across the service boundary.
+  const auto broken = serve::VerifierService::try_create_from_file("no-such.model");
+  std::printf("\n[serve] probing a missing model file: %s\n",
+              broken ? "unexpectedly loaded" : broken.error().c_str());
+
+  std::printf("[serve] bringing up a VerifierService from %s...\n", model_path);
+  auto service_or = serve::VerifierService::try_create_from_file(model_path);
+  if (!service_or) {
+    std::printf("[serve] failed to load model: %s\n", service_or.error().c_str());
+    return 1;
+  }
+  const auto service = std::move(service_or).value();
 
   // A partly-forged upload: the user really walked the whole trip (the scans
   // are genuine throughout), but claims a different position for the second
@@ -63,10 +75,21 @@ int main() {
     upload.positions[j].east += 25.0 * ramp;
   }
 
-  std::printf("[serve] whole-trajectory verdict: J=%d (p_real=%.3f)\n",
-              served->verify(upload), served->predict_proba(upload));
+  // Submit like a client would and block on the future.  One analyze() call
+  // yields the verdict, the probability and the per-point suspicion profile.
+  auto future = service->submit({/*id=*/1, upload, /*deadline_us=*/0});
+  const serve::VerdictResponse response = future.get();
+  if (response.outcome != serve::Outcome::kOk) {
+    std::printf("[serve] request failed: %s (%s)\n",
+                serve::outcome_name(response.outcome), response.error.c_str());
+    return 1;
+  }
+  const wifi::VerdictReport& report = response.report;
+  std::printf("[serve] whole-trajectory verdict: J=%d (p_real=%.3f, "
+              "threshold=%.2f)\n",
+              report.verdict, report.p_real, report.threshold);
 
-  const auto scores = served->point_scores(upload);
+  const auto& scores = report.point_scores;
   double first_half = 0.0;
   double second_half = 0.0;
   std::printf("[serve] per-point confidence profile:\n  ");
@@ -79,5 +102,7 @@ int main() {
               first_half / 15.0, second_half / 15.0);
   std::printf("\nthe fabricated detour shows up as the low-confidence stretch "
               "— auditors can localise the forgery, not just flag the trip.\n");
+
+  std::printf("\n[serve] service counters:\n%s", service->counters_table().c_str());
   return 0;
 }

@@ -87,11 +87,13 @@ int main() {
   const std::size_t batch = 15;
   const auto fresh_batch = scenario.scanned_real(batch, 30, 2.0);
   for (std::size_t i = 0; i < batch; ++i) {
-    real_ok += detector.verify(core::to_upload(fresh_batch[i])) == 1;
+    real_ok += detector.analyze(core::to_upload(fresh_batch[i])).verdict == 1;
     const auto& source = history[static_cast<std::size_t>(
         scenario.rng().uniform_int(0, static_cast<std::int64_t>(history.size()) - 1))];
-    fake_ok += detector.verify(
-                   core::forge_upload(source, min_d + 0.1, 1, scenario.rng())) == 0;
+    fake_ok += detector
+                   .analyze(core::forge_upload(source, min_d + 0.1, 1,
+                                               scenario.rng()))
+                   .verdict == 0;
   }
   std::printf("  fresh reals accepted      : %zu/%zu\n", real_ok, batch);
   std::printf("  fresh forgeries caught    : %zu/%zu\n", fake_ok, batch);

@@ -1,0 +1,18 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace trajkit {
+
+std::int64_t SteadyClock::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace trajkit

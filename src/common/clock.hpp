@@ -1,0 +1,46 @@
+// Monotonic time source for the serving layer.
+//
+// Wall-clock reads are deliberately funnelled through one interface so that
+// (a) latency accounting is consistently monotonic (never jumps with NTP) and
+// (b) tests can substitute a manual clock to exercise deadline handling
+// without sleeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace trajkit {
+
+/// Microsecond monotonic clock.  Implementations must be safe to call from
+/// multiple threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t now_us() const = 0;
+};
+
+/// The real thing: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::int64_t now_us() const override;
+};
+
+/// Test clock: time advances only when told to.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_us = 0) : now_us_(start_us) {}
+  std::int64_t now_us() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+  void advance_us(std::int64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_us_;
+};
+
+/// Process-wide steady clock instance (stateless, shared freely).
+const Clock& steady_clock();
+
+}  // namespace trajkit

@@ -1,0 +1,63 @@
+#include "common/counters.hpp"
+
+#include <bit>
+
+namespace trajkit {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t us) {
+  if (us < kSubBuckets) return static_cast<std::size_t>(us);  // exact small values
+  const std::size_t octave = std::bit_width(us) - 1;  // >= 2 here
+  // Position of the top kSubBuckets' worth of the value below the leading bit.
+  const std::size_t sub = (us >> (octave - 2)) & (kSubBuckets - 1);
+  const std::size_t idx = octave * kSubBuckets + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+double LatencyHistogram::bucket_lower_us(std::size_t b) {
+  const std::size_t octave = b / kSubBuckets;
+  const std::size_t sub = b % kSubBuckets;
+  if (octave < 2) return static_cast<double>(b);  // the exact 0..3 us buckets
+  const double base = static_cast<double>(std::uint64_t{1} << octave);
+  return base + static_cast<double>(sub) * base / kSubBuckets;
+}
+
+double LatencyHistogram::bucket_upper_us(std::size_t b) {
+  const std::size_t octave = b / kSubBuckets;
+  if (octave < 2) return static_cast<double>(b) + 1.0;
+  return bucket_lower_us(b) +
+         static_cast<double>(std::uint64_t{1} << octave) / kSubBuckets;
+}
+
+void LatencyHistogram::add_us(std::int64_t us) {
+  const std::uint64_t clamped = us > 0 ? static_cast<std::uint64_t>(us) : 0;
+  buckets_[bucket_of(clamped)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= target) {
+      // Linear interpolation inside the bucket.
+      const double frac =
+          n == 0 ? 0.0 : (target - static_cast<double>(seen)) / static_cast<double>(n);
+      return bucket_lower_us(b) + frac * (bucket_upper_us(b) - bucket_lower_us(b));
+    }
+    seen += n;
+  }
+  return bucket_upper_us(kBuckets - 1);
+}
+
+}  // namespace trajkit

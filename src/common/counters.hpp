@@ -1,0 +1,45 @@
+// Lightweight service-side counters: a thread-safe log-bucketed latency
+// histogram with percentile estimation.
+//
+// The serving layer records one sample per request from many threads, so the
+// recorder must be wait-free on the hot path: samples land in fixed
+// log2-spaced buckets (4 linear sub-buckets per octave, ~6% relative
+// resolution) via a single relaxed fetch_add.  Percentiles are estimated by
+// walking the cumulative bucket counts and interpolating inside the bucket —
+// plenty for p50/p95/p99 service reporting, not for microbenchmarking.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace trajkit {
+
+class LatencyHistogram {
+ public:
+  /// Record one latency sample.  Negative samples clamp to zero.
+  void add_us(std::int64_t us);
+
+  std::uint64_t count() const;
+
+  /// Estimated q-quantile in microseconds, q in [0, 1].  Returns 0 when no
+  /// samples were recorded.
+  double quantile_us(double q) const;
+
+  double p50_us() const { return quantile_us(0.50); }
+  double p95_us() const { return quantile_us(0.95); }
+  double p99_us() const { return quantile_us(0.99); }
+
+ private:
+  // 4 sub-buckets per power of two up to 2^62 us: index = 4*octave + sub.
+  static constexpr std::size_t kSubBuckets = 4;
+  static constexpr std::size_t kBuckets = 63 * kSubBuckets;
+
+  static std::size_t bucket_of(std::uint64_t us);
+  static double bucket_lower_us(std::size_t b);
+  static double bucket_upper_us(std::size_t b);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace trajkit

@@ -1,0 +1,64 @@
+// Minimal Expected<T, E>: a value or an error, without exceptions.
+//
+// The repo's loaders historically threw on malformed input, which is the
+// wrong contract for a serving process that must answer "did the model load?"
+// without unwinding the stack.  This is the std::expected subset the code
+// base needs (C++23 is not required by the build), kept deliberately small:
+// construct from a value, construct a failure via Expected<T, E>::failure or
+// the Unexpected<E> helper, then test and unwrap.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace trajkit {
+
+/// Error carrier distinguishing "E as failure" from "T as value" when the
+/// two types coincide (mirrors std::unexpected).
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>> unexpected(E&& error) {
+  return {std::forward<E>(error)};
+}
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> failure)
+      : state_(std::in_place_index<1>, std::move(failure.error)) {}
+
+  static Expected failure(E error) { return Expected(Unexpected<E>{std::move(error)}); }
+
+  bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  /// Unwrap; throws std::logic_error when unwrapping the wrong side (the
+  /// caller skipped the has_value() check — a programming error, not input).
+  T& value() & { return check_value(), std::get<0>(state_); }
+  const T& value() const& { return check_value(), std::get<0>(state_); }
+  T&& value() && { return check_value(), std::get<0>(std::move(state_)); }
+
+  const E& error() const { return check_error(), std::get<1>(state_); }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  void check_value() const {
+    if (!has_value()) throw std::logic_error("Expected: value() on an error");
+  }
+  void check_error() const {
+    if (has_value()) throw std::logic_error("Expected: error() on a value");
+  }
+
+  std::variant<T, E> state_;
+};
+
+}  // namespace trajkit

@@ -7,6 +7,7 @@
 #include "attack/replay.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "serve/service.hpp"
 
 namespace trajkit::core {
 namespace {
@@ -147,29 +148,42 @@ RssiExperimentResult run_rssi_experiment_on(
   for (auto& upload : train) thin_upload(upload, config.ap_keep, rng);
   for (auto& upload : test) thin_upload(upload, config.ap_keep, rng);
 
-  // 5. Train and evaluate.
+  // 5. Train, then evaluate through the serving layer.  The service is the
+  // production face of the detector, so the experiment scores its test set the
+  // same way a deployment would: one micro-batched verify_batch call, every
+  // request sharing the service's bounded RPD LRU.  verify_batch fans out per
+  // upload on the deterministic pool and returns responses in request order,
+  // so the serial running-stat fold below is identical for every thread count.
   detector.train(train, train_labels);
 
-  // Evaluation fans out per upload: the reference index and trained
-  // classifier are read-only here, so each test trajectory's score and
-  // per-point statistics can be computed independently.  The running-stat
-  // accumulators are filled serially in index order afterwards, keeping the
-  // floating-point reduction identical for every thread count.
+  serve::VerifierServiceConfig serve_cfg;
+  serve_cfg.auto_start = false;  // sync path only; no dispatcher thread
+  serve::VerifierService service(detector, serve_cfg);
+
+  std::vector<serve::VerificationRequest> requests;
+  requests.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    requests.push_back({static_cast<std::uint64_t>(i), std::move(test[i]), 0});
+  }
+  const std::vector<serve::VerdictResponse> responses =
+      service.verify_batch(requests);
+
+  // Side statistics (scan sizes, reference coverage) are not part of the
+  // verdict; compute them from the same uploads in a second read-only pass.
   struct EvalRow {
-    double p_real = 0.0;
     std::vector<double> scan_sizes;
     std::vector<double> ref_counts;
   };
-  std::vector<EvalRow> rows(test.size());
-  parallel_for(0, test.size(), 1, [&](std::size_t i) {
+  std::vector<EvalRow> rows(requests.size());
+  parallel_for(0, requests.size(), 1, [&](std::size_t i) {
     EvalRow& row = rows[i];
-    row.p_real = detector.predict_proba(test[i]);
-    row.scan_sizes.reserve(test[i].scans.size());
-    for (const auto& scan : test[i].scans) {
+    const wifi::ScannedUpload& upload = requests[i].upload;
+    row.scan_sizes.reserve(upload.scans.size());
+    for (const auto& scan : upload.scans) {
       row.scan_sizes.push_back(static_cast<double>(scan.size()));
     }
-    row.ref_counts.reserve(test[i].positions.size());
-    for (const auto& pos : test[i].positions) {
+    row.ref_counts.reserve(upload.positions.size());
+    for (const auto& pos : upload.positions) {
       row.ref_counts.push_back(
           static_cast<double>(detector.confidence().reference_count(pos)));
     }
@@ -180,10 +194,14 @@ RssiExperimentResult run_rssi_experiment_on(
   RunningStats ref_stats;
   std::vector<double> k_values;
   std::vector<double> scores;
-  scores.reserve(test.size());
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    scores.push_back(rows[i].p_real);
-    result.confusion.add(test_labels[i], rows[i].p_real >= 0.5 ? 1 : 0);
+  scores.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (responses[i].outcome != serve::Outcome::kOk) {
+      throw std::runtime_error("run_rssi_experiment_on: verification failed: " +
+                               responses[i].error);
+    }
+    scores.push_back(responses[i].report.p_real);
+    result.confusion.add(test_labels[i], responses[i].report.verdict);
     for (const double k : rows[i].scan_sizes) {
       k_stats.add(k);
       k_values.push_back(k);

@@ -8,6 +8,7 @@
 //   attack::CwAttacker       — adversarial trajectory forgery (Sec. II)
 //   attack::naive_noise_attack / smooth_replay_perturbation — baseline attacks
 //   wifi::RssiDetector       — the RSSI-based defense J(T, H) (Sec. III)
+//   serve::VerifierService   — batched serving layer around a trained detector
 //   core::run_rssi_experiment— the Sec. IV-B evaluation protocol
 //
 // See examples/quickstart.cpp for a end-to-end walkthrough.
@@ -39,6 +40,7 @@
 #include "map/matcher.hpp"
 #include "map/nav.hpp"
 #include "nn/classifier.hpp"
+#include "serve/service.hpp"
 #include "sim/accelerometer.hpp"
 #include "sim/dataset.hpp"
 #include "traj/features.hpp"

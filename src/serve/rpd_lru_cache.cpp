@@ -1,0 +1,85 @@
+#include "serve/rpd_lru_cache.hpp"
+
+#include <stdexcept>
+
+namespace trajkit::serve {
+
+ShardedRpdLruCache::ShardedRpdLruCache() : ShardedRpdLruCache(Config{}) {}
+
+ShardedRpdLruCache::ShardedRpdLruCache(Config config) : config_(config) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("ShardedRpdLruCache: capacity must be positive");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ShardedRpdLruCache: need at least one shard");
+  }
+  if (config_.shards > config_.capacity) config_.shards = config_.capacity;
+  per_shard_capacity_ = (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t ShardedRpdLruCache::shard_of(std::size_t h) const {
+  // Fibonacci mixing: adjacent reference-point indices (spatially clustered,
+  // hence probed together) spread across shards instead of hammering one.
+  const std::uint64_t mixed = static_cast<std::uint64_t>(h) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+}
+
+std::shared_ptr<const wifi::RpdPointStats> ShardedRpdLruCache::get_or_build(
+    std::size_t h, const std::function<wifi::RpdPointStats()>& build) {
+  Shard& shard = *shards_[shard_of(h)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(h);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+  }
+  // Miss: build outside the lock (the expensive part — a radius query plus a
+  // histogram over the whole counting circle).
+  auto value = std::make_shared<const wifi::RpdPointStats>(build());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.misses;
+  const auto it = shard.index.find(h);
+  if (it != shard.index.end()) {
+    // Another thread built the same (identical) entry while we were outside
+    // the lock; keep theirs, drop ours.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(h, std::move(value));
+  shard.index.emplace(h, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return shard.lru.front().second;
+}
+
+wifi::RpdStatsCache::CacheStats ShardedRpdLruCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+  }
+  return total;
+}
+
+std::size_t ShardedRpdLruCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace trajkit::serve

@@ -1,0 +1,72 @@
+// Bounded, shard-locked LRU cache of per-reference-point RPD statistics,
+// shared across every request a VerifierService handles.
+//
+// The experiment-side DenseRpdStatsCache grows with every reference point a
+// request touches — unbounded for a long-lived server over a city-sized
+// index.  This cache bounds residency: keys hash to one of `shards`
+// independently-locked LRU lists, so concurrent batch workers contend only
+// per shard, and each shard evicts least-recently-used entries beyond its
+// share of `capacity`.
+//
+// Determinism: cached values are pure functions of the immutable reference
+// index, so hit/miss/eviction patterns can never change a verdict — only how
+// often stats are rebuilt.  On a miss the builder runs *outside* the shard
+// lock; two threads racing on the same key may both build, and the loser's
+// (identical) value is discarded.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "wifi/rpd.hpp"
+
+namespace trajkit::serve {
+
+class ShardedRpdLruCache final : public wifi::RpdStatsCache {
+ public:
+  struct Config {
+    std::size_t capacity = 1 << 16;  ///< total cached reference points
+    std::size_t shards = 16;         ///< independent lock domains
+  };
+
+  // Out-of-line default ctor rather than `Config config = {}`: a nested
+  // aggregate's member initialisers are not usable inside the enclosing
+  // class's own member-specification.
+  ShardedRpdLruCache();
+  explicit ShardedRpdLruCache(Config config);
+
+  std::shared_ptr<const wifi::RpdPointStats> get_or_build(
+      std::size_t h,
+      const std::function<wifi::RpdPointStats()>& build) override;
+
+  CacheStats stats() const override;
+
+  /// Entries currently resident (sums shard sizes; racy but monotonic-ish,
+  /// for reporting only).
+  std::size_t size() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.  The map points into the list.
+    std::list<std::pair<std::size_t, std::shared_ptr<const wifi::RpdPointStats>>> lru;
+    std::unordered_map<std::size_t, decltype(lru)::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  std::size_t shard_of(std::size_t h) const;
+
+  Config config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace trajkit::serve

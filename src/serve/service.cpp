@@ -1,0 +1,247 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+
+namespace trajkit::serve {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kTimedOut: return "timed_out";
+    case Outcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string VerdictResponse::canonical_string() const {
+  std::string out = "id=" + std::to_string(request_id) + " outcome=";
+  out += outcome_name(outcome);
+  if (outcome == Outcome::kOk) {
+    out += ' ';
+    out += report.canonical_string();
+  } else if (!error.empty()) {
+    out += " error=";
+    out += error;
+  }
+  return out;
+}
+
+VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> detector,
+                                 VerifierServiceConfig config, const Clock* clock)
+    : VerifierService(std::move(detector), nullptr, config, clock) {}
+
+VerifierService::VerifierService(wifi::RssiDetector& detector,
+                                 VerifierServiceConfig config, const Clock* clock)
+    : VerifierService(nullptr, &detector, config, clock) {}
+
+VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
+                                 wifi::RssiDetector* borrowed,
+                                 VerifierServiceConfig config, const Clock* clock)
+    : owned_(std::move(owned)),
+      detector_(borrowed ? borrowed : owned_.get()),
+      config_(config),
+      clock_(clock ? clock : &steady_clock()) {
+  if (!detector_) {
+    throw std::invalid_argument("VerifierService: null detector");
+  }
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("VerifierService: max_batch must be positive");
+  }
+  if (config_.use_shared_cache) {
+    cache_ = std::make_shared<ShardedRpdLruCache>(config_.cache);
+    detector_->set_rpd_cache(cache_);
+  }
+  if (config_.auto_start) start();
+}
+
+Expected<std::unique_ptr<VerifierService>, std::string>
+VerifierService::try_create_from_file(const std::string& model_path,
+                                      VerifierServiceConfig config) {
+  using ServiceOrError = Expected<std::unique_ptr<VerifierService>, std::string>;
+  auto detector = wifi::RssiDetector::try_load_file(model_path);
+  if (!detector) return ServiceOrError::failure(detector.error());
+  return ServiceOrError(std::make_unique<VerifierService>(
+      std::move(detector).value(), config));
+}
+
+VerifierService::~VerifierService() {
+  stop();
+  reject_pending();  // auto_start = false and never started: fail cleanly
+}
+
+void VerifierService::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  lock.unlock();
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void VerifierService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool VerifierService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void VerifierService::reject_pending() {
+  std::deque<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(queue_);
+  }
+  for (auto& pending : orphaned) {
+    VerdictResponse response;
+    response.request_id = pending.request.id;
+    response.outcome = Outcome::kRejected;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+std::future<VerdictResponse> VerifierService::submit(VerificationRequest request) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<VerdictResponse> promise;
+  auto future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= config_.max_queue) {
+      VerdictResponse response;
+      response.request_id = request.id;
+      response.outcome = Outcome::kRejected;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back({std::move(request), std::move(promise), clock_->now_us()});
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
+                                          std::int64_t queue_us) {
+  VerdictResponse response;
+  response.request_id = request.id;
+  response.queue_us = queue_us;
+  if (request.deadline_us > 0 && queue_us > request.deadline_us) {
+    response.outcome = Outcome::kTimedOut;
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  }
+  const std::int64_t t0 = clock_->now_us();
+  try {
+    response.report = detector_->analyze(request.upload);
+    response.outcome = Outcome::kOk;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    response.outcome = Outcome::kError;
+    response.error = e.what();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  response.compute_us = clock_->now_us() - t0;
+  latency_.add_us(response.queue_us + response.compute_us);
+  return response;
+}
+
+void VerifierService::process_batch(std::vector<Pending>& batch) {
+  const std::int64_t dispatch_us = clock_->now_us();
+  std::vector<VerdictResponse> responses(batch.size());
+  // Per-request fan-out through the deterministic pool; the per-point
+  // parallelism inside analyze() serialises automatically (nested region).
+  parallel_for(0, batch.size(), 1, [&](std::size_t i) {
+    responses[i] = evaluate(batch[i].request, dispatch_us - batch[i].enqueue_us);
+  });
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+void VerifierService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      const std::size_t n = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    process_batch(batch);
+  }
+}
+
+std::vector<VerdictResponse> VerifierService::verify_batch(
+    const std::vector<VerificationRequest>& requests) {
+  received_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<VerdictResponse> responses(requests.size());
+  parallel_for(0, requests.size(), 1, [&](std::size_t i) {
+    responses[i] = evaluate(requests[i], 0);
+  });
+  if (!requests.empty()) batches_.fetch_add(1, std::memory_order_relaxed);
+  return responses;
+}
+
+VerdictResponse VerifierService::verify_now(const wifi::ScannedUpload& upload) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  return evaluate(VerificationRequest{0, upload, 0}, 0);
+}
+
+ServiceCounters VerifierService::counters() const {
+  ServiceCounters c;
+  c.received = received_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  c.timed_out = timed_out_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  // Always read through the detector: correct whether the shared LRU or the
+  // detector's own dense cache is in place.
+  c.cache = detector_->confidence().rpd().cache().stats();
+  c.p50_us = latency_.p50_us();
+  c.p95_us = latency_.p95_us();
+  c.p99_us = latency_.p99_us();
+  return c;
+}
+
+std::string VerifierService::counters_table() const {
+  const ServiceCounters c = counters();
+  TextTable table({"metric", "value"});
+  table.add_row({"requests received", std::to_string(c.received)});
+  table.add_row({"completed", std::to_string(c.completed)});
+  table.add_row({"rejected (admission)", std::to_string(c.rejected)});
+  table.add_row({"timed out", std::to_string(c.timed_out)});
+  table.add_row({"errors", std::to_string(c.errors)});
+  table.add_row({"micro-batches", std::to_string(c.batches)});
+  table.add_row({"rpd cache hits", std::to_string(c.cache.hits)});
+  table.add_row({"rpd cache misses", std::to_string(c.cache.misses)});
+  table.add_row({"rpd cache evictions", std::to_string(c.cache.evictions)});
+  table.add_row({"rpd cache hit rate", TextTable::num(c.cache.hit_rate(), 4)});
+  table.add_row({"latency p50 (us)", TextTable::num(c.p50_us, 1)});
+  table.add_row({"latency p95 (us)", TextTable::num(c.p95_us, 1)});
+  table.add_row({"latency p99 (us)", TextTable::num(c.p99_us, 1)});
+  return table.to_string();
+}
+
+}  // namespace trajkit::serve

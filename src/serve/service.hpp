@@ -1,0 +1,184 @@
+// Batched verification serving layer: the long-lived process face of the
+// paper's J function.
+//
+// A VerifierService owns (or wraps) a trained RssiDetector and turns the
+// one-upload-at-a-time library call into a service: callers submit
+// VerificationRequests, the dispatcher micro-batches them through the
+// deterministic thread pool (common/parallel), per-cell RPD statistics are
+// shared across all requests through a bounded shard-locked LRU
+// (serve/rpd_lru_cache), and every request comes back as a structured
+// VerdictResponse with an explicit outcome.
+//
+// Admission control: a full queue rejects at submit time (kRejected, the
+// caller should back off), and a request whose queueing time exceeded its
+// deadline is answered kTimedOut without burning detector time on it.
+//
+// Determinism contract (PR 1): a response's payload — verdict, probability,
+// features, point scores — is a pure function of (model, upload).  Batch
+// composition, arrival order, thread count and cache eviction cannot change
+// it; only the timing fields and outcome of deadline-bound requests depend
+// on the wall clock.  tests/determinism_test.cpp asserts byte-identical
+// canonical payloads across thread counts and submission orders.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/counters.hpp"
+#include "common/expected.hpp"
+#include "serve/rpd_lru_cache.hpp"
+#include "wifi/detector.hpp"
+
+namespace trajkit::serve {
+
+enum class Outcome {
+  kOk,        ///< evaluated; see the report
+  kRejected,  ///< refused at admission (queue full)
+  kTimedOut,  ///< deadline expired while queued; not evaluated
+  kError,     ///< evaluation threw (e.g. upload length mismatch); see `error`
+};
+
+const char* outcome_name(Outcome outcome);
+
+struct VerificationRequest {
+  std::uint64_t id = 0;         ///< caller-chosen; echoed in the response
+  wifi::ScannedUpload upload;
+  /// Queueing budget in microseconds from submission; 0 = no deadline.
+  std::int64_t deadline_us = 0;
+};
+
+struct VerdictResponse {
+  std::uint64_t request_id = 0;
+  Outcome outcome = Outcome::kError;
+  wifi::VerdictReport report;  ///< meaningful when outcome == kOk
+  std::string error;           ///< meaningful when outcome == kError
+  std::int64_t queue_us = 0;   ///< time spent queued (0 on the sync paths)
+  std::int64_t compute_us = 0; ///< detector time
+
+  /// Deterministic rendering of the payload; excludes the timing fields.
+  std::string canonical_string() const;
+};
+
+struct VerifierServiceConfig {
+  std::size_t max_batch = 16;   ///< requests dispatched per micro-batch
+  std::size_t max_queue = 1024; ///< admission limit; beyond -> kRejected
+  bool auto_start = true;       ///< false: queue only until start() is called
+  /// Shared RPD cache injected into the detector.  use_shared_cache = false
+  /// keeps whatever cache the detector already has (tests, ablations).
+  bool use_shared_cache = true;
+  ShardedRpdLruCache::Config cache;
+};
+
+/// Monotonically-increasing service counters plus latency quantiles.
+struct ServiceCounters {
+  std::uint64_t received = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  wifi::RpdStatsCache::CacheStats cache;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+class VerifierService {
+ public:
+  /// Own the detector (the deployment shape: load once, serve forever).
+  /// The detector must already be trained.
+  explicit VerifierService(std::unique_ptr<wifi::RssiDetector> detector,
+                           VerifierServiceConfig config = {},
+                           const Clock* clock = nullptr);
+
+  /// Wrap a caller-owned detector (embedding shape, e.g. the experiment
+  /// pipeline).  The detector must outlive the service; the service still
+  /// injects its shared cache into it unless use_shared_cache is false.
+  explicit VerifierService(wifi::RssiDetector& detector,
+                           VerifierServiceConfig config = {},
+                           const Clock* clock = nullptr);
+
+  /// Model-loading path: build a service straight from a persisted detector
+  /// file, reporting failures as a string instead of throwing.
+  static Expected<std::unique_ptr<VerifierService>, std::string> try_create_from_file(
+      const std::string& model_path, VerifierServiceConfig config = {});
+
+  ~VerifierService();
+  VerifierService(const VerifierService&) = delete;
+  VerifierService& operator=(const VerifierService&) = delete;
+
+  /// Async path: enqueue for the dispatcher.  Admission happens here — a
+  /// full queue resolves the future immediately with kRejected.
+  std::future<VerdictResponse> submit(VerificationRequest request);
+
+  /// Sync path: evaluate a whole batch on the calling thread through the
+  /// thread pool, bypassing the queue (no admission, no deadlines).
+  /// Responses come back in request order.
+  std::vector<VerdictResponse> verify_batch(
+      const std::vector<VerificationRequest>& requests);
+
+  /// Sync single-upload convenience.
+  VerdictResponse verify_now(const wifi::ScannedUpload& upload);
+
+  void start();
+  /// Drain the queue, then join the dispatcher.  Idempotent.
+  void stop();
+  bool running() const;
+
+  const wifi::RssiDetector& detector() const { return *detector_; }
+  /// The shared LRU, or nullptr when use_shared_cache was false.
+  const ShardedRpdLruCache* shared_cache() const { return cache_.get(); }
+
+  ServiceCounters counters() const;
+  /// Counters rendered through common/table for logs and operators.
+  std::string counters_table() const;
+
+ private:
+  struct Pending {
+    VerificationRequest request;
+    std::promise<VerdictResponse> promise;
+    std::int64_t enqueue_us = 0;
+  };
+
+  VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
+                  wifi::RssiDetector* borrowed, VerifierServiceConfig config,
+                  const Clock* clock);
+
+  VerdictResponse evaluate(const VerificationRequest& request,
+                           std::int64_t queue_us);
+  void process_batch(std::vector<Pending>& batch);
+  void dispatcher_loop();
+  void reject_pending();
+
+  std::unique_ptr<wifi::RssiDetector> owned_;
+  wifi::RssiDetector* detector_;
+  VerifierServiceConfig config_;
+  const Clock* clock_;
+  std::shared_ptr<ShardedRpdLruCache> cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace trajkit::serve

@@ -38,23 +38,30 @@ std::vector<ApConfidence> ConfidenceEstimator::point_confidence(
   }
 
   const std::size_t k = std::min(params_.top_k, scan.size());
-  std::vector<ApConfidence> out;
-  out.reserve(k);
+  std::vector<ApConfidence> out(k);
   for (std::size_t a = 0; a < k; ++a) {
-    ApConfidence ac;
-    ac.mac = scan[a].mac;
-    ac.rssi_dbm = scan[a].rssi_dbm;
-    for (std::size_t i = 0; i < refs.size(); ++i) {
-      const std::size_t h = refs[i];
+    out[a].mac = scan[a].mac;
+    out[a].rssi_dbm = scan[a].rssi_dbm;
+  }
+  // Reference-major accumulation: each reference point's cached counting
+  // statistics are fetched once and its theta weights computed once, then
+  // every top-k AP accumulates from them.  For a fixed AP the per-reference
+  // additions still happen in index order with identical operands, so phi is
+  // bit-identical to the old AP-major loop — this only cuts cache probes and
+  // theta_2 evaluations by a factor of k.
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const std::size_t h = refs[i];
+    const auto stats = rpd_.point_stats(h);
+    const double theta1 = params_.use_theta1
+                              ? inv_dist[i] / inv_sum
+                              : 1.0 / static_cast<double>(refs.size());
+    const double theta2 = params_.use_theta2 ? rpd_.theta2_from(*stats) : 1.0;
+    const WifiScan& ref_scan = (*index_)[h].scan;
+    for (auto& ac : out) {
       int observed = 0;
-      if (scan_lookup((*index_)[h].scan, ac.mac, observed)) ++ac.num_refs;
-      const double theta1 =
-          params_.use_theta1 ? inv_dist[i] / inv_sum
-                             : 1.0 / static_cast<double>(refs.size());
-      const double theta2 = params_.use_theta2 ? rpd_.theta2(h) : 1.0;
-      ac.phi += theta1 * theta2 * rpd_.rpd(h, ac.mac, ac.rssi_dbm);
+      if (scan_lookup(ref_scan, ac.mac, observed)) ++ac.num_refs;
+      ac.phi += theta1 * theta2 * rpd_.rpd_from(*stats, ac.mac, ac.rssi_dbm);
     }
-    out.push_back(ac);
   }
   return out;
 }

@@ -47,6 +47,12 @@ class ConfidenceEstimator {
   /// Number of reference points within r of `pos` (Fig. 5's density driver).
   std::size_t reference_count(const Enu& pos) const;
 
+  /// Swap the RPD stats cache backing this estimator (serve-layer shared
+  /// LRU).  Not thread-safe against in-flight lookups: call before serving.
+  void set_rpd_cache(std::shared_ptr<RpdStatsCache> cache) {
+    rpd_.set_cache(std::move(cache));
+  }
+
   const ConfidenceParams& params() const { return params_; }
   const RpdEstimator& rpd() const { return rpd_; }
 

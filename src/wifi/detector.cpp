@@ -1,17 +1,50 @@
 #include "wifi/detector.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
 
 namespace trajkit::wifi {
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string VerdictReport::canonical_string() const {
+  std::string out = "verdict=" + std::to_string(verdict) + " p_real=";
+  append_num(out, p_real);
+  out += " threshold=";
+  append_num(out, threshold);
+  out += " features=[";
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (i) out += ',';
+    append_num(out, features[i]);
+  }
+  out += "] point_scores=[";
+  for (std::size_t i = 0; i < point_scores.size(); ++i) {
+    if (i) out += ',';
+    append_num(out, point_scores[i]);
+  }
+  out += ']';
+  return out;
+}
 
 RssiDetector::RssiDetector(std::vector<ReferencePoint> history,
                            RssiDetectorConfig config)
     : index_(std::move(history)),
-      confidence_params_(config.confidence),
+      config_(config),
       estimator_(index_, config.confidence),
-      classifier_(config.classifier) {}
+      classifier_(config.classifier) {
+  if (config_.threshold < 0.0 || config_.threshold > 1.0) {
+    throw std::invalid_argument("RssiDetector: threshold must be in [0, 1]");
+  }
+}
 
 void RssiDetector::train(const std::vector<ScannedUpload>& uploads,
                          const std::vector<int>& labels) {
@@ -28,9 +61,56 @@ void RssiDetector::train(const std::vector<ScannedUpload>& uploads,
   // index, so uploads are featurised in parallel; the classifier itself
   // trains serially on the index-ordered feature matrix.
   std::vector<std::vector<double>> x(uploads.size());
-  parallel_for(0, uploads.size(), 1,
-               [&](std::size_t i) { x[i] = features(uploads[i]); });
+  parallel_for(0, uploads.size(), 1, [&](std::size_t i) {
+    x[i] = trajectory_features(estimator_, uploads[i]);
+  });
   classifier_.train(x, labels);
+}
+
+void RssiDetector::analyze_points(const ScannedUpload& upload,
+                                  std::vector<double>& features,
+                                  std::vector<double>& point_scores) const {
+  if (upload.positions.size() != upload.scans.size()) {
+    throw std::invalid_argument("RssiDetector::analyze: positions/scans mismatch");
+  }
+  // One point_confidence() walk per point feeds both outputs; per-point Phi
+  // evaluation (Eq. 5-7) is the detector's hottest loop, and every point
+  // writes disjoint slots, so points evaluate in parallel (serialized
+  // automatically when the caller is itself a parallel region, e.g. the
+  // serving layer fanning out over a batch).
+  const std::size_t k = estimator_.params().top_k;
+  const std::size_t n = upload.positions.size();
+  features.assign(2 * k * n, 0.0);
+  point_scores.assign(n, 0.0);
+  parallel_for(0, n, 8, [&](std::size_t j) {
+    const auto confidences = estimator_.point_confidence(
+        upload.positions[j], upload.scans[j], upload.source_traj_id);
+    double* slot = features.data() + 2 * k * j;
+    double total = 0.0;
+    for (std::size_t a = 0; a < confidences.size(); ++a) {
+      slot[2 * a] = static_cast<double>(confidences[a].num_refs);
+      slot[2 * a + 1] = confidences[a].phi;
+      total += confidences[a].phi;
+    }
+    point_scores[j] = confidences.empty()
+                          ? 0.0
+                          : total / static_cast<double>(confidences.size());
+  });
+}
+
+VerdictReport RssiDetector::analyze(const ScannedUpload& upload) const {
+  if (trained_points_ == 0) {
+    throw std::logic_error("RssiDetector: classifier not trained");
+  }
+  if (upload.positions.size() != trained_points_) {
+    throw std::invalid_argument("RssiDetector: upload length differs from training");
+  }
+  VerdictReport report;
+  analyze_points(upload, report.features, report.point_scores);
+  report.p_real = classifier_.predict_proba(report.features);
+  report.threshold = config_.threshold;
+  report.verdict = report.p_real >= report.threshold ? 1 : 0;
+  return report;
 }
 
 std::vector<double> RssiDetector::features(const ScannedUpload& upload) const {
@@ -38,33 +118,26 @@ std::vector<double> RssiDetector::features(const ScannedUpload& upload) const {
 }
 
 double RssiDetector::predict_proba(const ScannedUpload& upload) const {
-  if (trained_points_ == 0) {
-    throw std::logic_error("RssiDetector: classifier not trained");
-  }
-  if (upload.positions.size() != trained_points_) {
-    throw std::invalid_argument("RssiDetector: upload length differs from training");
-  }
-  return classifier_.predict_proba(features(upload));
+  return analyze(upload).p_real;
+}
+
+int RssiDetector::verify(const ScannedUpload& upload) const {
+  return analyze(upload).verdict;
 }
 
 int RssiDetector::verify(const ScannedUpload& upload, double threshold) const {
-  return predict_proba(upload) >= threshold ? 1 : 0;
+  return analyze(upload).p_real >= threshold ? 1 : 0;
 }
 
 std::vector<double> RssiDetector::point_scores(const ScannedUpload& upload) const {
-  if (upload.positions.size() != upload.scans.size()) {
-    throw std::invalid_argument("RssiDetector::point_scores: bad upload");
-  }
-  std::vector<double> out(upload.positions.size(), 0.0);
-  parallel_for(0, upload.positions.size(), 8, [&](std::size_t j) {
-    const auto confidences = estimator_.point_confidence(
-        upload.positions[j], upload.scans[j], upload.source_traj_id);
-    double total = 0.0;
-    for (const auto& c : confidences) total += c.phi;
-    out[j] = confidences.empty() ? 0.0
-                                 : total / static_cast<double>(confidences.size());
-  });
-  return out;
+  std::vector<double> features;
+  std::vector<double> scores;
+  analyze_points(upload, features, scores);
+  return scores;
+}
+
+void RssiDetector::set_rpd_cache(std::shared_ptr<RpdStatsCache> cache) {
+  estimator_.set_rpd_cache(std::move(cache));
 }
 
 std::vector<ReferencePoint> flatten_history(

@@ -3,6 +3,14 @@
 // Wraps the whole defense pipeline: the crowdsourced ReferenceIndex, the
 // RPD/confidence estimators and an XGBoost-style classifier over the Eq. 8
 // feature vectors.  1 = the trajectory is judged real, 0 = forged.
+//
+// The call surface is one entry point: analyze() runs the reference-index
+// queries once per point and returns everything a caller can want — the
+// verdict, the classifier probability, the Eq. 8 feature vector and the
+// per-point Eq. 7 suspicion scores.  The historical methods (features /
+// predict_proba / verify / point_scores) survive as thin deprecated wrappers;
+// each one re-walks the index, so calling several of them per upload does the
+// per-point work multiple times where analyze() does it once.
 #pragma once
 
 #include <iosfwd>
@@ -10,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "gbt/booster.hpp"
 #include "wifi/features.hpp"
 
@@ -18,6 +27,26 @@ namespace trajkit::wifi {
 struct RssiDetectorConfig {
   ConfidenceParams confidence;
   gbt::GbtConfig classifier;
+  /// Operating threshold of J: verdict = 1 iff p_real >= threshold.  Carried
+  /// through save/load so a deployed detector keeps the threshold it was
+  /// tuned with instead of every call site hard-coding 0.5.
+  double threshold = 0.5;
+};
+
+/// Everything the detector can say about one upload, computed in one pass.
+struct VerdictReport {
+  int verdict = 0;       ///< J: 1 = judged real, 0 = judged forged
+  double p_real = 0.0;   ///< classifier confidence that the upload is real
+  double threshold = 0.5;  ///< operating threshold that produced `verdict`
+  std::vector<double> features;      ///< Eq. 8 feature vector
+  std::vector<double> point_scores;  ///< per-point mean Eq. 7 confidence
+                                     ///< (localises *which stretch* is forged)
+
+  /// Deterministic text rendering of the payload (%.17g, so doubles
+  /// round-trip exactly).  Used by the determinism tests and the serving
+  /// checksum; deliberately excludes nothing — two reports are byte-equal
+  /// iff their canonical strings are.
+  std::string canonical_string() const;
 };
 
 class RssiDetector {
@@ -25,39 +54,82 @@ class RssiDetector {
   /// Take ownership of the provider's historical dataset.
   RssiDetector(std::vector<ReferencePoint> history, RssiDetectorConfig config = {});
 
+  /// The reference index pins internal pointers; moving or copying a live
+  /// detector would leave its estimators dangling, so both are disabled.
+  /// Heap-allocate (as load()/try_load() do) when ownership must move.
+  RssiDetector(const RssiDetector&) = delete;
+  RssiDetector& operator=(const RssiDetector&) = delete;
+
   /// Train the verdict classifier on labelled uploads (1 = real, 0 = fake).
   /// All uploads must have the same point count.
   void train(const std::vector<ScannedUpload>& uploads, const std::vector<int>& labels);
 
-  /// Eq. 8 features of one upload (exposed for analysis / custom models).
+  /// Single-pass verdict: one reference-index walk per point produces the
+  /// features, the classifier probability, the configured-threshold verdict
+  /// and the per-point suspicion scores together.  Requires train() or a
+  /// loaded model; throws std::logic_error otherwise.
+  VerdictReport analyze(const ScannedUpload& upload) const;
+
+  // -- Deprecated pre-serving surface (each call re-walks the index) --------
+
+  /// Eq. 8 features of one upload.
+  [[deprecated("use analyze().features")]]
   std::vector<double> features(const ScannedUpload& upload) const;
 
   /// Confidence that the upload is real, in [0, 1].
+  [[deprecated("use analyze().p_real")]]
   double predict_proba(const ScannedUpload& upload) const;
 
-  /// The J function: 1 = real, 0 = forged.
-  int verify(const ScannedUpload& upload, double threshold = 0.5) const;
+  /// The J function at the configured operating threshold.
+  [[deprecated("use analyze().verdict")]]
+  int verify(const ScannedUpload& upload) const;
 
-  /// Per-point suspicion localisation: the mean Eq. 7 confidence of each
-  /// point's top-k APs (higher = better supported by the crowd).  Lets an
-  /// auditor see *which stretch* of an upload disagrees with history, e.g.
-  /// when only part of a trip was forged.  Independent of the classifier.
+  /// The J function at an explicit threshold override.
+  [[deprecated("use analyze() and compare p_real yourself")]]
+  int verify(const ScannedUpload& upload, double threshold) const;
+
+  /// Per-point suspicion localisation (mean Eq. 7 confidence of each point's
+  /// top-k APs; higher = better supported by the crowd).
+  [[deprecated("use analyze().point_scores")]]
   std::vector<double> point_scores(const ScannedUpload& upload) const;
+
+  // -------------------------------------------------------------------------
 
   const ReferenceIndex& index() const { return index_; }
   const ConfidenceEstimator& confidence() const { return estimator_; }
   const gbt::GbtClassifier& classifier() const { return classifier_; }
+  const RssiDetectorConfig& config() const { return config_; }
+
+  /// Swap the RPD stats cache (serve-layer shared bounded LRU).  The cache
+  /// only memoises pure functions of the reference index, so this can never
+  /// change a verdict.  Not thread-safe against in-flight analyze() calls.
+  void set_rpd_cache(std::shared_ptr<RpdStatsCache> cache);
 
   /// Persist the full detector — configuration, crowdsourced reference store
   /// and the trained classifier — so a provider can train once and deploy.
   void save(std::ostream& os) const;
-  static std::unique_ptr<RssiDetector> load(std::istream& is);
   void save_file(const std::string& path) const;
+
+  /// Non-throwing loaders, the primary deserialisation path: a serving
+  /// process gets either a detector or a diagnostic string.  Understands the
+  /// current v2 format and the threshold-less v1 format (threshold -> 0.5).
+  static Expected<std::unique_ptr<RssiDetector>, std::string> try_load(
+      std::istream& is);
+  static Expected<std::unique_ptr<RssiDetector>, std::string> try_load_file(
+      const std::string& path);
+
+  /// Throwing convenience wrappers over try_load / try_load_file.
+  static std::unique_ptr<RssiDetector> load(std::istream& is);
   static std::unique_ptr<RssiDetector> load_file(const std::string& path);
 
  private:
+  /// The shared per-point pass: fills the Eq. 8 features and the per-point
+  /// scores from one point_confidence() walk.  Untrained-safe.
+  void analyze_points(const ScannedUpload& upload, std::vector<double>& features,
+                      std::vector<double>& point_scores) const;
+
   ReferenceIndex index_;
-  ConfidenceParams confidence_params_;
+  RssiDetectorConfig config_;
   ConfidenceEstimator estimator_;
   gbt::GbtClassifier classifier_;
   std::size_t trained_points_ = 0;  ///< upload length the classifier expects

@@ -1,6 +1,11 @@
 // RssiDetector persistence: a text header (config + reference store) followed
 // by the serialised GBT classifier.  The store dominates the file size; RSSIs
 // are written as compact integer pairs.
+//
+// Format history:
+//   v1  config line = radius top_k theta1 theta2 R tolerance base
+//   v2  v1 + the operating threshold appended to the config line
+// try_load reads both; save always writes v2.
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -11,17 +16,21 @@
 namespace trajkit::wifi {
 namespace {
 
-constexpr const char* kMagic = "trajkit_rssi_detector_v1";
+constexpr const char* kMagicV1 = "trajkit_rssi_detector_v1";
+constexpr const char* kMagicV2 = "trajkit_rssi_detector_v2";
+
+using DetectorOrError = Expected<std::unique_ptr<RssiDetector>, std::string>;
 
 }  // namespace
 
 void RssiDetector::save(std::ostream& os) const {
-  os << kMagic << '\n';
-  const auto& conf = confidence_params_;
+  os << kMagicV2 << '\n';
+  const auto& conf = config_.confidence;
   os << std::setprecision(17);
   os << conf.reference_radius_m << ' ' << conf.top_k << ' ' << conf.use_theta1 << ' '
      << conf.use_theta2 << ' ' << conf.rpd.counting_radius_m << ' '
-     << conf.rpd.rssi_tolerance_db << ' ' << conf.rpd.theta2_base << '\n';
+     << conf.rpd.rssi_tolerance_db << ' ' << conf.rpd.theta2_base << ' '
+     << config_.threshold << '\n';
   os << trained_points_ << '\n';
   os << index_.size() << '\n';
   for (std::size_t i = 0; i < index_.size(); ++i) {
@@ -34,22 +43,25 @@ void RssiDetector::save(std::ostream& os) const {
   classifier_.save(os);
 }
 
-std::unique_ptr<RssiDetector> RssiDetector::load(std::istream& is) {
+DetectorOrError RssiDetector::try_load(std::istream& is) {
   std::string magic;
-  if (!(is >> magic) || magic != kMagic) {
-    throw std::runtime_error("RssiDetector::load: bad magic");
+  if (!(is >> magic) || (magic != kMagicV1 && magic != kMagicV2)) {
+    return DetectorOrError::failure("RssiDetector: bad magic (not a detector model)");
   }
   RssiDetectorConfig cfg;
   if (!(is >> cfg.confidence.reference_radius_m >> cfg.confidence.top_k >>
         cfg.confidence.use_theta1 >> cfg.confidence.use_theta2 >>
         cfg.confidence.rpd.counting_radius_m >> cfg.confidence.rpd.rssi_tolerance_db >>
         cfg.confidence.rpd.theta2_base)) {
-    throw std::runtime_error("RssiDetector::load: bad config");
+    return DetectorOrError::failure("RssiDetector: bad config header");
+  }
+  if (magic == kMagicV2 && !(is >> cfg.threshold)) {
+    return DetectorOrError::failure("RssiDetector: bad threshold field");
   }
   std::size_t trained_points = 0;
   std::size_t ref_count = 0;
   if (!(is >> trained_points >> ref_count)) {
-    throw std::runtime_error("RssiDetector::load: bad header");
+    return DetectorOrError::failure("RssiDetector: bad header");
   }
   std::vector<ReferencePoint> refs;
   refs.reserve(ref_count);
@@ -57,32 +69,52 @@ std::unique_ptr<RssiDetector> RssiDetector::load(std::istream& is) {
     ReferencePoint p;
     std::size_t scan_size = 0;
     if (!(is >> p.pos.east >> p.pos.north >> p.traj_id >> scan_size)) {
-      throw std::runtime_error("RssiDetector::load: truncated reference point");
+      return DetectorOrError::failure("RssiDetector: truncated reference point " +
+                                      std::to_string(i));
     }
     p.scan.resize(scan_size);
     for (auto& obs : p.scan) {
       if (!(is >> obs.mac >> obs.rssi_dbm)) {
-        throw std::runtime_error("RssiDetector::load: truncated scan");
+        return DetectorOrError::failure("RssiDetector: truncated scan at point " +
+                                        std::to_string(i));
       }
     }
     refs.push_back(std::move(p));
   }
-  auto detector = std::make_unique<RssiDetector>(std::move(refs), cfg);
-  detector->classifier_ = gbt::GbtClassifier::load(is);
-  detector->trained_points_ = trained_points;
-  return detector;
+  // Construction and the classifier's own loader validate by throwing; fold
+  // those into the non-throwing contract here.
+  try {
+    auto detector = std::make_unique<RssiDetector>(std::move(refs), cfg);
+    detector->classifier_ = gbt::GbtClassifier::load(is);
+    detector->trained_points_ = trained_points;
+    return DetectorOrError(std::move(detector));
+  } catch (const std::exception& e) {
+    return DetectorOrError::failure(std::string("RssiDetector: ") + e.what());
+  }
+}
+
+DetectorOrError RssiDetector::try_load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return DetectorOrError::failure("RssiDetector: cannot open " + path);
+  return try_load(is);
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::load(std::istream& is) {
+  auto result = try_load(is);
+  if (!result) throw std::runtime_error("RssiDetector::load: " + result.error());
+  return std::move(result).value();
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::load_file(const std::string& path) {
+  auto result = try_load_file(path);
+  if (!result) throw std::runtime_error("RssiDetector::load_file: " + result.error());
+  return std::move(result).value();
 }
 
 void RssiDetector::save_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("RssiDetector::save_file: cannot open " + path);
   save(os);
-}
-
-std::unique_ptr<RssiDetector> RssiDetector::load_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("RssiDetector::load_file: cannot open " + path);
-  return load(is);
 }
 
 }  // namespace trajkit::wifi

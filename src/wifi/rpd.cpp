@@ -5,8 +5,38 @@
 
 namespace trajkit::wifi {
 
-RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params)
-    : index_(&index), params_(params), cache_(index.size()) {
+DenseRpdStatsCache::DenseRpdStatsCache(std::size_t slots) : slots_(slots) {}
+
+std::shared_ptr<const RpdPointStats> DenseRpdStatsCache::get_or_build(
+    std::size_t h, const std::function<RpdPointStats()>& build) {
+  if (h >= slots_.size()) {
+    throw std::out_of_range("DenseRpdStatsCache: reference point out of range");
+  }
+  Slot& slot = slots_[h];
+  // Fast path: slot already published (acquire pairs with the release below).
+  if (slot.ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot.value;
+  }
+  std::lock_guard<std::mutex> lock(stripes_[h % stripes_.size()]);
+  if (slot.ready.load(std::memory_order_relaxed)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot.value;
+  }
+  slot.value = std::make_shared<const RpdPointStats>(build());
+  slot.ready.store(true, std::memory_order_release);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return slot.value;
+}
+
+RpdStatsCache::CacheStats DenseRpdStatsCache::stats() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed), 0};
+}
+
+RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params,
+                           std::shared_ptr<RpdStatsCache> cache)
+    : index_(&index), params_(params), cache_(std::move(cache)) {
   if (params_.counting_radius_m <= 0.0) {
     throw std::invalid_argument("RpdEstimator: counting radius must be positive");
   }
@@ -16,50 +46,67 @@ RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params)
   if (params_.rssi_tolerance_db < 0) {
     throw std::invalid_argument("RpdEstimator: tolerance must be non-negative");
   }
+  if (!cache_) cache_ = std::make_shared<DenseRpdStatsCache>(index.size());
 }
 
-const RpdEstimator::PointStats& RpdEstimator::stats(std::size_t h) const {
-  PointStats& entry = cache_[h];
-  // Fast path: entry already published (acquire pairs with the release below).
-  if (entry.ready.load(std::memory_order_acquire)) return entry;
-  std::lock_guard<std::mutex> lock(stripes_[h % stripes_.size()]);
-  if (entry.ready.load(std::memory_order_relaxed)) return entry;
+RpdPointStats RpdEstimator::build_stats(std::size_t h) const {
+  RpdPointStats stats;
   const auto nbrs = index_->within((*index_)[h].pos, params_.counting_radius_m);
-  entry.neighbour_count = nbrs.size();
+  stats.neighbour_count = nbrs.size();
   for (std::size_t q : nbrs) {
     for (const auto& obs : (*index_)[q].scan) {
-      ++entry.histograms[obs.mac][obs.rssi_dbm];
+      ++stats.histograms[obs.mac][obs.rssi_dbm];
     }
   }
-  entry.ready.store(true, std::memory_order_release);
-  return entry;
+  return stats;
 }
 
-double RpdEstimator::rpd(std::size_t h, std::uint64_t mac, int rssi) const {
-  const PointStats& s = stats(h);
-  if (s.neighbour_count == 0) return 0.0;
-  const auto hist_it = s.histograms.find(mac);
-  if (hist_it == s.histograms.end()) return 0.0;
+std::shared_ptr<const RpdPointStats> RpdEstimator::point_stats(std::size_t h) const {
+  return cache_->get_or_build(h, [this, h] { return build_stats(h); });
+}
+
+double RpdEstimator::rpd_from(const RpdPointStats& stats, std::uint64_t mac,
+                              int rssi) const {
+  if (stats.neighbour_count == 0) return 0.0;
+  const auto hist_it = stats.histograms.find(mac);
+  if (hist_it == stats.histograms.end()) return 0.0;
   std::uint64_t matches = 0;
   for (int v = rssi - params_.rssi_tolerance_db; v <= rssi + params_.rssi_tolerance_db;
        ++v) {
     const auto it = hist_it->second.find(v);
     if (it != hist_it->second.end()) matches += it->second;
   }
-  return static_cast<double>(matches) / static_cast<double>(s.neighbour_count);
+  return static_cast<double>(matches) / static_cast<double>(stats.neighbour_count);
+}
+
+double RpdEstimator::density_of(const RpdPointStats& stats) const {
+  const double area = M_PI * params_.counting_radius_m * params_.counting_radius_m;
+  return static_cast<double>(stats.neighbour_count) / area;
+}
+
+double RpdEstimator::theta2_from(const RpdPointStats& stats) const {
+  return 1.0 - std::pow(params_.theta2_base, density_of(stats));
+}
+
+double RpdEstimator::rpd(std::size_t h, std::uint64_t mac, int rssi) const {
+  return rpd_from(*point_stats(h), mac, rssi);
 }
 
 std::size_t RpdEstimator::counting_size(std::size_t h) const {
-  return stats(h).neighbour_count;
+  return point_stats(h)->neighbour_count;
 }
 
 double RpdEstimator::density(std::size_t h) const {
-  const double area = M_PI * params_.counting_radius_m * params_.counting_radius_m;
-  return static_cast<double>(counting_size(h)) / area;
+  return density_of(*point_stats(h));
 }
 
 double RpdEstimator::theta2(std::size_t h) const {
-  return 1.0 - std::pow(params_.theta2_base, density(h));
+  return theta2_from(*point_stats(h));
+}
+
+void RpdEstimator::set_cache(std::shared_ptr<RpdStatsCache> cache) {
+  if (!cache) throw std::invalid_argument("RpdEstimator::set_cache: null cache");
+  cache_ = std::move(cache);
 }
 
 }  // namespace trajkit::wifi

@@ -4,14 +4,23 @@
 // For a historical point H, the RSSIs of an AP observed inside the counting
 // circle C_H(R) are treated as a discrete random variable;
 // RPD_H^mac(x) = |{Q in C_H(R) : Q.rssi(mac) == x}| / |C_H(R)|.
-// The estimator caches each historical point's counting neighbourhood on
-// first use, since the detector probes the same reference points for every
-// AP of every verified trajectory point.
+//
+// Deriving a point's counting neighbourhood is the expensive part (a radius
+// query plus a histogram over every scan in it), and the detector probes the
+// same reference points for every AP of every verified trajectory point — so
+// the derived statistics are cached.  The cache is *pluggable*: the default
+// DenseRpdStatsCache keeps one lazily-built slot per reference point (right
+// for one-shot experiments), while the serving layer substitutes a bounded,
+// shard-locked LRU shared across requests (serve/rpd_lru_cache.hpp).  Cached
+// stats are a pure function of the immutable reference index, so the cache
+// policy can never change a verdict — only how often stats are rebuilt.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -26,51 +35,102 @@ struct RpdParams {
   double theta2_base = 0.9;        ///< the paper's 1/t = 0.9 in Eq. 6
 };
 
+/// Derived statistics of one reference point's counting circle C_H(R): the
+/// membership count (Eq. 4 denominator) and, per AP heard inside the circle,
+/// its RSSI histogram (Eq. 4 numerators).  Immutable once built.
+struct RpdPointStats {
+  std::size_t neighbour_count = 0;
+  std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint32_t>> histograms;
+};
+
+/// Cache of RpdPointStats keyed by reference-point index.  Implementations
+/// must be safe for concurrent get_or_build calls; returned pointers remain
+/// valid after eviction (shared ownership).  Because the stats are pure
+/// functions of the reference index, racing builders may duplicate work but
+/// always produce identical values.
+class RpdStatsCache {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  virtual ~RpdStatsCache() = default;
+
+  /// Stats for reference point `h`, building them via `build` on a miss.
+  virtual std::shared_ptr<const RpdPointStats> get_or_build(
+      std::size_t h, const std::function<RpdPointStats()>& build) = 0;
+
+  virtual CacheStats stats() const = 0;
+};
+
+/// Default cache: one slot per reference point, built lazily under a striped
+/// mutex and published with an acquire/release flag, never evicted.  Memory
+/// grows with the number of *touched* reference points — fine for
+/// experiments, unbounded for a long-lived server.
+class DenseRpdStatsCache final : public RpdStatsCache {
+ public:
+  explicit DenseRpdStatsCache(std::size_t slots);
+
+  std::shared_ptr<const RpdPointStats> get_or_build(
+      std::size_t h, const std::function<RpdPointStats()>& build) override;
+  CacheStats stats() const override;
+
+ private:
+  struct Slot {
+    std::atomic<bool> ready{false};
+    std::shared_ptr<const RpdPointStats> value;
+  };
+
+  std::vector<Slot> slots_;
+  std::array<std::mutex, 64> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
 class RpdEstimator {
  public:
-  /// `index` must outlive the estimator.
-  RpdEstimator(const ReferenceIndex& index, RpdParams params = {});
+  /// `index` must outlive the estimator.  `cache` defaults to a fresh
+  /// DenseRpdStatsCache sized to the index.
+  RpdEstimator(const ReferenceIndex& index, RpdParams params = {},
+               std::shared_ptr<RpdStatsCache> cache = nullptr);
 
-  /// RPD_H^mac(x): probability that AP `mac` reads `rssi` near reference
-  /// point `h` (an index into the ReferenceIndex).
+  /// The shared lookup path: fetch (building if needed) the cached counting
+  /// statistics of reference point `h`.  Callers that probe several RPD
+  /// values of the same point should fetch once and use the *_from helpers.
+  std::shared_ptr<const RpdPointStats> point_stats(std::size_t h) const;
+
+  /// RPD_H^mac(x) evaluated on already-fetched stats.
+  double rpd_from(const RpdPointStats& stats, std::uint64_t mac, int rssi) const;
+  /// theta_2(H) evaluated on already-fetched stats.
+  double theta2_from(const RpdPointStats& stats) const;
+
+  /// Convenience per-index entry points (one cache probe each).
   double rpd(std::size_t h, std::uint64_t mac, int rssi) const;
-
-  /// Number of historical points in C_H(R) (the Eq. 4 denominator).
   std::size_t counting_size(std::size_t h) const;
-
-  /// Density eps = |C_H(R)| / (pi R^2), points per square metre.
   double density(std::size_t h) const;
-
-  /// Reliability weight theta_2(H) = 1 - base^eps (Eq. 6, rewritten with the
-  /// paper's 1/t = base): more points in the counting area => closer to 1.
   double theta2(std::size_t h) const;
+
+  /// Swap the backing stats cache (e.g. for a serve-layer shared LRU).  Not
+  /// thread-safe with respect to concurrent lookups: call before serving.
+  void set_cache(std::shared_ptr<RpdStatsCache> cache);
+  const RpdStatsCache& cache() const { return *cache_; }
 
   const RpdParams& params() const { return params_; }
   const ReferenceIndex& index() const { return *index_; }
 
  private:
-  /// Cached per-reference-point statistics: the C_H(R) membership count and,
-  /// per AP heard in the counting area, its RSSI histogram.  Built lazily on
-  /// first probe of a point — detectors only ever touch reference points near
-  /// verified trajectories.
-  ///
-  /// Thread safety: detectors probe the cache concurrently from parallel
-  /// evaluation (common/parallel.hpp), so each entry is published with an
-  /// acquire/release `ready` flag and built under a striped mutex.  The
-  /// cached value is a pure function of the (immutable) reference index, so
-  /// lazy filling does not affect determinism.
-  struct PointStats {
-    std::atomic<bool> ready{false};
-    std::size_t neighbour_count = 0;
-    std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint32_t>> histograms;
-  };
-
-  const PointStats& stats(std::size_t h) const;
+  RpdPointStats build_stats(std::size_t h) const;
+  double density_of(const RpdPointStats& stats) const;
 
   const ReferenceIndex* index_;
   RpdParams params_;
-  mutable std::vector<PointStats> cache_;
-  mutable std::array<std::mutex, 64> stripes_;
+  std::shared_ptr<RpdStatsCache> cache_;
 };
 
 }  // namespace trajkit::wifi

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/cli.hpp"
+#include "common/clock.hpp"
+#include "common/counters.hpp"
+#include "common/expected.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -235,6 +240,76 @@ TEST(Cli, ParsesTypedFlags) {
 TEST(Cli, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(CliFlags(2, argv), std::invalid_argument);
+}
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int, std::string> ok(41);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 41);
+  EXPECT_EQ(ok.value_or(-1), 41);
+  EXPECT_THROW(ok.error(), std::logic_error);
+
+  const auto bad = Expected<int, std::string>::failure("nope");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(Expected, MovesValueOutOfRvalue) {
+  Expected<std::unique_ptr<int>, std::string> ok(std::make_unique<int>(7));
+  const auto moved = std::move(ok).value();
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(Expected, UnexpectedHelperBuildsFailures) {
+  const Expected<int, std::string> bad = unexpected(std::string("broken"));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), "broken");
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50_us(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99_us(), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesLandWithinBucketResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add_us(i);
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed with 4 sub-buckets per octave: ~13% worst-case relative
+  // error per estimate.
+  EXPECT_NEAR(h.p50_us(), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.p95_us(), 950.0, 950.0 * 0.15);
+  EXPECT_NEAR(h.p99_us(), 990.0, 990.0 * 0.15);
+}
+
+TEST(LatencyHistogram, HandlesOutliersAndClampsNegatives) {
+  LatencyHistogram h;
+  h.add_us(-50);  // clamps to zero rather than corrupting a bucket
+  for (int i = 0; i < 98; ++i) h.add_us(100);
+  h.add_us(1'000'000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.p50_us(), 100.0, 100.0 * 0.15);
+  EXPECT_GT(h.quantile_us(0.999), 100'000.0);
+}
+
+TEST(Clock, ManualClockAdvancesOnDemand) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100);
+  clock.advance_us(50);
+  EXPECT_EQ(clock.now_us(), 150);
+}
+
+TEST(Clock, SteadyClockIsMonotonic) {
+  const Clock& clock = steady_clock();
+  const auto a = clock.now_us();
+  const auto b = clock.now_us();
+  EXPECT_GE(b, a);
 }
 
 }  // namespace

@@ -8,13 +8,17 @@
 // reductions, so even floating-point results must match bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "core/rssi_pipeline.hpp"
 #include "core/scenario.hpp"
 #include "nn/classifier.hpp"
+#include "serve/service.hpp"
 #include "wifi/detector.hpp"
 
 namespace trajkit {
@@ -80,7 +84,7 @@ TEST(Determinism, DetectorFeatureVectorsAreThreadCountInvariant) {
 
   auto features_of = [&] {
     wifi::RssiDetector detector(wifi::flatten_history(uploads), {});
-    return detector.features(probe);
+    return wifi::trajectory_features(detector.confidence(), probe);
   };
   const auto reference = features_of();
   ASSERT_FALSE(reference.empty());
@@ -126,6 +130,74 @@ TEST(Determinism, ClassifierLossTraceIsThreadCountInvariant) {
   for (const std::size_t n : thread_counts()) {
     set_global_threads(n);
     EXPECT_EQ(train_trace(), reference) << "threads=" << n;
+  }
+  set_global_threads(0);
+}
+
+TEST(Determinism, ServiceResponsesAreThreadAndOrderInvariant) {
+  // The serving layer's contract: a VerdictResponse payload is a pure
+  // function of (model, upload).  Micro-batch composition, submission order,
+  // dispatcher timing, thread count and LRU eviction must all be invisible
+  // in the canonical payload strings.
+  set_global_threads(1);
+  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  const auto batch = scenario.scanned_real(12, 15, 2.0);
+  Rng& rng = scenario.rng();
+
+  std::vector<wifi::ScannedUpload> history;
+  for (std::size_t i = 0; i < 9; ++i) history.push_back(core::to_upload(batch[i]));
+  wifi::RssiDetectorConfig cfg;
+  cfg.classifier.num_trees = 10;
+  wifi::RssiDetector detector(wifi::flatten_history(history), cfg);
+
+  std::vector<wifi::ScannedUpload> train;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < 9; ++i) {
+    auto upload = core::to_upload(batch[i]);
+    upload.source_traj_id = static_cast<std::uint32_t>(i);
+    train.push_back(std::move(upload));
+    labels.push_back(1);
+  }
+  for (std::size_t i = 9; i < 12; ++i) {
+    train.push_back(core::forge_upload(batch[i], 2.0, 1, rng));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  std::vector<wifi::ScannedUpload> probes;
+  for (std::size_t i = 9; i < 12; ++i) probes.push_back(core::to_upload(batch[i]));
+  for (std::size_t i = 0; i < 3; ++i) {
+    probes.push_back(core::forge_upload(batch[i], 2.0, 1, rng));
+  }
+
+  auto canonical = [&](const std::vector<std::size_t>& order, std::size_t threads) {
+    set_global_threads(threads);
+    serve::VerifierServiceConfig scfg;
+    scfg.max_batch = 2;        // several micro-batches per run
+    scfg.cache.capacity = 32;  // small enough that eviction stays active
+    scfg.cache.shards = 2;
+    serve::VerifierService service(detector, scfg);
+    std::vector<std::future<serve::VerdictResponse>> futures(order.size());
+    for (const std::size_t idx : order) {
+      futures[idx] = service.submit({idx, probes[idx], 0});
+    }
+    std::string all;
+    for (auto& future : futures) {
+      all += future.get().canonical_string();
+      all += '\n';
+    }
+    return all;
+  };
+
+  const std::vector<std::size_t> forward = {0, 1, 2, 3, 4, 5};
+  const std::vector<std::size_t> reversed = {5, 4, 3, 2, 1, 0};
+  const std::vector<std::size_t> shuffled = {3, 0, 5, 1, 4, 2};
+  const std::string reference = canonical(forward, 1);
+  ASSERT_NE(reference.find("outcome=ok"), std::string::npos);
+  for (const std::size_t n : thread_counts()) {
+    for (const auto& order : {forward, reversed, shuffled}) {
+      EXPECT_EQ(canonical(order, n), reference) << "threads=" << n;
+    }
   }
   set_global_threads(0);
 }

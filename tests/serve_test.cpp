@@ -1,0 +1,321 @@
+// Serving layer: VerifierService micro-batching, admission control,
+// deadlines, the shared bounded RPD LRU, and model round-trips through the
+// non-throwing loaders.
+//
+// The detector fixture mirrors wifi_test's synthetic world: a linear RSSI
+// field over a 30x30 m area, real uploads scanned where they claim to be and
+// fakes whose claimed positions are shifted 15 m east of where the (genuine)
+// scans were heard.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "serve/rpd_lru_cache.hpp"
+#include "serve/service.hpp"
+#include "wifi/detector.hpp"
+
+namespace trajkit::serve {
+namespace {
+
+int field(const Enu& p) { return static_cast<int>(std::lround(-40.0 - p.east)); }
+
+constexpr std::size_t kUploadPoints = 6;
+
+/// A small trained detector plus a generator of real/forged probe uploads.
+struct World {
+  Rng rng{7};
+  std::unique_ptr<wifi::RssiDetector> detector;
+
+  World() {
+    std::vector<wifi::ReferencePoint> history;
+    for (int i = 0; i < 600; ++i) {
+      const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
+      history.push_back(
+          {p, {{1, field(p)}}, static_cast<std::uint32_t>(i / 10)});
+    }
+    wifi::RssiDetectorConfig cfg;
+    cfg.confidence.reference_radius_m = 3.0;
+    cfg.confidence.top_k = 2;
+    cfg.classifier.num_trees = 15;
+    detector = std::make_unique<wifi::RssiDetector>(std::move(history), cfg);
+
+    std::vector<wifi::ScannedUpload> train;
+    std::vector<int> labels;
+    for (int i = 0; i < 30; ++i) {
+      train.push_back(upload(true));
+      labels.push_back(1);
+      train.push_back(upload(false));
+      labels.push_back(0);
+    }
+    detector->train(train, labels);
+  }
+
+  wifi::ScannedUpload upload(bool real) {
+    wifi::ScannedUpload u;
+    for (std::size_t j = 0; j < kUploadPoints; ++j) {
+      const Enu p{rng.uniform(2, 28), rng.uniform(2, 28)};
+      u.positions.push_back(p);
+      const Enu heard = real ? p : Enu{p.east + 15.0, p.north};
+      u.scans.push_back({{1, field(heard)}});
+    }
+    return u;
+  }
+};
+
+std::vector<wifi::ScannedUpload> probe_mix(World& w, std::size_t n) {
+  std::vector<wifi::ScannedUpload> probes;
+  for (std::size_t i = 0; i < n; ++i) probes.push_back(w.upload(i % 2 == 0));
+  return probes;
+}
+
+TEST(VerifierService, SyncBatchMatchesDetectorAnalyze) {
+  World w;
+  const auto probes = probe_mix(w, 8);
+  // Reference verdicts straight off the detector, before the service swaps
+  // in its shared cache (cache policy must not be able to change them).
+  std::vector<std::string> want;
+  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  VerifierService service(*w.detector, cfg);
+  std::vector<VerificationRequest> requests;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    requests.push_back({i, probes[i], 0});
+  }
+  const auto responses = service.verify_batch(requests);
+  ASSERT_EQ(responses.size(), probes.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].request_id, i);
+    ASSERT_EQ(responses[i].outcome, Outcome::kOk) << responses[i].error;
+    EXPECT_EQ(responses[i].report.canonical_string(), want[i]);
+  }
+}
+
+TEST(VerifierService, SubmitResolvesFuturesViaDispatcher) {
+  World w;
+  const auto probes = probe_mix(w, 6);
+  std::vector<std::string> want;
+  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+
+  VerifierServiceConfig cfg;
+  cfg.max_batch = 2;  // force several micro-batches
+  VerifierService service(*w.detector, cfg);
+  EXPECT_TRUE(service.running());
+  std::vector<std::future<VerdictResponse>> futures;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    futures.push_back(service.submit({i, probes[i], 0}));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto response = futures[i].get();
+    EXPECT_EQ(response.request_id, i);
+    ASSERT_EQ(response.outcome, Outcome::kOk) << response.error;
+    EXPECT_EQ(response.report.canonical_string(), want[i]);
+    EXPECT_GE(response.compute_us, 0);
+  }
+  service.stop();
+  EXPECT_FALSE(service.running());
+  const auto c = service.counters();
+  EXPECT_EQ(c.received, probes.size());
+  EXPECT_EQ(c.completed, probes.size());
+  EXPECT_EQ(c.rejected, 0u);
+  EXPECT_GE(c.batches, (probes.size() + cfg.max_batch - 1) / cfg.max_batch);
+}
+
+TEST(VerifierService, AdmissionRejectsBeyondQueueLimit) {
+  World w;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;  // nothing drains until start()
+  cfg.max_queue = 2;
+  VerifierService service(*w.detector, cfg);
+
+  auto f1 = service.submit({1, w.upload(true), 0});
+  auto f2 = service.submit({2, w.upload(true), 0});
+  auto f3 = service.submit({3, w.upload(true), 0});
+  // The third future must already be resolved — rejected at admission.
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f3.get().outcome, Outcome::kRejected);
+
+  service.start();
+  EXPECT_EQ(f1.get().outcome, Outcome::kOk);
+  EXPECT_EQ(f2.get().outcome, Outcome::kOk);
+  const auto c = service.counters();
+  EXPECT_EQ(c.received, 3u);
+  EXPECT_EQ(c.completed, 2u);
+  EXPECT_EQ(c.rejected, 1u);
+}
+
+TEST(VerifierService, ExpiredDeadlinesTimeOutWithoutEvaluation) {
+  World w;
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  VerifierService service(*w.detector, cfg, &clock);
+
+  auto stale = service.submit({1, w.upload(true), /*deadline_us=*/100});
+  auto fresh = service.submit({2, w.upload(true), /*deadline_us=*/0});
+  clock.advance_us(1000);  // the stale request's queueing budget expires
+  service.start();
+  const auto stale_response = stale.get();
+  EXPECT_EQ(stale_response.outcome, Outcome::kTimedOut);
+  EXPECT_GE(stale_response.queue_us, 1000);
+  EXPECT_EQ(fresh.get().outcome, Outcome::kOk);
+  const auto c = service.counters();
+  EXPECT_EQ(c.timed_out, 1u);
+  EXPECT_EQ(c.completed, 1u);
+}
+
+TEST(VerifierService, MalformedUploadComesBackAsError) {
+  World w;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  VerifierService service(*w.detector, cfg);
+
+  wifi::ScannedUpload wrong_length;  // trained on kUploadPoints, send 2
+  wrong_length.positions = {{5, 5}, {6, 5}};
+  wrong_length.scans = {{{1, -45}}, {{1, -46}}};
+  const auto response = service.verify_now(wrong_length);
+  EXPECT_EQ(response.outcome, Outcome::kError);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.counters().errors, 1u);
+}
+
+TEST(VerifierService, DestructionRejectsUndrainedRequests) {
+  World w;
+  std::future<VerdictResponse> orphan;
+  {
+    VerifierServiceConfig cfg;
+    cfg.auto_start = false;
+    VerifierService service(*w.detector, cfg);
+    orphan = service.submit({9, w.upload(true), 0});
+  }
+  ASSERT_EQ(orphan.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(orphan.get().outcome, Outcome::kRejected);
+}
+
+TEST(VerifierService, SaveTryLoadServeRoundTrip) {
+  World w;
+  const auto probes = probe_mix(w, 6);
+  std::vector<std::string> want;
+  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+
+  const char* path = "serve_test_model.tmp";
+  w.detector->save_file(path);
+  auto service_or = VerifierService::try_create_from_file(path);
+  std::remove(path);
+  ASSERT_TRUE(service_or.has_value()) << service_or.error();
+  const auto service = std::move(service_or).value();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto response = service->verify_now(probes[i]);
+    ASSERT_EQ(response.outcome, Outcome::kOk) << response.error;
+    EXPECT_EQ(response.report.canonical_string(), want[i])
+        << "upload " << i << " diverged after save -> try_load -> serve";
+  }
+}
+
+TEST(VerifierService, TryCreateFromMissingFileReportsError) {
+  auto service_or = VerifierService::try_create_from_file("no-such-model.tmp");
+  ASSERT_FALSE(service_or.has_value());
+  EXPECT_NE(service_or.error().find("cannot open"), std::string::npos)
+      << service_or.error();
+}
+
+TEST(VerifierService, CountersTableListsCacheAndLatency) {
+  World w;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  VerifierService service(*w.detector, cfg);
+  (void)service.verify_now(w.upload(true));
+  const std::string table = service.counters_table();
+  for (const char* row : {"requests received", "completed", "micro-batches",
+                          "rpd cache hit rate", "latency p50 (us)"}) {
+    EXPECT_NE(table.find(row), std::string::npos) << "missing row: " << row;
+  }
+}
+
+TEST(RpdLruCache, TinyCapacityEvictsWithoutChangingVerdicts) {
+  World w;
+  const auto probes = probe_mix(w, 10);
+  std::vector<std::string> want;
+  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.cache.capacity = 8;  // absurdly small: constant churn
+  cfg.cache.shards = 1;
+  VerifierService service(*w.detector, cfg);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto response = service.verify_now(probes[i]);
+    ASSERT_EQ(response.outcome, Outcome::kOk) << response.error;
+    EXPECT_EQ(response.report.canonical_string(), want[i])
+        << "eviction changed the verdict payload of upload " << i;
+  }
+  ASSERT_NE(service.shared_cache(), nullptr);
+  const auto stats = service.shared_cache()->stats();
+  EXPECT_GT(stats.evictions, 0u) << "capacity 8 should have churned";
+  EXPECT_LE(service.shared_cache()->size(), 8u);
+}
+
+TEST(RpdLruCache, CountsHitsAndMisses) {
+  ShardedRpdLruCache cache({/*capacity=*/4, /*shards=*/2});
+  std::size_t builds = 0;
+  auto build = [&] {
+    ++builds;
+    return wifi::RpdPointStats{};
+  };
+  (void)cache.get_or_build(1, build);
+  (void)cache.get_or_build(1, build);
+  (void)cache.get_or_build(2, build);
+  EXPECT_EQ(builds, 2u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NEAR(stats.hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RpdLruCache, EvictsLeastRecentlyUsedFirst) {
+  ShardedRpdLruCache cache({/*capacity=*/2, /*shards=*/1});
+  std::size_t builds = 0;
+  auto build = [&] {
+    ++builds;
+    return wifi::RpdPointStats{};
+  };
+  (void)cache.get_or_build(1, build);
+  (void)cache.get_or_build(2, build);
+  (void)cache.get_or_build(1, build);  // touch 1: now 2 is the LRU entry
+  (void)cache.get_or_build(3, build);  // evicts 2
+  (void)cache.get_or_build(1, build);  // still resident
+  EXPECT_EQ(builds, 3u);
+  (void)cache.get_or_build(2, build);  // gone: rebuilt
+  EXPECT_EQ(builds, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(RpdLruCache, ValidatesConfig) {
+  EXPECT_THROW(ShardedRpdLruCache({0, 4}), std::invalid_argument);
+  EXPECT_THROW(ShardedRpdLruCache({16, 0}), std::invalid_argument);
+  // More shards than capacity clamps rather than throwing.
+  const ShardedRpdLruCache cache({2, 64});
+  EXPECT_EQ(cache.config().shards, 2u);
+}
+
+TEST(VerifierService, RejectsNullAndMisconfigured) {
+  World w;
+  EXPECT_THROW(VerifierService(std::unique_ptr<wifi::RssiDetector>(), {}),
+               std::invalid_argument);
+  VerifierServiceConfig zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_THROW(VerifierService(*w.detector, zero_batch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trajkit::serve

@@ -261,8 +261,8 @@ TEST(Detector, SeparatesMatchingFromMismatchedRssi) {
 
   int correct = 0;
   for (int i = 0; i < 40; ++i) {
-    correct += detector.verify(make_upload(true)) == 1;
-    correct += detector.verify(make_upload(false)) == 0;
+    correct += detector.analyze(make_upload(true)).verdict == 1;
+    correct += detector.analyze(make_upload(false)).verdict == 0;
   }
   EXPECT_GT(correct, 72);  // > 90%
 }
@@ -309,13 +309,107 @@ TEST(Detector, SaveLoadRoundTrip) {
   ASSERT_EQ(loaded->index().size(), detector.index().size());
   for (int i = 0; i < 20; ++i) {
     const auto upload = make_upload(i % 2 == 0);
-    EXPECT_NEAR(detector.predict_proba(upload), loaded->predict_proba(upload), 1e-12);
+    EXPECT_NEAR(detector.analyze(upload).p_real, loaded->analyze(upload).p_real,
+                1e-12);
   }
 }
 
 TEST(Detector, LoadRejectsGarbage) {
   std::stringstream ss("definitely_not_a_detector");
   EXPECT_THROW(RssiDetector::load(ss), std::runtime_error);
+}
+
+TEST(Detector, TryLoadReportsGarbageAsError) {
+  std::stringstream ss("definitely_not_a_detector");
+  const auto result = RssiDetector::try_load(ss);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().find("bad magic"), std::string::npos) << result.error();
+}
+
+TEST(Detector, ThresholdPersistsThroughSaveLoad) {
+  RssiDetectorConfig cfg;
+  cfg.threshold = 0.65;
+  RssiDetector detector({ref(0, 0, {{1, -50}})}, cfg);
+  std::stringstream ss;
+  detector.save(ss);
+  const auto loaded = RssiDetector::load(ss);
+  EXPECT_DOUBLE_EQ(loaded->config().threshold, 0.65);
+}
+
+TEST(Detector, RejectsOutOfRangeThreshold) {
+  RssiDetectorConfig cfg;
+  cfg.threshold = 1.5;
+  EXPECT_THROW(RssiDetector({ref(0, 0, {})}, cfg), std::invalid_argument);
+}
+
+TEST(Detector, TryLoadAcceptsThresholdlessV1Format) {
+  RssiDetectorConfig cfg;
+  cfg.threshold = 0.8;
+  RssiDetector detector({ref(0, 0, {{1, -50}})}, cfg);
+  std::stringstream v2;
+  detector.save(v2);
+
+  // Rewrite the v2 header as v1: old magic, no threshold on the config line.
+  std::string text = v2.str();
+  const auto magic_end = text.find('\n');
+  const auto config_end = text.find('\n', magic_end + 1);
+  std::string config_line = text.substr(magic_end + 1, config_end - magic_end - 1);
+  config_line.erase(config_line.rfind(' '));  // drop the trailing threshold
+  std::stringstream v1("trajkit_rssi_detector_v1\n" + config_line +
+                       text.substr(config_end));
+
+  const auto loaded = RssiDetector::try_load(v1);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  // v1 models predate the persisted threshold; they get the default.
+  EXPECT_DOUBLE_EQ(loaded.value()->config().threshold, 0.5);
+}
+
+TEST(Detector, LegacyWrappersMatchAnalyze) {
+  Rng rng(9);
+  auto field = [](const Enu& p) {
+    return static_cast<int>(std::lround(-40.0 - p.east));
+  };
+  std::vector<ReferencePoint> history;
+  for (int i = 0; i < 400; ++i) {
+    const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
+    history.push_back(ref(p.east, p.north, {{1, field(p)}}, i / 10));
+  }
+  RssiDetectorConfig cfg;
+  cfg.confidence.top_k = 2;
+  cfg.classifier.num_trees = 10;
+  RssiDetector detector(history, cfg);
+
+  auto make_upload = [&](bool genuine) {
+    ScannedUpload upload;
+    for (int j = 0; j < 4; ++j) {
+      const Enu p{rng.uniform(5, 25), rng.uniform(5, 25)};
+      upload.positions.push_back(p);
+      const Enu src = genuine ? p : Enu{p.east + 8.0, p.north};
+      upload.scans.push_back({{1, field(src)}});
+    }
+    return upload;
+  };
+  std::vector<ScannedUpload> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    train.push_back(make_upload(true));
+    labels.push_back(1);
+    train.push_back(make_upload(false));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+
+  const auto upload = make_upload(true);
+  const auto report = detector.analyze(upload);
+  EXPECT_EQ(report.threshold, detector.config().threshold);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(detector.features(upload), report.features);
+  EXPECT_DOUBLE_EQ(detector.predict_proba(upload), report.p_real);
+  EXPECT_EQ(detector.verify(upload), report.verdict);
+  EXPECT_EQ(detector.verify(upload, 0.99), report.p_real >= 0.99 ? 1 : 0);
+  EXPECT_EQ(detector.point_scores(upload), report.point_scores);
+#pragma GCC diagnostic pop
 }
 
 TEST(Detector, PointScoresLocaliseMismatchedStretch) {
@@ -339,7 +433,12 @@ TEST(Detector, PointScoresLocaliseMismatchedStretch) {
     upload.positions.push_back(j < 5 ? p : Enu{p.east + 20.0, p.north});
     upload.scans.push_back({{1, field(p)}});
   }
+  // point_scores is untrained-safe (it only needs the reference index), which
+  // is exactly why this test can skip training the classifier.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto scores = detector.point_scores(upload);
+#pragma GCC diagnostic pop
   ASSERT_EQ(scores.size(), 10u);
   double good = 0.0;
   double bad = 0.0;
@@ -353,7 +452,7 @@ TEST(Detector, RequiresTrainingBeforeVerify) {
   ScannedUpload upload;
   upload.positions = {{0, 0}};
   upload.scans = {{}};
-  EXPECT_THROW(detector.verify(upload), std::logic_error);
+  EXPECT_THROW(detector.analyze(upload), std::logic_error);
 }
 
 TEST(Detector, RejectsUnevenUploadLengths) {

@@ -5,8 +5,9 @@
 #   tools/check.sh tsan     # TSan leg only
 #   tools/check.sh asan     # ASan leg only
 #
-# TSan exercises the parallel/determinism tests (the only code paths with real
-# cross-thread sharing); ASan runs the entire suite.  Build trees live in
+# TSan exercises the parallel/determinism/serving tests (the code paths with
+# real cross-thread sharing, including the service's shard-locked RPD cache);
+# ASan runs the entire suite.  Build trees live in
 # build-tsan/ and build-asan/ so they never pollute the primary build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,10 +31,10 @@ run_leg() {
 }
 
 case "${LEG}" in
-  tsan) run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream' ;;
+  tsan) run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache' ;;
   asan) run_leg asan address '' ;;
   all)
-    run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream'
+    run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache'
     run_leg asan address ''
     ;;
   *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
