@@ -13,6 +13,12 @@
 // across the two legs: the speedup must come purely from scheduling and
 // caching, never from changing a verdict.  Exit code 0 iff the checksums
 // match.
+//
+// A third, faulty-mode leg replays the same requests under an armed chaos
+// schedule (--fault_rate on the dispatch path, a sprinkle of poisoned RPD
+// shards; --fault_seed reproduces a run exactly).  It measures what the
+// retry + degradation machinery costs and proves that under injected faults
+// the service still answers every request (ok or degraded, never dropped).
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "core/trajkit.hpp"
 
@@ -51,6 +58,8 @@ int main(int argc, char** argv) {
   const auto max_batch = static_cast<std::size_t>(flags.get_int("batch", 16));
   const auto cache_capacity = static_cast<std::size_t>(
       flags.get_int("cache", 1 << 16));
+  const double fault_rate = flags.get_double("fault_rate", 0.3);
+  const auto fault_seed = static_cast<std::uint64_t>(flags.get_int("fault_seed", 42));
 
   std::printf("== Serving: stateless per-request baseline vs batched service ==\n");
   std::printf("%zu historical trajectories x %zu points, %zu requests, "
@@ -138,15 +147,58 @@ int main(int argc, char** argv) {
   const double service_s = now_s() - t1;
   service.stop();
 
+  // -- Faulty mode: same requests under an armed chaos schedule --------------
+  // Dispatch faults at --fault_rate (retried with backoff, then degraded) and
+  // a 1% sprinkle of poisoned RPD shards.  Deterministic in --fault_seed.
+  std::size_t faulty_ok = 0;
+  std::size_t faulty_degraded = 0;
+  std::size_t faulty_dropped = 0;
+  double faulty_s = 0.0;
+  std::uint64_t faulty_retries = 0;
+  {
+    FaultScope faults(fault_seed);
+    faults.arm(serve::kFaultDispatch, {.probability = fault_rate});
+    faults.arm(serve::kFaultRpdShard, {.probability = 0.01});
+    serve::VerifierServiceConfig fcfg = scfg;
+    fcfg.retry.max_retries = 2;
+    serve::VerifierService faulty(detector, fcfg);
+    const double t2 = now_s();
+    std::vector<std::future<serve::VerdictResponse>> ffutures;
+    ffutures.reserve(requests.size());
+    for (const auto& request : requests) ffutures.push_back(faulty.submit(request));
+    for (auto& future : ffutures) {
+      const auto response = future.get();
+      if (response.outcome == serve::Outcome::kOk) {
+        ++faulty_ok;
+      } else if (response.outcome == serve::Outcome::kDegraded) {
+        ++faulty_degraded;
+      } else {
+        ++faulty_dropped;
+      }
+    }
+    faulty_s = now_s() - t2;
+    faulty.stop();
+    faulty_retries = faulty.counters().retries;
+  }
+
   const auto counters = service.counters();
-  TextTable table({"leg", "seconds", "requests/s", "speedup"});
+  TextTable table({"leg", "seconds", "requests/s", "speedup", "degraded"});
   table.add_row({"stateless baseline", TextTable::num(baseline_s, 3),
                  TextTable::num(static_cast<double>(request_count) / baseline_s, 1),
-                 "1.00x"});
+                 "1.00x", "0"});
   table.add_row({"batched service", TextTable::num(service_s, 3),
                  TextTable::num(static_cast<double>(request_count) / service_s, 1),
-                 TextTable::num(baseline_s / service_s, 2) + "x"});
+                 TextTable::num(baseline_s / service_s, 2) + "x", "0"});
+  table.add_row({"faulty service", TextTable::num(faulty_s, 3),
+                 TextTable::num(static_cast<double>(request_count) / faulty_s, 1),
+                 TextTable::num(baseline_s / faulty_s, 2) + "x",
+                 std::to_string(faulty_degraded)});
   table.print(std::cout);
+  std::printf("\nfaulty mode (seed %llu, rate %.2f): %zu ok, %zu degraded, "
+              "%zu dropped, %llu retries\n",
+              static_cast<unsigned long long>(fault_seed), fault_rate, faulty_ok,
+              faulty_degraded, faulty_dropped,
+              static_cast<unsigned long long>(faulty_retries));
 
   std::printf("\nservice counters:\n%s", service.counters_table().c_str());
   std::printf("\nrpd cache hit rate: %.1f%% (%llu hits / %llu lookups)\n",
@@ -156,6 +208,7 @@ int main(int argc, char** argv) {
                                               counters.cache.misses));
 
   const bool identical = baseline_checksum == service_checksum;
+  const bool faulty_complete = faulty_dropped == 0;
   std::printf("checksum baseline = %016llx\n",
               static_cast<unsigned long long>(baseline_checksum));
   std::printf("checksum service  = %016llx\n",
@@ -163,5 +216,8 @@ int main(int argc, char** argv) {
   std::printf("verdicts: %s\n",
               identical ? "OK (byte-identical across serving modes)"
                         : "FAILED (serving changed a verdict!)");
-  return identical ? 0 : 1;
+  std::printf("faulty mode: %s\n",
+              faulty_complete ? "OK (every request answered)"
+                              : "FAILED (requests dropped under faults!)");
+  return identical && faulty_complete ? 0 : 1;
 }

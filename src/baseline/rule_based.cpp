@@ -40,13 +40,17 @@ RuleBasedDetector RuleBasedDetector::for_mode(Mode mode) {
 
 std::vector<RuleViolation> RuleBasedDetector::check(const Trajectory& traj,
                                                     const LocalProjection& proj) const {
+  return check_points(traj.to_enu(proj), traj.interval_s());
+}
+
+std::vector<RuleViolation> RuleBasedDetector::check_points(
+    const std::vector<Enu>& pts, double interval_s) const {
   std::vector<RuleViolation> violations;
-  if (traj.size() < 3) {
-    violations.push_back({"too_short", 0, static_cast<double>(traj.size()), 3.0});
+  if (pts.size() < 3) {
+    violations.push_back({"too_short", 0, static_cast<double>(pts.size()), 3.0});
     return violations;
   }
-  const auto pts = traj.to_enu(proj);
-  const double dt = traj.interval_s();
+  const double dt = interval_s;
 
   double total_progress = 0.0;
   double prev_speed = 0.0;
@@ -78,6 +82,11 @@ std::vector<RuleViolation> RuleBasedDetector::check(const Trajectory& traj,
 int RuleBasedDetector::verify(const Trajectory& traj,
                               const LocalProjection& proj) const {
   return check(traj, proj).empty() ? 1 : 0;
+}
+
+int RuleBasedDetector::verify_points(const std::vector<Enu>& pts,
+                                     double interval_s) const {
+  return check_points(pts, interval_s).empty() ? 1 : 0;
 }
 
 }  // namespace trajkit::baseline

@@ -43,8 +43,17 @@ class RuleBasedDetector {
   std::vector<RuleViolation> check(const Trajectory& traj,
                                    const LocalProjection& proj) const;
 
+  /// Violations over a bare ENU point sequence sampled every `interval_s`
+  /// seconds — the serving-layer fallback path, where uploads arrive already
+  /// projected and no lat/lon round-trip is wanted.
+  std::vector<RuleViolation> check_points(const std::vector<Enu>& pts,
+                                          double interval_s) const;
+
   /// The J-style verdict: 1 = plausible, 0 = flagged.
   int verify(const Trajectory& traj, const LocalProjection& proj) const;
+
+  /// J-style verdict over ENU points (see check_points).
+  int verify_points(const std::vector<Enu>& pts, double interval_s) const;
 
   const RuleThresholds& thresholds() const { return thresholds_; }
 

@@ -1,6 +1,7 @@
 #include "common/clock.hpp"
 
 #include <chrono>
+#include <thread>
 
 namespace trajkit {
 
@@ -8,6 +9,10 @@ std::int64_t SteadyClock::now_us() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+void SteadyClock::sleep_us(std::int64_t us) const {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 const Clock& steady_clock() {

@@ -17,27 +17,36 @@ class Clock {
  public:
   virtual ~Clock() = default;
   virtual std::int64_t now_us() const = 0;
+  /// Block the calling thread for `us` (retry backoff).  Non-positive
+  /// durations return immediately.
+  virtual void sleep_us(std::int64_t us) const = 0;
 };
 
 /// The real thing: std::chrono::steady_clock.
 class SteadyClock final : public Clock {
  public:
   std::int64_t now_us() const override;
+  void sleep_us(std::int64_t us) const override;
 };
 
-/// Test clock: time advances only when told to.
+/// Test clock: time advances only when told to.  sleep_us() advances the
+/// clock instead of blocking, so backoff-heavy paths run instantly under test
+/// while the elapsed time stays observable.
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(std::int64_t start_us = 0) : now_us_(start_us) {}
   std::int64_t now_us() const override {
     return now_us_.load(std::memory_order_relaxed);
   }
+  void sleep_us(std::int64_t us) const override {
+    if (us > 0) now_us_.fetch_add(us, std::memory_order_relaxed);
+  }
   void advance_us(std::int64_t delta_us) {
     now_us_.fetch_add(delta_us, std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::int64_t> now_us_;
+  mutable std::atomic<std::int64_t> now_us_;
 };
 
 /// Process-wide steady clock instance (stateless, shared freely).

@@ -1,0 +1,124 @@
+#include "common/fault.hpp"
+
+#include "common/rng.hpp"
+
+namespace trajkit {
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::configure(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point] = PointState{spec, {}, {}};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::decide(PointState& state, std::uint64_t point_hash,
+                           std::uint64_t key, std::uint64_t attempt) {
+  ++state.counters.attempts;
+  bool fail = attempt < state.spec.fail_first;
+  if (!fail && state.spec.probability > 0.0) {
+    // One Bernoulli per (seed, point, key, attempt): the point name folds
+    // into the sub-stream key, the attempt into the counter index, so every
+    // decision is independent and replayable.
+    Rng sub = Rng::substream(seed_ ^ point_hash, key * 0x100000001b3ull + attempt);
+    fail = sub.uniform() < state.spec.probability;
+  }
+  if (fail) ++state.counters.injected;
+  return fail;
+}
+
+bool FaultInjector::should_fail(std::string_view point, std::uint64_t key,
+                                std::uint64_t attempt) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(std::string(point));
+  if (it == points_.end()) return false;
+  return decide(it->second, fnv1a(point), key, attempt);
+}
+
+bool FaultInjector::should_fail_seq(std::string_view point, std::uint64_t key) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(std::string(point));
+  if (it == points_.end()) return false;
+  const std::uint64_t attempt = it->second.seq_attempts[key]++;
+  return decide(it->second, fnv1a(point), key, attempt);
+}
+
+void FaultInjector::check(std::string_view point, std::uint64_t key,
+                          std::uint64_t attempt) {
+  if (should_fail(point, key, attempt)) raise(point, key, attempt);
+}
+
+void FaultInjector::check_seq(std::string_view point, std::uint64_t key) {
+  if (!armed()) return;
+  std::uint64_t attempt = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(std::string(point));
+    if (it == points_.end()) return;
+    attempt = it->second.seq_attempts[key]++;
+    fail = decide(it->second, fnv1a(point), key, attempt);
+  }
+  if (fail) raise(point, key, attempt);
+}
+
+void FaultInjector::raise(std::string_view point, std::uint64_t key,
+                          std::uint64_t attempt) {
+  throw FaultError("injected fault at " + std::string(point) + " (key " +
+                   std::to_string(key) + ", attempt " + std::to_string(attempt) +
+                   ")");
+}
+
+FaultInjector::PointCounters FaultInjector::counters(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it != points_.end() ? it->second.counters : PointCounters{};
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, state] : points_) total += state.counters.injected;
+  return total;
+}
+
+FaultInjector& global_faults() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultScope::FaultScope(std::uint64_t seed) { global_faults().configure(seed); }
+
+FaultScope::~FaultScope() { global_faults().clear(); }
+
+FaultScope& FaultScope::arm(const std::string& point, FaultSpec spec) {
+  global_faults().arm(point, spec);
+  return *this;
+}
+
+}  // namespace trajkit

@@ -1,0 +1,130 @@
+// Deterministic fault injection for chaos-testing the serving and I/O paths.
+//
+// A fault point is a named hook compiled into production code (model load,
+// RPD shard lookup, service dispatch).  Disarmed — the default — a hook is a
+// single relaxed atomic load.  Armed, it decides whether to inject a failure
+// as a *pure function* of (seed, point, key, attempt), seeded through the
+// same counter-based RNG sub-streams as the execution layer (PR 1):
+//
+//   * `key` is the caller's logical identity for the operation — a request
+//     id, a reference-point index, a path hash — never an arrival ordinal.
+//     Because the decision depends only on logical identity, a failure
+//     schedule replays bit-identically across `--threads N` and submission
+//     orders, exactly like every other randomised path in trajkit.
+//   * `attempt` is the caller's retry ordinal.  Probability faults draw one
+//     Bernoulli per (key, attempt); `fail_first` faults fail attempts
+//     [0, fail_first) of every key, which is how a test proves a bounded
+//     retry loop deterministically recovers at attempt N.
+//
+// Callers that cannot thread an attempt ordinal through (e.g. model loading,
+// which is naturally sequential at startup) use the `_seq` variants, which
+// keep an internal per-(point, key) attempt counter; those are deterministic
+// only when calls on one key are externally ordered.
+//
+// tests/fault_test.cpp covers the decision function; tests/chaos_test.cpp
+// drives randomised schedules through the full serving path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trajkit {
+
+/// The exception every armed fault point throws (or converts to an error
+/// string on non-throwing paths).  Distinct from std::runtime_error so that
+/// recovery code can tell an injected/transient failure from a caller error
+/// (bad upload, untrained model) that retrying can never fix.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What an armed fault point injects.
+struct FaultSpec {
+  /// Bernoulli failure probability per (key, attempt); 0 disables.
+  double probability = 0.0;
+  /// Attempts [0, fail_first) of every key fail deterministically — the
+  /// "transient fault that a retry survives" shape.
+  std::uint64_t fail_first = 0;
+};
+
+/// Registry of armed fault points.  One process-global instance
+/// (global_faults()) is consulted by every hook; tests arm it through a
+/// FaultScope so it can never stay armed past the test body.
+class FaultInjector {
+ public:
+  struct PointCounters {
+    std::uint64_t attempts = 0;  ///< times the hook consulted this point
+    std::uint64_t injected = 0;  ///< times it decided to fail
+  };
+
+  /// Re-seed and drop every armed point and counter.
+  void configure(std::uint64_t seed);
+
+  /// Arm `point` with `spec` (replaces any previous spec for the point).
+  void arm(const std::string& point, FaultSpec spec);
+
+  /// Disarm everything (counters reset too).
+  void clear();
+
+  /// True when at least one point is armed — the hooks' fast-path check.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Pure decision: should the `attempt`-th try of operation `key` at
+  /// `point` fail?  Always false for unarmed points.  Updates counters.
+  bool should_fail(std::string_view point, std::uint64_t key,
+                   std::uint64_t attempt = 0);
+
+  /// should_fail with an internal per-(point, key) attempt counter, for call
+  /// sites that cannot thread a retry ordinal through.
+  bool should_fail_seq(std::string_view point, std::uint64_t key);
+
+  /// Throwing hooks: raise FaultError naming (point, key, attempt) when the
+  /// decision fires.
+  void check(std::string_view point, std::uint64_t key, std::uint64_t attempt = 0);
+  void check_seq(std::string_view point, std::uint64_t key);
+
+  PointCounters counters(const std::string& point) const;
+  std::uint64_t total_injected() const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    PointCounters counters;
+    std::unordered_map<std::uint64_t, std::uint64_t> seq_attempts;
+  };
+
+  bool decide(PointState& state, std::uint64_t point_hash, std::uint64_t key,
+              std::uint64_t attempt);
+  [[noreturn]] static void raise(std::string_view point, std::uint64_t key,
+                                 std::uint64_t attempt);
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;
+  std::unordered_map<std::string, PointState> points_;
+  std::atomic<bool> armed_{false};
+};
+
+/// The process-wide injector every fault point consults.
+FaultInjector& global_faults();
+
+/// RAII arming of global_faults(): configures the seed on construction,
+/// clears everything on destruction, so a throwing test cannot leak an armed
+/// schedule into the next one.
+class FaultScope {
+ public:
+  explicit FaultScope(std::uint64_t seed);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultScope& arm(const std::string& point, FaultSpec spec);
+};
+
+}  // namespace trajkit

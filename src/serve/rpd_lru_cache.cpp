@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace trajkit::serve {
 
 ShardedRpdLruCache::ShardedRpdLruCache() : ShardedRpdLruCache(Config{}) {}
@@ -30,6 +32,9 @@ std::size_t ShardedRpdLruCache::shard_of(std::size_t h) const {
 
 std::shared_ptr<const wifi::RpdPointStats> ShardedRpdLruCache::get_or_build(
     std::size_t h, const std::function<wifi::RpdPointStats()>& build) {
+  // Before the hit path, not just the build path: a poisoned entry must fail
+  // whether or not another request already cached it.
+  global_faults().check(kFaultRpdShard, static_cast<std::uint64_t>(h));
   Shard& shard = *shards_[shard_of(h)];
   {
     std::lock_guard<std::mutex> lock(shard.mu);

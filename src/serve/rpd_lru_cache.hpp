@@ -26,6 +26,12 @@
 
 namespace trajkit::serve {
 
+/// Fault point (common/fault) on every shard lookup, keyed by the
+/// reference-point index `h` — a "poisoned shard entry" fails the same
+/// reference points on every attempt, for every request, on every thread
+/// count, so chaos schedules replay bit-identically.
+inline constexpr const char* kFaultRpdShard = "serve.rpd_shard";
+
 class ShardedRpdLruCache final : public wifi::RpdStatsCache {
  public:
   struct Config {

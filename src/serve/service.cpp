@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 
 namespace trajkit::serve {
@@ -11,6 +13,7 @@ namespace trajkit::serve {
 const char* outcome_name(Outcome outcome) {
   switch (outcome) {
     case Outcome::kOk: return "ok";
+    case Outcome::kDegraded: return "degraded";
     case Outcome::kRejected: return "rejected";
     case Outcome::kTimedOut: return "timed_out";
     case Outcome::kError: return "error";
@@ -21,10 +24,15 @@ const char* outcome_name(Outcome outcome) {
 std::string VerdictResponse::canonical_string() const {
   std::string out = "id=" + std::to_string(request_id) + " outcome=";
   out += outcome_name(outcome);
-  if (outcome == Outcome::kOk) {
+  if (outcome == Outcome::kOk || outcome == Outcome::kDegraded) {
     out += ' ';
     out += report.canonical_string();
-  } else if (!error.empty()) {
+  }
+  if (outcome == Outcome::kDegraded && !degraded_reason.empty()) {
+    out += " reason=";
+    out += degraded_reason;
+  }
+  if (outcome == Outcome::kError && !error.empty()) {
     out += " error=";
     out += error;
   }
@@ -45,8 +53,10 @@ VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
     : owned_(std::move(owned)),
       detector_(borrowed ? borrowed : owned_.get()),
       config_(config),
-      clock_(clock ? clock : &steady_clock()) {
-  if (!detector_) {
+      clock_(clock ? clock : &steady_clock()),
+      fallback_(baseline::RuleBasedDetector::for_mode(config.fallback.mode)) {
+  if (!detector_ &&
+      !(config_.fallback.enabled && config_.fallback.allow_degraded_start)) {
     throw std::invalid_argument("VerifierService: null detector");
   }
   if (config_.max_batch == 0) {
@@ -54,7 +64,7 @@ VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
   }
   if (config_.use_shared_cache) {
     cache_ = std::make_shared<ShardedRpdLruCache>(config_.cache);
-    detector_->set_rpd_cache(cache_);
+    if (detector_) detector_->set_rpd_cache(cache_);
   }
   if (config_.auto_start) start();
 }
@@ -64,7 +74,15 @@ VerifierService::try_create_from_file(const std::string& model_path,
                                       VerifierServiceConfig config) {
   using ServiceOrError = Expected<std::unique_ptr<VerifierService>, std::string>;
   auto detector = wifi::RssiDetector::try_load_file(model_path);
-  if (!detector) return ServiceOrError::failure(detector.error());
+  if (!detector) {
+    if (config.fallback.enabled && config.fallback.allow_degraded_start) {
+      // Degraded-start serving: the model is unavailable, but the service
+      // still answers every request through the rule-based fallback.
+      return ServiceOrError(std::unique_ptr<VerifierService>(
+          new VerifierService(nullptr, nullptr, config, nullptr)));
+    }
+    return ServiceOrError::failure(detector.error());
+  }
   return ServiceOrError(std::make_unique<VerifierService>(
       std::move(detector).value(), config));
 }
@@ -135,6 +153,84 @@ std::future<VerdictResponse> VerifierService::submit(VerificationRequest request
   return future;
 }
 
+wifi::VerdictReport VerifierService::fallback_report(
+    const wifi::ScannedUpload& upload) const {
+  wifi::VerdictReport report;
+  report.threshold = 0.5;
+  const auto violations =
+      fallback_.check_points(upload.positions, config_.fallback.interval_s);
+  // Per-point plausibility: 1 until a rule fires at that point.  Mirrors the
+  // detector's point_scores semantics (higher = better supported) so callers
+  // can localise the offending stretch on the degraded path too.
+  report.point_scores.assign(upload.positions.size(), 1.0);
+  std::size_t flagged = 0;
+  for (const auto& v : violations) {
+    if (v.point_index < report.point_scores.size() &&
+        report.point_scores[v.point_index] > 0.0) {
+      report.point_scores[v.point_index] = 0.0;
+      ++flagged;
+    }
+  }
+  report.p_real = upload.positions.empty()
+                      ? 0.0
+                      : 1.0 - static_cast<double>(flagged) /
+                                  static_cast<double>(upload.positions.size());
+  if (!violations.empty() && flagged == 0) report.p_real = 0.0;  // e.g. too_short
+  report.verdict = violations.empty() ? 1 : 0;
+  return report;
+}
+
+std::int64_t VerifierService::backoff_delay_us(std::uint64_t request_id,
+                                               std::size_t attempt) const {
+  double delay = static_cast<double>(config_.retry.backoff_base_us);
+  for (std::size_t i = 0; i < attempt; ++i) delay *= config_.retry.backoff_multiplier;
+  // Deterministic jitter in [0.5, 1.5): a pure function of (seed, request,
+  // attempt), so retry timing never depends on scheduling.
+  Rng jitter = Rng::substream(config_.retry.jitter_seed ^ 0x626b6f66ull,
+                              request_id * 31 + attempt);
+  delay *= jitter.uniform(0.5, 1.5);
+  const auto cap = static_cast<double>(config_.retry.backoff_cap_us);
+  if (delay > cap) delay = cap;
+  return static_cast<std::int64_t>(delay);
+}
+
+bool VerifierService::breaker_open() const {
+  if (config_.breaker.failure_threshold == 0) return false;
+  return clock_->now_us() <
+         breaker_open_until_us_.load(std::memory_order_relaxed);
+}
+
+void VerifierService::breaker_record_success() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+}
+
+void VerifierService::breaker_record_failure() {
+  if (config_.breaker.failure_threshold == 0) return;
+  const std::uint64_t n =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= config_.breaker.failure_threshold) {
+    breaker_open_until_us_.store(clock_->now_us() + config_.breaker.cooldown_us,
+                                 std::memory_order_relaxed);
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void VerifierService::degrade(VerdictResponse& response,
+                              const VerificationRequest& request,
+                              std::string reason) {
+  if (!config_.fallback.enabled) {
+    response.outcome = Outcome::kError;
+    response.error = std::move(reason);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  response.outcome = Outcome::kDegraded;
+  response.degraded_reason = std::move(reason);
+  response.report = fallback_report(request.upload);
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+}
+
 VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
                                           std::int64_t queue_us) {
   VerdictResponse response;
@@ -146,14 +242,39 @@ VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
     return response;
   }
   const std::int64_t t0 = clock_->now_us();
-  try {
-    response.report = detector_->analyze(request.upload);
-    response.outcome = Outcome::kOk;
-    completed_.fetch_add(1, std::memory_order_relaxed);
-  } catch (const std::exception& e) {
-    response.outcome = Outcome::kError;
-    response.error = e.what();
-    errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!detector_) {
+    degrade(response, request, "detector_unavailable");
+  } else if (breaker_open()) {
+    degrade(response, request, "breaker_open");
+  } else {
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        global_faults().check(kFaultDispatch, request.id, attempt);
+        response.report = detector_->analyze(request.upload);
+        response.outcome = Outcome::kOk;
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        breaker_record_success();
+        break;
+      } catch (const FaultError& e) {
+        // Transient: injected faults and flaky-dependency errors.  Retry with
+        // backoff up to the policy bound, then degrade.
+        if (attempt < config_.retry.max_retries) {
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          clock_->sleep_us(backoff_delay_us(request.id, attempt));
+          continue;
+        }
+        breaker_record_failure();
+        degrade(response, request, e.what());
+        break;
+      } catch (const std::exception& e) {
+        // Caller error (length mismatch, untrained model): no retry can fix
+        // the input, and falling back would mask a malformed request.
+        response.outcome = Outcome::kError;
+        response.error = e.what();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
   }
   response.compute_us = clock_->now_us() - t0;
   latency_.add_us(response.queue_us + response.compute_us);
@@ -212,13 +333,21 @@ ServiceCounters VerifierService::counters() const {
   ServiceCounters c;
   c.received = received_.load(std::memory_order_relaxed);
   c.completed = completed_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
   c.rejected = rejected_.load(std::memory_order_relaxed);
   c.timed_out = timed_out_.load(std::memory_order_relaxed);
   c.errors = errors_.load(std::memory_order_relaxed);
   c.batches = batches_.load(std::memory_order_relaxed);
+  c.retries = retries_.load(std::memory_order_relaxed);
+  c.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   // Always read through the detector: correct whether the shared LRU or the
-  // detector's own dense cache is in place.
-  c.cache = detector_->confidence().rpd().cache().stats();
+  // detector's own dense cache is in place.  A degraded-start service has no
+  // detector; fall back to the (idle) shared cache when present.
+  if (detector_) {
+    c.cache = detector_->confidence().rpd().cache().stats();
+  } else if (cache_) {
+    c.cache = cache_->stats();
+  }
   c.p50_us = latency_.p50_us();
   c.p95_us = latency_.p95_us();
   c.p99_us = latency_.p99_us();
@@ -230,10 +359,13 @@ std::string VerifierService::counters_table() const {
   TextTable table({"metric", "value"});
   table.add_row({"requests received", std::to_string(c.received)});
   table.add_row({"completed", std::to_string(c.completed)});
+  table.add_row({"degraded (fallback)", std::to_string(c.degraded)});
   table.add_row({"rejected (admission)", std::to_string(c.rejected)});
   table.add_row({"timed out", std::to_string(c.timed_out)});
   table.add_row({"errors", std::to_string(c.errors)});
   table.add_row({"micro-batches", std::to_string(c.batches)});
+  table.add_row({"retries", std::to_string(c.retries)});
+  table.add_row({"breaker opens", std::to_string(c.breaker_opens)});
   table.add_row({"rpd cache hits", std::to_string(c.cache.hits)});
   table.add_row({"rpd cache misses", std::to_string(c.cache.misses)});
   table.add_row({"rpd cache evictions", std::to_string(c.cache.evictions)});

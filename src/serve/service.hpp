@@ -13,12 +13,27 @@
 // caller should back off), and a request whose queueing time exceeded its
 // deadline is answered kTimedOut without burning detector time on it.
 //
+// Partial failure is part of the contract, not an afterthought: the paper's
+// detector leans on a crowdsourced RSSI store that is incomplete and noisy by
+// assumption, so the service treats "the full pipeline is unavailable" as a
+// normal operating mode.  Transient evaluation faults (FaultError — injected
+// by the chaos harness or raised by flaky I/O) are retried with exponential
+// backoff and deterministic jitter; persistent ones trip a circuit breaker;
+// and when the detector cannot answer at all — faults exhausted, breaker
+// open, or the model never loaded — the request degrades to the rule-based
+// physical-plausibility checker (src/baseline) instead of being dropped:
+// outcome kDegraded, with the reason recorded on the response and counted in
+// the service counters.  Caller errors (malformed upload, untrained model)
+// are still answered kError immediately — retrying cannot fix the input.
+//
 // Determinism contract (PR 1): a response's payload — verdict, probability,
-// features, point scores — is a pure function of (model, upload).  Batch
+// features, point scores — is a pure function of (model, upload) and, under
+// an armed fault schedule, of (model, upload, fault seed).  Batch
 // composition, arrival order, thread count and cache eviction cannot change
-// it; only the timing fields and outcome of deadline-bound requests depend
-// on the wall clock.  tests/determinism_test.cpp asserts byte-identical
-// canonical payloads across thread counts and submission orders.
+// it; only the timing fields, deadline-bound outcomes and breaker-induced
+// degradations depend on the wall clock.  tests/determinism_test.cpp and
+// tests/chaos_test.cpp assert byte-identical canonical payloads across
+// thread counts and submission orders, faults included.
 #pragma once
 
 #include <atomic>
@@ -32,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "baseline/rule_based.hpp"
 #include "common/clock.hpp"
 #include "common/counters.hpp"
 #include "common/expected.hpp"
@@ -40,8 +56,14 @@
 
 namespace trajkit::serve {
 
+/// Fault point on the dispatch path, keyed by request id with an explicit
+/// retry ordinal — fail_first = N makes every request's first N attempts
+/// fail, proving the retry loop recovers deterministically at attempt N.
+inline constexpr const char* kFaultDispatch = "serve.dispatch";
+
 enum class Outcome {
   kOk,        ///< evaluated; see the report
+  kDegraded,  ///< detector unavailable; rule-based fallback verdict in report
   kRejected,  ///< refused at admission (queue full)
   kTimedOut,  ///< deadline expired while queued; not evaluated
   kError,     ///< evaluation threw (e.g. upload length mismatch); see `error`
@@ -59,13 +81,58 @@ struct VerificationRequest {
 struct VerdictResponse {
   std::uint64_t request_id = 0;
   Outcome outcome = Outcome::kError;
-  wifi::VerdictReport report;  ///< meaningful when outcome == kOk
+  wifi::VerdictReport report;  ///< meaningful when outcome == kOk/kDegraded
   std::string error;           ///< meaningful when outcome == kError
+  /// Why the request degraded (kDegraded only): the final fault message,
+  /// "breaker_open", or "detector_unavailable".
+  std::string degraded_reason;
   std::int64_t queue_us = 0;   ///< time spent queued (0 on the sync paths)
-  std::int64_t compute_us = 0; ///< detector time
+  std::int64_t compute_us = 0; ///< detector time, retries and backoff included
 
   /// Deterministic rendering of the payload; excludes the timing fields.
   std::string canonical_string() const;
+};
+
+/// Bounded retry with exponential backoff for transient (FaultError)
+/// evaluation failures.  Jitter is drawn from a counter-based sub-stream of
+/// (jitter_seed, request id, attempt), so backoff durations — and therefore
+/// fault decisions keyed on attempt ordinals — replay identically across
+/// thread counts.
+struct RetryPolicy {
+  std::size_t max_retries = 2;        ///< re-evaluations after the first try
+  std::int64_t backoff_base_us = 50;  ///< first retry delay before jitter
+  double backoff_multiplier = 2.0;    ///< delay *= multiplier per attempt
+  std::int64_t backoff_cap_us = 5000; ///< upper bound on any single delay
+  std::uint64_t jitter_seed = 0;      ///< sub-stream key for the jitter draw
+};
+
+/// Circuit breaker over consecutive exhausted-retry failures.  While open,
+/// requests skip the detector and degrade immediately ("breaker_open"), so a
+/// dead dependency sheds load instead of burning max_retries per request.
+/// Note the breaker couples a request's outcome to its neighbours' timing —
+/// breaker-induced degradations are excluded from the cross-thread
+/// determinism contract, like deadlines (keep failure_threshold = 0 in
+/// schedules that assert byte-identical payloads).
+struct BreakerPolicy {
+  std::size_t failure_threshold = 0;   ///< consecutive failures to open; 0 = off
+  std::int64_t cooldown_us = 100000;   ///< open duration before re-probing
+};
+
+/// Graceful degradation: answer through the rule-based physical-plausibility
+/// checker when the RSSI detector cannot.  The fallback sees only the
+/// claimed positions (scans need the reference store that just failed), so
+/// it catches crude forgeries and keeps availability; p_real is the fraction
+/// of points that fired no rule.
+struct FallbackPolicy {
+  bool enabled = true;
+  /// Transport mode whose physical limits the rule checker applies.
+  Mode mode = Mode::kWalking;
+  /// Sampling interval assumed between upload points, seconds.
+  double interval_s = 2.0;
+  /// Permit construction without a working detector (try_create_from_file on
+  /// an unloadable model): every request is answered by the fallback until
+  /// the process is restarted with a healthy model.
+  bool allow_degraded_start = false;
 };
 
 struct VerifierServiceConfig {
@@ -76,16 +143,22 @@ struct VerifierServiceConfig {
   /// keeps whatever cache the detector already has (tests, ablations).
   bool use_shared_cache = true;
   ShardedRpdLruCache::Config cache;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  FallbackPolicy fallback;
 };
 
 /// Monotonically-increasing service counters plus latency quantiles.
 struct ServiceCounters {
   std::uint64_t received = 0;
   std::uint64_t completed = 0;
+  std::uint64_t degraded = 0;       ///< answered by the rule-based fallback
   std::uint64_t rejected = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t errors = 0;
   std::uint64_t batches = 0;
+  std::uint64_t retries = 0;        ///< re-evaluations after transient faults
+  std::uint64_t breaker_opens = 0;  ///< times the circuit breaker tripped
   wifi::RpdStatsCache::CacheStats cache;
   double p50_us = 0.0;
   double p95_us = 0.0;
@@ -108,7 +181,10 @@ class VerifierService {
                            const Clock* clock = nullptr);
 
   /// Model-loading path: build a service straight from a persisted detector
-  /// file, reporting failures as a string instead of throwing.
+  /// file, reporting failures as a string instead of throwing.  When the
+  /// model cannot load and fallback.allow_degraded_start is set, a
+  /// detector-less service is returned instead of an error: it answers every
+  /// request kDegraded through the rule-based checker.
   static Expected<std::unique_ptr<VerifierService>, std::string> try_create_from_file(
       const std::string& model_path, VerifierServiceConfig config = {});
 
@@ -134,9 +210,15 @@ class VerifierService {
   void stop();
   bool running() const;
 
+  /// False only for a degraded-start service (model never loaded).
+  bool has_detector() const { return detector_ != nullptr; }
+  /// The wrapped detector; requires has_detector().
   const wifi::RssiDetector& detector() const { return *detector_; }
   /// The shared LRU, or nullptr when use_shared_cache was false.
   const ShardedRpdLruCache* shared_cache() const { return cache_.get(); }
+
+  /// True while the circuit breaker is open (requests degrade immediately).
+  bool breaker_open() const;
 
   ServiceCounters counters() const;
   /// Counters rendered through common/table for logs and operators.
@@ -155,6 +237,15 @@ class VerifierService {
 
   VerdictResponse evaluate(const VerificationRequest& request,
                            std::int64_t queue_us);
+  /// Fill `response` with the rule-based fallback verdict (kDegraded), or
+  /// kError when the fallback is disabled.
+  void degrade(VerdictResponse& response, const VerificationRequest& request,
+               std::string reason);
+  wifi::VerdictReport fallback_report(const wifi::ScannedUpload& upload) const;
+  std::int64_t backoff_delay_us(std::uint64_t request_id,
+                                std::size_t attempt) const;
+  void breaker_record_success();
+  void breaker_record_failure();
   void process_batch(std::vector<Pending>& batch);
   void dispatcher_loop();
   void reject_pending();
@@ -164,6 +255,7 @@ class VerifierService {
   VerifierServiceConfig config_;
   const Clock* clock_;
   std::shared_ptr<ShardedRpdLruCache> cache_;
+  baseline::RuleBasedDetector fallback_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
@@ -174,10 +266,15 @@ class VerifierService {
 
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> consecutive_failures_{0};
+  std::atomic<std::int64_t> breaker_open_until_us_{0};
   LatencyHistogram latency_;
 };
 

@@ -24,6 +24,13 @@
 
 namespace trajkit::wifi {
 
+/// Fault points (common/fault) on the persistence path, keyed by a hash of
+/// the stream/path identity.  Armed with fail_first = N, the first N load
+/// attempts fail — the "model store briefly unreachable" shape; a large N
+/// makes the model permanently unloadable (degraded-start serving).
+inline constexpr const char* kFaultDetectorLoad = "wifi.detector_load";
+inline constexpr const char* kFaultDetectorSave = "wifi.detector_save";
+
 struct RssiDetectorConfig {
   ConfidenceParams confidence;
   gbt::GbtConfig classifier;

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "wifi/detector.hpp"
 
 namespace trajkit::wifi {
@@ -20,6 +21,15 @@ constexpr const char* kMagicV1 = "trajkit_rssi_detector_v1";
 constexpr const char* kMagicV2 = "trajkit_rssi_detector_v2";
 
 using DetectorOrError = Expected<std::unique_ptr<RssiDetector>, std::string>;
+
+std::uint64_t path_key(const std::string& path) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -44,6 +54,11 @@ void RssiDetector::save(std::ostream& os) const {
 }
 
 DetectorOrError RssiDetector::try_load(std::istream& is) {
+  // Streams carry no path identity; every stream load shares key 0.  The
+  // sequential attempt counter still lets fail_first model transient outages.
+  if (global_faults().should_fail_seq(kFaultDetectorLoad, 0)) {
+    return DetectorOrError::failure("RssiDetector: injected load fault");
+  }
   std::string magic;
   if (!(is >> magic) || (magic != kMagicV1 && magic != kMagicV2)) {
     return DetectorOrError::failure("RssiDetector: bad magic (not a detector model)");
@@ -94,6 +109,9 @@ DetectorOrError RssiDetector::try_load(std::istream& is) {
 }
 
 DetectorOrError RssiDetector::try_load_file(const std::string& path) {
+  if (global_faults().should_fail_seq(kFaultDetectorLoad, path_key(path))) {
+    return DetectorOrError::failure("RssiDetector: injected load fault for " + path);
+  }
   std::ifstream is(path);
   if (!is) return DetectorOrError::failure("RssiDetector: cannot open " + path);
   return try_load(is);
@@ -112,6 +130,7 @@ std::unique_ptr<RssiDetector> RssiDetector::load_file(const std::string& path) {
 }
 
 void RssiDetector::save_file(const std::string& path) const {
+  global_faults().check_seq(kFaultDetectorSave, path_key(path));
   std::ofstream os(path);
   if (!os) throw std::runtime_error("RssiDetector::save_file: cannot open " + path);
   save(os);

@@ -19,6 +19,7 @@
 #include "core/scenario.hpp"
 #include "nn/classifier.hpp"
 #include "serve/service.hpp"
+#include "support/fixtures.hpp"
 #include "wifi/detector.hpp"
 
 namespace trajkit {
@@ -57,7 +58,7 @@ std::vector<double> fingerprint(const std::vector<sim::ScannedTrajectory>& batch
 }
 
 std::vector<sim::ScannedTrajectory> generate_batch() {
-  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+  core::Scenario scenario(test_support::small_scenario_config());
   return scenario.scanned_real(10, 20, 2.0);
 }
 
@@ -140,35 +141,11 @@ TEST(Determinism, ServiceResponsesAreThreadAndOrderInvariant) {
   // dispatcher timing, thread count and LRU eviction must all be invisible
   // in the canonical payload strings.
   set_global_threads(1);
-  core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
-  const auto batch = scenario.scanned_real(12, 15, 2.0);
-  Rng& rng = scenario.rng();
-
-  std::vector<wifi::ScannedUpload> history;
-  for (std::size_t i = 0; i < 9; ++i) history.push_back(core::to_upload(batch[i]));
-  wifi::RssiDetectorConfig cfg;
-  cfg.classifier.num_trees = 10;
-  wifi::RssiDetector detector(wifi::flatten_history(history), cfg);
-
-  std::vector<wifi::ScannedUpload> train;
-  std::vector<int> labels;
-  for (std::size_t i = 0; i < 9; ++i) {
-    auto upload = core::to_upload(batch[i]);
-    upload.source_traj_id = static_cast<std::uint32_t>(i);
-    train.push_back(std::move(upload));
-    labels.push_back(1);
-  }
-  for (std::size_t i = 9; i < 12; ++i) {
-    train.push_back(core::forge_upload(batch[i], 2.0, 1, rng));
-    labels.push_back(0);
-  }
-  detector.train(train, labels);
-
-  std::vector<wifi::ScannedUpload> probes;
-  for (std::size_t i = 9; i < 12; ++i) probes.push_back(core::to_upload(batch[i]));
-  for (std::size_t i = 0; i < 3; ++i) {
-    probes.push_back(core::forge_upload(batch[i], 2.0, 1, rng));
-  }
+  // Shared scenario-backed serving world (tests/support): trained detector
+  // plus a 3-real / 3-forged probe mix.
+  test_support::ScenarioServiceWorld world;
+  wifi::RssiDetector& detector = *world.detector;
+  const std::vector<wifi::ScannedUpload>& probes = world.probes;
 
   auto canonical = [&](const std::vector<std::size_t>& order, std::size_t threads) {
     set_global_threads(threads);
@@ -207,7 +184,7 @@ TEST(Determinism, FullRssiExperimentIsThreadCountInvariant) {
   // parallel evaluation all under one roof.  Coarse but decisive — if any
   // stage leaks thread-count dependence, the confusion matrix or AUC moves.
   auto run = [] {
-    core::Scenario scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+    core::Scenario scenario(test_support::small_scenario_config());
     core::RssiExperimentConfig cfg;
     cfg.total = 40;
     cfg.points = 12;

@@ -1,0 +1,102 @@
+// Equivalence guarantees for the deprecated single-shot detector API: every
+// wrapper (features / predict_proba / verify / point_scores) must agree
+// exactly with the corresponding field of analyze()'s VerdictReport, for any
+// upload — the wrappers are documented as thin views over analyze and the
+// migration away from them relies on that being true.
+//
+// Property-style: instead of one hand-built upload, sweep a stream of random
+// real and forged uploads from the shared linear-field world through every
+// wrapper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/fixtures.hpp"
+#include "wifi/detector.hpp"
+
+namespace trajkit::wifi {
+namespace {
+
+namespace ts = test_support;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(Equivalence, WrappersMatchAnalyzeAcrossRandomUploads) {
+  ts::LinearFieldWorld w;
+  RssiDetector& detector = w.detector();
+  Rng rng(1001);  // caller-owned stream: the sweep, not the world fixture
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto upload = w.upload(trial % 2 == 0, rng);
+    const auto report = detector.analyze(upload);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    EXPECT_EQ(detector.features(upload), report.features);
+    EXPECT_DOUBLE_EQ(detector.predict_proba(upload), report.p_real);
+    EXPECT_EQ(detector.verify(upload), report.verdict);
+    EXPECT_EQ(detector.point_scores(upload), report.point_scores);
+    EXPECT_EQ(report.threshold, detector.config().threshold);
+  }
+}
+
+TEST(Equivalence, ThresholdedVerifyMatchesReportProbability) {
+  ts::LinearFieldWorld w;
+  RssiDetector& detector = w.detector();
+  Rng rng(2002);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto upload = w.upload(trial % 2 == 0, rng);
+    const double p = detector.analyze(upload).p_real;
+    for (const double threshold : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      EXPECT_EQ(detector.verify(upload, threshold), p >= threshold ? 1 : 0)
+          << "trial " << trial << " threshold " << threshold;
+    }
+    // The exact-boundary case is inclusive: p >= threshold passes.
+    EXPECT_EQ(detector.verify(upload, p), 1);
+  }
+}
+
+TEST(Equivalence, PointScoresAreUntrainedSafeAndUnchangedByTraining) {
+  // point_scores only needs the reference index, so it must work before
+  // train() — and training must not change it (the classifier sits beside
+  // the confidence pipeline, not inside it).
+  Rng rng(55);
+  std::vector<ReferencePoint> history;
+  for (int i = 0; i < 400; ++i) {
+    const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
+    history.push_back({p, {{1, ts::LinearFieldWorld::field_rssi(p)}}, kNoTrajectory});
+  }
+  RssiDetectorConfig cfg;
+  cfg.classifier.num_trees = 8;
+  RssiDetector detector(history, cfg);
+
+  auto make_upload = [&](bool real) {
+    ScannedUpload u;
+    for (int j = 0; j < 4; ++j) {
+      const Enu p{rng.uniform(5, 25), rng.uniform(5, 25)};
+      u.positions.push_back(p);
+      const Enu heard = real ? p : Enu{p.east + 12.0, p.north};
+      u.scans.push_back({{1, ts::LinearFieldWorld::field_rssi(heard)}});
+    }
+    return u;
+  };
+
+  const auto probe = make_upload(true);
+  const auto before = detector.point_scores(probe);  // untrained: must not throw
+  ASSERT_EQ(before.size(), probe.positions.size());
+
+  std::vector<ScannedUpload> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back(make_upload(true));
+    labels.push_back(1);
+    train.push_back(make_upload(false));
+    labels.push_back(0);
+  }
+  detector.train(train, labels);
+  EXPECT_EQ(detector.analyze(probe).point_scores, before);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace trajkit::wifi

@@ -1,0 +1,157 @@
+// Fault-injection layer: the decision function's purity (same seed/point/
+// key/attempt -> same verdict regardless of call order or interleaving),
+// fail_first semantics, probability calibration, counters, and FaultScope
+// RAII hygiene.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+
+namespace trajkit {
+namespace {
+
+TEST(FaultInjector, DisarmedNeverFails) {
+  FaultInjector faults;
+  faults.configure(1);
+  EXPECT_FALSE(faults.armed());
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_FALSE(faults.should_fail("anything", key));
+  }
+  EXPECT_NO_THROW(faults.check("anything", 0));
+  EXPECT_EQ(faults.total_injected(), 0u);
+}
+
+TEST(FaultInjector, ArmedPointDoesNotAffectOtherPoints) {
+  FaultInjector faults;
+  faults.configure(1);
+  faults.arm("a", {.probability = 1.0});
+  EXPECT_TRUE(faults.armed());
+  EXPECT_TRUE(faults.should_fail("a", 0));
+  EXPECT_FALSE(faults.should_fail("b", 0));
+}
+
+TEST(FaultInjector, FailFirstFailsExactlyTheFirstAttempts) {
+  FaultInjector faults;
+  faults.configure(7);
+  faults.arm("p", {.fail_first = 2});
+  for (std::uint64_t key : {0ull, 5ull, 999ull}) {
+    EXPECT_TRUE(faults.should_fail("p", key, 0)) << key;
+    EXPECT_TRUE(faults.should_fail("p", key, 1)) << key;
+    EXPECT_FALSE(faults.should_fail("p", key, 2)) << key;
+    EXPECT_FALSE(faults.should_fail("p", key, 3)) << key;
+  }
+}
+
+TEST(FaultInjector, DecisionsArePureInKeyAndAttempt) {
+  // Query a grid of (key, attempt) pairs twice — forward then reversed — on
+  // two separately-constructed injectors.  Every decision must agree: the
+  // verdict depends only on (seed, point, key, attempt), never on history.
+  const std::uint64_t seed = 42;
+  FaultInjector a;
+  a.configure(seed);
+  a.arm("p", {.probability = 0.5});
+  FaultInjector b;
+  b.configure(seed);
+  b.arm("p", {.probability = 0.5});
+
+  std::vector<bool> forward;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+      forward.push_back(a.should_fail("p", key, attempt));
+    }
+  }
+  std::vector<bool> reversed(forward.size());
+  std::size_t i = forward.size();
+  for (std::uint64_t key = 32; key-- > 0;) {
+    for (std::uint64_t attempt = 4; attempt-- > 0;) {
+      reversed[--i] = b.should_fail("p", key, attempt);
+    }
+  }
+  EXPECT_EQ(forward, reversed);
+}
+
+TEST(FaultInjector, SeedChangesTheSchedule) {
+  auto schedule = [](std::uint64_t seed) {
+    FaultInjector f;
+    f.configure(seed);
+    f.arm("p", {.probability = 0.5});
+    std::vector<bool> out;
+    for (std::uint64_t key = 0; key < 64; ++key) out.push_back(f.should_fail("p", key));
+    return out;
+  };
+  EXPECT_EQ(schedule(1), schedule(1));
+  EXPECT_NE(schedule(1), schedule(2));
+}
+
+TEST(FaultInjector, ProbabilityIsRoughlyCalibrated) {
+  FaultInjector faults;
+  faults.configure(11);
+  faults.arm("p", {.probability = 0.3});
+  int fails = 0;
+  const int trials = 2000;
+  for (int key = 0; key < trials; ++key) {
+    fails += faults.should_fail("p", static_cast<std::uint64_t>(key)) ? 1 : 0;
+  }
+  EXPECT_GT(fails, trials * 0.3 - 80);
+  EXPECT_LT(fails, trials * 0.3 + 80);
+  const auto c = faults.counters("p");
+  EXPECT_EQ(c.attempts, static_cast<std::uint64_t>(trials));
+  EXPECT_EQ(c.injected, static_cast<std::uint64_t>(fails));
+  EXPECT_EQ(faults.total_injected(), static_cast<std::uint64_t>(fails));
+}
+
+TEST(FaultInjector, SeqVariantCountsAttemptsPerKey) {
+  FaultInjector faults;
+  faults.configure(3);
+  faults.arm("p", {.fail_first = 1});
+  // First call on each key is attempt 0 (fails); the next is attempt 1.
+  EXPECT_TRUE(faults.should_fail_seq("p", 10));
+  EXPECT_TRUE(faults.should_fail_seq("p", 20));  // separate key, own counter
+  EXPECT_FALSE(faults.should_fail_seq("p", 10));
+  EXPECT_FALSE(faults.should_fail_seq("p", 20));
+}
+
+TEST(FaultInjector, CheckThrowsFaultErrorNamingThePoint) {
+  FaultInjector faults;
+  faults.configure(5);
+  faults.arm("io.save", {.fail_first = 1});
+  try {
+    faults.check("io.save", 77, 0);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("io.save"), std::string::npos) << e.what();
+  }
+  // FaultError is catchable as std::runtime_error but carries its own type.
+  EXPECT_THROW(faults.check("io.save", 78, 0), std::runtime_error);
+  EXPECT_NO_THROW(faults.check("io.save", 77, 1));
+}
+
+TEST(FaultInjector, ClearDisarmsAndResetsCounters) {
+  FaultInjector faults;
+  faults.configure(9);
+  faults.arm("p", {.probability = 1.0});
+  EXPECT_TRUE(faults.should_fail("p", 0));
+  faults.clear();
+  EXPECT_FALSE(faults.armed());
+  EXPECT_FALSE(faults.should_fail("p", 0));
+  EXPECT_EQ(faults.counters("p").attempts, 0u);
+  EXPECT_EQ(faults.total_injected(), 0u);
+}
+
+TEST(FaultScope, ArmsGlobalAndClearsOnExit) {
+  ASSERT_FALSE(global_faults().armed()) << "another test leaked an armed schedule";
+  {
+    FaultScope scope(123);
+    scope.arm("scope.point", {.probability = 1.0});
+    EXPECT_TRUE(global_faults().armed());
+    EXPECT_TRUE(global_faults().should_fail("scope.point", 4));
+  }
+  EXPECT_FALSE(global_faults().armed());
+  EXPECT_FALSE(global_faults().should_fail("scope.point", 4));
+}
+
+}  // namespace
+}  // namespace trajkit

@@ -1,0 +1,77 @@
+// Golden regression pins: the numeric contract of the detector for a fixed
+// seed, committed as text under tests/golden/.
+//
+// Two artifacts are pinned:
+//   * the Eq. 8 feature vectors of one real and one forged upload from the
+//     shared linear-field world — any change to RPD estimation (Eq. 4),
+//     weighting (Eqs. 5-6), confidence (Eq. 7) or feature layout moves these;
+//   * the canonical verdict payloads of a probe mix plus their fnv1a
+//     checksum — the serving layer's byte-exact contract.
+//
+// If a change is intentional, regenerate with
+//   TRAJKIT_UPDATE_GOLDEN=1 ctest -R Golden
+// and review the git diff; an unexpected diff means the paper's numbers
+// moved.  Goldens are bit-exact doubles (%.17g): safe because this repo
+// builds on one fixed toolchain and machine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/fixtures.hpp"
+#include "support/golden.hpp"
+#include "wifi/detector.hpp"
+#include "wifi/features.hpp"
+
+namespace trajkit {
+namespace {
+
+namespace ts = test_support;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+TEST(Golden, Eq8FeatureVectorsArePinned) {
+  ts::LinearFieldWorld w;  // default config: seed 7, 30x30 m, 6-point uploads
+  std::string out;
+  for (const bool real : {true, false}) {
+    const auto upload = w.upload(real);
+    const auto features = wifi::trajectory_features(w.detector().confidence(), upload);
+    out += real ? "real" : "fake";
+    out += '\n';
+    for (const double v : features) {
+      out += ts::canonical_double(v);
+      out += '\n';
+    }
+  }
+  EXPECT_TRUE(ts::matches_golden("eq8_features.txt", out));
+}
+
+TEST(Golden, VerdictPayloadsAndChecksumArePinned) {
+  ts::LinearFieldWorld w;
+  std::string out;
+  std::uint64_t checksum = 1469598103934665603ull;
+  for (const auto& upload : w.probe_mix(6)) {
+    const std::string payload = w.detector().analyze(upload).canonical_string();
+    checksum ^= fnv1a(payload);  // order-insensitive fold per payload
+    out += payload;
+    out += '\n';
+  }
+  out += "fnv1a_xor=" + hex64(checksum) + '\n';
+  EXPECT_TRUE(ts::matches_golden("verdict_checksums.txt", out));
+}
+
+}  // namespace
+}  // namespace trajkit

@@ -15,6 +15,7 @@
 #include "core/scenario.hpp"
 #include "attack/cw.hpp"
 #include "attack/mind.hpp"
+#include "support/fixtures.hpp"
 
 namespace trajkit {
 namespace {
@@ -22,7 +23,8 @@ namespace {
 class EndToEnd : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    scenario_ = new core::Scenario(core::ScenarioConfig::for_mode(Mode::kWalking));
+    // The shared small walking-mode world from the test toolkit.
+    scenario_ = new core::Scenario(test_support::small_scenario_config());
 
     core::MotionDatasetConfig dcfg;
     dcfg.train_real = 260;

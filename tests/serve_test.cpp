@@ -1,92 +1,46 @@
 // Serving layer: VerifierService micro-batching, admission control,
-// deadlines, the shared bounded RPD LRU, and model round-trips through the
-// non-throwing loaders.
+// deadlines, the shared bounded RPD LRU, model round-trips through the
+// non-throwing loaders, and the partial-failure machinery — retry with
+// deterministic backoff, the circuit breaker, and rule-based degradation.
 //
-// The detector fixture mirrors wifi_test's synthetic world: a linear RSSI
-// field over a 30x30 m area, real uploads scanned where they claim to be and
-// fakes whose claimed positions are shifted 15 m east of where the (genuine)
-// scans were heard.
+// The detector fixture is the shared linear-field world from tests/support
+// (field value = -40 - east dBm over a 30x30 m area; fakes shifted 15 m
+// east).  Randomised failure schedules live in chaos_test; this file pins the
+// per-feature semantics with hand-picked schedules.
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "baseline/rule_based.hpp"
 #include "common/clock.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "serve/rpd_lru_cache.hpp"
 #include "serve/service.hpp"
+#include "support/fixtures.hpp"
 #include "wifi/detector.hpp"
 
 namespace trajkit::serve {
 namespace {
 
-int field(const Enu& p) { return static_cast<int>(std::lround(-40.0 - p.east)); }
-
-constexpr std::size_t kUploadPoints = 6;
-
-/// A small trained detector plus a generator of real/forged probe uploads.
-struct World {
-  Rng rng{7};
-  std::unique_ptr<wifi::RssiDetector> detector;
-
-  World() {
-    std::vector<wifi::ReferencePoint> history;
-    for (int i = 0; i < 600; ++i) {
-      const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
-      history.push_back(
-          {p, {{1, field(p)}}, static_cast<std::uint32_t>(i / 10)});
-    }
-    wifi::RssiDetectorConfig cfg;
-    cfg.confidence.reference_radius_m = 3.0;
-    cfg.confidence.top_k = 2;
-    cfg.classifier.num_trees = 15;
-    detector = std::make_unique<wifi::RssiDetector>(std::move(history), cfg);
-
-    std::vector<wifi::ScannedUpload> train;
-    std::vector<int> labels;
-    for (int i = 0; i < 30; ++i) {
-      train.push_back(upload(true));
-      labels.push_back(1);
-      train.push_back(upload(false));
-      labels.push_back(0);
-    }
-    detector->train(train, labels);
-  }
-
-  wifi::ScannedUpload upload(bool real) {
-    wifi::ScannedUpload u;
-    for (std::size_t j = 0; j < kUploadPoints; ++j) {
-      const Enu p{rng.uniform(2, 28), rng.uniform(2, 28)};
-      u.positions.push_back(p);
-      const Enu heard = real ? p : Enu{p.east + 15.0, p.north};
-      u.scans.push_back({{1, field(heard)}});
-    }
-    return u;
-  }
-};
-
-std::vector<wifi::ScannedUpload> probe_mix(World& w, std::size_t n) {
-  std::vector<wifi::ScannedUpload> probes;
-  for (std::size_t i = 0; i < n; ++i) probes.push_back(w.upload(i % 2 == 0));
-  return probes;
-}
+namespace ts = test_support;
 
 TEST(VerifierService, SyncBatchMatchesDetectorAnalyze) {
-  World w;
-  const auto probes = probe_mix(w, 8);
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(8);
   // Reference verdicts straight off the detector, before the service swaps
   // in its shared cache (cache policy must not be able to change them).
   std::vector<std::string> want;
-  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+  for (const auto& u : probes) want.push_back(w.detector().analyze(u).canonical_string());
 
   VerifierServiceConfig cfg;
   cfg.auto_start = false;
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
   std::vector<VerificationRequest> requests;
   for (std::size_t i = 0; i < probes.size(); ++i) {
     requests.push_back({i, probes[i], 0});
@@ -101,14 +55,14 @@ TEST(VerifierService, SyncBatchMatchesDetectorAnalyze) {
 }
 
 TEST(VerifierService, SubmitResolvesFuturesViaDispatcher) {
-  World w;
-  const auto probes = probe_mix(w, 6);
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(6);
   std::vector<std::string> want;
-  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+  for (const auto& u : probes) want.push_back(w.detector().analyze(u).canonical_string());
 
   VerifierServiceConfig cfg;
   cfg.max_batch = 2;  // force several micro-batches
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
   EXPECT_TRUE(service.running());
   std::vector<std::future<VerdictResponse>> futures;
   for (std::size_t i = 0; i < probes.size(); ++i) {
@@ -131,11 +85,11 @@ TEST(VerifierService, SubmitResolvesFuturesViaDispatcher) {
 }
 
 TEST(VerifierService, AdmissionRejectsBeyondQueueLimit) {
-  World w;
+  ts::LinearFieldWorld w;
   VerifierServiceConfig cfg;
   cfg.auto_start = false;  // nothing drains until start()
   cfg.max_queue = 2;
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
 
   auto f1 = service.submit({1, w.upload(true), 0});
   auto f2 = service.submit({2, w.upload(true), 0});
@@ -154,11 +108,11 @@ TEST(VerifierService, AdmissionRejectsBeyondQueueLimit) {
 }
 
 TEST(VerifierService, ExpiredDeadlinesTimeOutWithoutEvaluation) {
-  World w;
+  ts::LinearFieldWorld w;
   ManualClock clock;
   VerifierServiceConfig cfg;
   cfg.auto_start = false;
-  VerifierService service(*w.detector, cfg, &clock);
+  VerifierService service(w.detector(), cfg, &clock);
 
   auto stale = service.submit({1, w.upload(true), /*deadline_us=*/100});
   auto fresh = service.submit({2, w.upload(true), /*deadline_us=*/0});
@@ -174,12 +128,12 @@ TEST(VerifierService, ExpiredDeadlinesTimeOutWithoutEvaluation) {
 }
 
 TEST(VerifierService, MalformedUploadComesBackAsError) {
-  World w;
+  ts::LinearFieldWorld w;
   VerifierServiceConfig cfg;
   cfg.auto_start = false;
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
 
-  wifi::ScannedUpload wrong_length;  // trained on kUploadPoints, send 2
+  wifi::ScannedUpload wrong_length;  // trained on 6 points, send 2
   wrong_length.positions = {{5, 5}, {6, 5}};
   wrong_length.scans = {{{1, -45}}, {{1, -46}}};
   const auto response = service.verify_now(wrong_length);
@@ -189,12 +143,12 @@ TEST(VerifierService, MalformedUploadComesBackAsError) {
 }
 
 TEST(VerifierService, DestructionRejectsUndrainedRequests) {
-  World w;
+  ts::LinearFieldWorld w;
   std::future<VerdictResponse> orphan;
   {
     VerifierServiceConfig cfg;
     cfg.auto_start = false;
-    VerifierService service(*w.detector, cfg);
+    VerifierService service(w.detector(), cfg);
     orphan = service.submit({9, w.upload(true), 0});
   }
   ASSERT_EQ(orphan.wait_for(std::chrono::seconds(0)), std::future_status::ready);
@@ -202,13 +156,13 @@ TEST(VerifierService, DestructionRejectsUndrainedRequests) {
 }
 
 TEST(VerifierService, SaveTryLoadServeRoundTrip) {
-  World w;
-  const auto probes = probe_mix(w, 6);
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(6);
   std::vector<std::string> want;
-  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+  for (const auto& u : probes) want.push_back(w.detector().analyze(u).canonical_string());
 
   const char* path = "serve_test_model.tmp";
-  w.detector->save_file(path);
+  w.detector().save_file(path);
   auto service_or = VerifierService::try_create_from_file(path);
   std::remove(path);
   ASSERT_TRUE(service_or.has_value()) << service_or.error();
@@ -229,29 +183,256 @@ TEST(VerifierService, TryCreateFromMissingFileReportsError) {
 }
 
 TEST(VerifierService, CountersTableListsCacheAndLatency) {
-  World w;
+  ts::LinearFieldWorld w;
   VerifierServiceConfig cfg;
   cfg.auto_start = false;
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
   (void)service.verify_now(w.upload(true));
   const std::string table = service.counters_table();
   for (const char* row : {"requests received", "completed", "micro-batches",
+                          "degraded (fallback)", "retries", "breaker opens",
                           "rpd cache hit rate", "latency p50 (us)"}) {
     EXPECT_NE(table.find(row), std::string::npos) << "missing row: " << row;
   }
 }
 
+// ---------------------------------------------------------------------------
+// Partial failure: retry, degradation, circuit breaker, degraded start.
+
+TEST(VerifierService, RetryRecoversTransientFaultsAtConfiguredAttempt) {
+  ts::LinearFieldWorld w;
+  const auto probe = w.upload(true);
+  const std::string want = w.detector().analyze(probe).canonical_string();
+
+  ManualClock clock;  // backoff advances the clock instead of sleeping
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 2;
+  VerifierService service(w.detector(), cfg, &clock);
+
+  FaultScope faults(1);
+  faults.arm(kFaultDispatch, {.fail_first = 2});  // attempts 0,1 fail; 2 works
+  const auto response = service.verify_now(probe);
+  ASSERT_EQ(response.outcome, Outcome::kOk) << response.degraded_reason;
+  EXPECT_EQ(response.report.canonical_string(), want)
+      << "a retried evaluation must produce the same payload as a clean one";
+  const auto c = service.counters();
+  EXPECT_EQ(c.retries, 2u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.degraded, 0u);
+  EXPECT_GT(clock.now_us(), 0) << "backoff should have consumed manual time";
+}
+
+TEST(VerifierService, ExhaustedRetriesDegradeToRuleBasedFallback) {
+  ts::LinearFieldWorld w;
+  const auto probe = w.upload(true);
+
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 1;
+  VerifierService service(w.detector(), cfg, &clock);
+
+  FaultScope faults(1);
+  faults.arm(kFaultDispatch, {.fail_first = 5});  // outlives max_retries
+  const auto response = service.verify_now(probe);
+  ASSERT_EQ(response.outcome, Outcome::kDegraded);
+  EXPECT_NE(response.degraded_reason.find(kFaultDispatch), std::string::npos)
+      << response.degraded_reason;
+  // The fallback verdict is the rule-based checker's, over claimed positions.
+  const auto fallback = baseline::RuleBasedDetector::for_mode(Mode::kWalking);
+  EXPECT_EQ(response.report.verdict,
+            fallback.verify_points(probe.positions, cfg.fallback.interval_s));
+  EXPECT_EQ(response.report.point_scores.size(), probe.positions.size());
+  const auto c = service.counters();
+  EXPECT_EQ(c.degraded, 1u);
+  EXPECT_EQ(c.retries, 1u);
+  EXPECT_EQ(c.completed, 0u);
+}
+
+TEST(VerifierService, FallbackCatchesTeleportingUploads) {
+  ts::LinearFieldWorld w;
+  wifi::ScannedUpload teleport;  // 6 points, one impossible 500 m jump
+  for (int j = 0; j < 6; ++j) {
+    const double east = j == 3 ? 500.0 : j * 1.0;
+    teleport.positions.push_back({east, 0.0});
+    teleport.scans.push_back({{1, ts::LinearFieldWorld::field_rssi({east, 0.0})}});
+  }
+
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 0;
+  VerifierService service(w.detector(), cfg, &clock);
+  FaultScope faults(1);
+  faults.arm(kFaultDispatch, {.probability = 1.0});
+  const auto response = service.verify_now(teleport);
+  ASSERT_EQ(response.outcome, Outcome::kDegraded);
+  EXPECT_EQ(response.report.verdict, 0) << "rule checker must flag the jump";
+  EXPECT_LT(response.report.p_real, 1.0);
+}
+
+TEST(VerifierService, DisabledFallbackTurnsExhaustionIntoError) {
+  ts::LinearFieldWorld w;
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 0;
+  cfg.fallback.enabled = false;
+  VerifierService service(w.detector(), cfg, &clock);
+  FaultScope faults(1);
+  faults.arm(kFaultDispatch, {.probability = 1.0});
+  const auto response = service.verify_now(w.upload(true));
+  EXPECT_EQ(response.outcome, Outcome::kError);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.counters().errors, 1u);
+}
+
+TEST(VerifierService, BackoffDelaysGrowAndStayDeterministic) {
+  ts::LinearFieldWorld w;
+  auto total_backoff = [&](std::uint64_t jitter_seed) {
+    ManualClock clock;
+    VerifierServiceConfig cfg;
+    cfg.auto_start = false;
+    cfg.retry.max_retries = 3;
+    cfg.retry.jitter_seed = jitter_seed;
+    VerifierService service(w.detector(), cfg, &clock);
+    FaultScope faults(1);
+    faults.arm(kFaultDispatch, {.fail_first = 3});
+    (void)service.verify_now(w.upload(true));
+    return clock.now_us();
+  };
+  const auto a = total_backoff(0);
+  // Identical schedule replays to the microsecond; a different jitter seed
+  // lands elsewhere in the [0.5, 1.5) band.  (The upload contents differ per
+  // call — delays depend only on request id and jitter seed, by design.)
+  EXPECT_EQ(a, total_backoff(0));
+  EXPECT_NE(a, total_backoff(99));
+  // Three delays at base 50 us, multiplier 2, jitter in [0.5, 1.5):
+  // bounded by [0.5, 1.5) * (50 + 100 + 200).
+  EXPECT_GE(a, 175);
+  EXPECT_LT(a, 525);
+}
+
+TEST(VerifierService, BreakerOpensShedsLoadAndRecovers) {
+  ts::LinearFieldWorld w;
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 0;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.cooldown_us = 1000;
+  VerifierService service(w.detector(), cfg, &clock);
+
+  const auto probe = w.upload(true);
+  {
+    FaultScope faults(1);
+    faults.arm(kFaultDispatch, {.probability = 1.0});
+    // Two exhausted evaluations trip the breaker...
+    EXPECT_EQ(service.verify_now(probe).outcome, Outcome::kDegraded);
+    EXPECT_FALSE(service.breaker_open());
+    EXPECT_EQ(service.verify_now(probe).outcome, Outcome::kDegraded);
+    EXPECT_TRUE(service.breaker_open());
+    // ...after which requests degrade without touching the detector.
+    const auto shed = service.verify_now(probe);
+    EXPECT_EQ(shed.outcome, Outcome::kDegraded);
+    EXPECT_EQ(shed.degraded_reason, "breaker_open");
+  }
+  // Faults cleared but the breaker still cooling down: still shedding.
+  EXPECT_EQ(service.verify_now(probe).degraded_reason, "breaker_open");
+  clock.advance_us(cfg.breaker.cooldown_us + 1);
+  EXPECT_FALSE(service.breaker_open());
+  EXPECT_EQ(service.verify_now(probe).outcome, Outcome::kOk);
+  const auto c = service.counters();
+  EXPECT_EQ(c.breaker_opens, 1u);
+  EXPECT_EQ(c.degraded, 4u);
+  EXPECT_EQ(c.completed, 1u);
+}
+
+TEST(VerifierService, DegradedStartServesWithoutADetector) {
+  // The model file cannot load (injected), but degraded start is allowed:
+  // the service comes up detector-less and answers through the fallback.
+  ts::LinearFieldWorld w;
+  const char* path = "serve_test_degraded_model.tmp";
+  w.detector().save_file(path);
+
+  VerifierServiceConfig cfg;
+  cfg.fallback.allow_degraded_start = true;
+  std::unique_ptr<VerifierService> service;
+  {
+    FaultScope faults(1);
+    faults.arm(wifi::kFaultDetectorLoad, {.probability = 1.0});
+    auto service_or = VerifierService::try_create_from_file(path, cfg);
+    ASSERT_TRUE(service_or.has_value()) << service_or.error();
+    service = std::move(service_or).value();
+  }
+  std::remove(path);
+  EXPECT_FALSE(service->has_detector());
+
+  const auto probes = w.probe_mix(4);
+  std::vector<std::future<VerdictResponse>> futures;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    futures.push_back(service->submit({i, probes[i], 0}));
+  }
+  for (auto& future : futures) {
+    const auto response = future.get();
+    EXPECT_EQ(response.outcome, Outcome::kDegraded);
+    EXPECT_EQ(response.degraded_reason, "detector_unavailable");
+  }
+  const auto c = service->counters();
+  EXPECT_EQ(c.degraded, probes.size());
+  EXPECT_EQ(c.completed, 0u);
+}
+
+TEST(VerifierService, DegradedStartStillRefusedWhenDisallowed) {
+  ts::LinearFieldWorld w;
+  const char* path = "serve_test_refused_model.tmp";
+  w.detector().save_file(path);
+  {
+    FaultScope faults(1);
+    faults.arm(wifi::kFaultDetectorLoad, {.probability = 1.0});
+    const auto service_or = VerifierService::try_create_from_file(path);
+    EXPECT_FALSE(service_or.has_value());
+  }
+  std::remove(path);
+}
+
+TEST(DetectorIo, SaveFaultSurfacesAsFaultError) {
+  ts::LinearFieldWorld w;
+  FaultScope faults(1);
+  faults.arm(wifi::kFaultDetectorSave, {.probability = 1.0});
+  EXPECT_THROW(w.detector().save_file("serve_test_unwritten.tmp"), FaultError);
+}
+
+TEST(VerifierService, PoisonedRpdShardDegradesInsteadOfCrashing) {
+  ts::LinearFieldWorld w;
+  ManualClock clock;
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.retry.max_retries = 1;
+  VerifierService service(w.detector(), cfg, &clock);
+  FaultScope faults(1);
+  faults.arm(kFaultRpdShard, {.probability = 1.0});  // every shard poisoned
+  const auto response = service.verify_now(w.upload(true));
+  ASSERT_EQ(response.outcome, Outcome::kDegraded);
+  EXPECT_NE(response.degraded_reason.find(kFaultRpdShard), std::string::npos)
+      << response.degraded_reason;
+}
+
+// ---------------------------------------------------------------------------
+// Shared RPD LRU
+
 TEST(RpdLruCache, TinyCapacityEvictsWithoutChangingVerdicts) {
-  World w;
-  const auto probes = probe_mix(w, 10);
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(10);
   std::vector<std::string> want;
-  for (const auto& u : probes) want.push_back(w.detector->analyze(u).canonical_string());
+  for (const auto& u : probes) want.push_back(w.detector().analyze(u).canonical_string());
 
   VerifierServiceConfig cfg;
   cfg.auto_start = false;
   cfg.cache.capacity = 8;  // absurdly small: constant churn
   cfg.cache.shards = 1;
-  VerifierService service(*w.detector, cfg);
+  VerifierService service(w.detector(), cfg);
   for (std::size_t i = 0; i < probes.size(); ++i) {
     const auto response = service.verify_now(probes[i]);
     ASSERT_EQ(response.outcome, Outcome::kOk) << response.error;
@@ -309,12 +490,12 @@ TEST(RpdLruCache, ValidatesConfig) {
 }
 
 TEST(VerifierService, RejectsNullAndMisconfigured) {
-  World w;
+  ts::LinearFieldWorld w;
   EXPECT_THROW(VerifierService(std::unique_ptr<wifi::RssiDetector>(), {}),
                std::invalid_argument);
   VerifierServiceConfig zero_batch;
   zero_batch.max_batch = 0;
-  EXPECT_THROW(VerifierService(*w.detector, zero_batch), std::invalid_argument);
+  EXPECT_THROW(VerifierService(w.detector(), zero_batch), std::invalid_argument);
 }
 
 }  // namespace

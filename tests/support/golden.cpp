@@ -1,0 +1,80 @@
+#include "support/golden.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef TRAJKIT_GOLDEN_DIR
+#error "TRAJKIT_GOLDEN_DIR must be defined by the build (see tests/CMakeLists.txt)"
+#endif
+
+namespace trajkit::test_support {
+namespace {
+
+std::string first_divergence(const std::string& want, const std::string& got) {
+  std::istringstream ws(want);
+  std::istringstream gs(got);
+  std::string wline;
+  std::string gline;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool have_w = static_cast<bool>(std::getline(ws, wline));
+    const bool have_g = static_cast<bool>(std::getline(gs, gline));
+    if (!have_w && !have_g) return "contents identical (trailing bytes differ?)";
+    if (wline != gline || have_w != have_g) {
+      std::ostringstream out;
+      out << "first divergence at line " << line << ":\n  golden: "
+          << (have_w ? wline : "<eof>") << "\n  actual: "
+          << (have_g ? gline : "<eof>");
+      return out.str();
+    }
+  }
+}
+
+}  // namespace
+
+std::string golden_dir() { return TRAJKIT_GOLDEN_DIR; }
+
+bool update_golden_mode() {
+  const char* env = std::getenv("TRAJKIT_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+::testing::AssertionResult matches_golden(const std::string& name,
+                                          const std::string& actual) {
+  const std::string path = golden_dir() + "/" + name;
+  if (update_golden_mode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "cannot write golden file " << path;
+    }
+    out << actual;
+    return ::testing::AssertionSuccess() << "golden file " << name << " updated";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "missing golden file " << path
+           << " — regenerate with: TRAJKIT_UPDATE_GOLDEN=1 ctest -R Golden";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string want = buf.str();
+  if (want == actual) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "golden mismatch for " << name << " (" << first_divergence(want, actual)
+         << ")\nif the change is intentional, regenerate with: "
+            "TRAJKIT_UPDATE_GOLDEN=1 ctest -R Golden and review the diff";
+}
+
+std::string canonical_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace trajkit::test_support

@@ -1,0 +1,41 @@
+// Golden-file helper for regression pinning.
+//
+// A golden test renders some deterministic artifact (a feature vector, a
+// canonical verdict payload) to text and compares it byte-for-byte against a
+// committed file under tests/golden/.  Because the toolchain and machine are
+// fixed for this repo, bit-exact floating-point goldens are safe to bake.
+//
+// Workflow:
+//   * normal run      — mismatch fails the test and prints a unified-ish diff
+//     (first differing line) plus the regeneration command;
+//   * TRAJKIT_UPDATE_GOLDEN=1 ctest -R Golden — rewrites every golden file
+//     from the current build and passes.  Inspect the git diff before
+//     committing: an unexpected change here means the numeric contract moved.
+//
+// The golden directory is injected at compile time (TRAJKIT_GOLDEN_DIR points
+// at the source tree, not the build tree) so updates land in version control.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace trajkit::test_support {
+
+/// Absolute path of the committed golden directory.
+std::string golden_dir();
+
+/// True when TRAJKIT_UPDATE_GOLDEN is set to a non-empty, non-"0" value.
+bool update_golden_mode();
+
+/// Compare `actual` against tests/golden/<name>.  In update mode, (re)writes
+/// the file instead and succeeds.
+::testing::AssertionResult matches_golden(const std::string& name,
+                                          const std::string& actual);
+
+/// Render a double exactly as the serving layer's canonical payloads do
+/// (%.17g — round-trips the bit pattern), so goldens and payloads agree on
+/// formatting.
+std::string canonical_double(double value);
+
+}  // namespace trajkit::test_support

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "support/fixtures.hpp"
 #include "wifi/confidence.hpp"
 #include "wifi/detector.hpp"
 #include "wifi/features.hpp"
@@ -14,6 +15,8 @@
 
 namespace trajkit::wifi {
 namespace {
+
+namespace ts = test_support;
 
 ReferencePoint ref(double east, double north, WifiScan scan,
                    std::uint32_t traj = kNoTrajectory) {
@@ -222,94 +225,42 @@ TEST(Detector, SeparatesMatchingFromMismatchedRssi) {
   // Synthetic world: a spatial RSSI field rssi(x) = -40 - x (1 dB per metre).
   // Real uploads report the field value at their position; fakes report the
   // field value 10 m away.  The detector must learn the difference.
-  Rng rng(2);
-  auto field = [](const Enu& p) {
-    return static_cast<int>(std::lround(-40.0 - p.east));
-  };
-  std::vector<ReferencePoint> history;
-  for (int i = 0; i < 2000; ++i) {
-    const Enu p{rng.uniform(0, 40), rng.uniform(0, 40)};
-    history.push_back(ref(p.east, p.north, {{1, field(p)}}));
-  }
-
-  auto make_upload = [&](bool genuine) {
-    ScannedUpload upload;
-    for (int j = 0; j < 5; ++j) {
-      const Enu p{rng.uniform(5, 35), rng.uniform(5, 35)};
-      upload.positions.push_back(p);
-      const Enu src = genuine ? p : Enu{p.east + 10.0, p.north};
-      upload.scans.push_back({{1, field(src)}});
-    }
-    return upload;
-  };
-
-  RssiDetectorConfig cfg;
-  cfg.confidence.reference_radius_m = 2.5;
-  cfg.confidence.top_k = 2;
-  cfg.classifier.num_trees = 40;
-  RssiDetector detector(history, cfg);
-
-  std::vector<ScannedUpload> train;
-  std::vector<int> labels;
-  for (int i = 0; i < 60; ++i) {
-    train.push_back(make_upload(true));
-    labels.push_back(1);
-    train.push_back(make_upload(false));
-    labels.push_back(0);
-  }
-  detector.train(train, labels);
+  ts::LinearWorldConfig cfg;
+  cfg.seed = 2;
+  cfg.area_m = 40.0;
+  cfg.margin_m = 5.0;
+  cfg.history_points = 2000;
+  cfg.upload_points = 5;
+  cfg.fake_shift_m = 10.0;
+  cfg.train_pairs = 60;
+  cfg.trees = 40;
+  cfg.reference_radius_m = 2.5;
+  ts::LinearFieldWorld w(cfg);
 
   int correct = 0;
   for (int i = 0; i < 40; ++i) {
-    correct += detector.analyze(make_upload(true)).verdict == 1;
-    correct += detector.analyze(make_upload(false)).verdict == 0;
+    correct += w.detector().analyze(w.upload(true)).verdict == 1;
+    correct += w.detector().analyze(w.upload(false)).verdict == 0;
   }
   EXPECT_GT(correct, 72);  // > 90%
 }
 
 TEST(Detector, SaveLoadRoundTrip) {
-  Rng rng(3);
-  auto field = [](const Enu& p) {
-    return static_cast<int>(std::lround(-40.0 - p.east));
-  };
-  std::vector<ReferencePoint> history;
-  for (int i = 0; i < 500; ++i) {
-    const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
-    history.push_back(ref(p.east, p.north, {{1, field(p)}}, i / 10));
-  }
-  RssiDetectorConfig cfg;
-  cfg.confidence.reference_radius_m = 3.0;
-  cfg.confidence.top_k = 2;
-  cfg.classifier.num_trees = 15;
-  RssiDetector detector(history, cfg);
-
-  auto make_upload = [&](bool genuine) {
-    ScannedUpload upload;
-    for (int j = 0; j < 4; ++j) {
-      const Enu p{rng.uniform(5, 25), rng.uniform(5, 25)};
-      upload.positions.push_back(p);
-      const Enu src = genuine ? p : Enu{p.east + 8.0, p.north};
-      upload.scans.push_back({{1, field(src)}});
-    }
-    return upload;
-  };
-  std::vector<ScannedUpload> train;
-  std::vector<int> labels;
-  for (int i = 0; i < 30; ++i) {
-    train.push_back(make_upload(true));
-    labels.push_back(1);
-    train.push_back(make_upload(false));
-    labels.push_back(0);
-  }
-  detector.train(train, labels);
+  ts::LinearWorldConfig cfg;
+  cfg.seed = 3;
+  cfg.margin_m = 5.0;
+  cfg.history_points = 500;
+  cfg.upload_points = 4;
+  cfg.fake_shift_m = 8.0;
+  ts::LinearFieldWorld w(cfg);
 
   std::stringstream ss;
-  detector.save(ss);
+  w.detector().save(ss);
   const auto loaded = RssiDetector::load(ss);
-  ASSERT_EQ(loaded->index().size(), detector.index().size());
+  ASSERT_EQ(loaded->index().size(), w.detector().index().size());
   for (int i = 0; i < 20; ++i) {
-    const auto upload = make_upload(i % 2 == 0);
-    EXPECT_NEAR(detector.analyze(upload).p_real, loaded->analyze(upload).p_real,
+    const auto upload = w.upload(i % 2 == 0);
+    EXPECT_NEAR(w.detector().analyze(upload).p_real, loaded->analyze(upload).p_real,
                 1e-12);
   }
 }
@@ -364,58 +315,13 @@ TEST(Detector, TryLoadAcceptsThresholdlessV1Format) {
   EXPECT_DOUBLE_EQ(loaded.value()->config().threshold, 0.5);
 }
 
-TEST(Detector, LegacyWrappersMatchAnalyze) {
-  Rng rng(9);
-  auto field = [](const Enu& p) {
-    return static_cast<int>(std::lround(-40.0 - p.east));
-  };
-  std::vector<ReferencePoint> history;
-  for (int i = 0; i < 400; ++i) {
-    const Enu p{rng.uniform(0, 30), rng.uniform(0, 30)};
-    history.push_back(ref(p.east, p.north, {{1, field(p)}}, i / 10));
-  }
-  RssiDetectorConfig cfg;
-  cfg.confidence.top_k = 2;
-  cfg.classifier.num_trees = 10;
-  RssiDetector detector(history, cfg);
-
-  auto make_upload = [&](bool genuine) {
-    ScannedUpload upload;
-    for (int j = 0; j < 4; ++j) {
-      const Enu p{rng.uniform(5, 25), rng.uniform(5, 25)};
-      upload.positions.push_back(p);
-      const Enu src = genuine ? p : Enu{p.east + 8.0, p.north};
-      upload.scans.push_back({{1, field(src)}});
-    }
-    return upload;
-  };
-  std::vector<ScannedUpload> train;
-  std::vector<int> labels;
-  for (int i = 0; i < 20; ++i) {
-    train.push_back(make_upload(true));
-    labels.push_back(1);
-    train.push_back(make_upload(false));
-    labels.push_back(0);
-  }
-  detector.train(train, labels);
-
-  const auto upload = make_upload(true);
-  const auto report = detector.analyze(upload);
-  EXPECT_EQ(report.threshold, detector.config().threshold);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(detector.features(upload), report.features);
-  EXPECT_DOUBLE_EQ(detector.predict_proba(upload), report.p_real);
-  EXPECT_EQ(detector.verify(upload), report.verdict);
-  EXPECT_EQ(detector.verify(upload, 0.99), report.p_real >= 0.99 ? 1 : 0);
-  EXPECT_EQ(detector.point_scores(upload), report.point_scores);
-#pragma GCC diagnostic pop
-}
+// Deprecated wrapper/analyze agreement lives in tests/equivalence_test.cpp
+// (property sweep over random uploads and thresholds).
 
 TEST(Detector, PointScoresLocaliseMismatchedStretch) {
   Rng rng(4);
   auto field = [](const Enu& p) {
-    return static_cast<int>(std::lround(-40.0 - p.east));
+    return ts::LinearFieldWorld::field_rssi(p);
   };
   std::vector<ReferencePoint> history;
   for (int i = 0; i < 3000; ++i) {

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the deterministic execution layer.
 #
-#   tools/check.sh          # TSan on the threading tests, then ASan full suite
+#   tools/check.sh          # TSan threading tests, ASan full suite, UBSan full suite
 #   tools/check.sh tsan     # TSan leg only
 #   tools/check.sh asan     # ASan leg only
+#   tools/check.sh ubsan    # UBSan leg only
 #
-# TSan exercises the parallel/determinism/serving tests (the code paths with
-# real cross-thread sharing, including the service's shard-locked RPD cache);
-# ASan runs the entire suite.  Build trees live in
-# build-tsan/ and build-asan/ so they never pollute the primary build/.
+# TSan exercises the parallel/determinism/serving/chaos tests (the code paths
+# with real cross-thread sharing, including the service's shard-locked RPD
+# cache and the fault-injection registry); ASan and UBSan run the entire
+# suite.  Build trees live in build-tsan/, build-asan/ and build-ubsan/ so
+# they never pollute the primary build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,14 +32,18 @@ run_leg() {
   fi
 }
 
+TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault'
+
 case "${LEG}" in
-  tsan) run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache' ;;
+  tsan) run_leg tsan thread "${TSAN_FILTER}" ;;
   asan) run_leg asan address '' ;;
+  ubsan) run_leg ubsan undefined '' ;;
   all)
-    run_leg tsan thread 'Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache'
+    run_leg tsan thread "${TSAN_FILTER}"
     run_leg asan address ''
+    run_leg ubsan undefined ''
     ;;
-  *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [tsan|asan|ubsan|all]" >&2; exit 2 ;;
 esac
 
 echo "== all sanitizer legs passed =="
