@@ -4,6 +4,7 @@
 // Paper protocol: walk a 200 m route 50 times; the minimum pairwise
 // (normalised) DTW distance is MinD.  Paper values: 1.2 (walking),
 // 1.5 (cycling), 1.4 (driving) metres per step.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -18,21 +19,45 @@ int main(int argc, char** argv) {
 
   std::printf("== MinD experiment: same route traversed %zu times ==\n\n", repetitions);
 
-  TextTable table({"Mode", "MinD (min)", "mean", "max", "paper MinD"});
+  using clock = std::chrono::steady_clock;
+  auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
+
+  TextTable table({"Mode", "MinD (min)", "mean", "max", "paper MinD", "full ms",
+                   "fast ms"});
   for (Mode mode : kAllModes) {
     core::Scenario scenario(core::ScenarioConfig::for_mode(mode));
     // Point count spans the route at the mode's speed.
     const double speed = sim::MobilityParams::for_mode(mode).mean_speed_mps;
     const auto points = static_cast<std::size_t>(route_m / speed) + 10;
 
-    const auto est = attack::estimate_mind(scenario.simulator(), mode, route_m,
-                                           repetitions, points, 1.0, scenario.rng());
+    const auto runs = attack::mind_runs(scenario.simulator(), mode, route_m,
+                                        repetitions, points, 1.0, scenario.rng());
+    const auto t_full = clock::now();
+    const auto est = attack::estimate_mind_over(runs);
+    const double full_ms = ms_since(t_full);
+
+    const auto t_fast = clock::now();
+    const double fast_min = attack::estimate_mind_fast(runs);
+    const double fast_ms = ms_since(t_fast);
+
+    // The fast leg skips pairs only when they provably cannot lower the
+    // minimum; any mismatch is a correctness bug, not noise.
+    if (fast_min != est.min_d) {
+      std::fprintf(stderr, "FATAL: fast MinD %.17g != full MinD %.17g (%s)\n",
+                   fast_min, est.min_d, mode_name(mode));
+      return 1;
+    }
+
     table.add_row({mode_name(mode), TextTable::num(est.min_d, 2),
                    TextTable::num(est.mean_d, 2), TextTable::num(est.max_d, 2),
-                   TextTable::num(attack::paper_mind(mode), 1)});
+                   TextTable::num(attack::paper_mind(mode), 1),
+                   TextTable::num(full_ms, 1), TextTable::num(fast_ms, 1)});
   }
   table.print(std::cout);
   std::printf("\npaper: MinD_1=1.2/m (walk), MinD_2=1.5/m (cycle), MinD_3=1.4/m "
-              "(drive)\n");
+              "(drive)\nfast leg: early-abandoning raw-DTW prefilter, "
+              "bitwise-identical minimum\n");
   return 0;
 }

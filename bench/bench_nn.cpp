@@ -1,0 +1,307 @@
+// Kernel-layer benchmark: the batched GEMM nn stack and the pruned-exact DTW
+// against the naive reference implementations they replaced.
+//
+// Three measurements, each with an FNV-1a checksum over the raw double bit
+// patterns proving the fast path produces *bit-identical* results:
+//
+//   * LSTM classifier training — reference backend vs batched kernels
+//     (per-epoch wall time; predictions after training must match bitwise);
+//   * C&W attack inner loop — reference backend + full DTW vs batched
+//     kernels + pruned DTW (iterations/sec; forged points must match
+//     bitwise);
+//   * DTW — full DP vs banded-bound pruned DP on attack-shaped pairs
+//     (calls/sec; distance and path must match bitwise).
+//
+// The batched leg is additionally run at --threads 1 and --threads N and the
+// training checksums compared, extending PR 1's thread-count-invariance
+// contract to the kernel layer.
+//
+// Results are printed as a table and written to BENCH_nn.json.  Exit is
+// non-zero if any checksum diverges — speedups are hardware-dependent and
+// only reported, identity is the contract.
+//
+// Every timed leg is repeated --reps times and the best repetition reported
+// (minimum time / maximum rate, as in standard benchmark harnesses): the box
+// is a single shared CPU and a single-shot measurement charges OS jitter to
+// whichever leg it happens to land on.  Checksums accumulate over all
+// repetitions, symmetrically for both paths, so identity still covers every
+// run.
+//
+//   bench_nn --train=64 --points=64 --epochs=2 --attack_iters=60 --threads=2
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "attack/cw.hpp"
+#include "common/parallel.hpp"
+#include "core/trajkit.hpp"
+#include "dtw/dtw.hpp"
+
+using namespace trajkit;
+
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// FNV-1a over raw double bits: any single-ulp difference changes the digest.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void add(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  std::string hex() const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+    return buf;
+  }
+};
+
+std::vector<Enu> make_walk(Rng& rng, std::size_t n, double step) {
+  std::vector<Enu> pts = {{0.0, 0.0}};
+  for (std::size_t i = 1; i < n; ++i) {
+    pts.push_back({pts.back().east + rng.uniform(0.5, step),
+                   pts.back().north + rng.uniform(-step / 2, step / 2)});
+  }
+  return pts;
+}
+
+struct Dataset {
+  std::vector<FeatureSequence> xs;
+  std::vector<int> ys;
+  std::vector<Enu> attack_route;
+};
+
+Dataset make_dataset(const DistAngleEncoder& encoder, std::size_t train,
+                     std::size_t points) {
+  Rng rng(4242);
+  Dataset ds;
+  for (std::size_t i = 0; i < train; ++i) {
+    const std::size_t n =
+        points + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    const bool real = i % 2 == 0;
+    ds.xs.push_back(encoder.encode(make_walk(rng, n, real ? 4.0 : 1.0)));
+    ds.ys.push_back(real ? 1 : 0);
+  }
+  ds.attack_route = make_walk(rng, points, 4.0);
+  return ds;
+}
+
+nn::LstmClassifierConfig model_config(nn::NnBackend backend) {
+  nn::LstmClassifierConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.batch_size = 16;
+  cfg.backend = backend;
+  return cfg;
+}
+
+/// Train a fresh same-seed model and digest its post-training predictions.
+double train_leg(nn::NnBackend backend, const Dataset& ds, std::size_t epochs,
+                 Fnv& digest, nn::LstmClassifier* keep = nullptr) {
+  nn::LstmClassifier model(model_config(backend), 5);
+  const double t0 = now_s();
+  model.train(ds.xs, ds.ys, epochs);
+  const double epoch_s = (now_s() - t0) / static_cast<double>(epochs);
+  model.set_backend(nn::NnBackend::kBatched);  // digest via one fixed path
+  for (const double p : model.predict_proba_batch(ds.xs)) digest.add(p);
+  if (keep) *keep = std::move(model);
+  return epoch_s;
+}
+
+double attack_leg(const nn::LstmClassifier& trained, const DistAngleEncoder& encoder,
+                  const Dataset& ds, std::size_t iters, bool fast, Fnv& digest) {
+  nn::LstmClassifier model = trained;  // per-leg copy: backends never share
+  model.set_backend(fast ? nn::NnBackend::kBatched : nn::NnBackend::kReference);
+  attack::CwConfig ac;
+  ac.iterations = iters;
+  ac.history_stride = iters;
+  ac.fast_dtw = fast;
+  const attack::CwAttacker attacker(model, encoder, ac);
+  const double t0 = now_s();
+  const auto result = attacker.forge_navigation(ds.attack_route);
+  const double iters_per_s = static_cast<double>(iters) / (now_s() - t0);
+  for (const auto& p : result.points) {
+    digest.add(p.east);
+    digest.add(p.north);
+  }
+  digest.add(result.p_real);
+  digest.add(result.dtw_norm);
+  return iters_per_s;
+}
+
+double dtw_leg(const Dataset& ds, std::size_t calls, bool pruned, Fnv& digest) {
+  // Attack-shaped pair: the iterate is a perturbation of the reference, so
+  // the pruned variant runs with the attack's band (CwConfig::dtw_band).
+  const std::size_t band = attack::CwConfig{}.dtw_band;
+  Rng rng(99);
+  auto other = ds.attack_route;
+  for (auto& p : other) {
+    p.east += rng.uniform(-2.0, 2.0);
+    p.north += rng.uniform(-2.0, 2.0);
+  }
+  const double t0 = now_s();
+  for (std::size_t i = 0; i < calls; ++i) {
+    const auto r = pruned ? dtw_pruned(ds.attack_route, other, band)
+                          : dtw(ds.attack_route, other);
+    if (i == 0) {
+      digest.add(r.distance);
+      digest.add(static_cast<double>(r.path.size()));
+      for (const auto& pair : r.path) {
+        digest.add(static_cast<double>(pair.i));
+        digest.add(static_cast<double>(pair.j));
+      }
+    }
+  }
+  return static_cast<double>(calls) / (now_s() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);  // wires --threads into set_global_threads
+  const auto train = static_cast<std::size_t>(flags.get_int("train", 64));
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 64));
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 2));
+  const auto attack_iters =
+      static_cast<std::size_t>(flags.get_int("attack_iters", 60));
+  const auto dtw_calls = static_cast<std::size_t>(flags.get_int("dtw_calls", 200));
+  const auto reps = std::max<std::size_t>(1, flags.get_int("reps", 5));
+  const std::size_t parallel_threads = global_threads();
+
+  // Best-of-reps helpers; see the file comment for why.
+  const auto min_time = [reps](auto&& leg) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) best = std::min(best, leg());
+    return best;
+  };
+  const auto max_rate = [reps](auto&& leg) {
+    double best = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) best = std::max(best, leg());
+    return best;
+  };
+
+  std::printf("== nn kernel layer: batched GEMM + pruned DTW vs reference ==\n");
+  std::printf("%zu train seqs x ~%zu steps, %zu epochs; attack %zu iters; "
+              "dtw %zu calls\n\n",
+              train, points, epochs, attack_iters, dtw_calls);
+
+  const DistAngleEncoder encoder;
+  const Dataset ds = make_dataset(encoder, train, points);
+
+  // -- Training: reference vs batched (single thread: kernel throughput). --
+  set_global_threads(1);
+  Fnv train_ref_digest;
+  Fnv train_bat_digest;
+  const double epoch_ref_s = min_time([&] {
+    return train_leg(nn::NnBackend::kReference, ds, epochs, train_ref_digest);
+  });
+  nn::LstmClassifier trained(model_config(nn::NnBackend::kBatched), 5);
+  const double epoch_bat_s = min_time([&] {
+    return train_leg(nn::NnBackend::kBatched, ds, epochs, train_bat_digest, &trained);
+  });
+
+  // -- Thread invariance of the batched path. --
+  set_global_threads(parallel_threads);
+  Fnv train_mt_digest;
+  for (std::size_t r = 0; r < reps; ++r) {
+    train_leg(nn::NnBackend::kBatched, ds, epochs, train_mt_digest);
+  }
+  set_global_threads(1);
+
+  // -- Attack inner loop: reference kernels + full DTW vs batched + pruned. --
+  Fnv attack_ref_digest;
+  Fnv attack_fast_digest;
+  const double attack_ref_ips = max_rate([&] {
+    return attack_leg(trained, encoder, ds, attack_iters, false, attack_ref_digest);
+  });
+  const double attack_fast_ips = max_rate([&] {
+    return attack_leg(trained, encoder, ds, attack_iters, true, attack_fast_digest);
+  });
+
+  // -- DTW in isolation. --
+  Fnv dtw_full_digest;
+  Fnv dtw_pruned_digest;
+  const double dtw_full_cps =
+      max_rate([&] { return dtw_leg(ds, dtw_calls, false, dtw_full_digest); });
+  const double dtw_pruned_cps =
+      max_rate([&] { return dtw_leg(ds, dtw_calls, true, dtw_pruned_digest); });
+  set_global_threads(0);
+
+  const bool train_ok = train_ref_digest.h == train_bat_digest.h;
+  const bool threads_ok = train_bat_digest.h == train_mt_digest.h;
+  const bool attack_ok = attack_ref_digest.h == attack_fast_digest.h;
+  const bool dtw_ok = dtw_full_digest.h == dtw_pruned_digest.h;
+  const double attack_speedup = attack_fast_ips / attack_ref_ips;
+  const double epoch_speedup = epoch_ref_s / epoch_bat_s;
+  const double dtw_speedup = dtw_pruned_cps / dtw_full_cps;
+
+  TextTable table({"stage", "reference", "fast", "speedup", "bit-identical"});
+  table.add_row({"lstm epoch (s)", TextTable::num(epoch_ref_s, 3),
+                 TextTable::num(epoch_bat_s, 3),
+                 TextTable::num(epoch_speedup, 2) + "x", train_ok ? "yes" : "NO"});
+  table.add_row({"attack (iter/s)", TextTable::num(attack_ref_ips, 1),
+                 TextTable::num(attack_fast_ips, 1),
+                 TextTable::num(attack_speedup, 2) + "x",
+                 attack_ok ? "yes" : "NO"});
+  table.add_row({"dtw (call/s)", TextTable::num(dtw_full_cps, 1),
+                 TextTable::num(dtw_pruned_cps, 1),
+                 TextTable::num(dtw_speedup, 2) + "x", dtw_ok ? "yes" : "NO"});
+  table.print(std::cout);
+  std::printf("\ntrain checksum ref/batched = %s / %s\n",
+              train_ref_digest.hex().c_str(), train_bat_digest.hex().c_str());
+  std::printf("batched at %zu thread(s)   = %s (%s)\n", parallel_threads,
+              train_mt_digest.hex().c_str(),
+              threads_ok ? "thread-count invariant" : "DIVERGED");
+  std::printf("attack checksum ref/fast   = %s / %s\n",
+              attack_ref_digest.hex().c_str(), attack_fast_digest.hex().c_str());
+  std::printf("dtw checksum full/pruned   = %s / %s\n",
+              dtw_full_digest.hex().c_str(), dtw_pruned_digest.hex().c_str());
+
+  std::FILE* json = std::fopen("BENCH_nn.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"lstm_epoch_s_reference\": %.6f,\n"
+                 "  \"lstm_epoch_s_batched\": %.6f,\n"
+                 "  \"lstm_epoch_speedup\": %.3f,\n"
+                 "  \"attack_iters_per_sec_reference\": %.3f,\n"
+                 "  \"attack_iters_per_sec_fast\": %.3f,\n"
+                 "  \"attack_speedup\": %.3f,\n"
+                 "  \"dtw_calls_per_sec_full\": %.3f,\n"
+                 "  \"dtw_calls_per_sec_pruned\": %.3f,\n"
+                 "  \"dtw_speedup\": %.3f,\n"
+                 "  \"train_checksum\": \"%s\",\n"
+                 "  \"attack_checksum\": \"%s\",\n"
+                 "  \"dtw_checksum\": \"%s\",\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"thread_invariant\": %s\n"
+                 "}\n",
+                 epoch_ref_s, epoch_bat_s, epoch_speedup, attack_ref_ips,
+                 attack_fast_ips, attack_speedup, dtw_full_cps, dtw_pruned_cps,
+                 dtw_speedup, train_bat_digest.hex().c_str(),
+                 attack_fast_digest.hex().c_str(), dtw_pruned_digest.hex().c_str(),
+                 train_ok && attack_ok && dtw_ok ? "true" : "false",
+                 threads_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_nn.json\n");
+  }
+
+  if (!(train_ok && attack_ok && dtw_ok && threads_ok)) {
+    std::printf("FAILED: fast paths are not bit-identical\n");
+    return 1;
+  }
+  return 0;
+}

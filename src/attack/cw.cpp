@@ -13,9 +13,11 @@ namespace {
 constexpr double kEpsM = 1e-9;
 
 /// Normalised DTW value and its subgradient w.r.t. `x` in one DP pass.
+/// The pruned variant is bit-identical to dtw() (distance and path), so the
+/// fast_dtw switch cannot change any attack trajectory or loss.
 double dtw_norm_and_grad(const std::vector<Enu>& ref, const std::vector<Enu>& x,
-                         std::vector<Enu>& dx) {
-  const auto r = dtw(ref, x);
+                         std::vector<Enu>& dx, bool fast, std::size_t band) {
+  const auto r = fast ? dtw_pruned(ref, x, band) : dtw(ref, x);
   const double inv_len = 1.0 / static_cast<double>(r.path.size());
   for (const auto& pair : r.path) {
     const Enu& p = ref[pair.i];
@@ -102,10 +104,10 @@ CwResult CwAttacker::run(const std::vector<Enu>& reference, LossKind kind,
 
   std::vector<Enu> grad(n, Enu{});
   std::vector<Enu> dpts_ce(n, Enu{});
+  FeatureSequence dfeat;  // hoisted: keeps its buffer across iterations
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
     const FeatureSequence feat = encoder_->encode(x);
-    FeatureSequence dfeat;
     const double ce = model_->loss_and_input_gradient(feat, /*target=*/1, &dfeat);
     const double p_real = std::exp(-ce);
 
@@ -113,7 +115,8 @@ CwResult CwAttacker::run(const std::vector<Enu>& reference, LossKind kind,
     encoder_->backprop(x, dfeat, dpts_ce);
 
     std::fill(grad.begin(), grad.end(), Enu{});
-    const double dtw_norm = dtw_norm_and_grad(reference, x, grad);
+    const double dtw_norm = dtw_norm_and_grad(reference, x, grad,
+                                              config_.fast_dtw, config_.dtw_band);
 
     double dist_loss = dtw_norm;
     double dtw_sign = 1.0;

@@ -7,9 +7,10 @@
 
 namespace trajkit::attack {
 
-MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
-                           double route_length_m, std::size_t repetitions,
-                           std::size_t points, double interval_s, Rng& rng) {
+std::vector<std::vector<Enu>> mind_runs(const sim::TrajectorySimulator& simulator,
+                                        Mode mode, double route_length_m,
+                                        std::size_t repetitions, std::size_t points,
+                                        double interval_s, Rng& rng) {
   if (repetitions < 2) {
     throw std::invalid_argument("estimate_mind: need >= 2 repetitions");
   }
@@ -21,9 +22,12 @@ MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
     const auto sim = simulator.simulate_on_route(route, mode, points, interval_s, rng);
     runs.push_back(sim.reported.to_enu(sim::sim_projection()));
   }
+  return runs;
+}
 
+MindEstimate estimate_mind_over(const std::vector<std::vector<Enu>>& runs) {
   MindEstimate est;
-  est.repetitions = repetitions;
+  est.repetitions = runs.size();
   est.min_d = std::numeric_limits<double>::infinity();
   double total = 0.0;
   std::size_t pairs = 0;
@@ -38,6 +42,40 @@ MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
   }
   est.mean_d = total / static_cast<double>(pairs);
   return est;
+}
+
+double estimate_mind_fast(const std::vector<std::vector<Enu>>& runs) {
+  double min_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::size_t j = i + 1; j < runs.size(); ++j) {
+      const std::size_t plen_max = runs[i].size() + runs[j].size() - 1;
+      // Skip bound: normalised = raw / path_len with path_len <= plen_max, so
+      // raw > min_d * plen_max means the pair cannot lower the minimum.  The
+      // 1e-12 relative slack absorbs the rounding of the bound product — far
+      // wider than a few ulps, far tighter than any real pairwise gap — so a
+      // pair is only ever skipped when its normalised distance provably
+      // rounds to >= min_d, keeping the minimum bitwise identical.
+      const double bound = min_d == std::numeric_limits<double>::infinity()
+                               ? min_d
+                               : min_d * static_cast<double>(plen_max) *
+                                     (1.0 + 1e-12);
+      const double raw = dtw_distance(runs[i], runs[j], bound);
+      if (raw > bound) continue;  // abandoned or provably above the minimum
+      // Survivors need the path length for normalisation; the pruned DP
+      // returns dtw()'s distance and path bit-for-bit, so the normalised
+      // value matches dtw_normalized exactly at a fraction of the cost.
+      const auto r = dtw_pruned(runs[i], runs[j]);
+      min_d = std::min(min_d, r.distance / static_cast<double>(r.path.size()));
+    }
+  }
+  return min_d;
+}
+
+MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
+                           double route_length_m, std::size_t repetitions,
+                           std::size_t points, double interval_s, Rng& rng) {
+  return estimate_mind_over(
+      mind_runs(simulator, mode, route_length_m, repetitions, points, interval_s, rng));
 }
 
 double paper_mind(Mode mode) {

@@ -29,6 +29,25 @@ MindEstimate estimate_mind(const sim::TrajectorySimulator& simulator, Mode mode,
                            double route_length_m, std::size_t repetitions,
                            std::size_t points, double interval_s, Rng& rng);
 
+/// The simulated traversals estimate_mind computes its statistics over,
+/// exposed so callers (bench_mind, tests) can run several estimators over one
+/// set of runs.  estimate_mind == estimate_mind_over(mind_runs(...)).
+std::vector<std::vector<Enu>> mind_runs(const sim::TrajectorySimulator& simulator,
+                                        Mode mode, double route_length_m,
+                                        std::size_t repetitions, std::size_t points,
+                                        double interval_s, Rng& rng);
+
+/// Full pairwise min/mean/max over precomputed runs (the reference leg).
+MindEstimate estimate_mind_over(const std::vector<std::vector<Enu>>& runs);
+
+/// MinD only, via the early-abandoning fast leg: a pair whose *raw* DTW
+/// provably exceeds min_so_far * (n + m - 1) cannot beat the minimum after
+/// path-length normalisation (the path has at most n + m - 1 pairs), so its
+/// DP is abandoned early and the normalised distance never computed.
+/// Surviving pairs go through the same dtw_normalized as the reference leg —
+/// the returned minimum is bitwise identical to estimate_mind_over().min_d.
+double estimate_mind_fast(const std::vector<std::vector<Enu>>& runs);
+
 /// Paper-reported MinD values per mode (metres per alignment step):
 /// 1.2 (walking), 1.5 (cycling), 1.4 (driving).  Used as defaults when the
 /// caller does not run its own estimate.

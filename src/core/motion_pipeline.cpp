@@ -149,11 +149,21 @@ std::vector<ModelEvaluation> evaluate_models(const MotionModels& models,
   std::vector<ModelEvaluation> evals;
   evals.reserve(names.size());
   for (const auto& name : names) evals.push_back({name, {}});
-  for (const auto& s : samples) {
-    const auto predictions = models.predict_all(s);
-    for (std::size_t m = 0; m < predictions.size(); ++m) {
-      evals[m].confusion.add(s.label, predictions[m]);
-    }
+  // Encode each LSTM's feature view once and run whole sample sets through
+  // the batched kernel path; per-sequence probabilities are bit-identical to
+  // predict_all's one-at-a-time calls, so the confusion matrices are too.
+  const auto dist_angle = encode_all(models.dist_angle_encoder(), samples);
+  const auto dx_dy = encode_all(models.dx_dy_encoder(), samples);
+  const auto p_c = models.model_c().predict_proba_batch(dist_angle);
+  const auto p_1 = models.lstm1().predict_proba_batch(dx_dy);
+  const auto p_2 = models.lstm2().predict_proba_batch(dist_angle);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const int label = samples[i].label;
+    evals[0].confusion.add(label, p_c[i] >= 0.5 ? 1 : 0);
+    evals[1].confusion.add(label, models.xgboost().predict(motion_summary_features(
+                                      samples[i].trajectory, sim::sim_projection())));
+    evals[2].confusion.add(label, p_1[i] >= 0.5 ? 1 : 0);
+    evals[3].confusion.add(label, p_2[i] >= 0.5 ? 1 : 0);
   }
   return evals;
 }

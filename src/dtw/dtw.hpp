@@ -34,8 +34,29 @@ struct DtwResult {
 /// Full O(n*m) DTW with path recovery.
 DtwResult dtw(const std::vector<Enu>& a, const std::vector<Enu>& b);
 
+/// Exact DTW with path recovery, accelerated by pruning: a cheap banded pass
+/// first yields an upper bound UB on the distance, then the full DP skips
+/// every cell whose running cost already exceeds UB (such a cell can never
+/// lie on the optimal path, and — because the local cost is non-negative and
+/// the DP uses only adds and mins — the retained cells' values and
+/// back-pointers are untouched).  Distance AND path are bit-identical to
+/// dtw(); `band_hint` only tunes how tight the initial bound is.  This is the
+/// attack-inner-loop variant: the iterate stays close to the reference, the
+/// optimal corridor is narrow, and most of the n*m plane prunes away.
+DtwResult dtw_pruned(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                     std::size_t band_hint = 16);
+
 /// DTW distance only (no path), O(min(n,m)) memory.
 double dtw_distance(const std::vector<Enu>& a, const std::vector<Enu>& b);
+
+/// Early-abandoning variant: exact distance whenever the true distance is
+/// <= abandon_above; otherwise some value > abandon_above (possibly +inf —
+/// the DP prunes cells above the threshold and abandons once a whole row
+/// exceeds it, which is sound because every warping path crosses every row
+/// of the longer sequence and path costs only grow).  O(min(n,m)) memory.
+/// Used by the MinD fast leg to skip pairs that cannot beat the minimum.
+double dtw_distance(const std::vector<Enu>& a, const std::vector<Enu>& b,
+                    double abandon_above);
 
 /// Sakoe-Chiba banded DTW: alignment constrained to |i - j| <= band.
 /// With band >= max(n, m) this equals full DTW.  Used as a faster variant in

@@ -14,8 +14,8 @@ void Adam::attach(Matrix* param, Matrix* grad) {
   if (param->rows() != grad->rows() || param->cols() != grad->cols()) {
     throw std::invalid_argument("Adam::attach: shape mismatch");
   }
-  slots_.push_back({param, grad, std::vector<double>(param->size(), 0.0),
-                    std::vector<double>(param->size(), 0.0)});
+  slots_.push_back({param, grad, kernels::AlignedVector(param->size(), 0.0),
+                    kernels::AlignedVector(param->size(), 0.0)});
 }
 
 void Adam::step() {

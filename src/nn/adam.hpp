@@ -40,8 +40,10 @@ class Adam {
   struct Slot {
     Matrix* param;
     Matrix* grad;
-    std::vector<double> m;
-    std::vector<double> v;
+    // Aligned like the parameters they shadow, so the step() sweep runs on
+    // cache-line-aligned streams.
+    kernels::AlignedVector m;
+    kernels::AlignedVector v;
   };
 
   AdamConfig config_;

@@ -1,6 +1,7 @@
 #include "nn/classifier.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -15,8 +16,37 @@ Rng make_rng(std::uint64_t seed) { return Rng(seed); }
 /// Samples per gradient-accumulation chunk.  Fixed (never derived from the
 /// thread count) so the minibatch decomposition — and therefore the
 /// floating-point summation order of the index-ordered reduction below — is
-/// identical for any --threads value.
+/// identical for any --threads value.  Equals kernels::kLanes, so one chunk
+/// is exactly one batched-kernel group.
 constexpr std::size_t kGradGrain = 8;
+static_assert(kGradGrain == kernels::kLanes);
+
+/// Per-pass scratch arena.  thread_local so concurrent const calls
+/// (predict_proba from parallel serve paths) never share buffers; each pool
+/// thread warms its own arena once and reuses it for every subsequent pass.
+kernels::Workspace& local_workspace() {
+  thread_local kernels::Workspace ws;
+  return ws;
+}
+
+/// Chunk-private gradient accumulators for the batched training path — the
+/// moral equivalent of the reference path's model clone, without copying the
+/// weights.
+struct GradSet {
+  std::vector<Matrix> dw, db;  // per LSTM layer
+  Matrix head_dw, head_db;
+  double loss = 0.0;
+  std::size_t correct = 0;
+
+  void zero() {
+    for (auto& m : dw) m.zero();
+    for (auto& m : db) m.zero();
+    head_dw.zero();
+    head_db.zero();
+    loss = 0.0;
+    correct = 0;
+  }
+};
 
 }  // namespace
 
@@ -39,6 +69,33 @@ LstmClassifier::LstmClassifier(LstmClassifierConfig config, std::uint64_t seed)
     layers_.emplace_back(config_.hidden_dim, config_.hidden_dim, rng);
   }
   head_ = DenseLayer(config_.hidden_dim, 1, rng);
+  rebuild_packs();
+}
+
+void LstmClassifier::rebuild_packs() {
+  pack_offsets_.assign(2 * layers_.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Matrix& w = layers_[l].weights();
+    pack_offsets_[2 * l] = total;
+    total += kernels::packed_doubles(w.rows(), w.cols());
+    pack_offsets_[2 * l + 1] = total;
+    total += kernels::packed_doubles(w.cols(), w.rows());
+  }
+  pack_store_.resize(total);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Matrix& w = layers_[l].weights();
+    kernels::pack_rows_at(w, pack_store_.data() + pack_offsets_[2 * l]);
+    kernels::pack_transpose_at(w, pack_store_.data() + pack_offsets_[2 * l + 1]);
+  }
+}
+
+kernels::LstmPacks LstmClassifier::packs_of(std::size_t l) const {
+  const Matrix& w = layers_[l].weights();
+  return kernels::LstmPacks{
+      kernels::Packed{pack_store_.data() + pack_offsets_[2 * l], w.rows(), w.cols()},
+      kernels::Packed{pack_store_.data() + pack_offsets_[2 * l + 1], w.cols(),
+                      w.rows()}};
 }
 
 double LstmClassifier::forward_logit(const FeatureSequence& x,
@@ -88,6 +145,116 @@ void LstmClassifier::backward_from_logit(const std::vector<LstmTrace>& traces,
   }
 }
 
+void LstmClassifier::forward_batched(const FeatureSequence* const* xs,
+                                     std::size_t batch, kernels::Workspace& ws,
+                                     std::vector<kernels::LstmBatchTrace>& traces,
+                                     kernels::BatchSpec& spec,
+                                     std::size_t* steps_buf, double* h_last,
+                                     double* logits) const {
+  const std::size_t I = config_.input_dim;
+  const std::size_t H = config_.hidden_dim;
+  std::size_t max_steps = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (xs[b]->dim != I) {
+      throw std::invalid_argument("LstmClassifier: feature dim mismatch");
+    }
+    if (xs[b]->steps == 0) {
+      throw std::invalid_argument("LstmClassifier: empty sequence");
+    }
+    steps_buf[b] = xs[b]->steps;
+    max_steps = std::max(max_steps, xs[b]->steps);
+  }
+  spec.batch = batch;
+  spec.lanes = batch == 1 ? 1 : kernels::kLanes;
+  spec.max_steps = max_steps;
+  spec.steps = steps_buf;
+  const std::size_t L = spec.lanes;
+
+  // Interleave the inputs into lane-minor blocks, zero-padded past each
+  // sample's length.
+  double* xblocks = ws.take_zero(max_steps * I * L);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* v = xs[b]->values.data();
+    for (std::size_t t = 0; t < steps_buf[b]; ++t) {
+      double* blk = xblocks + t * I * L;
+      for (std::size_t c = 0; c < I; ++c) blk[c * L + b] = v[t * I + c];
+    }
+  }
+
+  traces.clear();
+  traces.reserve(layers_.size());
+  const double* input = xblocks;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const kernels::LstmPacks packs = packs_of(l);
+    traces.push_back(
+        kernels::lstm_forward_batched(layers_[l], input, spec, ws, &packs));
+    input = traces.back().hiddens;
+  }
+
+  // Final hidden state per sample, then the dense head — the same
+  // single-accumulator add-once chain as DenseLayer::forward.
+  const double* top = traces.back().hiddens;
+  const double* hw = head_.weights().row(0);
+  const double head_b = head_.bias()(0, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* blk = top + (steps_buf[b] - 1) * H * L;
+    double* hb = h_last + b * H;
+    for (std::size_t k = 0; k < H; ++k) hb[k] = blk[k * L + b];
+    double acc = 0.0;
+    for (std::size_t c = 0; c < H; ++c) acc += hw[c] * hb[c];
+    logits[b] = head_b + acc;
+  }
+}
+
+void LstmClassifier::backward_batched(
+    const std::vector<kernels::LstmBatchTrace>& traces,
+    const kernels::BatchSpec& spec, const double* h_last, const double* dlogits,
+    Matrix* head_dw, Matrix* head_db,
+    const std::vector<kernels::LstmGrads>& layer_grads, double* dx_blocks,
+    kernels::Workspace& ws) const {
+  const std::size_t H = config_.hidden_dim;
+  const std::size_t L = spec.lanes;
+  const std::size_t T = spec.max_steps;
+  const std::size_t B = spec.batch;
+
+  // Head backward, one sample at a time in batch order — bit-identical to
+  // DenseLayer::backward (rank-1 into dw, then db, then dx zero-seeded).
+  double* dh_last = ws.take(B * H);
+  const double* hw = head_.weights().row(0);
+  for (std::size_t b = 0; b < B; ++b) {
+    const double dy = dlogits[b];
+    if (head_dw) {
+      double* dwr = head_dw->row(0);
+      const double* hb = h_last + b * H;
+      for (std::size_t c = 0; c < H; ++c) dwr[c] += dy * hb[c];
+      (*head_db)(0, 0) += dy;
+    }
+    double* dl = dh_last + b * H;
+    for (std::size_t c = 0; c < H; ++c) dl[c] = 0.0 + hw[c] * dy;
+  }
+
+  // Walk the stack top-down; a lower layer consumes the upper layer's input
+  // gradient blocks directly as its per-step injection.
+  double* dh_blocks = nullptr;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const bool top = (l + 1 == layers_.size());
+    double* dx_out = dx_blocks;
+    double* next_blocks = nullptr;
+    if (l > 0) {
+      next_blocks = ws.take(T * traces[l].input * L);
+      dx_out = next_blocks;
+    }
+    const kernels::LstmGrads g =
+        layer_grads.empty() ? kernels::LstmGrads{} : layer_grads[l];
+    const kernels::LstmPacks packs = packs_of(l);
+    kernels::lstm_backward_batched(layers_[l], traces[l], spec,
+                                   top ? dh_last : nullptr,
+                                   top ? nullptr : dh_blocks, dx_out, g, ws,
+                                   &packs);
+    dh_blocks = next_blocks;
+  }
+}
+
 double LstmClassifier::clip_gradients() {
   double norm_sq = head_.grad_norm_sq();
   for (const auto& layer : layers_) norm_sq += layer.grad_norm_sq();
@@ -121,6 +288,26 @@ TrainReport LstmClassifier::train(
   std::vector<std::size_t> order(xs.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Chunk-private gradient buffers for the batched path, allocated once per
+  // train() and re-zeroed per batch (the reference path instead clones the
+  // whole model per chunk).
+  const bool batched = config_.backend == NnBackend::kBatched;
+  std::vector<GradSet> pool;
+  if (batched) {
+    const std::size_t max_chunks =
+        (std::min(config_.batch_size, xs.size()) + kGradGrain - 1) / kGradGrain;
+    pool.resize(std::max<std::size_t>(max_chunks, 1));
+    for (auto& gs : pool) {
+      for (const auto& layer : layers_) {
+        gs.dw.emplace_back(4 * config_.hidden_dim,
+                           layer.input_dim() + config_.hidden_dim);
+        gs.db.emplace_back(4 * config_.hidden_dim, 1);
+      }
+      gs.head_dw = Matrix(1, config_.hidden_dim);
+      gs.head_db = Matrix(1, 1);
+    }
+  }
+
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     shuffle_rng.shuffle(order);
     double total_loss = 0.0;
@@ -133,43 +320,91 @@ TrainReport LstmClassifier::train(
       head_.zero_grad();
 
       // Per-sample gradient accumulation fans out over fixed-size chunks of
-      // the minibatch.  Each chunk clones the model (weights are read-only
-      // within a batch; the clone's freshly-zeroed gradient buffers are the
-      // chunk-private accumulators), then the partials are folded back into
-      // the main buffers strictly in chunk index order.
-      struct ChunkPartial {
-        LstmClassifier model;
-        double loss = 0.0;
-        std::size_t correct = 0;
-      };
+      // the minibatch; the chunk-private partials are folded back into the
+      // main buffers strictly in chunk index order, so the summation order is
+      // thread-count-invariant.
       const std::size_t nchunks = (end - start + kGradGrain - 1) / kGradGrain;
-      std::vector<std::optional<ChunkPartial>> partials(nchunks);
-      parallel_chunks(start, end, kGradGrain, [&](std::size_t lo, std::size_t hi) {
-        ChunkPartial part{*this, 0.0, 0};
-        for (std::size_t k = lo; k < hi; ++k) {
-          const auto& x = xs[order[k]];
-          const int y = ys[order[k]];
-          std::vector<LstmTrace> traces;
-          const double logit = part.model.forward_logit(x, &traces);
-          double dlogit = 0.0;
-          part.loss += sigmoid_bce_loss(logit, y, &dlogit);
-          if ((logit >= 0.0) == (y == 1)) ++part.correct;
-          part.model.backward_from_logit(traces, dlogit * inv_batch, nullptr);
+      if (batched) {
+        // One chunk == one batched kernel group: a single packed GEMM per
+        // gate matrix per timestep covers the whole chunk.
+        parallel_chunks(start, end, kGradGrain, [&](std::size_t lo, std::size_t hi) {
+          GradSet& gs = pool[(lo - start) / kGradGrain];
+          gs.zero();
+          kernels::Workspace& ws = local_workspace();
+          ws.reset();
+          const std::size_t bsz = hi - lo;
+          const FeatureSequence* ptrs[kernels::kLanes];
+          std::size_t steps_buf[kernels::kLanes];
+          for (std::size_t k = 0; k < bsz; ++k) ptrs[k] = &xs[order[lo + k]];
+          std::vector<kernels::LstmBatchTrace> traces;
+          kernels::BatchSpec spec;
+          double* h_last = ws.take(bsz * config_.hidden_dim);
+          double* logits = ws.take(bsz);
+          double* dlogits = ws.take(bsz);
+          forward_batched(ptrs, bsz, ws, traces, spec, steps_buf, h_last, logits);
+          for (std::size_t k = 0; k < bsz; ++k) {
+            const int y = ys[order[lo + k]];
+            double dlogit = 0.0;
+            gs.loss += sigmoid_bce_loss(logits[k], y, &dlogit);
+            if ((logits[k] >= 0.0) == (y == 1)) ++gs.correct;
+            dlogits[k] = dlogit * inv_batch;
+          }
+          std::vector<kernels::LstmGrads> lg(layers_.size());
+          for (std::size_t l = 0; l < layers_.size(); ++l) {
+            lg[l] = kernels::LstmGrads{&gs.dw[l], &gs.db[l]};
+          }
+          backward_batched(traces, spec, h_last, dlogits, &gs.head_dw,
+                           &gs.head_db, lg, nullptr, ws);
+        });
+        for (std::size_t c = 0; c < nchunks; ++c) {
+          const GradSet& gs = pool[c];
+          total_loss += gs.loss;
+          correct += gs.correct;
+          for (std::size_t l = 0; l < layers_.size(); ++l) {
+            layers_[l].weight_grad().axpy(1.0, gs.dw[l]);
+            layers_[l].bias_grad().axpy(1.0, gs.db[l]);
+          }
+          head_.weight_grad().axpy(1.0, gs.head_dw);
+          head_.bias_grad().axpy(1.0, gs.head_db);
         }
-        partials[(lo - start) / kGradGrain].emplace(std::move(part));
-      });
-      for (auto& p : partials) {
-        total_loss += p->loss;
-        correct += p->correct;
-        for (std::size_t l = 0; l < layers_.size(); ++l) {
-          layers_[l].weight_grad().axpy(1.0, p->model.layers_[l].weight_grad());
-          layers_[l].bias_grad().axpy(1.0, p->model.layers_[l].bias_grad());
+      } else {
+        // Reference path: each chunk clones the model (weights are read-only
+        // within a batch; the clone's freshly-zeroed gradient buffers are the
+        // chunk-private accumulators).
+        struct ChunkPartial {
+          LstmClassifier model;
+          double loss = 0.0;
+          std::size_t correct = 0;
+        };
+        std::vector<std::optional<ChunkPartial>> partials(nchunks);
+        parallel_chunks(start, end, kGradGrain, [&](std::size_t lo, std::size_t hi) {
+          ChunkPartial part{*this, 0.0, 0};
+          for (std::size_t k = lo; k < hi; ++k) {
+            const auto& x = xs[order[k]];
+            const int y = ys[order[k]];
+            std::vector<LstmTrace> traces;
+            const double logit = part.model.forward_logit(x, &traces);
+            double dlogit = 0.0;
+            part.loss += sigmoid_bce_loss(logit, y, &dlogit);
+            if ((logit >= 0.0) == (y == 1)) ++part.correct;
+            part.model.backward_from_logit(traces, dlogit * inv_batch, nullptr);
+          }
+          partials[(lo - start) / kGradGrain].emplace(std::move(part));
+        });
+        for (auto& p : partials) {
+          total_loss += p->loss;
+          correct += p->correct;
+          for (std::size_t l = 0; l < layers_.size(); ++l) {
+            layers_[l].weight_grad().axpy(1.0, p->model.layers_[l].weight_grad());
+            layers_[l].bias_grad().axpy(1.0, p->model.layers_[l].bias_grad());
+          }
+          head_.weight_grad().axpy(1.0, p->model.head_.weight_grad());
+          head_.bias_grad().axpy(1.0, p->model.head_.bias_grad());
         }
-        head_.weight_grad().axpy(1.0, p->model.head_.weight_grad());
-        head_.bias_grad().axpy(1.0, p->model.head_.bias_grad());
       }
       clip_gradients();
       optimizer.step();
+      rebuild_packs();  // parameters moved; refresh before the next pass
     }
 
     const double loss = total_loss / static_cast<double>(xs.size());
@@ -182,7 +417,44 @@ TrainReport LstmClassifier::train(
 }
 
 double LstmClassifier::predict_proba(const FeatureSequence& x) const {
-  return sigmoid(forward_logit(x, nullptr));
+  if (config_.backend == NnBackend::kReference) {
+    return sigmoid(forward_logit(x, nullptr));
+  }
+  kernels::Workspace& ws = local_workspace();
+  ws.reset();
+  const FeatureSequence* px = &x;
+  std::vector<kernels::LstmBatchTrace> traces;
+  kernels::BatchSpec spec;
+  std::size_t steps_buf[kernels::kLanes];
+  double* h_last = ws.take(config_.hidden_dim);
+  double logit = 0.0;
+  forward_batched(&px, 1, ws, traces, spec, steps_buf, h_last, &logit);
+  return sigmoid(logit);
+}
+
+std::vector<double> LstmClassifier::predict_proba_batch(
+    const std::vector<FeatureSequence>& xs) const {
+  std::vector<double> out(xs.size(), 0.0);
+  if (config_.backend == NnBackend::kReference) {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = predict_proba(xs[i]);
+    return out;
+  }
+  kernels::Workspace& ws = local_workspace();
+  for (std::size_t i = 0; i < xs.size();) {
+    const std::size_t bsz = std::min(kernels::kLanes, xs.size() - i);
+    ws.reset();
+    const FeatureSequence* ptrs[kernels::kLanes];
+    std::size_t steps_buf[kernels::kLanes];
+    for (std::size_t k = 0; k < bsz; ++k) ptrs[k] = &xs[i + k];
+    std::vector<kernels::LstmBatchTrace> traces;
+    kernels::BatchSpec spec;
+    double* h_last = ws.take(bsz * config_.hidden_dim);
+    double* logits = ws.take(bsz);
+    forward_batched(ptrs, bsz, ws, traces, spec, steps_buf, h_last, logits);
+    for (std::size_t k = 0; k < bsz; ++k) out[i + k] = sigmoid(logits[k]);
+    i += bsz;
+  }
+  return out;
 }
 
 int LstmClassifier::predict(const FeatureSequence& x, double threshold) const {
@@ -192,6 +464,30 @@ int LstmClassifier::predict(const FeatureSequence& x, double threshold) const {
 double LstmClassifier::loss_and_input_gradient(const FeatureSequence& x,
                                                int target_label,
                                                FeatureSequence* dx) const {
+  if (config_.backend == NnBackend::kBatched) {
+    kernels::Workspace& ws = local_workspace();
+    ws.reset();
+    const FeatureSequence* px = &x;
+    std::vector<kernels::LstmBatchTrace> traces;
+    kernels::BatchSpec spec;
+    std::size_t steps_buf[kernels::kLanes];
+    double* h_last = ws.take(config_.hidden_dim);
+    double logit = 0.0;
+    forward_batched(&px, 1, ws, traces, spec, steps_buf, h_last, &logit);
+    double dlogit = 0.0;
+    const double loss = sigmoid_bce_loss(logit, target_label, &dlogit);
+    if (dx) {
+      // lanes == 1, so the block layout *is* the flat steps x dim layout.
+      double* dxb = ws.take(x.steps * config_.input_dim);
+      backward_batched(traces, spec, h_last, &dlogit, nullptr, nullptr, {}, dxb,
+                       ws);
+      dx->steps = x.steps;
+      dx->dim = x.dim;
+      dx->values.assign(dxb, dxb + x.steps * config_.input_dim);
+    }
+    return loss;
+  }
+
   std::vector<LstmTrace> traces;
   const double logit = forward_logit(x, &traces);
   double dlogit = 0.0;

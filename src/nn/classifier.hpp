@@ -8,6 +8,13 @@
 // loss_and_input_gradient() — the cross-entropy loss toward a target label
 // together with its gradient w.r.t. the input feature sequence, which is the
 // model-side half of the C&W adversarial attack (Sec. II-B).
+//
+// Two execution backends produce bit-identical results: the per-sample
+// reference layers (LstmLayer) and the packed-GEMM batched kernel path
+// (nn/kernels), which packs up to kernels::kLanes sequences per timestep into
+// one GEMM and reuses workspace arenas instead of allocating per call.  The
+// batched path is the default; the reference path is kept as the oracle that
+// tests and benches compare against.
 #pragma once
 
 #include <cstddef>
@@ -19,10 +26,18 @@
 #include "common/rng.hpp"
 #include "nn/adam.hpp"
 #include "nn/dense.hpp"
+#include "nn/kernels/rnn_batched.hpp"
 #include "nn/lstm.hpp"
 #include "traj/features.hpp"
 
 namespace trajkit::nn {
+
+/// Runtime execution backend.  Never serialized — a saved model loads with
+/// the default and produces the same bits either way.
+enum class NnBackend {
+  kReference,  ///< per-sample naive matvec layers (original implementation)
+  kBatched,    ///< packed-GEMM batched kernels (bit-identical, faster)
+};
 
 struct LstmClassifierConfig {
   std::size_t input_dim = 2;
@@ -31,6 +46,7 @@ struct LstmClassifierConfig {
   double learning_rate = 1e-3;
   double grad_clip = 5.0;      ///< global gradient-norm clip
   std::size_t batch_size = 16;
+  NnBackend backend = NnBackend::kBatched;
 };
 
 /// Per-epoch training telemetry.
@@ -44,6 +60,7 @@ class LstmClassifier {
   LstmClassifier(LstmClassifierConfig config, std::uint64_t seed);
 
   const LstmClassifierConfig& config() const { return config_; }
+  void set_backend(NnBackend backend) { config_.backend = backend; }
 
   /// Mini-batch Adam training.  `xs[i]` must have dim == config.input_dim.
   /// `progress` (optional) is called after each epoch with (epoch, loss, acc).
@@ -54,12 +71,18 @@ class LstmClassifier {
   /// Probability that the sequence is a real trajectory.
   double predict_proba(const FeatureSequence& x) const;
 
+  /// Probabilities for a whole set of sequences, grouped kernels::kLanes at a
+  /// time through the batched path (bit-identical to predict_proba per
+  /// sequence; honours the backend switch for oracle comparisons).
+  std::vector<double> predict_proba_batch(const std::vector<FeatureSequence>& xs) const;
+
   /// Hard decision at the given threshold (1 = real, 0 = fake).
   int predict(const FeatureSequence& x, double threshold = 0.5) const;
 
   /// Cross-entropy of the model output toward `target_label`, plus its
   /// gradient w.r.t. the input features (overwritten into `dx` if non-null).
-  /// Parameter gradients are left untouched.
+  /// Parameter gradients are left untouched by the batched backend; the
+  /// reference backend clobbers them as scratch (training re-zeroes them).
   double loss_and_input_gradient(const FeatureSequence& x, int target_label,
                                  FeatureSequence* dx) const;
 
@@ -76,7 +99,33 @@ class LstmClassifier {
   /// optionally the input gradient.  The forward traces carry the inputs.
   void backward_from_logit(const std::vector<LstmTrace>& traces, double dlogit,
                            std::vector<double>* dx_flat) const;
+
+  /// Batched-kernel forward over a group of batch <= kernels::kLanes
+  /// sequences.  Fills the per-layer traces, the batch spec (backed by
+  /// steps_buf), h_last (batch x hidden, row-major) and one logit per sample.
+  void forward_batched(const FeatureSequence* const* xs, std::size_t batch,
+                       kernels::Workspace& ws,
+                       std::vector<kernels::LstmBatchTrace>& traces,
+                       kernels::BatchSpec& spec, std::size_t* steps_buf,
+                       double* h_last, double* logits) const;
+  /// Batched-kernel backward.  head_dw/head_db and layer_grads collect
+  /// parameter gradients (sample-ascending, t-descending — the reference
+  /// order); pass null/empty for the input-gradient-only path.  dx_blocks
+  /// (optional) receives the bottom layer's input gradient in block layout.
+  void backward_batched(const std::vector<kernels::LstmBatchTrace>& traces,
+                        const kernels::BatchSpec& spec, const double* h_last,
+                        const double* dlogits, Matrix* head_dw, Matrix* head_db,
+                        const std::vector<kernels::LstmGrads>& layer_grads,
+                        double* dx_blocks, kernels::Workspace& ws) const;
   double clip_gradients();
+
+  /// Re-pack every layer's weights into pack_store_ (both orientations).
+  /// Called at every point that mutates parameters — construction, each
+  /// optimizer step, deserialisation — so const passes can use the cache
+  /// without ever rebuilding it concurrently.
+  void rebuild_packs();
+  /// The cached packings of layer l, as workspace-free views into pack_store_.
+  kernels::LstmPacks packs_of(std::size_t l) const;
 
   LstmClassifierConfig config_;
   // mutable: backward passes scratch through the layers' gradient buffers
@@ -88,6 +137,14 @@ class LstmClassifier {
   // train() twice restarts the moment estimates.
   mutable std::vector<LstmLayer> layers_;
   mutable DenseLayer head_;
+
+  // Cached packed weights for the batched kernels, rebuilt by rebuild_packs().
+  // Offsets (not pointers) into pack_store_, so the default copy of a model
+  // keeps a valid cache.  Parameters only change through this class (the
+  // optimizer inside train(), serialize.cpp's load), so the cache cannot go
+  // stale behind our back.
+  kernels::AlignedVector pack_store_;
+  std::vector<std::size_t> pack_offsets_;  ///< 2 entries per layer: rows, transpose
 };
 
 }  // namespace trajkit::nn

@@ -52,11 +52,17 @@ class GruLayer {
   void scale_grad(double s);
 
   Matrix& gate_weights() { return w_gates_; }
+  const Matrix& gate_weights() const { return w_gates_; }
   Matrix& gate_bias() { return b_gates_; }
+  const Matrix& gate_bias() const { return b_gates_; }
   Matrix& cand_x_weights() { return w_nx_; }
+  const Matrix& cand_x_weights() const { return w_nx_; }
   Matrix& cand_h_weights() { return w_nh_; }
+  const Matrix& cand_h_weights() const { return w_nh_; }
   Matrix& cand_x_bias() { return b_nx_; }
+  const Matrix& cand_x_bias() const { return b_nx_; }
   Matrix& cand_h_bias() { return b_nh_; }
+  const Matrix& cand_h_bias() const { return b_nh_; }
   Matrix& gate_weight_grad() { return dw_gates_; }
   Matrix& gate_bias_grad() { return db_gates_; }
   Matrix& cand_x_weight_grad() { return dw_nx_; }

@@ -1,0 +1,113 @@
+// Aligned storage primitives for the batched kernel layer.
+//
+// Two pieces:
+//  - AlignedAllocator<T, A>: a minimal std allocator handing out A-byte-aligned
+//    blocks so `Matrix` rows and workspace buffers start on cache-line
+//    boundaries and the blocked kernels can use aligned vector loads.
+//  - Workspace: a bump arena of aligned doubles.  Every forward/backward pass
+//    through the batched RNN runners carves its packed weights, per-timestep
+//    activation blocks and scratch out of one Workspace instead of allocating
+//    `std::vector`s per call; reset() recycles the memory for the next pass.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace trajkit::nn::kernels {
+
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no smaller than alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// 64-byte-aligned vector of doubles — the storage type for Matrix and for
+/// the Adam moment buffers.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+/// Bump arena of aligned doubles.  take(n) returns a zero-initialised block on
+/// first use of the underlying memory; after reset() the same memory is handed
+/// out again *without* re-zeroing unless asked (take_zero), so callers that
+/// rely on zeroed scratch must say so.
+///
+/// Blocks are stable for the lifetime of the arena (allocation never moves
+/// previously returned pointers): memory comes from a list of fixed chunks,
+/// and a request that does not fit the current chunk opens a new, larger one.
+class Workspace {
+ public:
+  Workspace() = default;
+  // Copying a Workspace (e.g. cloning an object that owns one) starts empty:
+  // arenas hold transient per-pass scratch, never state.
+  Workspace(const Workspace&) noexcept {}
+  Workspace& operator=(const Workspace&) noexcept { return *this; }
+
+  /// Aligned block of n doubles (n rounded up to a multiple of 8 so every
+  /// block starts 64-byte aligned).  Contents unspecified.
+  double* take(std::size_t n) {
+    n = (n + 7u) & ~std::size_t{7};
+    if (chunk_ >= chunks_.size() || used_ + n > chunks_[chunk_].size()) {
+      open_chunk(n);
+    }
+    double* p = chunks_[chunk_].data() + used_;
+    used_ += n;
+    return p;
+  }
+
+  /// Aligned block of n doubles, zero-filled.
+  double* take_zero(std::size_t n) {
+    double* p = take(n);
+    const std::size_t rounded = (n + 7u) & ~std::size_t{7};
+    for (std::size_t i = 0; i < rounded; ++i) p[i] = 0.0;
+    return p;
+  }
+
+  /// Recycle all memory; previously returned pointers become invalid.
+  void reset() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  void open_chunk(std::size_t need) {
+    // Advance to the next existing chunk that fits, else append one.
+    std::size_t next = (chunk_ < chunks_.size()) ? chunk_ + 1 : chunks_.size();
+    while (next < chunks_.size() && chunks_[next].size() < need) ++next;
+    if (next == chunks_.size()) {
+      const std::size_t grown = chunks_.empty() ? std::size_t{4096}
+                                                : chunks_.back().size() * 2;
+      chunks_.emplace_back(std::max(need, grown));
+    }
+    chunk_ = next;
+    used_ = 0;
+  }
+
+  std::vector<AlignedVector> chunks_;
+  std::size_t chunk_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace trajkit::nn::kernels

@@ -1,0 +1,330 @@
+#include "nn/kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace trajkit::nn::kernels {
+
+namespace {
+
+// Lane-wise SIMD spelled out with GCC vector extensions.  A v8df operation is
+// eight independent scalar IEEE operations, one per lane, so every accumulator
+// below is still one single-chain reduction per output element in the
+// reference order — the vectors only run *independent* output elements side
+// by side, never the reduction dimension.  (Left to its own devices the
+// compiler vectorised these loops along k, building 8x8 vpermt2pd transposes
+// per block — slower than the naive reference.  Explicit lanes pin the
+// codegen to broadcast-multiply-add.)
+typedef double v8df __attribute__((vector_size(64), may_alias));
+
+inline v8df splat(double x) { return v8df{x, x, x, x, x, x, x, x}; }
+
+inline v8df loadu(const double* p) {
+  v8df v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void storeu(double* p, v8df v) { std::memcpy(p, &v, sizeof(v)); }
+
+// Shared packing loop: src(r, k) with `rows` x `depth` logical shape, fetched
+// through an indexer so the same code packs both W and W^T.
+template <typename At>
+void pack_into(std::size_t rows, std::size_t depth, At at, double* out) {
+  const std::size_t npanels = (rows + kPanel - 1) / kPanel;
+  for (std::size_t p = 0; p < npanels; ++p) {
+    double* panel = out + p * depth * kPanel;
+    const std::size_t r0 = p * kPanel;
+    const std::size_t valid = std::min(rows - r0, kPanel);
+    for (std::size_t k = 0; k < depth; ++k) {
+      double* slice = panel + k * kPanel;
+      for (std::size_t j = 0; j < valid; ++j) slice[j] = at(r0 + j, k);
+      for (std::size_t j = valid; j < kPanel; ++j) slice[j] = 0.0;
+    }
+  }
+}
+
+/// Seed one panel's accumulator from the destination (convention 2); padded
+/// tail lanes start at zero and are never written back.
+inline v8df seed_panel(const Packed& p, const double* y, std::size_t pi) {
+  const std::size_t r0 = pi * kPanel;
+  const std::size_t valid = std::min(p.rows - r0, kPanel);
+  double tmp[kPanel] = {};
+  for (std::size_t j = 0; j < valid; ++j) tmp[j] = y[r0 + j];
+  return loadu(tmp);
+}
+
+inline void flush_panel(const Packed& p, double* y, std::size_t pi, v8df acc) {
+  const std::size_t r0 = pi * kPanel;
+  const std::size_t valid = std::min(p.rows - r0, kPanel);
+  double tmp[kPanel];
+  storeu(tmp, acc);
+  for (std::size_t j = 0; j < valid; ++j) y[r0 + j] = tmp[j];
+}
+
+inline void flush_panel_bias(const Packed& p, const double* bias, double* y,
+                             std::size_t pi, v8df acc) {
+  const std::size_t r0 = pi * kPanel;
+  const std::size_t valid = std::min(p.rows - r0, kPanel);
+  double tmp[kPanel];
+  storeu(tmp, acc);
+  for (std::size_t j = 0; j < valid; ++j) {
+    y[r0 + j] = (bias ? bias[r0 + j] : 0.0) + tmp[j];
+  }
+}
+
+}  // namespace
+
+std::size_t packed_doubles(std::size_t rows, std::size_t depth) {
+  return ((rows + kPanel - 1) / kPanel) * depth * kPanel;
+}
+
+Packed pack_rows_at(const Matrix& m, double* out) {
+  const double* d = m.data();
+  const std::size_t cols = m.cols();
+  pack_into(
+      m.rows(), cols, [d, cols](std::size_t r, std::size_t k) { return d[r * cols + k]; },
+      out);
+  return Packed{out, m.rows(), cols};
+}
+
+Packed pack_transpose_at(const Matrix& m, double* out) {
+  const double* d = m.data();
+  const std::size_t cols = m.cols();
+  pack_into(
+      m.cols(), m.rows(),
+      [d, cols](std::size_t r, std::size_t k) { return d[k * cols + r]; }, out);
+  return Packed{out, m.cols(), m.rows()};
+}
+
+Packed pack_rows(const Matrix& m, Workspace& ws) {
+  return pack_rows_at(m, ws.take(packed_doubles(m.rows(), m.cols())));
+}
+
+Packed pack_transpose(const Matrix& m, Workspace& ws) {
+  return pack_transpose_at(m, ws.take(packed_doubles(m.cols(), m.rows())));
+}
+
+void gemv_wx(const Packed& p, const double* bias, const double* x, double* y) {
+  const std::size_t npanels = p.panels();
+  const std::size_t depth = p.depth;
+  const std::size_t pstride = depth * kPanel;
+  std::size_t pi = 0;
+  // Four panels in flight: four independent add chains hide the latency a
+  // single sequential accumulator would expose.
+  for (; pi + 4 <= npanels; pi += 4) {
+    const double* w = p.data + pi * pstride;
+    v8df a0 = {}, a1 = {}, a2 = {}, a3 = {};
+    for (std::size_t k = 0; k < depth; ++k) {
+      const v8df xv = splat(x[k]);
+      const double* wk = w + k * kPanel;
+      a0 += loadu(wk) * xv;
+      a1 += loadu(wk + pstride) * xv;
+      a2 += loadu(wk + 2 * pstride) * xv;
+      a3 += loadu(wk + 3 * pstride) * xv;
+    }
+    flush_panel_bias(p, bias, y, pi, a0);
+    flush_panel_bias(p, bias, y, pi + 1, a1);
+    flush_panel_bias(p, bias, y, pi + 2, a2);
+    flush_panel_bias(p, bias, y, pi + 3, a3);
+  }
+  for (; pi < npanels; ++pi) {
+    const double* w = p.data + pi * pstride;
+    v8df acc = {};
+    for (std::size_t k = 0; k < depth; ++k) {
+      acc += loadu(w + k * kPanel) * splat(x[k]);
+    }
+    flush_panel_bias(p, bias, y, pi, acc);
+  }
+}
+
+void gemm_wx8(const Packed& p, const double* bias, const double* x, double* y) {
+  const std::size_t npanels = p.panels();
+  const std::size_t depth = p.depth;
+  for (std::size_t pi = 0; pi < npanels; ++pi) {
+    const double* w = p.data + pi * depth * kPanel;
+    const std::size_t r0 = pi * kPanel;
+    const std::size_t valid = std::min(p.rows - r0, kPanel);
+    // 8 rows x 8 lanes of independent accumulators per panel: the activation
+    // block is loaded once per k and fans out to eight broadcast-multiply-add
+    // chains (AVX-512 has the registers; narrower targets just spill a bit).
+    v8df acc[kPanel] = {};
+    for (std::size_t k = 0; k < depth; ++k) {
+      const v8df xv = loadu(x + k * kLanes);
+      const double* wk = w + k * kPanel;
+      acc[0] += splat(wk[0]) * xv;
+      acc[1] += splat(wk[1]) * xv;
+      acc[2] += splat(wk[2]) * xv;
+      acc[3] += splat(wk[3]) * xv;
+      acc[4] += splat(wk[4]) * xv;
+      acc[5] += splat(wk[5]) * xv;
+      acc[6] += splat(wk[6]) * xv;
+      acc[7] += splat(wk[7]) * xv;
+    }
+    for (std::size_t j = 0; j < valid; ++j) {
+      const std::size_t r = r0 + j;
+      storeu(y + r * kLanes, splat(bias ? bias[r] : 0.0) + acc[j]);
+    }
+  }
+}
+
+void gemv_accseq(const Packed& p, const double* x, double* y) {
+  const std::size_t npanels = p.panels();
+  const std::size_t depth = p.depth;
+  const std::size_t pstride = depth * kPanel;
+  std::size_t pi = 0;
+  // The destination seeds the accumulator: ((y + a_0) + a_1) + ... exactly
+  // as the reference adds one contribution per weight row.
+  for (; pi + 4 <= npanels; pi += 4) {
+    const double* w = p.data + pi * pstride;
+    v8df a0 = seed_panel(p, y, pi);
+    v8df a1 = seed_panel(p, y, pi + 1);
+    v8df a2 = seed_panel(p, y, pi + 2);
+    v8df a3 = seed_panel(p, y, pi + 3);
+    for (std::size_t k = 0; k < depth; ++k) {
+      const v8df xv = splat(x[k]);
+      const double* wk = w + k * kPanel;
+      a0 += loadu(wk) * xv;
+      a1 += loadu(wk + pstride) * xv;
+      a2 += loadu(wk + 2 * pstride) * xv;
+      a3 += loadu(wk + 3 * pstride) * xv;
+    }
+    flush_panel(p, y, pi, a0);
+    flush_panel(p, y, pi + 1, a1);
+    flush_panel(p, y, pi + 2, a2);
+    flush_panel(p, y, pi + 3, a3);
+  }
+  for (; pi < npanels; ++pi) {
+    const double* w = p.data + pi * pstride;
+    v8df acc = seed_panel(p, y, pi);
+    for (std::size_t k = 0; k < depth; ++k) {
+      acc += loadu(w + k * kPanel) * splat(x[k]);
+    }
+    flush_panel(p, y, pi, acc);
+  }
+}
+
+void gemm_accseq8(const Packed& p, const double* x, double* y) {
+  const std::size_t npanels = p.panels();
+  const std::size_t depth = p.depth;
+  for (std::size_t pi = 0; pi < npanels; ++pi) {
+    const double* w = p.data + pi * depth * kPanel;
+    const std::size_t r0 = pi * kPanel;
+    const std::size_t valid = std::min(p.rows - r0, kPanel);
+    // Destination-seeded full panel, same 8-chain shape as gemm_wx8.
+    v8df acc[kPanel] = {};
+    for (std::size_t j = 0; j < valid; ++j) acc[j] = loadu(y + (r0 + j) * kLanes);
+    for (std::size_t k = 0; k < depth; ++k) {
+      const v8df xv = loadu(x + k * kLanes);
+      const double* wk = w + k * kPanel;
+      acc[0] += splat(wk[0]) * xv;
+      acc[1] += splat(wk[1]) * xv;
+      acc[2] += splat(wk[2]) * xv;
+      acc[3] += splat(wk[3]) * xv;
+      acc[4] += splat(wk[4]) * xv;
+      acc[5] += splat(wk[5]) * xv;
+      acc[6] += splat(wk[6]) * xv;
+      acc[7] += splat(wk[7]) * xv;
+    }
+    for (std::size_t j = 0; j < valid; ++j) storeu(y + (r0 + j) * kLanes, acc[j]);
+  }
+}
+
+void gemm_acc_tdesc(const double* a, std::size_t rows, std::size_t tsteps,
+                    const double* bm, std::size_t cols, std::size_t t_stop,
+                    Matrix& dw) {
+  // Four dw rows share one walk of the t dimension: their accumulators are
+  // independent chains (distinct output elements), and the bm row loaded per
+  // timestep is reused fourfold.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* ar0 = a + r * tsteps;
+    const double* ar1 = a + (r + 1) * tsteps;
+    const double* ar2 = a + (r + 2) * tsteps;
+    const double* ar3 = a + (r + 3) * tsteps;
+    double* dw0 = dw.row(r);
+    double* dw1 = dw.row(r + 1);
+    double* dw2 = dw.row(r + 2);
+    double* dw3 = dw.row(r + 3);
+    std::size_t c = 0;
+    for (; c + kLanes <= cols; c += kLanes) {
+      v8df a0 = loadu(dw0 + c), a1 = loadu(dw1 + c);
+      v8df a2 = loadu(dw2 + c), a3 = loadu(dw3 + c);
+      for (std::size_t t = tsteps; t-- > t_stop;) {
+        const v8df bt = loadu(bm + t * cols + c);
+        a0 += splat(ar0[t]) * bt;
+        a1 += splat(ar1[t]) * bt;
+        a2 += splat(ar2[t]) * bt;
+        a3 += splat(ar3[t]) * bt;
+      }
+      storeu(dw0 + c, a0);
+      storeu(dw1 + c, a1);
+      storeu(dw2 + c, a2);
+      storeu(dw3 + c, a3);
+    }
+    for (; c < cols; ++c) {
+      double s0 = dw0[c], s1 = dw1[c], s2 = dw2[c], s3 = dw3[c];
+      for (std::size_t t = tsteps; t-- > t_stop;) {
+        const double bt = bm[t * cols + c];
+        s0 += ar0[t] * bt;
+        s1 += ar1[t] * bt;
+        s2 += ar2[t] * bt;
+        s3 += ar3[t] * bt;
+      }
+      dw0[c] = s0;
+      dw1[c] = s1;
+      dw2[c] = s2;
+      dw3[c] = s3;
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* ar = a + r * tsteps;
+    double* dwr = dw.row(r);
+    std::size_t c = 0;
+    for (; c + kLanes <= cols; c += kLanes) {
+      v8df acc = loadu(dwr + c);
+      for (std::size_t t = tsteps; t-- > t_stop;) {
+        acc += splat(ar[t]) * loadu(bm + t * cols + c);
+      }
+      storeu(dwr + c, acc);
+    }
+    for (; c < cols; ++c) {
+      double acc = dwr[c];
+      for (std::size_t t = tsteps; t-- > t_stop;) {
+        acc += ar[t] * bm[t * cols + c];
+      }
+      dwr[c] = acc;
+    }
+  }
+}
+
+void rowsum_acc_tdesc(const double* a, std::size_t rows, std::size_t tsteps,
+                      Matrix& db) {
+  // Four rows per pass: four independent t-descending chains.
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* ar0 = a + r * tsteps;
+    const double* ar1 = a + (r + 1) * tsteps;
+    const double* ar2 = a + (r + 2) * tsteps;
+    const double* ar3 = a + (r + 3) * tsteps;
+    double s0 = db(r, 0), s1 = db(r + 1, 0), s2 = db(r + 2, 0), s3 = db(r + 3, 0);
+    for (std::size_t t = tsteps; t-- > 0;) {
+      s0 += ar0[t];
+      s1 += ar1[t];
+      s2 += ar2[t];
+      s3 += ar3[t];
+    }
+    db(r, 0) = s0;
+    db(r + 1, 0) = s1;
+    db(r + 2, 0) = s2;
+    db(r + 3, 0) = s3;
+  }
+  for (; r < rows; ++r) {
+    const double* ar = a + r * tsteps;
+    double acc = db(r, 0);
+    for (std::size_t t = tsteps; t-- > 0;) acc += ar[t];
+    db(r, 0) = acc;
+  }
+}
+
+}  // namespace trajkit::nn::kernels

@@ -1,0 +1,375 @@
+#include "nn/kernels/rnn_batched.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace trajkit::nn::kernels {
+
+namespace {
+
+void check_spec(const BatchSpec& spec) {
+  if (spec.batch == 0 || spec.max_steps == 0 || spec.steps == nullptr) {
+    throw std::invalid_argument("rnn_batched: empty batch");
+  }
+  if (spec.lanes != 1 && spec.lanes != kLanes) {
+    throw std::invalid_argument("rnn_batched: lanes must be 1 or kLanes");
+  }
+  if (spec.batch > spec.lanes) {
+    throw std::invalid_argument("rnn_batched: batch exceeds lanes");
+  }
+  for (std::size_t b = 0; b < spec.batch; ++b) {
+    if (spec.steps[b] == 0 || spec.steps[b] > spec.max_steps) {
+      throw std::invalid_argument("rnn_batched: bad sample length");
+    }
+  }
+}
+
+/// Upstream-gradient injection shared by both cells.  At a sample's last step
+/// the reference *assigns* dh (it copies the final dh_seq block), so lanes are
+/// assigned there — this also scrubs any dead-lane garbage before live math.
+/// Earlier live steps add the (possibly zero) per-step injection, exactly
+/// like the reference's `dh[k] += inject[k]`.
+void inject_dh(const BatchSpec& spec, std::size_t hidden, std::size_t t,
+               const double* dh_last, const double* dh_blocks, double* dh,
+               double* dc /* may be null (GRU) */) {
+  const std::size_t L = spec.lanes;
+  for (std::size_t b = 0; b < spec.batch; ++b) {
+    const std::size_t last = spec.steps[b] - 1;
+    if (last == t) {
+      for (std::size_t k = 0; k < hidden; ++k) {
+        dh[k * L + b] = dh_last ? dh_last[b * hidden + k]
+                                : dh_blocks[t * hidden * L + k * L + b];
+        if (dc) dc[k * L + b] = 0.0;
+      }
+    } else if (last > t && dh_blocks) {
+      for (std::size_t k = 0; k < hidden; ++k) {
+        dh[k * L + b] += dh_blocks[t * hidden * L + k * L + b];
+      }
+    }
+    // Note: in dh_last mode the reference adds a literal zero injection at
+    // every non-final step.  The recurrent dh is built by zero-seeded
+    // sequential sums, which can never produce -0.0, so skipping the += 0.0
+    // is bit-identical.
+  }
+}
+
+/// Gather one sample's lane out of `count` lane-minor blocks of `rows` rows
+/// into a dense (rows-major, stride `rows`) matrix of t columns — operand
+/// layout for the t-descending gradient GEMMs.
+void gather_rows_t(const double* blocks, std::size_t rows, std::size_t lanes,
+                   std::size_t block_stride, std::size_t tsteps, std::size_t lane,
+                   double* out) {
+  for (std::size_t t = 0; t < tsteps; ++t) {
+    const double* blk = blocks + t * block_stride;
+    for (std::size_t r = 0; r < rows; ++r) out[r * tsteps + t] = blk[r * lanes + lane];
+  }
+}
+
+/// Gather one sample's lane into a (tsteps x cols) row-major matrix.
+void gather_t_cols(const double* blocks, std::size_t cols, std::size_t lanes,
+                   std::size_t block_stride, std::size_t tsteps, std::size_t lane,
+                   double* out) {
+  for (std::size_t t = 0; t < tsteps; ++t) {
+    const double* blk = blocks + t * block_stride;
+    for (std::size_t c = 0; c < cols; ++c) out[t * cols + c] = blk[c * lanes + lane];
+  }
+}
+
+}  // namespace
+
+LstmBatchTrace lstm_forward_batched(const LstmLayer& layer, const double* xblocks,
+                                    const BatchSpec& spec, Workspace& ws,
+                                    const LstmPacks* packs) {
+  check_spec(spec);
+  const std::size_t I = layer.input_dim();
+  const std::size_t H = layer.hidden_dim();
+  const std::size_t L = spec.lanes;
+  const std::size_t T = spec.max_steps;
+
+  const Packed pw = packs ? packs->rows : pack_rows(layer.weights(), ws);
+  const double* bias = layer.bias().data();
+
+  LstmBatchTrace tr;
+  tr.input = I;
+  tr.hidden = H;
+  tr.xin = ws.take(T * (I + H) * L);
+  tr.gates = ws.take(T * 4 * H * L);
+  tr.cells = ws.take(T * H * L);
+  tr.tanh_cells = ws.take(T * H * L);
+  tr.hiddens = ws.take(T * H * L);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    double* xin = tr.xin + t * (I + H) * L;
+    std::memcpy(xin, xblocks + t * I * L, I * L * sizeof(double));
+    if (t > 0) {
+      std::memcpy(xin + I * L, tr.hiddens + (t - 1) * H * L, H * L * sizeof(double));
+    } else {
+      std::memset(xin + I * L, 0, H * L * sizeof(double));
+    }
+
+    double* z = tr.gates + t * 4 * H * L;
+    gemm_wx_l(pw, bias, xin, z, L);
+
+    double* c = tr.cells + t * H * L;
+    double* tc = tr.tanh_cells + t * H * L;
+    double* h = tr.hiddens + t * H * L;
+    const double* c_prev = t > 0 ? tr.cells + (t - 1) * H * L : nullptr;
+    const std::size_t HL = H * L;
+    for (std::size_t e = 0; e < HL; ++e) {
+      const double i_g = sigmoid(z[e]);
+      const double f_g = sigmoid(z[HL + e]);
+      const double g_g = std::tanh(z[2 * HL + e]);
+      const double o_g = sigmoid(z[3 * HL + e]);
+      z[e] = i_g;
+      z[HL + e] = f_g;
+      z[2 * HL + e] = g_g;
+      z[3 * HL + e] = o_g;
+      const double cp = c_prev ? c_prev[e] : 0.0;
+      c[e] = f_g * cp + i_g * g_g;
+      tc[e] = std::tanh(c[e]);
+      h[e] = o_g * tc[e];
+    }
+  }
+  return tr;
+}
+
+void lstm_backward_batched(const LstmLayer& layer, const LstmBatchTrace& trace,
+                           const BatchSpec& spec, const double* dh_last,
+                           const double* dh_blocks, double* dx_blocks,
+                           const LstmGrads& grads, Workspace& ws,
+                           const LstmPacks* packs) {
+  check_spec(spec);
+  if ((dh_last == nullptr) == (dh_blocks == nullptr)) {
+    throw std::invalid_argument(
+        "lstm_backward_batched: exactly one of dh_last / dh_blocks");
+  }
+  const std::size_t I = trace.input;
+  const std::size_t H = trace.hidden;
+  const std::size_t L = spec.lanes;
+  const std::size_t T = spec.max_steps;
+  const std::size_t HL = H * L;
+  const bool want_grads = grads.dw != nullptr;
+
+  const Packed pwt = packs ? packs->transpose : pack_transpose(layer.weights(), ws);
+  double* dh = ws.take_zero(HL);
+  double* dc = ws.take_zero(HL);
+  double* dzin = ws.take((I + H) * L);
+  double* dzbuf = ws.take(want_grads ? T * 4 * HL : 4 * HL);
+
+  for (std::size_t t = T; t-- > 0;) {
+    inject_dh(spec, H, t, dh_last, dh_blocks, dh, dc);
+
+    const double* gate = trace.gates + t * 4 * HL;
+    const double* tcs = trace.tanh_cells + t * HL;
+    const double* c_prev = t > 0 ? trace.cells + (t - 1) * HL : nullptr;
+    double* dz = want_grads ? dzbuf + t * 4 * HL : dzbuf;
+    for (std::size_t e = 0; e < HL; ++e) {
+      const double i_g = gate[e];
+      const double f_g = gate[HL + e];
+      const double g_g = gate[2 * HL + e];
+      const double o_g = gate[3 * HL + e];
+      // The forward stored tanh(c_t); same input bits, same libm call, so the
+      // load is bit-identical to the reference's recomputation.
+      const double tanh_c = tcs[e];
+      const double dct = dc[e] + dh[e] * o_g * (1.0 - tanh_c * tanh_c);
+      const double cp = c_prev ? c_prev[e] : 0.0;
+      dz[e] = dct * g_g * i_g * (1.0 - i_g);
+      dz[HL + e] = dct * cp * f_g * (1.0 - f_g);
+      dz[2 * HL + e] = dct * i_g * (1.0 - g_g * g_g);
+      dz[3 * HL + e] = dh[e] * tanh_c * o_g * (1.0 - o_g);
+      dc[e] = dct * f_g;
+    }
+
+    // dzin = W^T dz, zero-seeded sequential like the reference.
+    const std::size_t ZL = (I + H) * L;
+    for (std::size_t e = 0; e < ZL; ++e) dzin[e] = 0.0;
+    gemm_accseq_l(pwt, dz, dzin, L);
+    if (dx_blocks) {
+      std::memcpy(dx_blocks + t * I * L, dzin, I * L * sizeof(double));
+    }
+    std::memcpy(dh, dzin + I * L, HL * sizeof(double));
+  }
+
+  if (want_grads) {
+    double* az = ws.take(4 * H * T);
+    double* zin = ws.take(T * (I + H));
+    for (std::size_t b = 0; b < spec.batch; ++b) {
+      const std::size_t ts = spec.steps[b];
+      gather_rows_t(dzbuf, 4 * H, L, 4 * HL, ts, b, az);
+      gather_t_cols(trace.xin, I + H, L, (I + H) * L, ts, b, zin);
+      gemm_acc_tdesc(az, 4 * H, ts, zin, I + H, 0, *grads.dw);
+      rowsum_acc_tdesc(az, 4 * H, ts, *grads.db);
+    }
+  }
+}
+
+GruBatchTrace gru_forward_batched(const GruLayer& layer, const double* xblocks,
+                                  const BatchSpec& spec, Workspace& ws) {
+  check_spec(spec);
+  const std::size_t I = layer.input_dim();
+  const std::size_t H = layer.hidden_dim();
+  const std::size_t L = spec.lanes;
+  const std::size_t T = spec.max_steps;
+  const std::size_t HL = H * L;
+
+  const Packed pg = pack_rows(layer.gate_weights(), ws);
+  const Packed pnh = pack_rows(layer.cand_h_weights(), ws);
+  const Packed pnx = pack_rows(layer.cand_x_weights(), ws);
+  const double* bg = layer.gate_bias().data();
+  const double* bnh = layer.cand_h_bias().data();
+  const double* bnx = layer.cand_x_bias().data();
+
+  GruBatchTrace tr;
+  tr.input = I;
+  tr.hidden = H;
+  tr.xin = ws.take(T * (I + H) * L);
+  tr.r_gate = ws.take(T * HL);
+  tr.z_gate = ws.take(T * HL);
+  tr.n_cand = ws.take(T * HL);
+  tr.nh_pre = ws.take(T * HL);
+  tr.hiddens = ws.take(T * HL);
+  double* gates = ws.take(2 * HL);
+  double* n_pre = ws.take(HL);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const double* h_prev = t > 0 ? tr.hiddens + (t - 1) * HL : nullptr;
+    double* xin = tr.xin + t * (I + H) * L;
+    std::memcpy(xin, xblocks + t * I * L, I * L * sizeof(double));
+    if (h_prev) {
+      std::memcpy(xin + I * L, h_prev, HL * sizeof(double));
+    } else {
+      std::memset(xin + I * L, 0, HL * sizeof(double));
+    }
+
+    gemm_wx_l(pg, bg, xin, gates, L);
+
+    double* nh = tr.nh_pre + t * HL;
+    if (h_prev) {
+      gemm_wx_l(pnh, bnh, h_prev, nh, L);
+    } else {
+      // Reference assigns nh = b_nh at t = 0 (no matvec, no add).
+      for (std::size_t k = 0; k < H; ++k) {
+        for (std::size_t l = 0; l < L; ++l) nh[k * L + l] = bnh[k];
+      }
+    }
+    gemm_wx_l(pnx, bnx, xblocks + t * I * L, n_pre, L);
+
+    double* r = tr.r_gate + t * HL;
+    double* z = tr.z_gate + t * HL;
+    double* n = tr.n_cand + t * HL;
+    double* h = tr.hiddens + t * HL;
+    for (std::size_t e = 0; e < HL; ++e) {
+      r[e] = sigmoid(gates[e]);
+      z[e] = sigmoid(gates[HL + e]);
+      n[e] = std::tanh(n_pre[e] + r[e] * nh[e]);
+      const double hp = h_prev ? h_prev[e] : 0.0;
+      h[e] = (1.0 - z[e]) * n[e] + z[e] * hp;
+    }
+  }
+  return tr;
+}
+
+void gru_backward_batched(const GruLayer& layer, const GruBatchTrace& trace,
+                          const BatchSpec& spec, const double* dh_last,
+                          const double* dh_blocks, double* dx_blocks,
+                          const GruGrads& grads, Workspace& ws) {
+  check_spec(spec);
+  if ((dh_last == nullptr) == (dh_blocks == nullptr)) {
+    throw std::invalid_argument(
+        "gru_backward_batched: exactly one of dh_last / dh_blocks");
+  }
+  const std::size_t I = trace.input;
+  const std::size_t H = trace.hidden;
+  const std::size_t L = spec.lanes;
+  const std::size_t T = spec.max_steps;
+  const std::size_t HL = H * L;
+  const bool want_grads = grads.dw_gates != nullptr;
+
+  const Packed pgT = pack_transpose(layer.gate_weights(), ws);
+  const Packed pnhT = pack_transpose(layer.cand_h_weights(), ws);
+  const Packed pnxT = pack_transpose(layer.cand_x_weights(), ws);
+
+  double* dh = ws.take_zero(HL);
+  double* dh_prev = ws.take(HL);
+  double* dzin = ws.take((I + H) * L);
+  double* dgates_buf = ws.take(want_grads ? T * 2 * HL : 2 * HL);
+  double* dnpre_buf = ws.take(want_grads ? T * HL : HL);
+  double* dnh_buf = ws.take(want_grads ? T * HL : HL);
+
+  for (std::size_t t = T; t-- > 0;) {
+    inject_dh(spec, H, t, dh_last, dh_blocks, dh, nullptr);
+
+    const double* r = trace.r_gate + t * HL;
+    const double* z = trace.z_gate + t * HL;
+    const double* n = trace.n_cand + t * HL;
+    const double* nh = trace.nh_pre + t * HL;
+    const double* h_prev = t > 0 ? trace.hiddens + (t - 1) * HL : nullptr;
+    double* dgates = want_grads ? dgates_buf + t * 2 * HL : dgates_buf;
+    double* dnpre = want_grads ? dnpre_buf + t * HL : dnpre_buf;
+    double* dnh = want_grads ? dnh_buf + t * HL : dnh_buf;
+
+    for (std::size_t e = 0; e < HL; ++e) {
+      const double hp = h_prev ? h_prev[e] : 0.0;
+      const double dzv = dh[e] * (hp - n[e]) * z[e] * (1.0 - z[e]);
+      const double dn = dh[e] * (1.0 - z[e]);
+      dnpre[e] = dn * (1.0 - n[e] * n[e]);
+      const double dr = dnpre[e] * nh[e] * r[e] * (1.0 - r[e]);
+      dgates[e] = dr;
+      dgates[HL + e] = dzv;
+      dnh[e] = dnpre[e] * r[e];
+      // Reference zero-fills dh_prev then adds the carry-through term.
+      dh_prev[e] = 0.0 + dh[e] * z[e];
+    }
+
+    if (dx_blocks) {
+      double* dxb = dx_blocks + t * I * L;
+      for (std::size_t e = 0; e < I * L; ++e) dxb[e] = 0.0;
+      gemm_accseq_l(pnxT, dnpre, dxb, L);  // dx += W_nx^T dn_pre
+    }
+    gemm_accseq_l(pnhT, dnh, dh_prev, L);  // dh_prev += W_nh^T dnh
+
+    const std::size_t ZL = (I + H) * L;
+    for (std::size_t e = 0; e < ZL; ++e) dzin[e] = 0.0;
+    gemm_accseq_l(pgT, dgates, dzin, L);
+    if (dx_blocks) {
+      double* dxb = dx_blocks + t * I * L;
+      for (std::size_t e = 0; e < I * L; ++e) dxb[e] += dzin[e];
+    }
+    for (std::size_t e = 0; e < HL; ++e) dh_prev[e] += dzin[I * L + e];
+
+    std::memcpy(dh, dh_prev, HL * sizeof(double));
+  }
+
+  if (want_grads) {
+    double* ah = ws.take(H * T);
+    double* a2h = ws.take(2 * H * T);
+    double* zin = ws.take(T * (I + H));
+    double* xs = ws.take(T * I);
+    double* hprevs = ws.take(T * H);
+    for (std::size_t b = 0; b < spec.batch; ++b) {
+      const std::size_t ts = spec.steps[b];
+      // Candidate-x path.
+      gather_rows_t(dnpre_buf, H, L, HL, ts, b, ah);
+      gather_t_cols(trace.xin, I, L, (I + H) * L, ts, b, xs);
+      gemm_acc_tdesc(ah, H, ts, xs, I, 0, *grads.dw_nx);
+      rowsum_acc_tdesc(ah, H, ts, *grads.db_nx);
+      // Candidate-h path: dw_nh only for t >= 1 (no h_prev at t = 0); db_nh
+      // accumulates at every step like the reference.
+      gather_rows_t(dnh_buf, H, L, HL, ts, b, ah);
+      for (std::size_t t = 1; t < ts; ++t) {
+        const double* blk = trace.hiddens + (t - 1) * HL;
+        for (std::size_t c = 0; c < H; ++c) hprevs[t * H + c] = blk[c * L + b];
+      }
+      gemm_acc_tdesc(ah, H, ts, hprevs, H, 1, *grads.dw_nh);
+      rowsum_acc_tdesc(ah, H, ts, *grads.db_nh);
+      // Gate path.
+      gather_rows_t(dgates_buf, 2 * H, L, 2 * HL, ts, b, a2h);
+      gather_t_cols(trace.xin, I + H, L, (I + H) * L, ts, b, zin);
+      gemm_acc_tdesc(a2h, 2 * H, ts, zin, I + H, 0, *grads.dw_gates);
+      rowsum_acc_tdesc(a2h, 2 * H, ts, *grads.db_gates);
+    }
+  }
+}
+
+}  // namespace trajkit::nn::kernels

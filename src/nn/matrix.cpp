@@ -60,13 +60,4 @@ void rank1_acc(Matrix& m, double alpha, const double* x, const double* y) {
   }
 }
 
-double sigmoid(double x) {
-  if (x >= 0.0) {
-    const double e = std::exp(-x);
-    return 1.0 / (1.0 + e);
-  }
-  const double e = std::exp(x);
-  return e / (1.0 + e);
-}
-
 }  // namespace trajkit::nn

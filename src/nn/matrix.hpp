@@ -6,10 +6,12 @@
 // shapes in this project are small (hidden sizes <= a few hundred).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/kernels/align.hpp"
 
 namespace trajkit::nn {
 
@@ -47,7 +49,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned so every row of the packed kernels' operands starts on a
+  // cache-line boundary; the serialized format (plain doubles) is unchanged.
+  kernels::AlignedVector data_;
 };
 
 /// y += M * x  (y has M.rows() entries, x has M.cols()).
@@ -59,7 +63,17 @@ void gemv_t_acc(const Matrix& m, const double* x, double* y);
 /// M += alpha * x * y^T (rank-1 update; x has M.rows(), y has M.cols()).
 void rank1_acc(Matrix& m, double alpha, const double* x, const double* y);
 
-/// Numerically safe sigmoid.
-double sigmoid(double x);
+/// Numerically safe sigmoid.  Inline so the RNN elementwise loops (thousands
+/// of calls per forward pass) do not pay a cross-TU call per element; the
+/// expression is exactly the old out-of-line body, so results are
+/// bit-identical.
+inline double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
 
 }  // namespace trajkit::nn

@@ -72,6 +72,7 @@ LstmClassifier LstmClassifier::load(std::istream& is) {
   }
   copy_into(model.head_.weights(), read_matrix(is), "head weights");
   copy_into(model.head_.bias(), read_matrix(is), "head bias");
+  model.rebuild_packs();  // the batched kernels read cached packed weights
   return model;
 }
 

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/fault.hpp"
@@ -27,6 +28,11 @@ std::string VerdictResponse::canonical_string() const {
   if (outcome == Outcome::kOk || outcome == Outcome::kDegraded) {
     out += ' ';
     out += report.canonical_string();
+  }
+  if (has_motion_p_real) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " motion_p_real=%.17g", motion_p_real);
+    out += buf;
   }
   if (outcome == Outcome::kDegraded && !degraded_reason.empty()) {
     out += " reason=";
@@ -281,6 +287,29 @@ VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
   return response;
 }
 
+void VerifierService::annotate_motion(
+    const std::vector<const wifi::ScannedUpload*>& uploads,
+    std::vector<VerdictResponse>& responses) const {
+  const MotionPolicy& policy = config_.motion;
+  if (!policy.armed()) return;
+  std::vector<std::size_t> ok_idx;
+  std::vector<FeatureSequence> feats;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].outcome != Outcome::kOk) continue;
+    if (uploads[i]->positions.size() < 2) continue;  // encoder needs one step
+    ok_idx.push_back(i);
+    feats.push_back(policy.encoder->encode(uploads[i]->positions));
+  }
+  if (ok_idx.empty()) return;
+  // One batched-kernel pass over the whole micro-batch; per-sequence bits do
+  // not depend on the grouping, so batch composition stays out of the payload.
+  const std::vector<double> probs = policy.model->predict_proba_batch(feats);
+  for (std::size_t k = 0; k < ok_idx.size(); ++k) {
+    responses[ok_idx[k]].motion_p_real = probs[k];
+    responses[ok_idx[k]].has_motion_p_real = true;
+  }
+}
+
 void VerifierService::process_batch(std::vector<Pending>& batch) {
   const std::int64_t dispatch_us = clock_->now_us();
   std::vector<VerdictResponse> responses(batch.size());
@@ -289,6 +318,13 @@ void VerifierService::process_batch(std::vector<Pending>& batch) {
   parallel_for(0, batch.size(), 1, [&](std::size_t i) {
     responses[i] = evaluate(batch[i].request, dispatch_us - batch[i].enqueue_us);
   });
+  {
+    std::vector<const wifi::ScannedUpload*> uploads(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      uploads[i] = &batch[i].request.upload;
+    }
+    annotate_motion(uploads, responses);
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(responses[i]));
@@ -320,13 +356,23 @@ std::vector<VerdictResponse> VerifierService::verify_batch(
   parallel_for(0, requests.size(), 1, [&](std::size_t i) {
     responses[i] = evaluate(requests[i], 0);
   });
+  {
+    std::vector<const wifi::ScannedUpload*> uploads(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      uploads[i] = &requests[i].upload;
+    }
+    annotate_motion(uploads, responses);
+  }
   if (!requests.empty()) batches_.fetch_add(1, std::memory_order_relaxed);
   return responses;
 }
 
 VerdictResponse VerifierService::verify_now(const wifi::ScannedUpload& upload) {
   received_.fetch_add(1, std::memory_order_relaxed);
-  return evaluate(VerificationRequest{0, upload, 0}, 0);
+  std::vector<VerdictResponse> responses(1);
+  responses[0] = evaluate(VerificationRequest{0, upload, 0}, 0);
+  annotate_motion({&upload}, responses);
+  return std::move(responses[0]);
 }
 
 ServiceCounters VerifierService::counters() const {

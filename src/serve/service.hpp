@@ -51,7 +51,9 @@
 #include "common/clock.hpp"
 #include "common/counters.hpp"
 #include "common/expected.hpp"
+#include "nn/classifier.hpp"
 #include "serve/rpd_lru_cache.hpp"
+#include "traj/features.hpp"
 #include "wifi/detector.hpp"
 
 namespace trajkit::serve {
@@ -83,6 +85,11 @@ struct VerdictResponse {
   Outcome outcome = Outcome::kError;
   wifi::VerdictReport report;  ///< meaningful when outcome == kOk/kDegraded
   std::string error;           ///< meaningful when outcome == kError
+  /// Motion-model sidecar verdict (MotionPolicy): probability that the
+  /// claimed positions move like a genuine trajectory.  Present only on kOk
+  /// responses of a motion-armed service with >= 2 uploaded positions.
+  bool has_motion_p_real = false;
+  double motion_p_real = 0.0;
   /// Why the request degraded (kDegraded only): the final fault message,
   /// "breaker_open", or "detector_unavailable".
   std::string degraded_reason;
@@ -135,6 +142,20 @@ struct FallbackPolicy {
   bool allow_degraded_start = false;
 };
 
+/// Optional motion-model sidecar: arm it with a trained LSTM classifier and
+/// the encoder it was trained with, and every kOk response also carries the
+/// motion model's probability that the claimed positions move like a human
+/// (Sec. IV-A's classifier C serving next to the RSSI detector).  The whole
+/// micro-batch is evaluated through the batched kernel path in one pass;
+/// because the batched forward is bit-identical per sequence regardless of
+/// grouping, motion_p_real stays a pure function of (model, upload) and the
+/// determinism contract above extends to it unchanged.
+struct MotionPolicy {
+  std::shared_ptr<const nn::LstmClassifier> model;
+  std::shared_ptr<const FeatureEncoder> encoder;
+  bool armed() const { return model != nullptr && encoder != nullptr; }
+};
+
 struct VerifierServiceConfig {
   std::size_t max_batch = 16;   ///< requests dispatched per micro-batch
   std::size_t max_queue = 1024; ///< admission limit; beyond -> kRejected
@@ -146,6 +167,7 @@ struct VerifierServiceConfig {
   RetryPolicy retry;
   BreakerPolicy breaker;
   FallbackPolicy fallback;
+  MotionPolicy motion;
 };
 
 /// Monotonically-increasing service counters plus latency quantiles.
@@ -242,6 +264,10 @@ class VerifierService {
   void degrade(VerdictResponse& response, const VerificationRequest& request,
                std::string reason);
   wifi::VerdictReport fallback_report(const wifi::ScannedUpload& upload) const;
+  /// Attach motion_p_real to the kOk responses of one batch (no-op unless
+  /// config_.motion is armed).  uploads[i] must belong to responses[i].
+  void annotate_motion(const std::vector<const wifi::ScannedUpload*>& uploads,
+                       std::vector<VerdictResponse>& responses) const;
   std::int64_t backoff_delay_us(std::uint64_t request_id,
                                 std::size_t attempt) const;
   void breaker_record_success();

@@ -114,6 +114,75 @@ TEST(DtwBanded, BandWidensToCoverLengthDifference) {
   EXPECT_TRUE(std::isfinite(r.distance));
 }
 
+TEST(DtwPruned, BitIdenticalToFullOnRandomPairs) {
+  // The pruned DP must reproduce dtw() exactly — distance bitwise AND the
+  // alignment path index-for-index — across shapes, bands and separations.
+  Rng rng(1234);
+  for (int pair = 0; pair < 200; ++pair) {
+    const std::size_t na = 2 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    const std::size_t nb = 2 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    const auto a = random_walk(rng, na);
+    auto b = random_walk(rng, nb);
+    if (pair % 3 == 0) {
+      // Nearby pair (the attack regime): b is a perturbation of a's prefix.
+      b = a;
+      b.resize(std::min(na, nb));
+      for (auto& p : b) {
+        p.east += rng.uniform(-1.0, 1.0);
+        p.north += rng.uniform(-1.0, 1.0);
+      }
+    }
+    const std::size_t band = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    const auto full = dtw(a, b);
+    const auto pruned = dtw_pruned(a, b, band);
+    ASSERT_EQ(full.distance, pruned.distance) << "pair " << pair;  // bitwise
+    ASSERT_EQ(full.path.size(), pruned.path.size()) << "pair " << pair;
+    for (std::size_t k = 0; k < full.path.size(); ++k) {
+      ASSERT_EQ(full.path[k].i, pruned.path[k].i) << "pair " << pair << " k " << k;
+      ASSERT_EQ(full.path[k].j, pruned.path[k].j) << "pair " << pair << " k " << k;
+    }
+  }
+}
+
+TEST(DtwPruned, HandlesDegenerateShapes) {
+  const std::vector<Enu> single = {{1.0, 2.0}};
+  const auto line = std::vector<Enu>{{0, 0}, {5, 0}, {10, 0}};
+  EXPECT_EQ(dtw_pruned(single, single, 0).distance, dtw(single, single).distance);
+  EXPECT_EQ(dtw_pruned(single, line, 0).distance, dtw(single, line).distance);
+  EXPECT_EQ(dtw_pruned(line, single, 0).distance, dtw(line, single).distance);
+  EXPECT_THROW(dtw_pruned({}, line), std::invalid_argument);
+}
+
+TEST(DtwEarlyAbandon, ExactUnderThresholdInfAbove) {
+  Rng rng(555);
+  for (int pair = 0; pair < 100; ++pair) {
+    const auto a = random_walk(rng, 15 + pair % 7);
+    const auto b = random_walk(rng, 12 + pair % 5);
+    const double exact = dtw_distance(a, b);
+    // Generous threshold: result must be the exact distance, bitwise.
+    EXPECT_EQ(dtw_distance(a, b, exact * 2.0 + 1.0), exact) << "pair " << pair;
+    // Threshold at the exact value: not provably above, still exact.
+    EXPECT_EQ(dtw_distance(a, b, exact), exact) << "pair " << pair;
+    // Threshold strictly below: the DP may abandon or overshoot, but it must
+    // never report a value below the true distance (callers treat anything
+    // above the threshold as "skip", so only underestimates would be bugs).
+    const double r = dtw_distance(a, b, exact * 0.5);
+    EXPECT_GE(r, exact) << "pair " << pair;
+  }
+}
+
+TEST(DtwEarlyAbandon, AbandonsDistantPair) {
+  // Two far-apart straight lines: every row minimum exceeds the threshold
+  // immediately, so the result is +inf (and the caller skips the pair).
+  std::vector<Enu> a;
+  std::vector<Enu> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({i * 1.0, 0.0});
+    b.push_back({i * 1.0, 1000.0});
+  }
+  EXPECT_TRUE(std::isinf(dtw_distance(a, b, 10.0)));
+}
+
 TEST(DtwNormalized, PureTranslationEqualsOffset) {
   std::vector<Enu> a;
   std::vector<Enu> b;

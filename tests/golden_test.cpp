@@ -17,9 +17,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "attack/cw.hpp"
+#include "common/rng.hpp"
+#include "nn/classifier.hpp"
 #include "support/fixtures.hpp"
 #include "support/golden.hpp"
+#include "traj/features.hpp"
 #include "wifi/detector.hpp"
 #include "wifi/features.hpp"
 
@@ -71,6 +76,100 @@ TEST(Golden, VerdictPayloadsAndChecksumArePinned) {
   }
   out += "fnv1a_xor=" + hex64(checksum) + '\n';
   EXPECT_TRUE(ts::matches_golden("verdict_checksums.txt", out));
+}
+
+std::vector<Enu> golden_walk(Rng& rng, std::size_t n, double step) {
+  std::vector<Enu> pts = {{0.0, 0.0}};
+  for (std::size_t i = 1; i < n; ++i) {
+    pts.push_back({pts.back().east + rng.uniform(0.5, step),
+                   pts.back().north + rng.uniform(-step / 2, step / 2)});
+  }
+  return pts;
+}
+
+/// A small deterministically-trained classifier shared by the nn goldens:
+/// "real" samples drift steadily east, "fake" samples jitter in place, so a
+/// few epochs separate them and the pinned logits are meaningful.
+nn::LstmClassifier golden_classifier(const DistAngleEncoder& encoder) {
+  Rng rng(42);
+  std::vector<FeatureSequence> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 24; ++i) {
+    const std::size_t n = 18 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+    const bool real = i % 2 == 0;
+    auto pts = golden_walk(rng, n, real ? 4.0 : 1.0);
+    xs.push_back(encoder.encode(pts));
+    ys.push_back(real ? 1 : 0);
+  }
+  nn::LstmClassifierConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.batch_size = 8;
+  nn::LstmClassifier model(cfg, 5);
+  model.train(xs, ys, 3);
+  return model;
+}
+
+TEST(Golden, ClassifierLogitsArePinned) {
+  // Pins the whole nn stack — init, Adam training and inference through the
+  // batched kernels — and asserts the reference backend produces the same
+  // bits before pinning, so a kernel regression fails twice over.
+  const DistAngleEncoder encoder;
+  auto model = golden_classifier(encoder);
+
+  Rng rng(4242);
+  std::string out;
+  for (int k = 0; k < 8; ++k) {
+    const auto pts = golden_walk(rng, 16 + 3 * static_cast<std::size_t>(k),
+                                 k % 2 == 0 ? 4.0 : 1.0);
+    const auto x = encoder.encode(pts);
+    model.set_backend(nn::NnBackend::kBatched);
+    const double batched = model.predict_proba(x);
+    model.set_backend(nn::NnBackend::kReference);
+    const double reference = model.predict_proba(x);
+    ASSERT_EQ(batched, reference) << "sample " << k;  // bitwise backend parity
+    out += ts::canonical_double(batched);
+    out += '\n';
+  }
+  EXPECT_TRUE(ts::matches_golden("nn_logits.txt", out));
+}
+
+TEST(Golden, CwAttackOutputIsPinned) {
+  // One full navigation attack, pinned end to end: iterate points, p_real and
+  // normalised DTW.  Runs twice — pruned-exact DTW and the reference DP — and
+  // asserts bitwise equality first: the fast path must not be able to move
+  // the attack by even one ulp.
+  const DistAngleEncoder encoder;
+  const auto model = golden_classifier(encoder);
+
+  Rng rng(7);
+  const auto route = golden_walk(rng, 40, 4.0);
+
+  attack::CwConfig ac;
+  ac.iterations = 60;
+  ac.history_stride = 20;
+  ac.fast_dtw = true;
+  const auto fast = attack::CwAttacker(model, encoder, ac).forge_navigation(route);
+  ac.fast_dtw = false;
+  const auto slow = attack::CwAttacker(model, encoder, ac).forge_navigation(route);
+
+  ASSERT_EQ(fast.points.size(), slow.points.size());
+  for (std::size_t i = 0; i < fast.points.size(); ++i) {
+    ASSERT_EQ(fast.points[i].east, slow.points[i].east) << "point " << i;
+    ASSERT_EQ(fast.points[i].north, slow.points[i].north) << "point " << i;
+  }
+  ASSERT_EQ(fast.p_real, slow.p_real);
+  ASSERT_EQ(fast.dtw_norm, slow.dtw_norm);
+
+  std::string out = "p_real=" + ts::canonical_double(fast.p_real) + '\n';
+  out += "dtw_norm=" + ts::canonical_double(fast.dtw_norm) + '\n';
+  out += "adversarial=" + std::to_string(fast.adversarial ? 1 : 0) + '\n';
+  for (const auto& p : fast.points) {
+    out += ts::canonical_double(p.east);
+    out += ' ';
+    out += ts::canonical_double(p.north);
+    out += '\n';
+  }
+  EXPECT_TRUE(ts::matches_golden("cw_attack_points.txt", out));
 }
 
 }  // namespace

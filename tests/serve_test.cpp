@@ -54,6 +54,60 @@ TEST(VerifierService, SyncBatchMatchesDetectorAnalyze) {
   }
 }
 
+TEST(VerifierService, MotionSidecarAnnotatesOkResponses) {
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(6);
+
+  // The sidecar model's verdict must be a pure function of (model, upload):
+  // reference probabilities straight off the classifier, one at a time.
+  auto encoder = std::make_shared<DistAngleEncoder>();
+  nn::LstmClassifierConfig mc;
+  mc.hidden_dim = 8;
+  auto model = std::make_shared<nn::LstmClassifier>(mc, 7);
+  std::vector<double> want;
+  for (const auto& u : probes) {
+    want.push_back(model->predict_proba(encoder->encode(u.positions)));
+  }
+
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.motion.model = model;
+  cfg.motion.encoder = encoder;
+  VerifierService service(w.detector(), cfg);
+  std::vector<VerificationRequest> requests;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    requests.push_back({i, probes[i], 0});
+  }
+  const auto responses = service.verify_batch(requests);
+  ASSERT_EQ(responses.size(), probes.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].outcome, Outcome::kOk) << responses[i].error;
+    ASSERT_TRUE(responses[i].has_motion_p_real);
+    // Bitwise: the batched sidecar pass must match the per-sample call.
+    EXPECT_EQ(responses[i].motion_p_real, want[i]) << "request " << i;
+    EXPECT_NE(responses[i].canonical_string().find("motion_p_real="),
+              std::string::npos);
+  }
+
+  // The sync single-upload path goes through the same annotation.
+  const auto single = service.verify_now(probes[0]);
+  ASSERT_EQ(single.outcome, Outcome::kOk);
+  ASSERT_TRUE(single.has_motion_p_real);
+  EXPECT_EQ(single.motion_p_real, want[0]);
+}
+
+TEST(VerifierService, MotionSidecarAbsentWhenUnarmed) {
+  ts::LinearFieldWorld w;
+  const auto upload = w.probe_mix(1)[0];
+  VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  VerifierService service(w.detector(), cfg);  // no motion policy
+  const auto response = service.verify_now(upload);
+  ASSERT_EQ(response.outcome, Outcome::kOk) << response.error;
+  EXPECT_FALSE(response.has_motion_p_real);
+  EXPECT_EQ(response.canonical_string().find("motion_p_real="), std::string::npos);
+}
+
 TEST(VerifierService, SubmitResolvesFuturesViaDispatcher) {
   ts::LinearFieldWorld w;
   const auto probes = w.probe_mix(6);

@@ -32,7 +32,9 @@ run_leg() {
   fi
 }
 
-TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault'
+# Kernels joins the TSan leg because the batched nn path shares a
+# thread_local workspace with the training pool's worker threads.
+TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels'
 
 case "${LEG}" in
   tsan) run_leg tsan thread "${TSAN_FILTER}" ;;
