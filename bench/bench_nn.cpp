@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "attack/cw.hpp"
+#include "common/durable/durable_file.hpp"
 #include "common/parallel.hpp"
 #include "core/trajkit.hpp"
 #include "dtw/dtw.hpp"
@@ -270,32 +271,33 @@ int main(int argc, char** argv) {
   std::printf("dtw checksum full/pruned   = %s / %s\n",
               dtw_full_digest.hex().c_str(), dtw_pruned_digest.hex().c_str());
 
-  std::FILE* json = std::fopen("BENCH_nn.json", "w");
-  if (json) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"lstm_epoch_s_reference\": %.6f,\n"
-                 "  \"lstm_epoch_s_batched\": %.6f,\n"
-                 "  \"lstm_epoch_speedup\": %.3f,\n"
-                 "  \"attack_iters_per_sec_reference\": %.3f,\n"
-                 "  \"attack_iters_per_sec_fast\": %.3f,\n"
-                 "  \"attack_speedup\": %.3f,\n"
-                 "  \"dtw_calls_per_sec_full\": %.3f,\n"
-                 "  \"dtw_calls_per_sec_pruned\": %.3f,\n"
-                 "  \"dtw_speedup\": %.3f,\n"
-                 "  \"train_checksum\": \"%s\",\n"
-                 "  \"attack_checksum\": \"%s\",\n"
-                 "  \"dtw_checksum\": \"%s\",\n"
-                 "  \"bit_identical\": %s,\n"
-                 "  \"thread_invariant\": %s\n"
-                 "}\n",
-                 epoch_ref_s, epoch_bat_s, epoch_speedup, attack_ref_ips,
-                 attack_fast_ips, attack_speedup, dtw_full_cps, dtw_pruned_cps,
-                 dtw_speedup, train_bat_digest.hex().c_str(),
-                 attack_fast_digest.hex().c_str(), dtw_pruned_digest.hex().c_str(),
-                 train_ok && attack_ok && dtw_ok ? "true" : "false",
-                 threads_ok ? "true" : "false");
-    std::fclose(json);
+  // Emitted atomically (temp + rename): a crash or a concurrent reader can
+  // see the previous complete report or the new one, never a torn JSON.
+  char json[2048];
+  std::snprintf(json, sizeof json,
+                "{\n"
+                "  \"lstm_epoch_s_reference\": %.6f,\n"
+                "  \"lstm_epoch_s_batched\": %.6f,\n"
+                "  \"lstm_epoch_speedup\": %.3f,\n"
+                "  \"attack_iters_per_sec_reference\": %.3f,\n"
+                "  \"attack_iters_per_sec_fast\": %.3f,\n"
+                "  \"attack_speedup\": %.3f,\n"
+                "  \"dtw_calls_per_sec_full\": %.3f,\n"
+                "  \"dtw_calls_per_sec_pruned\": %.3f,\n"
+                "  \"dtw_speedup\": %.3f,\n"
+                "  \"train_checksum\": \"%s\",\n"
+                "  \"attack_checksum\": \"%s\",\n"
+                "  \"dtw_checksum\": \"%s\",\n"
+                "  \"bit_identical\": %s,\n"
+                "  \"thread_invariant\": %s\n"
+                "}\n",
+                epoch_ref_s, epoch_bat_s, epoch_speedup, attack_ref_ips,
+                attack_fast_ips, attack_speedup, dtw_full_cps, dtw_pruned_cps,
+                dtw_speedup, train_bat_digest.hex().c_str(),
+                attack_fast_digest.hex().c_str(), dtw_pruned_digest.hex().c_str(),
+                train_ok && attack_ok && dtw_ok ? "true" : "false",
+                threads_ok ? "true" : "false");
+  if (trajkit::durable::write_file_atomic("BENCH_nn.json", json)) {
     std::printf("\nwrote BENCH_nn.json\n");
   }
 

@@ -7,7 +7,7 @@
 // requests through submit()/micro-batching with the shared bounded RPD LRU,
 // so spatially overlapping requests reuse each other's per-cell statistics.
 //
-//   bench_serve --total=200 --points=30 --requests=120 --batch=16
+//   bench_serve --total=200 --points=30 --requests=120 --batch=16 --ingest=1000
 //
 // A payload checksum (FNV-1a over the canonical response strings) is compared
 // across the two legs: the speedup must come purely from scheduling and
@@ -19,6 +19,13 @@
 // shards; --fault_seed reproduces a run exactly).  It measures what the
 // retry + degradation machinery costs and proves that under injected faults
 // the service still answers every request (ok or degraded, never dropped).
+//
+// A fourth, ingestion leg prices the write-ahead journal: the same --ingest
+// validated reference points are appended to a bare in-memory vector, to a
+// CrowdStore with batched fsync, and to a CrowdStore that fsyncs every
+// append.  The overhead column is the slowdown crash-safe ingestion costs
+// relative to the in-memory baseline; the recovered store must replay every
+// appended point byte-identically or the run fails.
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -27,9 +34,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "core/trajkit.hpp"
+#include "wifi/crowd_store.hpp"
+#include "wifi/validate.hpp"
 
 using namespace trajkit;
 
@@ -60,6 +71,8 @@ int main(int argc, char** argv) {
       flags.get_int("cache", 1 << 16));
   const double fault_rate = flags.get_double("fault_rate", 0.3);
   const auto fault_seed = static_cast<std::uint64_t>(flags.get_int("fault_seed", 42));
+  const auto ingest_count =
+      static_cast<std::size_t>(flags.get_int("ingest", 1000));
 
   std::printf("== Serving: stateless per-request baseline vs batched service ==\n");
   std::printf("%zu historical trajectories x %zu points, %zu requests, "
@@ -181,6 +194,73 @@ int main(int argc, char** argv) {
     faulty_retries = faulty.counters().retries;
   }
 
+  // -- Ingestion: write-ahead journal overhead vs bare in-memory appends -----
+  // Same validated points through three sinks.  The in-memory leg is what
+  // ingestion cost before the WAL (validate + push_back); the store legs add
+  // encode + CRC frame + journal write, with fsync either batched across the
+  // run or paid per append.  Afterwards the store is reopened and must replay
+  // every point byte-identically — durability may cost time, never data.
+  std::vector<wifi::ReferencePoint> ingest;
+  const auto& ref_index = detector.index();
+  for (std::size_t i = 0; i < ingest_count; ++i) {
+    ingest.push_back(ref_index[i % ref_index.size()]);
+  }
+  double memory_ingest_s = 0.0;
+  {
+    std::vector<wifi::ReferencePoint> sink;
+    sink.reserve(ingest.size());
+    const double t = now_s();
+    for (const auto& point : ingest) {
+      if (wifi::validate_reference_point(point)) sink.push_back(point);
+    }
+    memory_ingest_s = now_s() - t;
+    if (sink.size() != ingest.size()) {
+      std::printf("ingestion baseline rejected a valid point\n");
+      return 1;
+    }
+  }
+  const std::string store_dir = "bench_serve_store";
+  const auto remove_store = [&store_dir] {
+    std::remove(wifi::CrowdStore::snapshot_path(store_dir).c_str());
+    std::remove(wifi::CrowdStore::journal_path(store_dir).c_str());
+    ::rmdir(store_dir.c_str());
+  };
+  bool ingest_ok = true;
+  const auto store_leg = [&](bool sync_each_append) {
+    remove_store();
+    double seconds = 0.0;
+    {
+      auto store = wifi::CrowdStore::open(store_dir, sync_each_append);
+      if (!store) {
+        std::printf("store open failed: %s\n", store.error().c_str());
+        ingest_ok = false;
+        return seconds;
+      }
+      const double t = now_s();
+      for (const auto& point : ingest) {
+        if (!store.value()->append(point)) ingest_ok = false;
+      }
+      seconds = now_s() - t;
+    }
+    // Recovery check: a fresh open replays the journal; every appended point
+    // must come back byte-identical (encode_point is the canonical codec).
+    auto reopened = wifi::CrowdStore::open(store_dir);
+    if (!reopened || reopened.value()->points().size() != ingest.size()) {
+      ingest_ok = false;
+    } else {
+      for (std::size_t i = 0; i < ingest.size(); ++i) {
+        if (wifi::CrowdStore::encode_point(reopened.value()->points()[i]) !=
+            wifi::CrowdStore::encode_point(ingest[i])) {
+          ingest_ok = false;
+        }
+      }
+    }
+    return seconds;
+  };
+  const double journal_batched_s = store_leg(/*sync_each_append=*/false);
+  const double journal_fsync_s = store_leg(/*sync_each_append=*/true);
+  remove_store();
+
   const auto counters = service.counters();
   TextTable table({"leg", "seconds", "requests/s", "speedup", "degraded"});
   table.add_row({"stateless baseline", TextTable::num(baseline_s, 3),
@@ -199,6 +279,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(fault_seed), fault_rate, faulty_ok,
               faulty_degraded, faulty_dropped,
               static_cast<unsigned long long>(faulty_retries));
+
+  const auto ingest_rate = [&](double seconds) {
+    return seconds > 0.0 ? static_cast<double>(ingest.size()) / seconds : 0.0;
+  };
+  const auto overhead = [&](double seconds) {
+    return memory_ingest_s > 0.0
+               ? TextTable::num(seconds / memory_ingest_s, 2) + "x"
+               : std::string("n/a");
+  };
+  std::printf("\n");
+  TextTable ingest_table({"ingestion leg", "seconds", "points/s", "overhead"});
+  ingest_table.add_row({"in-memory (no WAL)", TextTable::num(memory_ingest_s, 4),
+                        TextTable::num(ingest_rate(memory_ingest_s), 1), "1.00x"});
+  ingest_table.add_row({"journaled, batched fsync",
+                        TextTable::num(journal_batched_s, 4),
+                        TextTable::num(ingest_rate(journal_batched_s), 1),
+                        overhead(journal_batched_s)});
+  ingest_table.add_row({"journaled, fsync each",
+                        TextTable::num(journal_fsync_s, 4),
+                        TextTable::num(ingest_rate(journal_fsync_s), 1),
+                        overhead(journal_fsync_s)});
+  ingest_table.print(std::cout);
+  std::printf("ingestion recovery: %s\n",
+              ingest_ok ? "OK (reopen replayed every point byte-identically)"
+                        : "FAILED (recovered store diverged from appends!)");
 
   std::printf("\nservice counters:\n%s", service.counters_table().c_str());
   std::printf("\nrpd cache hit rate: %.1f%% (%llu hits / %llu lookups)\n",
@@ -219,5 +324,5 @@ int main(int argc, char** argv) {
   std::printf("faulty mode: %s\n",
               faulty_complete ? "OK (every request answered)"
                               : "FAILED (requests dropped under faults!)");
-  return identical && faulty_complete ? 0 : 1;
+  return identical && faulty_complete && ingest_ok ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// Every durable artifact in trajkit — framed model files, the crowdsource
+// write-ahead journal, snapshots — carries one CRC per record plus one per
+// file, so a torn write or a flipped byte is detected at load time instead of
+// silently feeding garbage into the detector.  The implementation is the
+// classic 256-entry table variant: deterministic, allocation-free, and fast
+// enough that framing overhead never shows up next to disk I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace trajkit::durable {
+
+/// CRC-32 of `data`; pass a previous result as `seed` to checksum a file in
+/// chunks (the final value is identical to one call over the concatenation).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace trajkit::durable

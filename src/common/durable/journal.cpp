@@ -1,0 +1,239 @@
+#include "common/durable/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/durable/crc32.hpp"
+#include "common/durable/durable_file.hpp"
+#include "common/fault.hpp"
+
+namespace trajkit::durable {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'K', 'J', 'R', 'N', 'L', '1', '\n'};
+constexpr char kRecordMagic[4] = {'T', 'K', 'J', 'R'};
+constexpr std::size_t kMaxTagLen = 256;
+constexpr std::size_t kMaxPayload = 1u << 26;  ///< 64 MiB per record
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+std::string header_bytes(std::string_view tag, std::uint64_t base_seq) {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  append_u32(out, static_cast<std::uint32_t>(tag.size()));
+  out += tag;
+  append_u64(out, base_seq);
+  return out;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return data.size() - pos; }
+  bool read_bytes(void* out, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  bool read_u32(std::uint32_t& out) { return read_bytes(&out, sizeof out); }
+  bool read_u64(std::uint64_t& out) { return read_bytes(&out, sizeof out); }
+  bool read_view(std::string_view& out, std::size_t n) {
+    if (remaining() < n) return false;
+    out = data.substr(pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+Journal::Journal(std::string path, std::string tag, bool sync_each_append)
+    : path_(std::move(path)), tag_(std::move(tag)),
+      sync_each_append_(sync_each_append) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<std::unique_ptr<Journal>, std::string> Journal::open(
+    const std::string& path, std::string_view tag, std::uint64_t base_seq_if_new,
+    bool sync_each_append) {
+  using Result = Expected<std::unique_ptr<Journal>, std::string>;
+
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    // No journal yet: create one atomically, so a crash mid-creation leaves
+    // either nothing (retried next open) or a complete empty journal.
+    auto created = write_file_atomic(path, header_bytes(tag, base_seq_if_new));
+    if (!created) return Result::failure("journal create: " + created.error());
+  }
+
+  auto raw = read_file(path);
+  if (!raw) return Result::failure("journal: " + raw.error());
+  const std::string& bytes = raw.value();
+
+  Cursor cur{bytes};
+  char magic[sizeof kMagic];
+  if (!cur.read_bytes(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Result::failure("journal: bad magic in " + path);
+  }
+  std::uint32_t tag_len = 0;
+  if (!cur.read_u32(tag_len) || tag_len > kMaxTagLen) {
+    return Result::failure("journal: bad tag length in " + path);
+  }
+  std::string_view file_tag;
+  if (!cur.read_view(file_tag, tag_len) || file_tag != tag) {
+    return Result::failure("journal: tag mismatch in " + path);
+  }
+  std::uint64_t base_seq = 0;
+  if (!cur.read_u64(base_seq)) {
+    return Result::failure("journal: truncated header in " + path);
+  }
+
+  std::unique_ptr<Journal> journal(
+      new Journal(path, std::string(tag), sync_each_append));
+  journal->next_seq_ = base_seq;
+
+  // Replay intact records; stop at the first frame that is short, has a bad
+  // magic/CRC or an out-of-order seq.  Everything from there on is a torn
+  // tail (or trailing corruption) and is truncated off deterministically.
+  std::size_t good_end = cur.pos;
+  while (cur.remaining() > 0) {
+    char rec_magic[sizeof kRecordMagic];
+    std::uint64_t seq = 0;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!cur.read_bytes(rec_magic, sizeof rec_magic) ||
+        std::memcmp(rec_magic, kRecordMagic, sizeof kRecordMagic) != 0 ||
+        !cur.read_u64(seq) || !cur.read_u32(len) || !cur.read_u32(crc)) {
+      break;
+    }
+    if (seq != journal->next_seq_ || len > kMaxPayload || len > cur.remaining()) {
+      break;
+    }
+    std::string_view payload;
+    cur.read_view(payload, len);
+    if (crc32(payload) != crc) break;
+    journal->recovery_.records.push_back({seq, std::string(payload)});
+    journal->next_seq_ = seq + 1;
+    good_end = cur.pos;
+  }
+  journal->recovery_.truncated_bytes = bytes.size() - good_end;
+
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Result::failure("journal: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (journal->recovery_.truncated_bytes > 0) {
+    if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0 || ::fsync(fd) != 0) {
+      ::close(fd);
+      return Result::failure("journal: cannot truncate torn tail of " + path);
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Result::failure("journal: cannot seek " + path);
+  }
+  journal->fd_ = fd;
+  return Result(std::move(journal));
+}
+
+Expected<std::uint64_t, std::string> Journal::append(std::string_view payload) {
+  using Result = Expected<std::uint64_t, std::string>;
+  if (fd_ < 0) return Result::failure("journal: not open");
+  if (payload.size() > kMaxPayload) {
+    return Result::failure("journal: oversized record");
+  }
+  auto& faults = global_faults();
+  const std::uint64_t key = path_fault_key(path_);
+
+  std::string frame;
+  frame.reserve(payload.size() + 20);
+  frame.append(kRecordMagic, sizeof kRecordMagic);
+  append_u64(frame, next_seq_);
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  append_u32(frame, crc32(payload));
+  frame += payload;
+
+  // Half the frame, then the fault point, then the rest: a kCrash here (or a
+  // kFail return) leaves a torn tail that the next open() truncates.
+  const std::size_t half = frame.size() / 2;
+  if (!write_all(fd_, frame.data(), half)) {
+    return Result::failure("journal: short write to " + path_);
+  }
+  if (faults.should_fail_seq(kFaultAppendPartial, key)) {
+    return Result::failure("journal: injected fault mid-append");
+  }
+  if (!write_all(fd_, frame.data() + half, frame.size() - half)) {
+    return Result::failure("journal: short write to " + path_);
+  }
+  if (faults.should_fail_seq(kFaultAppendSync, key)) {
+    return Result::failure("journal: injected fault before fsync");
+  }
+  if (sync_each_append_ && ::fsync(fd_) != 0) {
+    return Result::failure("journal: fsync failed: " + std::string(std::strerror(errno)));
+  }
+  return Result(next_seq_++);
+}
+
+Expected<bool, std::string> Journal::sync() {
+  using Result = Expected<bool, std::string>;
+  if (fd_ < 0) return Result::failure("journal: not open");
+  if (::fsync(fd_) != 0) {
+    return Result::failure("journal: fsync failed: " + std::string(std::strerror(errno)));
+  }
+  return Result(true);
+}
+
+Expected<bool, std::string> Journal::reset(std::uint64_t base_seq) {
+  using Result = Expected<bool, std::string>;
+  if (global_faults().should_fail_seq(kFaultJournalReset, path_fault_key(path_))) {
+    return Result::failure("journal: injected fault before reset");
+  }
+  auto written = write_file_atomic(path_, header_bytes(tag_, base_seq));
+  if (!written) return Result::failure("journal reset: " + written.error());
+  // Re-point our fd at the fresh file (the old inode is unlinked by rename).
+  const int fd = ::open(path_.c_str(), O_RDWR | O_APPEND);
+  if (fd < 0) {
+    return Result::failure("journal reset: cannot reopen " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  next_seq_ = base_seq;
+  recovery_ = Recovery{};
+  return Result(true);
+}
+
+}  // namespace trajkit::durable

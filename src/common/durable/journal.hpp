@@ -1,0 +1,106 @@
+// CRC-framed write-ahead journal with deterministic torn-tail recovery.
+//
+// The streaming half of the durability story: appended records (crowdsourced
+// RPD scans, in the wifi layer) land in this journal *first*, each framed
+// with a sequence number and a CRC-32, and are only folded into the durable
+// snapshot by an explicit compaction.  After a crash, open() replays every
+// intact record in order and truncates the file at the first torn or corrupt
+// frame — so recovery always yields an exact prefix of what was appended,
+// never a hybrid.
+//
+// Sequence numbers make snapshot+journal recovery idempotent: every record
+// carries the seq it was appended under, the companion snapshot stores the
+// next seq it has folded in, and replay skips records older than the
+// snapshot.  A crash anywhere between "snapshot committed" and "journal
+// reset" therefore double-applies nothing.
+//
+// File layout (integers native little-endian, like durable_file):
+//
+//   "TKJRNL1\n"        8-byte magic
+//   u32 tag_len, tag
+//   u64 base_seq       seq of the first record this file may hold
+//   per record:
+//     "TKJR"           4-byte record magic
+//     u64 seq          strictly consecutive from the previous record
+//     u32 payload_len
+//     u32 crc32(payload)
+//     payload
+//
+// The append path carries fault/crash points (kFaultAppendPartial lands
+// mid-frame, kFaultAppendSync after the frame but before fsync), which is
+// how the crash harness manufactures genuinely torn tails.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace trajkit::durable {
+
+/// Fault/crash points of the journal, in execution order.
+inline constexpr const char* kFaultAppendPartial = "journal.append_partial";
+inline constexpr const char* kFaultAppendSync = "journal.append_sync";
+inline constexpr const char* kFaultJournalReset = "journal.reset";
+
+class Journal {
+ public:
+  struct Record {
+    std::uint64_t seq = 0;
+    std::string payload;
+  };
+
+  /// What open() found on disk.
+  struct Recovery {
+    std::vector<Record> records;   ///< every intact record, in order
+    std::uint64_t truncated_bytes = 0;  ///< torn-tail bytes discarded
+  };
+
+  /// Open (creating if absent) the journal at `path`.  A new journal starts
+  /// at `base_seq_if_new` and is created atomically, so a crash during
+  /// creation leaves either no journal or a valid empty one.  An existing
+  /// journal is recovered: intact records are replayed into recovery(),
+  /// and a torn tail is physically truncated off the file.  A file whose
+  /// *header* does not parse is an error — that is corruption of committed
+  /// state, not a torn append, and must not be silently discarded.
+  static Expected<std::unique_ptr<Journal>, std::string> open(
+      const std::string& path, std::string_view tag,
+      std::uint64_t base_seq_if_new = 0, bool sync_each_append = true);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const Recovery& recovery() const { return recovery_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return path_; }
+
+  /// Append one record; returns the seq it was assigned.  With
+  /// sync_each_append the record is fsynced before returning (the WAL
+  /// contract); otherwise durability is deferred to sync()/the OS.
+  Expected<std::uint64_t, std::string> append(std::string_view payload);
+
+  /// fsync the journal fd.
+  Expected<bool, std::string> sync();
+
+  /// Atomically replace the file with a fresh empty journal starting at
+  /// `base_seq` (compaction's final step).  The old records stay readable by
+  /// any already-open handle until the rename lands; a crash before the
+  /// rename leaves the old journal, whose stale records the seq check skips.
+  Expected<bool, std::string> reset(std::uint64_t base_seq);
+
+ private:
+  Journal(std::string path, std::string tag, bool sync_each_append);
+
+  std::string path_;
+  std::string tag_;
+  bool sync_each_append_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 0;
+  Recovery recovery_;
+};
+
+}  // namespace trajkit::durable

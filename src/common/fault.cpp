@@ -1,5 +1,7 @@
 #include "common/fault.hpp"
 
+#include <unistd.h>
+
 #include "common/rng.hpp"
 
 namespace trajkit {
@@ -46,7 +48,13 @@ bool FaultInjector::decide(PointState& state, std::uint64_t point_hash,
     Rng sub = Rng::substream(seed_ ^ point_hash, key * 0x100000001b3ull + attempt);
     fail = sub.uniform() < state.spec.probability;
   }
-  if (fail) ++state.counters.injected;
+  if (fail) {
+    ++state.counters.injected;
+    // A crash action never returns to the caller: _exit skips atexit hooks
+    // and stdio flushes, so whatever bytes the writer had buffered or not yet
+    // synced are lost exactly as in a real kill — which is the point.
+    if (state.spec.action == FaultAction::kCrash) ::_exit(kCrashExitCode);
+  }
   return fail;
 }
 

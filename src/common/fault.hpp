@@ -45,6 +45,21 @@ class FaultError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How an armed fault point fails when its decision fires.
+enum class FaultAction {
+  /// Report failure to the caller: should_fail returns true, check throws
+  /// FaultError.  The process keeps running — the "transient error" shape.
+  kFail,
+  /// _exit(kCrashExitCode) on the spot: no unwinding, no flushes, no
+  /// destructors — the "kill -9 mid-write" shape the crash-recovery harness
+  /// uses to prove that every durable format survives a torn operation.
+  kCrash,
+};
+
+/// Exit code of a FaultAction::kCrash termination, so a forking test harness
+/// can tell an injected crash from any other child death.
+inline constexpr int kCrashExitCode = 86;
+
 /// What an armed fault point injects.
 struct FaultSpec {
   /// Bernoulli failure probability per (key, attempt); 0 disables.
@@ -52,6 +67,8 @@ struct FaultSpec {
   /// Attempts [0, fail_first) of every key fail deterministically — the
   /// "transient fault that a retry survives" shape.
   std::uint64_t fail_first = 0;
+  /// What happens when the decision fires (see FaultAction).
+  FaultAction action = FaultAction::kFail;
 };
 
 /// Registry of armed fault points.  One process-global instance

@@ -4,12 +4,18 @@
 #include <cmath>
 #include <fstream>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/durable/durable_file.hpp"
 #include "common/rng.hpp"
 
 namespace trajkit::gbt {
 namespace {
+
+constexpr const char* kDurableTag = "gbt_classifier";
+constexpr std::uint32_t kDurableVersion = 1;
+constexpr std::size_t kMaxTrees = std::size_t{1} << 20;
 
 double sigmoid(double x) {
   if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
@@ -117,36 +123,82 @@ void GbtClassifier::save(std::ostream& os) const {
   for (const auto& tree : trees_) tree.save(os);
 }
 
-GbtClassifier GbtClassifier::load(std::istream& is) {
+Expected<GbtClassifier, std::string> GbtClassifier::try_load(std::istream& is) {
+  using Result = Expected<GbtClassifier, std::string>;
   std::string magic;
   if (!(is >> magic) || magic != "trajkit_gbt_v1") {
-    throw std::runtime_error("GbtClassifier::load: bad magic");
+    return Result::failure("gbt load: bad magic");
   }
   GbtConfig cfg;
   if (!(is >> cfg.num_trees >> cfg.max_depth >> cfg.learning_rate >> cfg.max_bins >>
         cfg.lambda >> cfg.gamma >> cfg.min_child_weight >> cfg.subsample >> cfg.seed)) {
-    throw std::runtime_error("GbtClassifier::load: bad config");
+    return Result::failure("gbt load: bad config");
   }
-  GbtClassifier model(cfg);
-  std::size_t tree_count = 0;
-  if (!(is >> model.base_score_ >> tree_count)) {
-    throw std::runtime_error("GbtClassifier::load: bad header");
+  if (cfg.num_trees == 0 || cfg.num_trees > kMaxTrees || cfg.max_depth > 64 ||
+      cfg.max_bins < 2 || cfg.max_bins > 65536 ||
+      !std::isfinite(cfg.learning_rate) || !std::isfinite(cfg.lambda) ||
+      !std::isfinite(cfg.gamma) || !std::isfinite(cfg.min_child_weight) ||
+      !(cfg.subsample > 0.0 && cfg.subsample <= 1.0)) {
+    return Result::failure("gbt load: implausible config");
   }
-  model.trees_.reserve(tree_count);
-  for (std::size_t i = 0; i < tree_count; ++i) model.trees_.push_back(Tree::load(is));
-  return model;
+  try {
+    GbtClassifier model(cfg);
+    std::size_t tree_count = 0;
+    if (!(is >> model.base_score_ >> tree_count)) {
+      return Result::failure("gbt load: bad header");
+    }
+    if (!std::isfinite(model.base_score_) || tree_count > kMaxTrees) {
+      return Result::failure("gbt load: implausible ensemble header");
+    }
+    model.trees_.reserve(tree_count);
+    for (std::size_t i = 0; i < tree_count; ++i) {
+      model.trees_.push_back(Tree::load(is));
+    }
+    return Result(std::move(model));
+  } catch (const std::exception& e) {
+    return Result::failure(std::string("gbt load: ") + e.what());
+  }
+}
+
+GbtClassifier GbtClassifier::load(std::istream& is) {
+  auto result = try_load(is);
+  if (!result) throw std::runtime_error(result.error());
+  return std::move(result).value();
 }
 
 void GbtClassifier::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("GbtClassifier::save_file: cannot open " + path);
-  save(os);
+  std::ostringstream payload;
+  save(payload);
+  durable::DurableWriter writer(kDurableTag, kDurableVersion);
+  writer.add_record(payload.str());
+  auto committed = writer.commit(path);
+  if (!committed) {
+    throw std::runtime_error("GbtClassifier::save_file: " + committed.error());
+  }
+}
+
+Expected<GbtClassifier, std::string> GbtClassifier::try_load_file(
+    const std::string& path) {
+  using Result = Expected<GbtClassifier, std::string>;
+  if (durable::file_has_durable_magic(path)) {
+    auto contents = durable::read_durable_file(path, kDurableTag);
+    if (!contents) return Result::failure("gbt load: " + contents.error());
+    if (contents.value().records.size() != 1) {
+      return Result::failure("gbt load: unexpected record count");
+    }
+    std::istringstream is(contents.value().records[0]);
+    return try_load(is);
+  }
+  // Back-compat: pre-durable bare-text model files.
+  std::ifstream is(path);
+  if (!is) return Result::failure("gbt load: cannot open " + path);
+  return try_load(is);
 }
 
 GbtClassifier GbtClassifier::load_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("GbtClassifier::load_file: cannot open " + path);
-  return load(is);
+  auto result = try_load_file(path);
+  if (!result) throw std::runtime_error(result.error());
+  return std::move(result).value();
 }
 
 }  // namespace trajkit::gbt

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "gbt/tree.hpp"
 
 namespace trajkit::gbt {
@@ -52,10 +53,19 @@ class GbtClassifier {
 
   std::size_t tree_count() const { return trees_.size(); }
 
+  /// Text stream (de)serialisation.  save_file commits a CRC-framed durable
+  /// container atomically (common/durable); load_file/try_load_file accept
+  /// both that format and the original bare-text files (back-compat).
   void save(std::ostream& os) const;
   static GbtClassifier load(std::istream& is);
   void save_file(const std::string& path) const;
   static GbtClassifier load_file(const std::string& path);
+
+  /// Non-throwing loaders: malformed input (bad magic, truncation, CRC
+  /// mismatch, implausible config, invalid tree topology) comes back as a
+  /// diagnostic string instead of an exception.
+  static Expected<GbtClassifier, std::string> try_load(std::istream& is);
+  static Expected<GbtClassifier, std::string> try_load_file(const std::string& path);
 
  private:
   GbtConfig config_;

@@ -1,6 +1,7 @@
 #include "gbt/tree.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -158,14 +159,39 @@ void Tree::save(std::ostream& os) const {
 }
 
 Tree Tree::load(std::istream& is) {
+  // Hard cap on deserialised tree size: a depth-64 tree has at most 2^65
+  // nodes on paper, but anything this repo trains is tiny — the cap exists so
+  // a corrupt count cannot drive a multi-gigabyte allocation.
+  constexpr std::size_t kMaxNodes = std::size_t{1} << 20;
   std::size_t count = 0;
   if (!(is >> count)) throw std::runtime_error("Tree::load: bad node count");
+  if (count == 0 || count > kMaxNodes) {
+    throw std::runtime_error("Tree::load: implausible node count");
+  }
   Tree tree;
   tree.nodes_.resize(count);
-  for (auto& n : tree.nodes_) {
+  for (std::size_t i = 0; i < count; ++i) {
+    TreeNode& n = tree.nodes_[i];
     if (!(is >> n.feature >> n.split_value >> n.split_bin >> n.left >> n.right >>
           n.leaf_value >> n.gain)) {
       throw std::runtime_error("Tree::load: truncated node list");
+    }
+    if (!std::isfinite(n.split_value) || !std::isfinite(n.leaf_value) ||
+        !std::isfinite(n.gain)) {
+      throw std::runtime_error("Tree::load: non-finite node field");
+    }
+    if (n.feature >= 0) {
+      // grow() always appends children after their parent, so descending
+      // into the tree strictly increases the node index — which is exactly
+      // the property that makes predict() terminate.  Enforce it on load so
+      // a crafted file cannot smuggle in a cycle or an out-of-range child.
+      const auto left = static_cast<std::ptrdiff_t>(n.left);
+      const auto right = static_cast<std::ptrdiff_t>(n.right);
+      const auto self = static_cast<std::ptrdiff_t>(i);
+      const auto limit = static_cast<std::ptrdiff_t>(count);
+      if (left <= self || right <= self || left >= limit || right >= limit) {
+        throw std::runtime_error("Tree::load: invalid child indices");
+      }
     }
   }
   return tree;

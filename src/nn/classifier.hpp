@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "nn/adam.hpp"
 #include "nn/dense.hpp"
@@ -90,8 +91,17 @@ class LstmClassifier {
   void save(std::ostream& os) const;
   static LstmClassifier load(std::istream& is);
 
+  /// File persistence.  save_file commits a CRC-framed durable container
+  /// atomically (common/durable); load_file/try_load_file read both that
+  /// format and the original bare-text files (back-compat).
   void save_file(const std::string& path) const;
   static LstmClassifier load_file(const std::string& path);
+
+  /// Non-throwing loaders: every malformed input — bad magic, truncation,
+  /// CRC mismatch, implausible architecture — comes back as a diagnostic
+  /// string instead of an exception.
+  static Expected<LstmClassifier, std::string> try_load(std::istream& is);
+  static Expected<LstmClassifier, std::string> try_load_file(const std::string& path);
 
  private:
   double forward_logit(const FeatureSequence& x, std::vector<LstmTrace>* traces) const;

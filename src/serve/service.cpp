@@ -8,6 +8,8 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "wifi/crowd_store.hpp"
+#include "wifi/validate.hpp"
 
 namespace trajkit::serve {
 
@@ -91,6 +93,36 @@ VerifierService::try_create_from_file(const std::string& model_path,
   }
   return ServiceOrError(std::make_unique<VerifierService>(
       std::move(detector).value(), config));
+}
+
+Expected<std::unique_ptr<VerifierService>, std::string>
+VerifierService::try_create_from_store(const std::string& store_dir,
+                                       const std::string& model_path,
+                                       VerifierServiceConfig config) {
+  using ServiceOrError = Expected<std::unique_ptr<VerifierService>, std::string>;
+  const bool degraded_ok =
+      config.fallback.enabled && config.fallback.allow_degraded_start;
+  auto degraded = [&] {
+    return ServiceOrError(std::unique_ptr<VerifierService>(
+        new VerifierService(nullptr, nullptr, config, nullptr)));
+  };
+  auto store = wifi::CrowdStore::open(store_dir);
+  if (!store) {
+    if (degraded_ok) return degraded();
+    return ServiceOrError::failure(store.error());
+  }
+  auto model = wifi::RssiDetector::try_load_file(model_path);
+  if (!model) {
+    if (degraded_ok) return degraded();
+    return ServiceOrError::failure(model.error());
+  }
+  // The model file carries the classifier + config; the crowd store supplies
+  // the (recovered) reference set the index is rebuilt over.
+  auto detector = wifi::RssiDetector::assemble(
+      store.value()->points(), model.value()->config(),
+      model.value()->classifier(), model.value()->trained_points());
+  return ServiceOrError(
+      std::make_unique<VerifierService>(std::move(detector), config));
 }
 
 VerifierService::~VerifierService() {
@@ -248,6 +280,17 @@ VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
     return response;
   }
   const std::int64_t t0 = clock_->now_us();
+  // Uploads cross the trust boundary here: reject malformed input (NaN/Inf
+  // coordinates, absurd RSSIs, oversized AP lists) before any pipeline —
+  // detector or fallback — sees it.  Not retryable, so kError.
+  if (auto valid = wifi::validate_upload(request.upload); !valid) {
+    response.outcome = Outcome::kError;
+    response.error = valid.error();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response.compute_us = clock_->now_us() - t0;
+    latency_.add_us(response.queue_us + response.compute_us);
+    return response;
+  }
   if (!detector_) {
     degrade(response, request, "detector_unavailable");
   } else if (breaker_open()) {

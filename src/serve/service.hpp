@@ -210,6 +210,16 @@ class VerifierService {
   static Expected<std::unique_ptr<VerifierService>, std::string> try_create_from_file(
       const std::string& model_path, VerifierServiceConfig config = {});
 
+  /// Cold-start from a crowd store (wifi/crowd_store: durable snapshot +
+  /// write-ahead journal) plus a persisted detector model whose classifier,
+  /// config and trained-points count are reused over the store's reference
+  /// set.  This is the crash-recovery path: the store recovers from any
+  /// kill point, and the resulting service reproduces bit-identical verdicts.
+  /// Degraded-start semantics match try_create_from_file.
+  static Expected<std::unique_ptr<VerifierService>, std::string> try_create_from_store(
+      const std::string& store_dir, const std::string& model_path,
+      VerifierServiceConfig config = {});
+
   ~VerifierService();
   VerifierService(const VerifierService&) = delete;
   VerifierService& operator=(const VerifierService&) = delete;

@@ -1,18 +1,25 @@
 #include "traj/io.hpp"
 
+#include <cmath>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/durable/durable_file.hpp"
 
 namespace trajkit {
 namespace {
 
-Mode parse_mode(const std::string& s) {
-  if (s == "walking") return Mode::kWalking;
-  if (s == "cycling") return Mode::kCycling;
-  if (s == "driving") return Mode::kDriving;
-  throw std::runtime_error("read_csv: unknown mode '" + s + "'");
+// A CSV under parse is untrusted input: bound the row count so a runaway (or
+// hostile) file cannot exhaust memory before the first bad cell is hit.
+constexpr std::size_t kMaxCsvRows = 50'000'000;
+
+Expected<Mode, std::string> parse_mode(const std::string& s) {
+  using Result = Expected<Mode, std::string>;
+  if (s == "walking") return Result(Mode::kWalking);
+  if (s == "cycling") return Result(Mode::kCycling);
+  if (s == "driving") return Result(Mode::kDriving);
+  return Result::failure("unknown mode '" + s + "'");
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -37,15 +44,19 @@ void write_csv(std::ostream& os, const TrajectoryList& trajs) {
 }
 
 void write_csv_file(const std::string& path, const TrajectoryList& trajs) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+  std::ostringstream os;
   write_csv(os, trajs);
+  auto written = durable::write_file_atomic(path, os.str());
+  if (!written) {
+    throw std::runtime_error("write_csv_file: " + written.error());
+  }
 }
 
-TrajectoryList read_csv(std::istream& is) {
+Expected<TrajectoryList, std::string> try_read_csv(std::istream& is) {
+  using Result = Expected<TrajectoryList, std::string>;
   std::string line;
   if (!std::getline(is, line) || line != "traj_id,mode,lat,lon,time_s") {
-    throw std::runtime_error("read_csv: missing or bad header");
+    return Result::failure("read_csv: missing or bad header");
   }
   // id -> (mode, points); ids must be contiguous but rows of one id must be
   // consecutive, so a simple current-id accumulator suffices.
@@ -61,32 +72,64 @@ TrajectoryList read_csv(std::istream& is) {
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
+    if (lineno > kMaxCsvRows) {
+      return Result::failure("read_csv: too many rows");
+    }
+    const auto at_line = [&] { return " at line " + std::to_string(lineno); };
     const auto cells = split_csv_line(line);
     if (cells.size() != 5) {
-      throw std::runtime_error("read_csv: bad column count at line " +
-                               std::to_string(lineno));
+      return Result::failure("read_csv: bad column count" + at_line());
     }
+    long id = 0;
+    TrajPoint p{};
     try {
-      const long id = std::stol(cells[0]);
-      if (id != current_id) {
-        flush();
-        current_id = id;
-        current_mode = parse_mode(cells[1]);
-      }
-      current.push_back({{std::stod(cells[2]), std::stod(cells[3])}, std::stod(cells[4])});
-    } catch (const std::invalid_argument&) {
-      throw std::runtime_error("read_csv: non-numeric cell at line " +
-                               std::to_string(lineno));
+      id = std::stol(cells[0]);
+      p = {{std::stod(cells[2]), std::stod(cells[3])}, std::stod(cells[4])};
+    } catch (const std::exception&) {  // invalid_argument or out_of_range
+      return Result::failure("read_csv: non-numeric cell" + at_line());
     }
+    if (!std::isfinite(p.pos.lat) || !std::isfinite(p.pos.lon) ||
+        !std::isfinite(p.time_s)) {
+      return Result::failure("read_csv: non-finite value" + at_line());
+    }
+    if (p.pos.lat < -90.0 || p.pos.lat > 90.0 || p.pos.lon < -180.0 ||
+        p.pos.lon > 180.0) {
+      return Result::failure("read_csv: coordinate out of range" + at_line());
+    }
+    if (id != current_id) {
+      flush();
+      current_id = id;
+      auto mode = parse_mode(cells[1]);
+      if (!mode) return Result::failure("read_csv: " + mode.error() + at_line());
+      current_mode = mode.value();
+    } else if (!current.empty() && p.time_s <= current.back().time_s) {
+      // Duplicate or backwards timestamps would give zero/negative dt, which
+      // poisons every speed/turn feature downstream (Eq. 8).
+      return Result::failure("read_csv: non-increasing timestamp" + at_line());
+    }
+    current.push_back(p);
   }
   flush();
-  return out;
+  return Result(std::move(out));
+}
+
+TrajectoryList read_csv(std::istream& is) {
+  auto result = try_read_csv(is);
+  if (!result) throw std::runtime_error(result.error());
+  return std::move(result).value();
+}
+
+Expected<TrajectoryList, std::string> try_read_csv_file(const std::string& path) {
+  using Result = Expected<TrajectoryList, std::string>;
+  std::ifstream is(path);
+  if (!is) return Result::failure("read_csv_file: cannot open " + path);
+  return try_read_csv(is);
 }
 
 TrajectoryList read_csv_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
-  return read_csv(is);
+  auto result = try_read_csv_file(path);
+  if (!result) throw std::runtime_error(result.error());
+  return std::move(result).value();
 }
 
 }  // namespace trajkit

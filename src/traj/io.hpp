@@ -5,22 +5,36 @@
 // Rows of a trajectory are consecutive and time-ordered, ids are contiguous
 // from 0.  This is the interchange format used by the examples to dump
 // forged trajectories for inspection (e.g. plotting them on a map).
+//
+// Writers commit atomically (temp + rename via common/durable), so a crash
+// mid-dump never leaves a half-written CSV.  Readers validate: coordinates
+// must be finite and in range, timestamps finite and strictly increasing
+// within a trajectory — malformed rows are a clean error, never a silently
+// garbled trajectory.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/expected.hpp"
 #include "traj/trajectory.hpp"
 
 namespace trajkit {
 
 /// Write a trajectory list as CSV (with header).
 void write_csv(std::ostream& os, const TrajectoryList& trajs);
+/// Atomic file variant: writes a temp file and renames it into place.
 void write_csv_file(const std::string& path, const TrajectoryList& trajs);
 
 /// Parse the CSV produced by write_csv.  Throws std::runtime_error on
-/// malformed input (bad header, non-numeric cell, unordered timestamps).
+/// malformed input (bad header, non-numeric or non-finite cell, out-of-range
+/// coordinates, non-increasing timestamps).
 TrajectoryList read_csv(std::istream& is);
 TrajectoryList read_csv_file(const std::string& path);
+
+/// Non-throwing variants of the readers: malformed input comes back as a
+/// diagnostic string instead of an exception.
+Expected<TrajectoryList, std::string> try_read_csv(std::istream& is);
+Expected<TrajectoryList, std::string> try_read_csv_file(const std::string& path);
 
 }  // namespace trajkit

@@ -1,0 +1,188 @@
+#include "wifi/crowd_store.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/durable/durable_file.hpp"
+#include "common/fault.hpp"
+#include "wifi/validate.hpp"
+
+namespace trajkit::wifi {
+namespace {
+
+constexpr const char* kSnapshotTag = "crowd_snapshot";
+constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr const char* kJournalTag = "crowd_journal";
+constexpr std::size_t kMaxSnapshotPoints = 5'000'000;
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string CrowdStore::snapshot_path(const std::string& dir) {
+  return dir + "/crowd.snapshot";
+}
+
+std::string CrowdStore::journal_path(const std::string& dir) {
+  return dir + "/crowd.journal";
+}
+
+std::string CrowdStore::encode_point(const ReferencePoint& point) {
+  std::string out = format_double(point.pos.east);
+  out += ' ';
+  out += format_double(point.pos.north);
+  out += ' ';
+  out += std::to_string(point.traj_id);
+  out += ' ';
+  out += std::to_string(point.scan.size());
+  for (const auto& obs : point.scan) {
+    out += ' ';
+    out += std::to_string(obs.mac);
+    out += ' ';
+    out += std::to_string(obs.rssi_dbm);
+  }
+  return out;
+}
+
+Expected<ReferencePoint, std::string> CrowdStore::decode_point(
+    const std::string& line) {
+  using Result = Expected<ReferencePoint, std::string>;
+  std::istringstream is(line);
+  ReferencePoint p;
+  std::size_t scan_size = 0;
+  if (!(is >> p.pos.east >> p.pos.north >> p.traj_id >> scan_size)) {
+    return Result::failure("crowd point: bad record head");
+  }
+  if (scan_size > kMaxScanAps) {
+    return Result::failure("crowd point: oversized scan");
+  }
+  p.scan.resize(scan_size);
+  for (auto& obs : p.scan) {
+    if (!(is >> obs.mac >> obs.rssi_dbm)) {
+      return Result::failure("crowd point: truncated scan");
+    }
+  }
+  auto valid = validate_reference_point(p);
+  if (!valid) return Result::failure(valid.error());
+  return Result(std::move(p));
+}
+
+Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
+    const std::string& dir, bool sync_each_append) {
+  using Result = Expected<std::unique_ptr<CrowdStore>, std::string>;
+
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Result::failure("crowd store: cannot create " + dir + ": " +
+                           std::strerror(errno));
+  }
+
+  std::unique_ptr<CrowdStore> store(new CrowdStore);
+  store->dir_ = dir;
+
+  // 1. The snapshot: the compacted prefix of the dataset.  Absent on a fresh
+  // store; otherwise it must parse — it was committed atomically, so damage
+  // here is real corruption, not a crash artifact.
+  std::uint64_t snapshot_next_seq = 0;
+  const std::string snap = snapshot_path(dir);
+  struct stat st {};
+  if (::stat(snap.c_str(), &st) == 0) {
+    auto contents = durable::read_durable_file(snap, kSnapshotTag);
+    if (!contents) return Result::failure("crowd store: " + contents.error());
+    const auto& records = contents.value().records;
+    if (records.empty()) {
+      return Result::failure("crowd store: snapshot missing meta record");
+    }
+    std::istringstream meta(records[0]);
+    std::size_t point_count = 0;
+    if (!(meta >> snapshot_next_seq >> point_count) ||
+        point_count != records.size() - 1 || point_count > kMaxSnapshotPoints) {
+      return Result::failure("crowd store: bad snapshot meta record");
+    }
+    store->points_.reserve(point_count);
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      auto point = decode_point(records[i]);
+      if (!point) {
+        return Result::failure("crowd store: snapshot record " +
+                               std::to_string(i - 1) + ": " + point.error());
+      }
+      store->points_.push_back(std::move(point).value());
+    }
+  }
+  store->snapshot_count_ = store->points_.size();
+  store->open_stats_.snapshot_points = store->points_.size();
+
+  // 2. The journal: every accepted scan since that snapshot.  open() already
+  // truncated any torn tail; replay skips records the snapshot has folded in
+  // (possible when a crash hit compact() between its two stages).
+  auto journal = durable::Journal::open(journal_path(dir), kJournalTag,
+                                        snapshot_next_seq, sync_each_append);
+  if (!journal) return Result::failure("crowd store: " + journal.error());
+  store->journal_ = std::move(journal).value();
+  store->open_stats_.truncated_bytes = store->journal_->recovery().truncated_bytes;
+  for (const auto& record : store->journal_->recovery().records) {
+    if (record.seq < snapshot_next_seq) {
+      ++store->open_stats_.skipped_stale;
+      continue;
+    }
+    auto point = decode_point(record.payload);
+    if (!point) {
+      return Result::failure("crowd store: journal seq " +
+                             std::to_string(record.seq) + ": " + point.error());
+    }
+    store->points_.push_back(std::move(point).value());
+    ++store->open_stats_.replayed_records;
+  }
+  store->journaled_ = store->open_stats_.replayed_records;
+  return Result(std::move(store));
+}
+
+Expected<std::uint64_t, std::string> CrowdStore::append(const ReferencePoint& point) {
+  using Result = Expected<std::uint64_t, std::string>;
+  auto valid = validate_reference_point(point);
+  if (!valid) return Result::failure("crowd store: " + valid.error());
+  auto seq = journal_->append(encode_point(point));
+  if (!seq) return Result::failure("crowd store: " + seq.error());
+  // Only after the journal accepted (and fsynced) the record does it become
+  // visible — what callers can query is always recoverable.
+  points_.push_back(point);
+  ++journaled_;
+  return seq;
+}
+
+Expected<bool, std::string> CrowdStore::compact() {
+  using Result = Expected<bool, std::string>;
+  const std::uint64_t next_seq = journal_->next_seq();
+
+  // Stage 1: commit a fresh snapshot of everything, stamped with the journal
+  // seq it covers.  Atomic replace — a crash leaves the old snapshot.
+  durable::DurableWriter writer(kSnapshotTag, kSnapshotVersion);
+  writer.add_record(std::to_string(next_seq) + ' ' + std::to_string(points_.size()));
+  for (const auto& point : points_) writer.add_record(encode_point(point));
+  auto committed = writer.commit(snapshot_path(dir_));
+  if (!committed) return Result::failure("crowd store: " + committed.error());
+
+  // The gap the recovery tests aim at: snapshot covers the journal, journal
+  // still holds the (now stale) records.  Replay's seq check makes this a
+  // consistent state, so crashing here loses nothing and duplicates nothing.
+  if (global_faults().should_fail_seq(kFaultStoreCompact,
+                                      durable::path_fault_key(snapshot_path(dir_)))) {
+    return Result::failure("crowd store: injected fault between compact stages");
+  }
+
+  // Stage 2: reset the journal to start where the snapshot ends.
+  auto reset = journal_->reset(next_seq);
+  if (!reset) return Result::failure("crowd store: " + reset.error());
+  snapshot_count_ = points_.size();
+  journaled_ = 0;
+  return Result(true);
+}
+
+}  // namespace trajkit::wifi

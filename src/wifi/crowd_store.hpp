@@ -1,0 +1,97 @@
+// Durable store for the crowdsourced RSSI reference dataset (the paper's
+// historical scan store H that the whole defense leans on).
+//
+// Streaming ingestion is write-ahead: every accepted scan is validated
+// (wifi/validate), encoded as one text line and appended to a CRC-framed
+// journal (common/durable/journal) *before* it is visible in memory.  An
+// explicit compact() folds the journal into a CRC-framed snapshot (one
+// durable container: a meta record plus one record per reference point) and
+// resets the journal.
+//
+// Crash safety is the point of the split:
+//   - a crash mid-append leaves a torn journal tail, which the next open()
+//     truncates deterministically — the store recovers to an exact prefix of
+//     the accepted scans;
+//   - a crash anywhere inside compact() double-applies nothing, because the
+//     snapshot records the next journal seq it has folded in and replay
+//     skips older records.  Snapshot committed but journal not yet reset is
+//     therefore a fully consistent state, not a hazard.
+//
+// VerifierService::try_create_from_store cold-starts a serving process from
+// any such crash point and reproduces bit-identical verdicts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/durable/journal.hpp"
+#include "common/expected.hpp"
+#include "wifi/refindex.hpp"
+
+namespace trajkit::wifi {
+
+/// Fault/crash point between compact()'s two stages (snapshot committed,
+/// journal not yet reset), keyed by the snapshot path.  The durable and
+/// journal layers carry their own points inside each stage.
+inline constexpr const char* kFaultStoreCompact = "store.compact_between";
+
+class CrowdStore {
+ public:
+  /// What open() reconstructed, for logs and the recovery tests.
+  struct OpenStats {
+    std::size_t snapshot_points = 0;   ///< points folded into the snapshot
+    std::size_t replayed_records = 0;  ///< journal records applied on top
+    std::uint64_t skipped_stale = 0;   ///< journal records older than the snapshot
+    std::uint64_t truncated_bytes = 0; ///< torn-tail bytes the journal discarded
+  };
+
+  /// Open (creating if needed) the store rooted at directory `dir`.  Layout:
+  /// dir/crowd.snapshot (durable container) + dir/crowd.journal (WAL).
+  /// `sync_each_append` follows Journal::open's contract.
+  static Expected<std::unique_ptr<CrowdStore>, std::string> open(
+      const std::string& dir, bool sync_each_append = true);
+
+  CrowdStore(const CrowdStore&) = delete;
+  CrowdStore& operator=(const CrowdStore&) = delete;
+
+  /// Validate and durably append one crowdsourced reference point; it is
+  /// journaled (and fsynced) before points() shows it.  Returns the journal
+  /// seq it was accepted under.
+  Expected<std::uint64_t, std::string> append(const ReferencePoint& point);
+
+  /// Fold the journal into a fresh snapshot, then reset the journal.  Safe to
+  /// crash at any point inside; idempotent to re-run after recovery.
+  Expected<bool, std::string> compact();
+
+  /// The full recovered + appended reference set, in ingestion order.
+  const std::vector<ReferencePoint>& points() const { return points_; }
+
+  /// Seq the next append will be assigned.
+  std::uint64_t next_seq() const { return journal_->next_seq(); }
+  /// Records sitting in the journal (appended or replayed since the last
+  /// compaction) — the compaction trigger.
+  std::size_t journaled_since_snapshot() const { return journaled_; }
+  const OpenStats& open_stats() const { return open_stats_; }
+
+  static std::string snapshot_path(const std::string& dir);
+  static std::string journal_path(const std::string& dir);
+
+  /// Text codec for one reference point, shared by the journal payloads and
+  /// the snapshot records ("east north traj_id n mac rssi ...", %.17g).
+  static std::string encode_point(const ReferencePoint& point);
+  static Expected<ReferencePoint, std::string> decode_point(const std::string& line);
+
+ private:
+  CrowdStore() = default;
+
+  std::string dir_;
+  std::unique_ptr<durable::Journal> journal_;
+  std::vector<ReferencePoint> points_;
+  std::size_t snapshot_count_ = 0;  ///< prefix of points_ covered by the snapshot
+  std::size_t journaled_ = 0;
+  OpenStats open_stats_;
+};
+
+}  // namespace trajkit::wifi

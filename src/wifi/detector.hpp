@@ -129,6 +129,19 @@ class RssiDetector {
   static std::unique_ptr<RssiDetector> load(std::istream& is);
   static std::unique_ptr<RssiDetector> load_file(const std::string& path);
 
+  /// Build a detector from separately-persisted parts: a reference store
+  /// (e.g. recovered from the crowd store's snapshot + journal) plus a
+  /// classifier trained elsewhere.  The caller vouches that `classifier` was
+  /// trained on uploads of `trained_points` points over features compatible
+  /// with `config`.
+  static std::unique_ptr<RssiDetector> assemble(std::vector<ReferencePoint> points,
+                                                RssiDetectorConfig config,
+                                                gbt::GbtClassifier classifier,
+                                                std::size_t trained_points);
+
+  /// Upload length the trained classifier expects (0 = untrained).
+  std::size_t trained_points() const { return trained_points_; }
+
  private:
   /// The shared per-point pass: fills the Eq. 8 features and the per-point
   /// scores from one point_confidence() walk.  Untrained-safe.

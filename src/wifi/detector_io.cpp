@@ -6,30 +6,35 @@
 //   v1  config line = radius top_k theta1 theta2 R tolerance base
 //   v2  v1 + the operating threshold appended to the config line
 // try_load reads both; save always writes v2.
+//
+// On disk the text payload is wrapped in a CRC-framed durable container and
+// committed atomically (common/durable); bare-text files from before the
+// container existed still load.  Loaded reference points pass the same
+// validation as live crowdsourced scans (wifi/validate) — a corrupt or
+// hostile store is a clean error, never a poisoned index.
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/durable/durable_file.hpp"
 #include "common/fault.hpp"
 #include "wifi/detector.hpp"
+#include "wifi/validate.hpp"
 
 namespace trajkit::wifi {
 namespace {
 
 constexpr const char* kMagicV1 = "trajkit_rssi_detector_v1";
 constexpr const char* kMagicV2 = "trajkit_rssi_detector_v2";
+constexpr const char* kDurableTag = "rssi_detector";
+constexpr std::uint32_t kDurableVersion = 1;
+
+/// Cap on deserialised reference points; the real stores are ~10^4-10^5.
+constexpr std::size_t kMaxReferencePoints = 5'000'000;
 
 using DetectorOrError = Expected<std::unique_ptr<RssiDetector>, std::string>;
-
-std::uint64_t path_key(const std::string& path) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : path) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 }  // namespace
 
@@ -73,10 +78,23 @@ DetectorOrError RssiDetector::try_load(std::istream& is) {
   if (magic == kMagicV2 && !(is >> cfg.threshold)) {
     return DetectorOrError::failure("RssiDetector: bad threshold field");
   }
+  if (!std::isfinite(cfg.confidence.reference_radius_m) ||
+      cfg.confidence.reference_radius_m <= 0.0 || cfg.confidence.top_k == 0 ||
+      cfg.confidence.top_k > kMaxScanAps ||
+      !std::isfinite(cfg.confidence.rpd.counting_radius_m) ||
+      cfg.confidence.rpd.counting_radius_m <= 0.0 ||
+      !std::isfinite(cfg.confidence.rpd.rssi_tolerance_db) ||
+      !std::isfinite(cfg.confidence.rpd.theta2_base) ||
+      !std::isfinite(cfg.threshold)) {
+    return DetectorOrError::failure("RssiDetector: implausible config");
+  }
   std::size_t trained_points = 0;
   std::size_t ref_count = 0;
   if (!(is >> trained_points >> ref_count)) {
     return DetectorOrError::failure("RssiDetector: bad header");
+  }
+  if (trained_points > kMaxUploadPoints || ref_count > kMaxReferencePoints) {
+    return DetectorOrError::failure("RssiDetector: implausible store header");
   }
   std::vector<ReferencePoint> refs;
   refs.reserve(ref_count);
@@ -87,6 +105,10 @@ DetectorOrError RssiDetector::try_load(std::istream& is) {
       return DetectorOrError::failure("RssiDetector: truncated reference point " +
                                       std::to_string(i));
     }
+    if (scan_size > kMaxScanAps) {
+      return DetectorOrError::failure("RssiDetector: oversized scan at point " +
+                                      std::to_string(i));
+    }
     p.scan.resize(scan_size);
     for (auto& obs : p.scan) {
       if (!(is >> obs.mac >> obs.rssi_dbm)) {
@@ -94,13 +116,20 @@ DetectorOrError RssiDetector::try_load(std::istream& is) {
                                         std::to_string(i));
       }
     }
+    auto valid = validate_reference_point(p);
+    if (!valid) {
+      return DetectorOrError::failure("RssiDetector: point " + std::to_string(i) +
+                                      ": " + valid.error());
+    }
     refs.push_back(std::move(p));
   }
   // Construction and the classifier's own loader validate by throwing; fold
   // those into the non-throwing contract here.
   try {
     auto detector = std::make_unique<RssiDetector>(std::move(refs), cfg);
-    detector->classifier_ = gbt::GbtClassifier::load(is);
+    auto classifier = gbt::GbtClassifier::try_load(is);
+    if (!classifier) return DetectorOrError::failure("RssiDetector: " + classifier.error());
+    detector->classifier_ = std::move(classifier).value();
     detector->trained_points_ = trained_points;
     return DetectorOrError(std::move(detector));
   } catch (const std::exception& e) {
@@ -109,9 +138,20 @@ DetectorOrError RssiDetector::try_load(std::istream& is) {
 }
 
 DetectorOrError RssiDetector::try_load_file(const std::string& path) {
-  if (global_faults().should_fail_seq(kFaultDetectorLoad, path_key(path))) {
+  if (global_faults().should_fail_seq(kFaultDetectorLoad,
+                                      durable::path_fault_key(path))) {
     return DetectorOrError::failure("RssiDetector: injected load fault for " + path);
   }
+  if (durable::file_has_durable_magic(path)) {
+    auto contents = durable::read_durable_file(path, kDurableTag);
+    if (!contents) return DetectorOrError::failure("RssiDetector: " + contents.error());
+    if (contents.value().records.size() != 1) {
+      return DetectorOrError::failure("RssiDetector: unexpected record count");
+    }
+    std::istringstream is(contents.value().records[0]);
+    return try_load(is);
+  }
+  // Back-compat: pre-durable bare-text detector files.
   std::ifstream is(path);
   if (!is) return DetectorOrError::failure("RssiDetector: cannot open " + path);
   return try_load(is);
@@ -130,10 +170,24 @@ std::unique_ptr<RssiDetector> RssiDetector::load_file(const std::string& path) {
 }
 
 void RssiDetector::save_file(const std::string& path) const {
-  global_faults().check_seq(kFaultDetectorSave, path_key(path));
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("RssiDetector::save_file: cannot open " + path);
-  save(os);
+  global_faults().check_seq(kFaultDetectorSave, durable::path_fault_key(path));
+  std::ostringstream payload;
+  save(payload);
+  durable::DurableWriter writer(kDurableTag, kDurableVersion);
+  writer.add_record(payload.str());
+  auto committed = writer.commit(path);
+  if (!committed) {
+    throw std::runtime_error("RssiDetector::save_file: " + committed.error());
+  }
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::assemble(
+    std::vector<ReferencePoint> points, RssiDetectorConfig config,
+    gbt::GbtClassifier classifier, std::size_t trained_points) {
+  auto detector = std::make_unique<RssiDetector>(std::move(points), config);
+  detector->classifier_ = std::move(classifier);
+  detector->trained_points_ = trained_points;
+  return detector;
 }
 
 }  // namespace trajkit::wifi

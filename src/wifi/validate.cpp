@@ -1,0 +1,63 @@
+#include "wifi/validate.hpp"
+
+#include <cmath>
+
+namespace trajkit::wifi {
+namespace {
+
+using Valid = Expected<bool, std::string>;
+
+bool position_ok(const Enu& pos) {
+  return std::isfinite(pos.east) && std::isfinite(pos.north) &&
+         std::fabs(pos.east) <= kMaxEnuAbsM && std::fabs(pos.north) <= kMaxEnuAbsM;
+}
+
+}  // namespace
+
+Valid validate_scan(const WifiScan& scan) {
+  if (scan.size() > kMaxScanAps) {
+    return Valid::failure("scan: too many APs (" + std::to_string(scan.size()) + ")");
+  }
+  for (const auto& obs : scan) {
+    if (obs.rssi_dbm < kMinValidRssiDbm || obs.rssi_dbm > kMaxValidRssiDbm) {
+      return Valid::failure("scan: implausible RSSI " + std::to_string(obs.rssi_dbm) +
+                            " dBm");
+    }
+  }
+  return Valid(true);
+}
+
+Valid validate_reference_point(const ReferencePoint& p) {
+  if (!position_ok(p.pos)) {
+    return Valid::failure("reference point: non-finite or out-of-envelope position");
+  }
+  auto scan = validate_scan(p.scan);
+  if (!scan) return Valid::failure("reference point: " + scan.error());
+  return Valid(true);
+}
+
+Valid validate_upload(const ScannedUpload& upload) {
+  if (upload.positions.empty()) {
+    return Valid::failure("upload: empty trajectory");
+  }
+  if (upload.positions.size() != upload.scans.size()) {
+    return Valid::failure("upload: positions/scans size mismatch");
+  }
+  if (upload.positions.size() > kMaxUploadPoints) {
+    return Valid::failure("upload: too many points (" +
+                          std::to_string(upload.positions.size()) + ")");
+  }
+  for (std::size_t i = 0; i < upload.positions.size(); ++i) {
+    if (!position_ok(upload.positions[i])) {
+      return Valid::failure("upload: bad position at point " + std::to_string(i));
+    }
+    auto scan = validate_scan(upload.scans[i]);
+    if (!scan) {
+      return Valid::failure("upload: point " + std::to_string(i) + ": " +
+                            scan.error());
+    }
+  }
+  return Valid(true);
+}
+
+}  // namespace trajkit::wifi

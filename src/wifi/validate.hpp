@@ -1,0 +1,47 @@
+// Validation of untrusted wifi-layer inputs.
+//
+// Uploads and crowdsourced scans arrive from outside the trust boundary (the
+// paper's threat model is exactly that the claimed data is forged), so before
+// anything reaches the reference index or the journal it passes through these
+// checks: coordinates must be finite and within a plausible ENU envelope,
+// RSSIs within physical bounds, AP lists bounded.  Every rejection is a
+// diagnostic string via Expected — no exceptions, no partial acceptance.
+#pragma once
+
+#include <string>
+
+#include "common/expected.hpp"
+#include "wifi/features.hpp"
+#include "wifi/refindex.hpp"
+
+namespace trajkit::wifi {
+
+/// Physical bounds on a believable RSSI.  The simulator's visibility floor is
+/// -85 dBm and real hardware bottoms out near -100; +30 dBm would be a
+/// transmitter pressed against the antenna.  Anything outside is garbage.
+inline constexpr int kMinValidRssiDbm = -120;
+inline constexpr int kMaxValidRssiDbm = 30;
+
+/// Cap on APs per scan; dense urban scans see dozens, never hundreds.
+inline constexpr std::size_t kMaxScanAps = 512;
+
+/// Cap on points per upload (a multi-hour trace at 1 Hz is ~10^4).
+inline constexpr std::size_t kMaxUploadPoints = 100'000;
+
+/// Envelope on |east| / |north| in metres: generously past any single ENU
+/// frame's validity (half the Earth's circumference), tight enough to reject
+/// coordinates that are clearly not metres.
+inline constexpr double kMaxEnuAbsM = 2.1e7;
+
+/// Checks one scan: AP count within bounds and every RSSI physical.
+Expected<bool, std::string> validate_scan(const WifiScan& scan);
+
+/// Checks one crowdsourced reference point: finite in-envelope position plus
+/// a valid scan.
+Expected<bool, std::string> validate_reference_point(const ReferencePoint& p);
+
+/// Checks one uploaded trajectory: non-empty, positions/scans aligned, size
+/// bounded, every position finite and in-envelope, every scan valid.
+Expected<bool, std::string> validate_upload(const ScannedUpload& upload);
+
+}  // namespace trajkit::wifi

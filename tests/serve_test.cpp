@@ -9,6 +9,7 @@
 // per-feature semantics with hand-picked schedules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -310,7 +311,12 @@ TEST(VerifierService, FallbackCatchesTeleportingUploads) {
   for (int j = 0; j < 6; ++j) {
     const double east = j == 3 ? 500.0 : j * 1.0;
     teleport.positions.push_back({east, 0.0});
-    teleport.scans.push_back({{1, ts::LinearFieldWorld::field_rssi({east, 0.0})}});
+    // Clamp the scan into physical range: the forgery lives in the claimed
+    // positions, and an unclamped field value at 500 m east (-540 dBm) would
+    // be rejected by input validation before the fallback ever ran.
+    const int rssi =
+        std::max(ts::LinearFieldWorld::field_rssi({east, 0.0}), -100);
+    teleport.scans.push_back({{1, rssi}});
   }
 
   ManualClock clock;

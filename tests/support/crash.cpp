@@ -1,0 +1,73 @@
+#include "support/crash.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace trajkit::test_support {
+
+std::string ChildResult::describe() const {
+  if (exited) return "exited with code " + std::to_string(exit_code);
+  return "killed by signal " + std::to_string(signal);
+}
+
+ChildResult run_in_child(const std::function<void()>& body) {
+  ChildResult result;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    // Report as a bogus non-exit; the caller's assertion will print it.
+    result.signal = -1;
+    return result;
+  }
+  if (pid == 0) {
+    // Child: run the body and _exit without ever unwinding back into gtest.
+    try {
+      body();
+    } catch (...) {
+      ::_exit(70);
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) {
+    result.signal = -2;
+    return result;
+  }
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+ChildResult crash_child_at(const std::string& point,
+                           const std::function<void()>& body,
+                           std::uint64_t seed) {
+  return run_in_child([&] {
+    // Armed directly (not via FaultScope): the child never returns, so RAII
+    // cleanup would be dead code, and the parent's injector is untouched.
+    global_faults().configure(seed);
+    global_faults().arm(point,
+                        {.fail_first = 1, .action = FaultAction::kCrash});
+    body();
+  });
+}
+
+FileImage snapshot_file(const std::string& path) {
+  FileImage image;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return image;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  image.exists = true;
+  image.bytes = buf.str();
+  return image;
+}
+
+}  // namespace trajkit::test_support

@@ -1,0 +1,58 @@
+// Kill-at-fault-point crash harness.
+//
+// The durability contract ("a crash at any byte leaves either the pre-image
+// or the post-image") cannot be proven in-process: a real crash takes the
+// page cache, the stack and every destructor with it.  So the harness forks:
+// the child arms one named fault point with FaultAction::kCrash
+// (fail_first = 1 — the first hit _exit()s the process, no unwinding, no
+// flushes) and runs the operation under test; the parent reaps it, asserts
+// it died at the injected point (exit code kCrashExitCode) and then examines
+// the surviving on-disk state from a process that never saw the crash.
+//
+// Children must treat themselves as I/O-only: build all worlds/models in the
+// parent *before* forking, and never create threads in the child.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/fault.hpp"
+
+namespace trajkit::test_support {
+
+/// How a forked child terminated.
+struct ChildResult {
+  bool exited = false;   ///< normal exit (vs signal)
+  int exit_code = -1;    ///< WEXITSTATUS when exited
+  int signal = 0;        ///< terminating signal when !exited
+
+  /// Child died exactly at an armed kCrash fault point.
+  bool crashed_at_point() const { return exited && exit_code == kCrashExitCode; }
+  /// Child ran to completion (body returned normally).
+  bool completed() const { return exited && exit_code == 0; }
+
+  std::string describe() const;
+};
+
+/// Fork and run `body` in the child.  The child _exit(0)s when body returns,
+/// _exit(70) on an escaped exception.  Returns how the child died.
+ChildResult run_in_child(const std::function<void()>& body);
+
+/// Fork a child that arms `point` with {fail_first = 1, kCrash} under the
+/// given fault seed and then runs `body`: the first operation to consult the
+/// point dies mid-flight.  A point the body never reaches yields completed().
+ChildResult crash_child_at(const std::string& point,
+                           const std::function<void()>& body,
+                           std::uint64_t seed = 1);
+
+/// Slurp a file; empty-with-flag when it does not exist (distinguishes "no
+/// file" from "empty file" for pre/post-image comparisons).
+struct FileImage {
+  bool exists = false;
+  std::string bytes;
+
+  friend bool operator==(const FileImage&, const FileImage&) = default;
+};
+FileImage snapshot_file(const std::string& path);
+
+}  // namespace trajkit::test_support

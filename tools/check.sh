@@ -33,8 +33,12 @@ run_leg() {
 }
 
 # Kernels joins the TSan leg because the batched nn path shares a
-# thread_local workspace with the training pool's worker threads.
-TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels'
+# thread_local workspace with the training pool's worker threads.  The
+# durability suites (durable_test, crash_recovery_test) join every leg: under
+# TSan/ASan/UBSan the corruption fuzz proves that a flipped byte is a clean
+# Expected error and never UB, and the fork-based crash matrix stays safe
+# because the children are single-threaded and I/O-only.
+TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels|Crc32|AtomicWrite|Durable|Journal|CorruptionFuzz|TrajCsv|Validate|CrowdStore|CrashRecovery'
 
 case "${LEG}" in
   tsan) run_leg tsan thread "${TSAN_FILTER}" ;;
