@@ -18,7 +18,10 @@ namespace {
 constexpr char kMagic[8] = {'T', 'K', 'D', 'U', 'R', 'B', '1', '\n'};
 constexpr char kFooterMagic[4] = {'T', 'K', 'E', 'N'};
 constexpr std::size_t kMaxTagLen = 256;
-constexpr std::size_t kMaxRecords = 1u << 16;
+/// Smallest possible on-disk footprint of one record: u64 length + u32 CRC
+/// with an empty payload.  Bounds how many records a file of a given size
+/// can plausibly claim.
+constexpr std::size_t kMinRecordBytes = 12;
 
 void append_u32(std::string& out, std::uint32_t v) {
   char buf[sizeof v];
@@ -159,6 +162,10 @@ Expected<bool, std::string> write_file_atomic(const std::string& path,
   return WriteResult(true);
 }
 
+void remove_stale_tmp(const std::string& path) {
+  ::unlink((path + ".tmp").c_str());
+}
+
 Expected<std::string, std::string> read_file(const std::string& path) {
   using Result = Expected<std::string, std::string>;
   std::ifstream is(path, std::ios::binary);
@@ -198,6 +205,15 @@ std::string DurableWriter::bytes() const {
 }
 
 Expected<bool, std::string> DurableWriter::commit(const std::string& path) const {
+  // Refuse to commit what parse_durable would refuse to read: past the record
+  // cap the file would be unloadable, which for a store snapshot means a
+  // store that compacts once and can never be reopened.
+  if (records_.size() > kMaxDurableRecords) {
+    return WriteResult::failure(
+        "durable: record count " + std::to_string(records_.size()) +
+        " exceeds the cap of " + std::to_string(kMaxDurableRecords) +
+        " for " + path);
+  }
   return write_file_atomic(path, bytes());
 }
 
@@ -228,7 +244,10 @@ Expected<DurableContents, std::string> parse_durable(std::string_view bytes,
   if (!cur.read_u32(contents.version) || !cur.read_u32(record_count)) {
     return Result::failure("durable: truncated header");
   }
-  if (record_count > kMaxRecords) {
+  // Two plausibility bounds before reserving anything: the global cap the
+  // writer enforces, and what the remaining bytes could physically hold.
+  if (record_count > kMaxDurableRecords ||
+      record_count > cur.remaining() / kMinRecordBytes) {
     return Result::failure("durable: implausible record count");
   }
   contents.records.reserve(record_count);

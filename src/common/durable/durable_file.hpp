@@ -58,12 +58,26 @@ inline constexpr const char* kAtomicWritePoints[] = {
     kFaultOpenTmp, kFaultWritePartial, kFaultSyncTmp, kFaultRename, kFaultDirSync,
 };
 
+/// Upper bound on records in one framed container.  Enforced at write time
+/// by DurableWriter::commit and re-checked on parse (together with a
+/// bytes-based plausibility bound), so a writer can never commit a file the
+/// reader would refuse.  Sized to cover the largest producer — the crowd
+/// store snapshot (kMaxSnapshotPoints reference points plus a meta record),
+/// which static_asserts against this constant.
+inline constexpr std::size_t kMaxDurableRecords = std::size_t{1} << 23;
+
 /// Atomically replace `path` with `content` (temp file + fsync + rename +
 /// directory fsync).  On failure the previous file is untouched and the temp
 /// file is removed.  Single-writer per path: concurrent writers would race on
 /// the same temp name.
 Expected<bool, std::string> write_file_atomic(const std::string& path,
                                               std::string_view content);
+
+/// Remove a stale `path + ".tmp"` left behind by a crash between open and
+/// rename inside write_file_atomic.  Recovery-time hygiene for owners of a
+/// path's lifecycle (Journal::open, CrowdStore::open); missing temp files
+/// are not an error.
+void remove_stale_tmp(const std::string& path);
 
 /// Slurp a whole file; error on open/read failure (never on content).
 Expected<std::string, std::string> read_file(const std::string& path);

@@ -89,6 +89,11 @@ Expected<std::unique_ptr<Journal>, std::string> Journal::open(
     bool sync_each_append) {
   using Result = Expected<std::unique_ptr<Journal>, std::string>;
 
+  // A crash between opening and renaming the temp file inside a previous
+  // atomic write (creation or reset) leaves `path + ".tmp"` behind; nothing
+  // else ever reclaims it, so recovery does.
+  remove_stale_tmp(path);
+
   struct stat st {};
   if (::stat(path.c_str(), &st) != 0) {
     // No journal yet: create one atomically, so a crash mid-creation leaves
@@ -169,6 +174,27 @@ Expected<std::unique_ptr<Journal>, std::string> Journal::open(
   return Result(std::move(journal));
 }
 
+std::string Journal::abort_append(off_t pre_append_size, std::string message) {
+  // A failed append must not leave a torn frame behind an open, usable
+  // journal: later appends would land after the tear, be acknowledged, and
+  // then be truncated away by the next open()'s torn-tail recovery — acked
+  // records silently lost.  Roll the file back to its pre-append size; the
+  // truncated length becomes durable with the next fsynced append, and a
+  // crash before that recovers fine (open() cuts any torn tail, and the
+  // failed record was never acknowledged).  If even the rollback fails,
+  // poison the journal so every further append fails loudly.
+  if (::ftruncate(fd_, pre_append_size) == 0 &&
+      ::lseek(fd_, pre_append_size, SEEK_SET) >= 0) {
+    return message;
+  }
+  message += " (rollback failed: ";
+  message += std::strerror(errno);
+  message += "; journal poisoned)";
+  ::close(fd_);
+  fd_ = -1;
+  return message;
+}
+
 Expected<std::uint64_t, std::string> Journal::append(std::string_view payload) {
   using Result = Expected<std::uint64_t, std::string>;
   if (fd_ < 0) return Result::failure("journal: not open");
@@ -186,23 +212,32 @@ Expected<std::uint64_t, std::string> Journal::append(std::string_view payload) {
   append_u32(frame, crc32(payload));
   frame += payload;
 
-  // Half the frame, then the fault point, then the rest: a kCrash here (or a
-  // kFail return) leaves a torn tail that the next open() truncates.
+  const off_t start = ::lseek(fd_, 0, SEEK_CUR);
+  if (start < 0) {
+    return Result::failure("journal: cannot locate append offset in " + path_);
+  }
+
+  // Half the frame, then the fault point, then the rest: a kCrash here takes
+  // the process down mid-frame, leaving a torn tail for the next open() to
+  // truncate.  A kFail (like any real write/fsync error) instead returns
+  // through abort_append, which rolls the file back so the journal stays
+  // frame-aligned and usable.
   const std::size_t half = frame.size() / 2;
   if (!write_all(fd_, frame.data(), half)) {
-    return Result::failure("journal: short write to " + path_);
+    return Result::failure(abort_append(start, "journal: short write to " + path_));
   }
   if (faults.should_fail_seq(kFaultAppendPartial, key)) {
-    return Result::failure("journal: injected fault mid-append");
+    return Result::failure(abort_append(start, "journal: injected fault mid-append"));
   }
   if (!write_all(fd_, frame.data() + half, frame.size() - half)) {
-    return Result::failure("journal: short write to " + path_);
+    return Result::failure(abort_append(start, "journal: short write to " + path_));
   }
   if (faults.should_fail_seq(kFaultAppendSync, key)) {
-    return Result::failure("journal: injected fault before fsync");
+    return Result::failure(abort_append(start, "journal: injected fault before fsync"));
   }
   if (sync_each_append_ && ::fsync(fd_) != 0) {
-    return Result::failure("journal: fsync failed: " + std::string(std::strerror(errno)));
+    return Result::failure(abort_append(
+        start, "journal: fsync failed: " + std::string(std::strerror(errno))));
   }
   return Result(next_seq_++);
 }

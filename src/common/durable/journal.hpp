@@ -27,9 +27,15 @@
 //     payload
 //
 // The append path carries fault/crash points (kFaultAppendPartial lands
-// mid-frame, kFaultAppendSync after the frame but before fsync), which is
-// how the crash harness manufactures genuinely torn tails.
+// mid-frame, kFaultAppendSync after the frame but before fsync).  A kCrash
+// there kills the process and leaves a genuinely torn tail for the harness;
+// a kFail — like any real write or fsync error — rolls the file back to its
+// pre-append size before returning, so a live journal never sits behind a
+// torn frame that a later open() would truncate (along with every record
+// acknowledged after it).
 #pragma once
+
+#include <sys/types.h>
 
 #include <cstdint>
 #include <memory>
@@ -80,7 +86,12 @@ class Journal {
 
   /// Append one record; returns the seq it was assigned.  With
   /// sync_each_append the record is fsynced before returning (the WAL
-  /// contract); otherwise durability is deferred to sync()/the OS.
+  /// contract); otherwise durability is deferred to sync()/the OS.  On
+  /// failure the file is rolled back to its pre-append size (the record was
+  /// never acknowledged, so it must not linger as a torn frame under later
+  /// appends); if the rollback itself fails the journal is poisoned — every
+  /// later append fails — rather than risk acknowledging records a future
+  /// recovery would truncate away.
   Expected<std::uint64_t, std::string> append(std::string_view payload);
 
   /// fsync the journal fd.
@@ -94,6 +105,12 @@ class Journal {
 
  private:
   Journal(std::string path, std::string tag, bool sync_each_append);
+
+  /// Failed-append recovery: truncate the file back to `pre_append_size` so
+  /// no torn frame survives under an open journal; poisons the journal
+  /// (fd_ = -1) when the rollback fails.  Returns the error message to
+  /// report, annotated if poisoned.
+  std::string abort_append(off_t pre_append_size, std::string message);
 
   std::string path_;
   std::string tag_;

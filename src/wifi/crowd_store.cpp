@@ -19,6 +19,12 @@ constexpr std::uint32_t kSnapshotVersion = 1;
 constexpr const char* kJournalTag = "crowd_journal";
 constexpr std::size_t kMaxSnapshotPoints = 5'000'000;
 
+// Every point the store can hold must fit in one snapshot container (plus
+// its meta record), or compact() would commit a snapshot that open() can
+// never read back — a store that bricks itself at its first compaction.
+static_assert(kMaxSnapshotPoints + 1 <= durable::kMaxDurableRecords,
+              "crowd snapshot capacity exceeds the durable record cap");
+
 std::string format_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -92,6 +98,9 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
   // here is real corruption, not a crash artifact.
   std::uint64_t snapshot_next_seq = 0;
   const std::string snap = snapshot_path(dir);
+  // A crash inside a previous snapshot commit can strand `crowd.snapshot.tmp`
+  // forever (the journal cleans up its own temp in Journal::open).
+  durable::remove_stale_tmp(snap);
   struct stat st {};
   if (::stat(snap.c_str(), &st) == 0) {
     auto contents = durable::read_durable_file(snap, kSnapshotTag);
@@ -146,6 +155,10 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
 
 Expected<std::uint64_t, std::string> CrowdStore::append(const ReferencePoint& point) {
   using Result = Expected<std::uint64_t, std::string>;
+  if (points_.size() >= kMaxSnapshotPoints) {
+    return Result::failure("crowd store: at capacity (" +
+                           std::to_string(kMaxSnapshotPoints) + " points)");
+  }
   auto valid = validate_reference_point(point);
   if (!valid) return Result::failure("crowd store: " + valid.error());
   auto seq = journal_->append(encode_point(point));

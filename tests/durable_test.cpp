@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <limits>
@@ -176,6 +177,44 @@ TEST(DurableContainer, TrailingGarbageIsRejected) {
   EXPECT_FALSE(parsed.has_value());
 }
 
+TEST(DurableContainer, RoundTripsBeyond16BitRecordCount) {
+  // Regression: the parse-side record cap used to be 65,536 while writers
+  // (the crowd snapshot holds up to 5M points) could legally commit far more
+  // — the file wrote fine and could never be read back.
+  constexpr std::size_t kCount = 70'000;
+  DurableWriter writer("big_tag", 1);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    writer.add_record(std::to_string(i));
+  }
+  const auto parsed = durable::parse_durable(writer.bytes(), "big_tag");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  ASSERT_EQ(parsed.value().records.size(), kCount);
+  EXPECT_EQ(parsed.value().records[0], "0");
+  EXPECT_EQ(parsed.value().records[kCount - 1], std::to_string(kCount - 1));
+}
+
+TEST(DurableContainer, RejectsImplausibleClaimedRecordCount) {
+  DurableWriter writer("count_tag", 1);
+  writer.add_record("only record");
+  std::string bytes = writer.bytes();
+  // magic(8) + tag_len(4) + tag + version(4), then the u32 record count.
+  const std::size_t count_offset = 8 + 4 + std::strlen("count_tag") + 4;
+
+  // More records than the remaining bytes could physically hold.
+  std::uint32_t claimed = 1000;
+  std::memcpy(&bytes[count_offset], &claimed, sizeof claimed);
+  auto parsed = durable::parse_durable(bytes, "count_tag");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().find("implausible"), std::string::npos) << parsed.error();
+
+  // Past the global cap the writer enforces.
+  claimed = static_cast<std::uint32_t>(durable::kMaxDurableRecords + 1);
+  std::memcpy(&bytes[count_offset], &claimed, sizeof claimed);
+  parsed = durable::parse_durable(bytes, "count_tag");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().find("implausible"), std::string::npos) << parsed.error();
+}
+
 // ---------------------------------------------------------------------------
 // Journal
 
@@ -267,6 +306,58 @@ TEST(Journal, AppendContinuesAfterTornTailRecovery) {
   ASSERT_TRUE(journal.has_value());
   ASSERT_EQ(journal.value()->recovery().records.size(), 2u);
   EXPECT_EQ(journal.value()->recovery().records[1].payload, "after recovery");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FailedAppendRollsBackAndAckedRecordsSurviveReopen) {
+  // The WAL-contract regression: a failed append used to leave its torn
+  // frame in the file while the journal stayed usable, so later acknowledged
+  // appends landed *after* the tear — and the next open() truncated them all
+  // away.  Now the failure rolls the file back, the retry is acknowledged at
+  // a clean offset, and reopen recovers every acked record.
+  const std::string path = "durable_test_journal_rollback.tmp";
+  for (const char* point :
+       {durable::kFaultAppendPartial, durable::kFaultAppendSync}) {
+    std::remove(path.c_str());
+    {
+      auto journal = durable::Journal::open(path, "rollback_journal");
+      ASSERT_TRUE(journal.has_value()) << journal.error();
+      ASSERT_TRUE(journal.value()->append("committed").has_value());
+      const std::size_t committed_size = slurp(path).size();
+
+      FaultScope faults(7);
+      faults.arm(point, {.fail_first = 1});
+      EXPECT_FALSE(journal.value()->append("doomed").has_value()) << point;
+      // No torn bytes linger: the file is back at its pre-append size.
+      EXPECT_EQ(slurp(path).size(), committed_size) << point;
+      // The journal stays usable and the retry takes the failed seq.
+      auto seq = journal.value()->append("retried");
+      ASSERT_TRUE(seq.has_value()) << point << ": " << seq.error();
+      EXPECT_EQ(seq.value(), 1u) << point;
+    }
+    auto reopened = durable::Journal::open(path, "rollback_journal");
+    ASSERT_TRUE(reopened.has_value()) << point << ": " << reopened.error();
+    const auto& rec = reopened.value()->recovery();
+    EXPECT_EQ(rec.truncated_bytes, 0u) << point;
+    ASSERT_EQ(rec.records.size(), 2u) << point;
+    EXPECT_EQ(rec.records[0].payload, "committed") << point;
+    EXPECT_EQ(rec.records[1].payload, "retried") << point;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, OpenRemovesStaleTempFile) {
+  // A crash between open and rename inside an atomic journal create/reset
+  // strands `<path>.tmp`; nothing else owns that name, so open() reclaims it.
+  const std::string path = "durable_test_journal_stale.tmp";
+  std::remove(path.c_str());
+  { ASSERT_TRUE(durable::Journal::open(path, "stale_journal").has_value()); }
+  write_raw(path + ".tmp", "stale bytes from a crashed atomic write");
+  {
+    auto journal = durable::Journal::open(path, "stale_journal");
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+  }
+  EXPECT_FALSE(ts::snapshot_file(path + ".tmp").exists);
   std::remove(path.c_str());
 }
 
@@ -803,6 +894,50 @@ TEST(CrowdStore, CompactionFoldsJournalIntoSnapshot) {
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ(store.value()->points()[i].pos.east, double(i));
   }
+  remove_tree(dir);
+}
+
+TEST(CrowdStore, CompactionBeyond16BitPointCountSurvivesReopen) {
+  // Regression for the bricked-store bug: with >65,535 points the snapshot
+  // used to commit fine (and reset the journal, discarding the WAL copy)
+  // but tripped the old parse-side record cap on every reopen.
+  const std::string dir = "durable_test_store_big";
+  remove_tree(dir);
+  constexpr std::size_t kPoints = 66'000;  // past the old 65,536 cap
+  {
+    auto store = wifi::CrowdStore::open(dir, /*sync_each_append=*/false);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      const wifi::ReferencePoint p{
+          {double(i % 1000), double(i / 1000)}, {{1, -50}}, 3u};
+      ASSERT_TRUE(store.value()->append(p).has_value()) << "point " << i;
+    }
+    ASSERT_TRUE(store.value()->compact().has_value());
+  }
+  auto store = wifi::CrowdStore::open(dir, /*sync_each_append=*/false);
+  ASSERT_TRUE(store.has_value()) << store.error();
+  EXPECT_EQ(store.value()->open_stats().snapshot_points, kPoints);
+  ASSERT_EQ(store.value()->points().size(), kPoints);
+  EXPECT_EQ(store.value()->points().back().pos.east, double((kPoints - 1) % 1000));
+  EXPECT_EQ(store.value()->points().back().pos.north, double((kPoints - 1) / 1000));
+  remove_tree(dir);
+}
+
+TEST(CrowdStore, OpenRemovesStaleSnapshotTemp) {
+  const std::string dir = "durable_test_store_stale";
+  remove_tree(dir);
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    ASSERT_TRUE(store.value()->append(sample_point(0)).has_value());
+  }
+  const std::string stale = wifi::CrowdStore::snapshot_path(dir) + ".tmp";
+  write_raw(stale, "stale bytes from a crashed snapshot commit");
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+  }
+  EXPECT_FALSE(ts::snapshot_file(stale).exists);
   remove_tree(dir);
 }
 
