@@ -74,6 +74,65 @@ struct Cursor {
   }
 };
 
+/// Parsed body of a journal file: header seq plus the intact record prefix.
+struct ParsedJournal {
+  std::uint64_t base_seq = 0;
+  Journal::Recovery recovery;
+  std::size_t good_end = 0;  ///< file offset after the last intact record
+};
+
+Expected<ParsedJournal, std::string> parse_journal(const std::string& bytes,
+                                                   std::string_view tag,
+                                                   const std::string& path) {
+  using Result = Expected<ParsedJournal, std::string>;
+  Cursor cur{bytes};
+  char magic[sizeof kMagic];
+  if (!cur.read_bytes(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Result::failure("journal: bad magic in " + path);
+  }
+  std::uint32_t tag_len = 0;
+  if (!cur.read_u32(tag_len) || tag_len > kMaxTagLen) {
+    return Result::failure("journal: bad tag length in " + path);
+  }
+  std::string_view file_tag;
+  if (!cur.read_view(file_tag, tag_len) || file_tag != tag) {
+    return Result::failure("journal: tag mismatch in " + path);
+  }
+  ParsedJournal parsed;
+  if (!cur.read_u64(parsed.base_seq)) {
+    return Result::failure("journal: truncated header in " + path);
+  }
+
+  // Replay intact records; stop at the first frame that is short, has a bad
+  // magic/CRC or an out-of-order seq.  Everything from there on is a torn
+  // tail (or trailing corruption).
+  std::uint64_t next_seq = parsed.base_seq;
+  parsed.good_end = cur.pos;
+  while (cur.remaining() > 0) {
+    char rec_magic[sizeof kRecordMagic];
+    std::uint64_t seq = 0;
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!cur.read_bytes(rec_magic, sizeof rec_magic) ||
+        std::memcmp(rec_magic, kRecordMagic, sizeof kRecordMagic) != 0 ||
+        !cur.read_u64(seq) || !cur.read_u32(len) || !cur.read_u32(crc)) {
+      break;
+    }
+    if (seq != next_seq || len > kMaxPayload || len > cur.remaining()) {
+      break;
+    }
+    std::string_view payload;
+    cur.read_view(payload, len);
+    if (crc32(payload) != crc) break;
+    parsed.recovery.records.push_back({seq, std::string(payload)});
+    next_seq = seq + 1;
+    parsed.good_end = cur.pos;
+  }
+  parsed.recovery.truncated_bytes = bytes.size() - parsed.good_end;
+  return Result(std::move(parsed));
+}
+
 }  // namespace
 
 Journal::Journal(std::string path, std::string tag, bool sync_each_append)
@@ -106,54 +165,16 @@ Expected<std::unique_ptr<Journal>, std::string> Journal::open(
   if (!raw) return Result::failure("journal: " + raw.error());
   const std::string& bytes = raw.value();
 
-  Cursor cur{bytes};
-  char magic[sizeof kMagic];
-  if (!cur.read_bytes(magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    return Result::failure("journal: bad magic in " + path);
-  }
-  std::uint32_t tag_len = 0;
-  if (!cur.read_u32(tag_len) || tag_len > kMaxTagLen) {
-    return Result::failure("journal: bad tag length in " + path);
-  }
-  std::string_view file_tag;
-  if (!cur.read_view(file_tag, tag_len) || file_tag != tag) {
-    return Result::failure("journal: tag mismatch in " + path);
-  }
-  std::uint64_t base_seq = 0;
-  if (!cur.read_u64(base_seq)) {
-    return Result::failure("journal: truncated header in " + path);
-  }
+  auto parsed = parse_journal(bytes, tag, path);
+  if (!parsed) return Result::failure(parsed.error());
 
   std::unique_ptr<Journal> journal(
       new Journal(path, std::string(tag), sync_each_append));
-  journal->next_seq_ = base_seq;
-
-  // Replay intact records; stop at the first frame that is short, has a bad
-  // magic/CRC or an out-of-order seq.  Everything from there on is a torn
-  // tail (or trailing corruption) and is truncated off deterministically.
-  std::size_t good_end = cur.pos;
-  while (cur.remaining() > 0) {
-    char rec_magic[sizeof kRecordMagic];
-    std::uint64_t seq = 0;
-    std::uint32_t len = 0;
-    std::uint32_t crc = 0;
-    if (!cur.read_bytes(rec_magic, sizeof rec_magic) ||
-        std::memcmp(rec_magic, kRecordMagic, sizeof kRecordMagic) != 0 ||
-        !cur.read_u64(seq) || !cur.read_u32(len) || !cur.read_u32(crc)) {
-      break;
-    }
-    if (seq != journal->next_seq_ || len > kMaxPayload || len > cur.remaining()) {
-      break;
-    }
-    std::string_view payload;
-    cur.read_view(payload, len);
-    if (crc32(payload) != crc) break;
-    journal->recovery_.records.push_back({seq, std::string(payload)});
-    journal->next_seq_ = seq + 1;
-    good_end = cur.pos;
-  }
-  journal->recovery_.truncated_bytes = bytes.size() - good_end;
+  // A torn tail (or trailing corruption) is truncated off deterministically
+  // below, so the journal recovers to an exact record prefix.
+  const std::size_t good_end = parsed.value().good_end;
+  journal->next_seq_ = parsed.value().base_seq + parsed.value().recovery.records.size();
+  journal->recovery_ = std::move(parsed).value().recovery;
 
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
@@ -172,6 +193,16 @@ Expected<std::unique_ptr<Journal>, std::string> Journal::open(
   }
   journal->fd_ = fd;
   return Result(std::move(journal));
+}
+
+Expected<Journal::Recovery, std::string> Journal::read_records(
+    const std::string& path, std::string_view tag) {
+  using Result = Expected<Recovery, std::string>;
+  auto raw = read_file(path);
+  if (!raw) return Result::failure("journal: " + raw.error());
+  auto parsed = parse_journal(raw.value(), tag, path);
+  if (!parsed) return Result::failure(parsed.error());
+  return Result(std::move(parsed).value().recovery);
 }
 
 std::string Journal::abort_append(off_t pre_append_size, std::string message) {

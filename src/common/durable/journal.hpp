@@ -76,6 +76,18 @@ class Journal {
       const std::string& path, std::string_view tag,
       std::uint64_t base_seq_if_new = 0, bool sync_each_append = true);
 
+  /// Read-only scan of a journal file owned by someone else: every intact
+  /// record, in order, without truncating a torn tail or taking an append
+  /// fd.  This is the replication hook — a leader ships its write-ahead
+  /// frames by letting a follower read (path, tag) and replay the records
+  /// through its own seq-skip apply path, and a follower cold-start replays
+  /// the leader's journal tail on top of a copied snapshot the same way.  A
+  /// missing file is an error (the caller knows whether a journal must
+  /// exist); a torn tail is not — the intact prefix is exactly what the
+  /// owner would recover.
+  static Expected<Recovery, std::string> read_records(const std::string& path,
+                                                      std::string_view tag);
+
   ~Journal();
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace trajkit {
 namespace {
@@ -92,6 +93,14 @@ BoundingBox BoundingBox::of(const std::vector<Enu>& pts) {
     box.max_north = std::max(box.max_north, p.north);
   }
   return box;
+}
+
+TileId tile_of(const Enu& p, double tile_m) {
+  if (!(tile_m > 0.0)) {
+    throw std::invalid_argument("tile_of: tile size must be positive");
+  }
+  return {static_cast<std::int64_t>(std::floor(p.east / tile_m)),
+          static_cast<std::int64_t>(std::floor(p.north / tile_m))};
 }
 
 double point_segment_distance(const Enu& p, const Enu& a, const Enu& b) {

@@ -1,0 +1,252 @@
+#include "serve/shard_service.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/durable/durable_file.hpp"
+#include "common/durable/journal.hpp"
+#include "common/fault.hpp"
+
+namespace trajkit::serve {
+
+// ---------------------------------------------------------------------------
+// SegmentBarrier
+
+SegmentBarrier::SegmentBarrier(std::size_t count) : remaining_(count) {}
+
+void SegmentBarrier::finish(std::string error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_.empty() && !error.empty()) error_ = std::move(error);
+  if (remaining_ > 0) --remaining_;
+  if (remaining_ == 0) cv_.notify_all();
+}
+
+void SegmentBarrier::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// ShardReplica
+
+Expected<std::unique_ptr<ShardReplica>, std::string> ShardReplica::open(
+    const std::string& dir, bool sync_each_append) {
+  using Result = Expected<std::unique_ptr<ShardReplica>, std::string>;
+  auto store = wifi::CrowdStore::open(dir, sync_each_append);
+  if (!store) return Result::failure("shard replica: " + store.error());
+  return Result(std::unique_ptr<ShardReplica>(
+      new ShardReplica(dir, std::move(store).value())));
+}
+
+Expected<std::unique_ptr<ShardReplica>, std::string> ShardReplica::bootstrap(
+    const std::string& leader_dir, const std::string& dir, bool sync_each_append) {
+  using Result = Expected<std::unique_ptr<ShardReplica>, std::string>;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Result::failure("shard replica: cannot create " + dir + ": " +
+                           std::strerror(errno));
+  }
+
+  // 1. The snapshot, copied atomically: the follower either has the complete
+  // leader snapshot or none, never a torn one.  A missing leader snapshot
+  // just means the leader never compacted — the journal tail is everything.
+  const std::string leader_snapshot = wifi::CrowdStore::snapshot_path(leader_dir);
+  struct stat st {};
+  if (::stat(leader_snapshot.c_str(), &st) == 0) {
+    auto bytes = durable::read_file(leader_snapshot);
+    if (!bytes) return Result::failure("shard replica: " + bytes.error());
+    auto copied = durable::write_file_atomic(wifi::CrowdStore::snapshot_path(dir),
+                                             bytes.value());
+    if (!copied) return Result::failure("shard replica: " + copied.error());
+  }
+
+  auto replica = open(dir, sync_each_append);
+  if (!replica) return replica;
+
+  // 2. The journal tail, scanned read-only (the leader may be dead; we must
+  // not truncate or take an append fd on its files).  Replay goes through
+  // apply_frame so records the copied snapshot already covers skip on seq.
+  auto tail = durable::Journal::read_records(
+      wifi::CrowdStore::journal_path(leader_dir), wifi::CrowdStore::journal_tag());
+  if (!tail) return Result::failure("shard replica: " + tail.error());
+  for (const auto& record : tail.value().records) {
+    auto applied = replica.value()->apply_frame(record.seq, record.payload);
+    if (!applied) return Result::failure(applied.error());
+  }
+  return replica;
+}
+
+Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
+                                                      const std::string& payload) {
+  using Result = Expected<bool, std::string>;
+  const std::uint64_t next = store_->next_seq();
+  if (seq < next) return Result(false);  // already applied; redelivery is a no-op
+  if (seq > next) {
+    return Result::failure("shard replica: replication gap in " + dir_ +
+                           ": got seq " + std::to_string(seq) + ", expected " +
+                           std::to_string(next));
+  }
+  auto point = wifi::CrowdStore::decode_point(payload);
+  if (!point) return Result::failure("shard replica: " + point.error());
+  auto appended = store_->append(point.value());
+  if (!appended) return Result::failure("shard replica: " + appended.error());
+  return Result(true);
+}
+
+// ---------------------------------------------------------------------------
+// ShardService
+
+ShardService::ShardService(std::size_t shard_id,
+                           std::vector<wifi::ReferencePoint> slice,
+                           const wifi::RssiDetectorConfig& config,
+                           gbt::GbtClassifier classifier, std::size_t trained_points,
+                           const BoundingBox& index_bounds, ShardServiceConfig cfg)
+    : shard_id_(shard_id),
+      detector_(wifi::RssiDetector::assemble(std::move(slice), config,
+                                             std::move(classifier), trained_points,
+                                             index_bounds)),
+      cache_(std::make_shared<ShardedRpdLruCache>(cfg.cache)) {
+  detector_->set_rpd_cache(cache_);
+}
+
+ShardService::ShardService(std::size_t shard_id,
+                           std::unique_ptr<wifi::CrowdStore> store)
+    : shard_id_(shard_id), store_(std::move(store)) {}
+
+Expected<std::unique_ptr<ShardService>, std::string> ShardService::open_leader(
+    std::size_t shard_id, const std::string& dir, bool sync_each_append) {
+  using Result = Expected<std::unique_ptr<ShardService>, std::string>;
+  auto store = wifi::CrowdStore::open(dir, sync_each_append);
+  if (!store) return Result::failure("shard leader: " + store.error());
+  return Result(std::unique_ptr<ShardService>(
+      new ShardService(shard_id, std::move(store).value())));
+}
+
+ShardService::~ShardService() { stop(); }
+
+void ShardService::attach_follower(ShardReplica* follower) {
+  followers_.push_back(follower);
+}
+
+Expected<std::uint64_t, std::string> ShardService::ingest(
+    const wifi::ReferencePoint& point) {
+  using Result = Expected<std::uint64_t, std::string>;
+  if (!store_) return Result::failure("shard: no store attached");
+
+  // Leader-durable first: the WAL append fsyncs before returning a seq.
+  auto seq = store_->append(point);
+  if (!seq) return seq;
+
+  // Ship the same frame to every follower; the acknowledgement below is
+  // issued only after each follower's own WAL holds it.  The fault points
+  // bracket the follower append so the failover harness can kill the leader
+  // with the frame in every intermediate state.
+  const std::string payload = wifi::CrowdStore::encode_point(point);
+  auto& faults = global_faults();
+  for (ShardReplica* follower : followers_) {
+    if (faults.should_fail_seq(kFaultShipFrame, seq.value())) {
+      return Result::failure("shard: injected fault shipping frame " +
+                             std::to_string(seq.value()));
+    }
+    auto applied = follower->apply_frame(seq.value(), payload);
+    if (!applied) return Result::failure(applied.error());
+    if (faults.should_fail_seq(kFaultShipApplied, seq.value())) {
+      return Result::failure("shard: injected fault acknowledging frame " +
+                             std::to_string(seq.value()));
+    }
+  }
+  ++acked_;
+  return seq;
+}
+
+Expected<bool, std::string> ShardService::compact() {
+  using Result = Expected<bool, std::string>;
+  if (!store_) return Result::failure("shard: no store attached");
+  return store_->compact();
+}
+
+void ShardService::evaluate_segment(const wifi::ScannedUpload& upload,
+                                    std::size_t begin, std::size_t end,
+                                    double* features, double* scores) const {
+  if (!detector_) throw std::logic_error("shard: no detector attached");
+  if (begin > end || end > upload.positions.size() ||
+      upload.positions.size() != upload.scans.size()) {
+    throw std::invalid_argument("shard: bad segment bounds");
+  }
+  wifi::ScannedUpload segment;
+  segment.source_traj_id = upload.source_traj_id;
+  segment.positions.assign(upload.positions.begin() + static_cast<long>(begin),
+                           upload.positions.begin() + static_cast<long>(end));
+  segment.scans.assign(upload.scans.begin() + static_cast<long>(begin),
+                       upload.scans.begin() + static_cast<long>(end));
+
+  std::vector<double> seg_features;
+  std::vector<double> seg_scores;
+  detector_->segment_features(segment, seg_features, seg_scores);
+  std::copy(seg_features.begin(), seg_features.end(), features);
+  std::copy(seg_scores.begin(), seg_scores.end(), scores);
+  segments_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardService::submit_segment(const SegmentTask& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      throw std::logic_error("shard: worker not running (call start())");
+    }
+    queue_.push_back(task);
+  }
+  work_cv_.notify_one();
+}
+
+void ShardService::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void ShardService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool ShardService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void ShardService::worker_loop() {
+  for (;;) {
+    SegmentTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    std::string error;
+    try {
+      evaluate_segment(*task.upload, task.begin, task.end, task.features,
+                       task.scores);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    if (task.barrier != nullptr) task.barrier->finish(std::move(error));
+  }
+}
+
+}  // namespace trajkit::serve

@@ -1,0 +1,228 @@
+// One geo-shard of the city-scale verification plane.
+//
+// The ShardRouter (serve/shard_router) partitions the crowdsourced reference
+// world by map tile; each ShardService owns the slice of reference points
+// whose tiles (plus a halo) hash to it, an RPD LRU bounded to that slice, and
+// optionally a durable CrowdStore for the shard's ingestion stream.  The
+// slice detector is built under the *global* reference grid geometry
+// (ReferenceIndex::natural_bounds of the unsharded set), which is what makes
+// per-segment Eq. 8 features bitwise-equal to the single-shard oracle — see
+// shard_router.hpp for the full equivalence argument.
+//
+// Replication: a leader shard ships every accepted write-ahead frame
+// (seq + CrowdStore point encoding) to its attached ShardReplica followers
+// and acknowledges the upload only after each follower has durably applied
+// it.  Frames are applied through the journal's seq discipline — a stale seq
+// is skipped (idempotent redelivery), a gapped seq is refused — so a
+// follower can also cold-start from a copy of the leader's snapshot plus a
+// read-only scan of its journal tail (durable::Journal::read_records) and
+// converge on exactly the acknowledged prefix.  After a leader kill the
+// promoted follower is just a CrowdStore directory: VerifierService::
+// try_create_from_store (or a fresh ShardService) serves from it and
+// reproduces bit-identical verdicts, which tests/shard_test.cpp proves by
+// crashing the leader at every shipping fault point.
+//
+// Threading: segment evaluation is synchronous by default (the router's
+// calling thread fans out through the deterministic pool).  start() arms an
+// optional dedicated worker thread per shard — the scale-out serving shape
+// the bench measures — fed through submit_segment().  Construction never
+// spawns threads, so fork-based crash harnesses can build shards in a child.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "gbt/booster.hpp"
+#include "serve/rpd_lru_cache.hpp"
+#include "wifi/crowd_store.hpp"
+#include "wifi/detector.hpp"
+
+namespace trajkit::serve {
+
+/// Fault/crash points on the replication shipping path, keyed by the frame
+/// seq, in execution order.  kFaultShipFrame fires after the leader's durable
+/// append but before the follower sees the frame (a crash there loses the
+/// in-flight frame — safe, the upload was never acknowledged);
+/// kFaultShipApplied fires after the follower durably applied it but before
+/// the acknowledgement (a crash there leaves an unacked-but-replicated frame
+/// — the at-least-once shape seq-skip redelivery absorbs).
+inline constexpr const char* kFaultShipFrame = "shard.ship_frame";
+inline constexpr const char* kFaultShipApplied = "shard.ship_applied";
+
+/// Every shipping fault point, for harnesses that walk the failover matrix.
+inline constexpr const char* kShipFaultPoints[] = {kFaultShipFrame,
+                                                   kFaultShipApplied};
+
+/// Completion latch for the segment tasks of one routed request: the router
+/// arms it with the segment count, each shard worker reports in, and the
+/// router blocks until the last segment lands (collecting the first error).
+class SegmentBarrier {
+ public:
+  explicit SegmentBarrier(std::size_t count);
+
+  /// Report one segment done; empty `error` means success.
+  void finish(std::string error);
+  /// Block until every segment reported.
+  void wait();
+  /// First error reported, empty when all segments succeeded (valid after
+  /// wait()).
+  const std::string& first_error() const { return error_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+  std::string error_;
+};
+
+/// Follower end of shard replication: a durable CrowdStore that only accepts
+/// seq-stamped frames shipped from its leader.
+class ShardReplica {
+ public:
+  /// Open (creating if needed) a follower store rooted at `dir`.
+  static Expected<std::unique_ptr<ShardReplica>, std::string> open(
+      const std::string& dir, bool sync_each_append = true);
+
+  /// Cold-start a follower from a running or dead leader's on-disk state:
+  /// atomically copy the leader snapshot (if any), then replay the leader's
+  /// journal tail read-only through apply_frame — stale records skip, so
+  /// rerunning after a partial bootstrap converges instead of duplicating.
+  static Expected<std::unique_ptr<ShardReplica>, std::string> bootstrap(
+      const std::string& leader_dir, const std::string& dir,
+      bool sync_each_append = true);
+
+  /// Durably apply one shipped frame.  Returns true when the frame was
+  /// appended, false when `seq` is stale (already applied — idempotent
+  /// redelivery); a gap (`seq` beyond the next expected) is an error, the
+  /// follower must re-bootstrap rather than silently lose frames.
+  Expected<bool, std::string> apply_frame(std::uint64_t seq,
+                                          const std::string& payload);
+
+  /// Seq of the next frame this follower expects.
+  std::uint64_t next_seq() const { return store_->next_seq(); }
+  const wifi::CrowdStore& store() const { return *store_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  ShardReplica(std::string dir, std::unique_ptr<wifi::CrowdStore> store)
+      : dir_(std::move(dir)), store_(std::move(store)) {}
+
+  std::string dir_;
+  std::unique_ptr<wifi::CrowdStore> store_;
+};
+
+struct ShardServiceConfig {
+  /// Per-shard RPD LRU slice (capacity bounds residency per shard, so a
+  /// router over N shards holds at most N * capacity cached stats).
+  ShardedRpdLruCache::Config cache;
+};
+
+class ShardService {
+ public:
+  /// A segment of a routed trajectory to evaluate: points [begin, end) of
+  /// `upload`, with the Eq. 8 feature slots and per-point scores written to
+  /// caller-provided storage (`features` holds 2 * top_k * (end - begin)
+  /// doubles, `scores` holds end - begin).
+  struct SegmentTask {
+    const wifi::ScannedUpload* upload = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    double* features = nullptr;
+    double* scores = nullptr;
+    SegmentBarrier* barrier = nullptr;
+  };
+
+  /// Verification shard over a pre-sliced reference set.  `index_bounds`
+  /// must be the global set's grid extent (oracle index().bounds()) for the
+  /// bitwise-equivalence contract to hold.  Never spawns threads.
+  ShardService(std::size_t shard_id, std::vector<wifi::ReferencePoint> slice,
+               const wifi::RssiDetectorConfig& config,
+               gbt::GbtClassifier classifier, std::size_t trained_points,
+               const BoundingBox& index_bounds, ShardServiceConfig cfg = {});
+
+  /// Ingestion-only leader shard: owns the durable CrowdStore at `dir`, no
+  /// detector (verification capacity comes from promotion / reassembly).
+  static Expected<std::unique_ptr<ShardService>, std::string> open_leader(
+      std::size_t shard_id, const std::string& dir, bool sync_each_append = true);
+
+  ~ShardService();
+  ShardService(const ShardService&) = delete;
+  ShardService& operator=(const ShardService&) = delete;
+
+  std::size_t shard_id() const { return shard_id_; }
+  bool has_detector() const { return detector_ != nullptr; }
+  const wifi::RssiDetector& detector() const { return *detector_; }
+  /// The shard's bounded RPD LRU (null for an ingestion-only shard).
+  const ShardedRpdLruCache* cache() const { return cache_.get(); }
+  /// The shard's durable store (null for a pure verification slice).
+  const wifi::CrowdStore* store() const { return store_.get(); }
+
+  // -- Ingestion + replication (requires a store) ---------------------------
+
+  /// Attach a follower; not owned, must outlive the shard.  Every subsequent
+  /// ingest is acknowledged only after this follower durably applied it.
+  void attach_follower(ShardReplica* follower);
+
+  /// Validate + leader-durable append + ship to every follower; returns the
+  /// acknowledged seq.  The returned seq is the durability promise: a
+  /// crash anywhere inside — leader WAL, shipping, follower WAL — can only
+  /// lose frames that were never returned.
+  Expected<std::uint64_t, std::string> ingest(const wifi::ReferencePoint& point);
+
+  /// Fold the leader store's journal into its snapshot (follower bootstraps
+  /// read both, so compaction is transparent to replication).
+  Expected<bool, std::string> compact();
+
+  /// Frames acknowledged through ingest() so far.
+  std::uint64_t acked_frames() const { return acked_; }
+
+  // -- Segment evaluation (requires a detector) -----------------------------
+
+  /// Evaluate one segment on the calling thread (the router's synchronous
+  /// fan-out path; also the worker's inner call).
+  void evaluate_segment(const wifi::ScannedUpload& upload, std::size_t begin,
+                        std::size_t end, double* features, double* scores) const;
+
+  /// Queue a segment for the dedicated worker (requires start()).  The task's
+  /// barrier is signalled when the segment finishes or fails.
+  void submit_segment(const SegmentTask& task);
+
+  /// Start / join the dedicated worker thread (idempotent).
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Segments this shard evaluated (either path).
+  std::uint64_t segments_evaluated() const { return segments_.load(); }
+
+ private:
+  ShardService(std::size_t shard_id, std::unique_ptr<wifi::CrowdStore> store);
+
+  void worker_loop();
+
+  std::size_t shard_id_ = 0;
+  std::unique_ptr<wifi::RssiDetector> detector_;
+  std::shared_ptr<ShardedRpdLruCache> cache_;
+  std::unique_ptr<wifi::CrowdStore> store_;
+  std::vector<ShardReplica*> followers_;
+  std::uint64_t acked_ = 0;
+
+  mutable std::atomic<std::uint64_t> segments_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<SegmentTask> queue_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread worker_;
+};
+
+}  // namespace trajkit::serve

@@ -41,6 +41,8 @@ std::string CrowdStore::journal_path(const std::string& dir) {
   return dir + "/crowd.journal";
 }
 
+const char* CrowdStore::journal_tag() { return kJournalTag; }
+
 std::string CrowdStore::encode_point(const ReferencePoint& point) {
   std::string out = format_double(point.pos.east);
   out += ' ';

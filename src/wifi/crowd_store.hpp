@@ -77,6 +77,9 @@ class CrowdStore {
 
   static std::string snapshot_path(const std::string& dir);
   static std::string journal_path(const std::string& dir);
+  /// Format tag of the store's write-ahead journal, for read-only frame
+  /// shipping (durable::Journal::read_records) by the replication layer.
+  static const char* journal_tag();
 
   /// Text codec for one reference point, shared by the journal payloads and
   /// the snapshot records ("east north traj_id n mac rssi ...", %.17g).

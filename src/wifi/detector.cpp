@@ -37,7 +37,11 @@ std::string VerdictReport::canonical_string() const {
 
 RssiDetector::RssiDetector(std::vector<ReferencePoint> history,
                            RssiDetectorConfig config)
-    : index_(std::move(history)),
+    : RssiDetector(std::move(history), config, BoundingBox{}) {}
+
+RssiDetector::RssiDetector(std::vector<ReferencePoint> history,
+                           RssiDetectorConfig config, const BoundingBox& index_bounds)
+    : index_(std::move(history), 4.0, index_bounds),
       config_(config),
       estimator_(index_, config.confidence),
       classifier_(config.classifier) {
@@ -107,6 +111,25 @@ VerdictReport RssiDetector::analyze(const ScannedUpload& upload) const {
   }
   VerdictReport report;
   analyze_points(upload, report.features, report.point_scores);
+  report.p_real = classifier_.predict_proba(report.features);
+  report.threshold = config_.threshold;
+  report.verdict = report.p_real >= report.threshold ? 1 : 0;
+  return report;
+}
+
+VerdictReport RssiDetector::classify_features(std::vector<double> features,
+                                              std::vector<double> point_scores) const {
+  if (trained_points_ == 0) {
+    throw std::logic_error("RssiDetector: classifier not trained");
+  }
+  const std::size_t k = estimator_.params().top_k;
+  if (point_scores.size() != trained_points_ ||
+      features.size() != 2 * k * trained_points_) {
+    throw std::invalid_argument("RssiDetector: merged feature width differs from training");
+  }
+  VerdictReport report;
+  report.features = std::move(features);
+  report.point_scores = std::move(point_scores);
   report.p_real = classifier_.predict_proba(report.features);
   report.threshold = config_.threshold;
   report.verdict = report.p_real >= report.threshold ? 1 : 0;

@@ -61,6 +61,13 @@ class RssiDetector {
   /// Take ownership of the provider's historical dataset.
   RssiDetector(std::vector<ReferencePoint> history, RssiDetectorConfig config = {});
 
+  /// Same, with an explicit reference-index grid extent.  A geo-shard built
+  /// over a slice of a global reference set passes the full set's
+  /// ReferenceIndex::natural_bounds here so its per-point confidence sums
+  /// accumulate in the unsharded grid order (bitwise-equal features).
+  RssiDetector(std::vector<ReferencePoint> history, RssiDetectorConfig config,
+               const BoundingBox& index_bounds);
+
   /// The reference index pins internal pointers; moving or copying a live
   /// detector would leave its estimators dangling, so both are disabled.
   /// Heap-allocate (as load()/try_load() do) when ownership must move.
@@ -76,6 +83,23 @@ class RssiDetector {
   /// and the per-point suspicion scores together.  Requires train() or a
   /// loaded model; throws std::logic_error otherwise.
   VerdictReport analyze(const ScannedUpload& upload) const;
+
+  /// The per-point half of analyze(): fills the Eq. 8 feature slots
+  /// (2 * top_k per point) and the per-point suspicion scores without running
+  /// the classifier.  Untrained-safe and length-agnostic — this is the unit
+  /// of work a geo-shard evaluates for its segment of a split trajectory;
+  /// the router concatenates segment features in point order and applies the
+  /// classifier once.
+  void segment_features(const ScannedUpload& upload, std::vector<double>& features,
+                        std::vector<double>& point_scores) const {
+    analyze_points(upload, features, point_scores);
+  }
+
+  /// Classifier tail of analyze() over an already-merged feature vector.
+  /// `features` must be the concatenation the per-point pass produces for a
+  /// trained_points()-long upload.
+  VerdictReport classify_features(std::vector<double> features,
+                                  std::vector<double> point_scores) const;
 
   // -- Deprecated pre-serving surface (each call re-walks the index) --------
 
@@ -138,6 +162,14 @@ class RssiDetector {
                                                 RssiDetectorConfig config,
                                                 gbt::GbtClassifier classifier,
                                                 std::size_t trained_points);
+
+  /// assemble() with an explicit reference-index extent (see the
+  /// bounds-taking constructor): the shard-slice deployment shape.
+  static std::unique_ptr<RssiDetector> assemble(std::vector<ReferencePoint> points,
+                                                RssiDetectorConfig config,
+                                                gbt::GbtClassifier classifier,
+                                                std::size_t trained_points,
+                                                const BoundingBox& index_bounds);
 
   /// Upload length the trained classifier expects (0 = untrained).
   std::size_t trained_points() const { return trained_points_; }

@@ -184,7 +184,16 @@ void RssiDetector::save_file(const std::string& path) const {
 std::unique_ptr<RssiDetector> RssiDetector::assemble(
     std::vector<ReferencePoint> points, RssiDetectorConfig config,
     gbt::GbtClassifier classifier, std::size_t trained_points) {
-  auto detector = std::make_unique<RssiDetector>(std::move(points), config);
+  return assemble(std::move(points), config, std::move(classifier), trained_points,
+                  BoundingBox{});
+}
+
+std::unique_ptr<RssiDetector> RssiDetector::assemble(
+    std::vector<ReferencePoint> points, RssiDetectorConfig config,
+    gbt::GbtClassifier classifier, std::size_t trained_points,
+    const BoundingBox& index_bounds) {
+  auto detector =
+      std::make_unique<RssiDetector>(std::move(points), config, index_bounds);
   detector->classifier_ = std::move(classifier);
   detector->trained_points_ = trained_points;
   return detector;

@@ -16,15 +16,24 @@ bool scan_lookup(const WifiScan& scan, std::uint64_t mac, int& out) {
   return false;
 }
 
+BoundingBox ReferenceIndex::natural_bounds(const std::vector<ReferencePoint>& points) {
+  std::vector<Enu> positions;
+  positions.reserve(points.size());
+  for (const auto& p : points) positions.push_back(p.pos);
+  return BoundingBox::of(positions).expanded(1.0);
+}
+
 ReferenceIndex::ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m)
+    : ReferenceIndex(std::move(points), cell_size_m, BoundingBox{}) {}
+
+ReferenceIndex::ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m,
+                               const BoundingBox& bounds)
     : points_(std::move(points)), cell_size_m_(cell_size_m) {
   if (cell_size_m_ <= 0.0) {
     throw std::invalid_argument("ReferenceIndex: cell size must be positive");
   }
-  std::vector<Enu> positions;
-  positions.reserve(points_.size());
-  for (const auto& p : points_) positions.push_back(p.pos);
-  bounds_ = BoundingBox::of(positions).expanded(1.0);
+  bounds_ = bounds.width() > 0.0 || bounds.height() > 0.0 ? bounds
+                                                          : natural_bounds(points_);
 
   grid_w_ = static_cast<std::size_t>(
                 std::max(1.0, std::ceil(bounds_.width() / cell_size_m_))) +

@@ -33,6 +33,26 @@ class ReferenceIndex {
   /// largest common query radius (default suits r = 2.5 m, R = 3 m).
   explicit ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m = 4.0);
 
+  /// Build with an explicit grid extent instead of the points' own bounding
+  /// box.  within() returns candidates in grid order (cells row-major, then
+  /// insertion order within a cell), and downstream confidence sums
+  /// accumulate in that order — so a geo-shard holding a *slice* of a global
+  /// reference set must index it under the global grid geometry
+  /// (natural_bounds of the full set) to reproduce the unsharded float
+  /// results bit for bit.  `bounds` need not contain every point; outliers
+  /// clamp to edge cells exactly as the natural-bounds grid clamps its
+  /// expansion margin.
+  ReferenceIndex(std::vector<ReferencePoint> points, double cell_size_m,
+                 const BoundingBox& bounds);
+
+  /// The grid extent the single-argument constructor would derive for
+  /// `points`: their bounding box expanded by 1 m.  Exposed so sharded
+  /// slices can be indexed under the full set's geometry (see above).
+  static BoundingBox natural_bounds(const std::vector<ReferencePoint>& points);
+
+  /// The grid extent this index was built with.
+  const BoundingBox& bounds() const { return bounds_; }
+
   std::size_t size() const { return points_.size(); }
   const ReferencePoint& operator[](std::size_t i) const { return points_[i]; }
 
