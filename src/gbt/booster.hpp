@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
 #include "gbt/tree.hpp"
 
@@ -74,3 +75,20 @@ class GbtClassifier {
 };
 
 }  // namespace trajkit::gbt
+
+namespace trajkit::durable {
+
+/// Booster artifacts for ArtifactStore::open<GbtClassifier>/publish: the
+/// payload is the classifier's own stream format (save/try_load).
+template <>
+struct ArtifactCodec<gbt::GbtClassifier> {
+  using Value = gbt::GbtClassifier;
+  static void encode(const gbt::GbtClassifier& value, std::ostream& os) {
+    value.save(os);
+  }
+  static Expected<Value, std::string> decode(std::istream& is) {
+    return gbt::GbtClassifier::try_load(is);
+  }
+};
+
+}  // namespace trajkit::durable

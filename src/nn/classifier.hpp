@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "nn/adam.hpp"
@@ -158,3 +159,20 @@ class LstmClassifier {
 };
 
 }  // namespace trajkit::nn
+
+namespace trajkit::durable {
+
+/// LSTM artifacts for ArtifactStore::open<LstmClassifier>/publish: the
+/// payload is the classifier's own stream format (save/try_load).
+template <>
+struct ArtifactCodec<nn::LstmClassifier> {
+  using Value = nn::LstmClassifier;
+  static void encode(const nn::LstmClassifier& value, std::ostream& os) {
+    value.save(os);
+  }
+  static Expected<Value, std::string> decode(std::istream& is) {
+    return nn::LstmClassifier::try_load(is);
+  }
+};
+
+}  // namespace trajkit::durable

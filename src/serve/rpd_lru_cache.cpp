@@ -67,6 +67,44 @@ std::shared_ptr<const wifi::RpdPointStats> ShardedRpdLruCache::get_or_build(
   return shard.lru.front().second;
 }
 
+void ShardedRpdLruCache::invalidate(const std::vector<std::size_t>& keys) {
+  // Group by shard first so each affected shard is locked exactly once and
+  // unaffected shards are never touched.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (const std::size_t h : keys) by_shard[shard_of(h)].push_back(h);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const std::size_t h : by_shard[s]) {
+      const auto it = shard.index.find(h);
+      if (it == shard.index.end()) continue;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.evictions;
+    }
+  }
+}
+
+std::shared_ptr<ShardedRpdLruCache> ShardedRpdLruCache::carry_forward(
+    const std::unordered_set<std::size_t>& invalidated) const {
+  auto next = std::make_shared<ShardedRpdLruCache>(config_);
+  // Same config -> same shard_of mapping, so shard s's entries land back in
+  // shard s of the clone: copy each source list back-to-front (least recent
+  // first) and emplace_front to preserve recency order exactly.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& src = *shards_[s];
+    Shard& dst = *next->shards_[s];
+    std::lock_guard<std::mutex> lock(src.mu);
+    for (auto it = src.lru.rbegin(); it != src.lru.rend(); ++it) {
+      if (invalidated.count(it->first)) continue;
+      dst.lru.emplace_front(it->first, it->second);
+      dst.index.emplace(it->first, dst.lru.begin());
+    }
+  }
+  return next;
+}
+
 wifi::RpdStatsCache::CacheStats ShardedRpdLruCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "wifi/rpd.hpp"
@@ -48,6 +49,25 @@ class ShardedRpdLruCache final : public wifi::RpdStatsCache {
   std::shared_ptr<const wifi::RpdPointStats> get_or_build(
       std::size_t h,
       const std::function<wifi::RpdPointStats()>& build) override;
+
+  /// Targeted invalidation for online ingestion: drop exactly these
+  /// reference-point entries, locking only the shards the keys hash to —
+  /// every other shard keeps serving untouched.  Safe against concurrent
+  /// get_or_build; readers holding a shared_ptr keep their value.
+  void invalidate(const std::vector<std::size_t>& keys) override;
+
+  /// Epoch hot-swap support: a fresh cache with the same config holding every
+  /// entry of this one *except* the invalidated keys, recency order
+  /// preserved.  Carried entries are shared_ptr copies — no stats are
+  /// rebuilt — so publishing a new reference epoch costs O(resident entries)
+  /// pointer work plus lazy rebuilds of only the affected points, instead of
+  /// a cold cache.  Sound because appends never change the counting
+  /// statistics of an unaffected point (integer histograms over the same
+  /// neighbour set), and safe against in-flight old-epoch readers because
+  /// they keep racing on the *source* cache, never the clone.  Locks one
+  /// source shard at a time.
+  std::shared_ptr<ShardedRpdLruCache> carry_forward(
+      const std::unordered_set<std::size_t>& invalidated) const;
 
   CacheStats stats() const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
@@ -58,11 +59,17 @@ VerifierService::VerifierService(wifi::RssiDetector& detector,
 VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
                                  wifi::RssiDetector* borrowed,
                                  VerifierServiceConfig config, const Clock* clock)
-    : owned_(std::move(owned)),
-      detector_(borrowed ? borrowed : owned_.get()),
-      config_(config),
+    : config_(config),
       clock_(clock ? clock : &steady_clock()),
       fallback_(baseline::RuleBasedDetector::for_mode(config.fallback.mode)) {
+  if (owned) {
+    detector_ = std::move(owned);
+  } else if (borrowed) {
+    // Caller-owned detector: share without owning (no-op deleter) so the RCU
+    // snapshot machinery treats both ownership shapes identically.
+    detector_ =
+        std::shared_ptr<wifi::RssiDetector>(borrowed, [](wifi::RssiDetector*) {});
+  }
   if (!detector_ &&
       !(config_.fallback.enabled && config_.fallback.allow_degraded_start)) {
     throw std::invalid_argument("VerifierService: null detector");
@@ -74,7 +81,103 @@ VerifierService::VerifierService(std::unique_ptr<wifi::RssiDetector> owned,
     cache_ = std::make_shared<ShardedRpdLruCache>(config_.cache);
     if (detector_) detector_->set_rpd_cache(cache_);
   }
+  if (detector_) published_points_ = detector_->index().size();
   if (config_.auto_start) start();
+}
+
+std::shared_ptr<const wifi::RssiDetector> VerifierService::detector_snapshot() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return detector_;
+}
+
+const ShardedRpdLruCache* VerifierService::shared_cache() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return cache_.get();
+}
+
+std::uint64_t VerifierService::epoch() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return epoch_;
+}
+
+std::size_t VerifierService::published_points() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return published_points_;
+}
+
+void VerifierService::install_detector(std::shared_ptr<wifi::RssiDetector> detector,
+                                       std::uint64_t epoch,
+                                       std::size_t published_points,
+                                       std::shared_ptr<ShardedRpdLruCache> cache) {
+  if (!detector) {
+    throw std::invalid_argument("VerifierService::install_detector: null detector");
+  }
+  if (!cache && config_.use_shared_cache) {
+    cache = std::make_shared<ShardedRpdLruCache>(config_.cache);
+  }
+  if (cache) detector->set_rpd_cache(cache);
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  detector_ = std::move(detector);
+  if (cache) cache_ = std::move(cache);
+  epoch_ = epoch;
+  published_points_ = published_points;
+}
+
+Expected<std::uint64_t, std::string> VerifierService::publish_epoch(
+    wifi::CrowdStore& store, durable::ArtifactStore* artifacts) {
+  using Result = Expected<std::uint64_t, std::string>;
+  std::shared_ptr<wifi::RssiDetector> cur;
+  std::shared_ptr<ShardedRpdLruCache> cur_cache;
+  std::uint64_t cur_epoch = 0;
+  std::size_t covered = 0;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    cur = detector_;
+    cur_cache = cache_;
+    cur_epoch = epoch_;
+    covered = published_points_;
+  }
+  if (!cur) return Result::failure("publish_epoch: no serving detector");
+  const auto& points = store.points();
+  if (points.size() < covered) {
+    return Result::failure("publish_epoch: store shrank below the serving epoch");
+  }
+  // Affected reference points: every serving-index point whose counting
+  // circle C_H(R) gains one of the appended scans.  Every other point's RPD
+  // statistics are integer histograms over an unchanged neighbour set, so
+  // their cached values stay bitwise valid in the next epoch — that is what
+  // lets the cache carry forward instead of going cold.
+  const double radius = cur->confidence().rpd().params().counting_radius_m;
+  std::unordered_set<std::size_t> affected;
+  for (std::size_t i = covered; i < points.size(); ++i) {
+    for (const std::size_t h : cur->index().within(points[i].pos, radius)) {
+      affected.insert(h);
+    }
+  }
+  // The replacement index keeps the serving epoch's grid bounds: within()
+  // iteration order (and hence every float accumulation order downstream) is
+  // pinned across epochs, so unaffected verdicts stay bit-identical.
+  auto fresh = wifi::RssiDetector::assemble(
+      {points.begin(), points.end()}, cur->config(), cur->classifier(),
+      cur->trained_points(), cur->index().bounds());
+  std::uint64_t next_epoch = cur_epoch + 1;
+  if (artifacts != nullptr) {
+    // Commit the artifact before anything becomes visible: a crash (or
+    // injected fault) before the CURRENT flip leaves this epoch an orphan and
+    // a restart serves the old one.
+    auto published = artifacts->publish<wifi::RssiDetector>("detector", *fresh);
+    if (!published) return Result::failure("publish_epoch: " + published.error());
+    next_epoch = published.value();
+  }
+  // Journal the epoch marker before the flip so WAL followers can never
+  // observe a marker the primary did not durably record.
+  auto marker = store.append_epoch_marker(next_epoch);
+  if (!marker) return Result::failure("publish_epoch: " + marker.error());
+  std::shared_ptr<ShardedRpdLruCache> next_cache;
+  if (cur_cache) next_cache = cur_cache->carry_forward(affected);
+  install_detector(std::move(fresh), next_epoch, points.size(),
+                   std::move(next_cache));
+  return Result(next_epoch);
 }
 
 Expected<std::unique_ptr<VerifierService>, std::string>
@@ -121,8 +224,46 @@ VerifierService::try_create_from_store(const std::string& store_dir,
   auto detector = wifi::RssiDetector::assemble(
       store.value()->points(), model.value()->config(),
       model.value()->classifier(), model.value()->trained_points());
-  return ServiceOrError(
-      std::make_unique<VerifierService>(std::move(detector), config));
+  auto service =
+      std::make_unique<VerifierService>(std::move(detector), config);
+  // Adopt the store's recovered epoch: publishes resume after the highest
+  // "#epoch N" marker the journal replayed, not from scratch.
+  service->epoch_ = store.value()->observed_epoch();
+  service->published_points_ = store.value()->points().size();
+  return ServiceOrError(std::move(service));
+}
+
+Expected<std::unique_ptr<VerifierService>, std::string>
+VerifierService::try_create_from_artifacts(const std::string& artifact_dir,
+                                           VerifierServiceConfig config,
+                                           const std::string& kind) {
+  using ServiceOrError = Expected<std::unique_ptr<VerifierService>, std::string>;
+  const bool degraded_ok =
+      config.fallback.enabled && config.fallback.allow_degraded_start;
+  auto degraded = [&] {
+    return ServiceOrError(std::unique_ptr<VerifierService>(
+        new VerifierService(nullptr, nullptr, config, nullptr)));
+  };
+  auto artifacts = durable::ArtifactStore::open_dir(artifact_dir);
+  if (!artifacts) {
+    if (degraded_ok) return degraded();
+    return ServiceOrError::failure(artifacts.error());
+  }
+  const std::uint64_t live = artifacts.value()->current_epoch(kind);
+  if (live == 0) {
+    if (degraded_ok) return degraded();
+    return ServiceOrError::failure("artifact store has no published '" + kind +
+                                   "'");
+  }
+  auto detector = artifacts.value()->open<wifi::RssiDetector>(kind);
+  if (!detector) {
+    if (degraded_ok) return degraded();
+    return ServiceOrError::failure(detector.error());
+  }
+  auto service = std::make_unique<VerifierService>(std::move(detector).value(),
+                                                   config);
+  service->epoch_ = live;
+  return ServiceOrError(std::move(service));
 }
 
 VerifierService::~VerifierService() {
@@ -291,7 +432,11 @@ VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
     latency_.add_us(response.queue_us + response.compute_us);
     return response;
   }
-  if (!detector_) {
+  // One RCU snapshot per request: a concurrent hot-swap cannot change (or
+  // destroy) the model mid-request — every attempt of this request, retries
+  // included, evaluates on the epoch it started on.
+  const std::shared_ptr<const wifi::RssiDetector> detector = detector_snapshot();
+  if (!detector) {
     degrade(response, request, "detector_unavailable");
   } else if (breaker_open()) {
     degrade(response, request, "breaker_open");
@@ -299,7 +444,7 @@ VerdictResponse VerifierService::evaluate(const VerificationRequest& request,
     for (std::size_t attempt = 0;; ++attempt) {
       try {
         global_faults().check(kFaultDispatch, request.id, attempt);
-        response.report = detector_->analyze(request.upload);
+        response.report = detector->analyze(request.upload);
         response.outcome = Outcome::kOk;
         completed_.fetch_add(1, std::memory_order_relaxed);
         breaker_record_success();
@@ -431,11 +576,20 @@ ServiceCounters VerifierService::counters() const {
   c.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   // Always read through the detector: correct whether the shared LRU or the
   // detector's own dense cache is in place.  A degraded-start service has no
-  // detector; fall back to the (idle) shared cache when present.
-  if (detector_) {
-    c.cache = detector_->confidence().rpd().cache().stats();
-  } else if (cache_) {
-    c.cache = cache_->stats();
+  // detector; fall back to the (idle) shared cache when present.  Snapshot
+  // both under the swap lock so a concurrent hot-swap cannot free either
+  // mid-read.
+  std::shared_ptr<const wifi::RssiDetector> detector;
+  std::shared_ptr<ShardedRpdLruCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    detector = detector_;
+    cache = cache_;
+  }
+  if (detector) {
+    c.cache = detector->confidence().rpd().cache().stats();
+  } else if (cache) {
+    c.cache = cache->stats();
   }
   c.p50_us = latency_.p50_us();
   c.p95_us = latency_.p95_us();

@@ -50,11 +50,16 @@
 #include "baseline/rule_based.hpp"
 #include "common/clock.hpp"
 #include "common/counters.hpp"
+#include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
 #include "nn/classifier.hpp"
 #include "serve/rpd_lru_cache.hpp"
 #include "traj/features.hpp"
 #include "wifi/detector.hpp"
+
+namespace trajkit::wifi {
+class CrowdStore;
+}
 
 namespace trajkit::serve {
 
@@ -220,6 +225,16 @@ class VerifierService {
       const std::string& store_dir, const std::string& model_path,
       VerifierServiceConfig config = {});
 
+  /// Cold-start from a versioned artifact store: loads whatever epoch the
+  /// store's durable CURRENT pointer names for `kind` and serves it.  The
+  /// epoch-aware counterpart of try_create_from_file — restart after a crash
+  /// mid-publish comes back on the last fully-published epoch.  Degraded-start
+  /// semantics match try_create_from_file.
+  static Expected<std::unique_ptr<VerifierService>, std::string>
+  try_create_from_artifacts(const std::string& artifact_dir,
+                            VerifierServiceConfig config = {},
+                            const std::string& kind = "detector");
+
   ~VerifierService();
   VerifierService(const VerifierService&) = delete;
   VerifierService& operator=(const VerifierService&) = delete;
@@ -243,11 +258,54 @@ class VerifierService {
   bool running() const;
 
   /// False only for a degraded-start service (model never loaded).
-  bool has_detector() const { return detector_ != nullptr; }
-  /// The wrapped detector; requires has_detector().
-  const wifi::RssiDetector& detector() const { return *detector_; }
-  /// The shared LRU, or nullptr when use_shared_cache was false.
-  const ShardedRpdLruCache* shared_cache() const { return cache_.get(); }
+  bool has_detector() const { return detector_snapshot() != nullptr; }
+  /// Shared-ownership handle on the live detector (RCU snapshot): holders
+  /// keep their epoch alive across a concurrent hot-swap.  Null on a
+  /// degraded-start service.
+  std::shared_ptr<const wifi::RssiDetector> detector_snapshot() const;
+  /// The live detector; requires has_detector().  Prefer detector_snapshot()
+  /// when a hot-swap may run concurrently — this reference does not pin the
+  /// epoch it came from.
+  const wifi::RssiDetector& detector() const { return *detector_snapshot(); }
+  /// The shared LRU, or nullptr when use_shared_cache was false.  Like
+  /// detector(), does not pin the epoch.
+  const ShardedRpdLruCache* shared_cache() const;
+
+  /// Model epoch currently serving (0 until the first publish/adopt).
+  std::uint64_t epoch() const;
+  /// Store points folded into the serving epoch's reference index.
+  std::size_t published_points() const;
+
+  /// Install a replacement detector as a new epoch (RCU flip: in-flight
+  /// requests finish on the detector they snapshotted; new requests see the
+  /// replacement).  A fresh shared RPD cache is injected unless `cache` is
+  /// provided (the carry-forward path).  `published_points` records how many
+  /// store points the replacement's index covers.
+  void install_detector(std::shared_ptr<wifi::RssiDetector> detector,
+                        std::uint64_t epoch, std::size_t published_points,
+                        std::shared_ptr<ShardedRpdLruCache> cache = nullptr);
+
+  /// Publish the store's current reference set as the next model epoch,
+  /// without dropping a single in-flight request:
+  ///
+  ///   1. the points appended since the serving epoch determine the affected
+  ///      reference points (old-index radius query at the RPD counting
+  ///      radius R) — everything else's counting statistics are provably
+  ///      unchanged;
+  ///   2. a replacement detector is assembled over the full point set under
+  ///      the serving index's pinned grid bounds (bitwise-stable iteration
+  ///      order), reusing the serving classifier/config/threshold;
+  ///   3. the shared RPD cache is carried forward minus the affected keys —
+  ///      O(resident) pointer work instead of a cold cache;
+  ///   4. when `artifacts` is given, the detector is committed there first
+  ///      (crash before the CURRENT flip ⇒ restart serves the old epoch);
+  ///   5. the RCU flip installs the new epoch and an "#epoch N" control
+  ///      frame is journaled through `store` so WAL-shipping followers adopt
+  ///      it.
+  ///
+  /// Returns the new epoch number.
+  Expected<std::uint64_t, std::string> publish_epoch(
+      wifi::CrowdStore& store, durable::ArtifactStore* artifacts = nullptr);
 
   /// True while the circuit breaker is open (requests degrade immediately).
   bool breaker_open() const;
@@ -286,11 +344,17 @@ class VerifierService {
   void dispatcher_loop();
   void reject_pending();
 
-  std::unique_ptr<wifi::RssiDetector> owned_;
-  wifi::RssiDetector* detector_;
+  // RCU state: detector_, cache_, epoch_ and published_points_ swap together
+  // under swap_mu_.  Readers take a shared_ptr snapshot once per request and
+  // never block a swap; a borrowed (caller-owned) detector is held through a
+  // no-op deleter.
+  mutable std::mutex swap_mu_;
+  std::shared_ptr<wifi::RssiDetector> detector_;
+  std::shared_ptr<ShardedRpdLruCache> cache_;
+  std::uint64_t epoch_ = 0;
+  std::size_t published_points_ = 0;
   VerifierServiceConfig config_;
   const Clock* clock_;
-  std::shared_ptr<ShardedRpdLruCache> cache_;
   baseline::RuleBasedDetector fallback_;
 
   mutable std::mutex mu_;

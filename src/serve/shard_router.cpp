@@ -164,9 +164,12 @@ VerdictResponse ShardRouter::verify(const wifi::ScannedUpload& upload,
     }
 
     // The classifier tail runs once over the merged vector — every shard
-    // carries an identical classifier copy, so shard 0 speaks for all.
-    response.report = shards_[0]->detector().classify_features(
-        std::move(features), std::move(scores));
+    // carries an identical classifier copy, so shard 0 speaks for all.  The
+    // snapshot keeps shard 0's epoch alive through the classify call even if
+    // it hot-swaps mid-request.
+    const auto head = shards_[0]->detector_snapshot();
+    response.report =
+        head->classify_features(std::move(features), std::move(scores));
     response.outcome = Outcome::kOk;
   } catch (const std::exception& e) {
     response.outcome = Outcome::kError;

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "common/durable/durable_file.hpp"
@@ -90,6 +91,18 @@ Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
                            ": got seq " + std::to_string(seq) + ", expected " +
                            std::to_string(next));
   }
+  // Control frames ride the same WAL as the points: an epoch marker updates
+  // the follower store's observed epoch instead of decoding as a point.
+  if (!payload.empty() && payload[0] == '#') {
+    std::uint64_t epoch = 0;
+    if (!wifi::CrowdStore::is_epoch_marker(payload, &epoch)) {
+      return Result::failure("shard replica: unknown control frame at seq " +
+                             std::to_string(seq));
+    }
+    auto appended = store_->append_epoch_marker(epoch);
+    if (!appended) return Result::failure("shard replica: " + appended.error());
+    return Result(true);
+  }
   auto point = wifi::CrowdStore::decode_point(payload);
   if (!point) return Result::failure("shard replica: " + point.error());
   auto appended = store_->append(point.value());
@@ -106,10 +119,15 @@ ShardService::ShardService(std::size_t shard_id,
                            gbt::GbtClassifier classifier, std::size_t trained_points,
                            const BoundingBox& index_bounds, ShardServiceConfig cfg)
     : shard_id_(shard_id),
-      detector_(wifi::RssiDetector::assemble(std::move(slice), config,
-                                             std::move(classifier), trained_points,
-                                             index_bounds)),
-      cache_(std::make_shared<ShardedRpdLruCache>(cfg.cache)) {
+      cache_(std::make_shared<ShardedRpdLruCache>(cfg.cache)),
+      det_config_(config),
+      classifier_(classifier),
+      trained_points_(trained_points),
+      index_bounds_(index_bounds),
+      cache_cfg_(cfg.cache) {
+  detector_ = wifi::RssiDetector::assemble(std::move(slice), config,
+                                           std::move(classifier), trained_points,
+                                           index_bounds);
   detector_->set_rpd_cache(cache_);
 }
 
@@ -169,10 +187,126 @@ Expected<bool, std::string> ShardService::compact() {
   return store_->compact();
 }
 
+Expected<std::uint64_t, std::string> ShardService::ship_epoch_marker(
+    std::uint64_t epoch) {
+  using Result = Expected<std::uint64_t, std::string>;
+  if (!store_) return Result::failure("shard: no store attached");
+  auto seq = store_->append_epoch_marker(epoch);
+  if (!seq) return seq;
+  // Same shipping discipline (and fault points) as point frames: followers
+  // hold the marker durably before it is acknowledged.
+  const std::string payload = wifi::CrowdStore::encode_epoch_marker(epoch);
+  auto& faults = global_faults();
+  for (ShardReplica* follower : followers_) {
+    if (faults.should_fail_seq(kFaultShipFrame, seq.value())) {
+      return Result::failure("shard: injected fault shipping frame " +
+                             std::to_string(seq.value()));
+    }
+    auto applied = follower->apply_frame(seq.value(), payload);
+    if (!applied) return Result::failure(applied.error());
+    if (faults.should_fail_seq(kFaultShipApplied, seq.value())) {
+      return Result::failure("shard: injected fault acknowledging frame " +
+                             std::to_string(seq.value()));
+    }
+  }
+  ++acked_;
+  return seq;
+}
+
+std::shared_ptr<const wifi::RssiDetector> ShardService::detector_snapshot() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return detector_;
+}
+
+const ShardedRpdLruCache* ShardService::cache() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return cache_.get();
+}
+
+std::uint64_t ShardService::epoch() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return epoch_;
+}
+
+Expected<std::uint64_t, std::string> ShardService::hot_swap(
+    std::vector<wifi::ReferencePoint> slice, std::uint64_t epoch) {
+  using Result = Expected<std::uint64_t, std::string>;
+  std::shared_ptr<wifi::RssiDetector> cur;
+  std::shared_ptr<ShardedRpdLruCache> cur_cache;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    cur = detector_;
+    cur_cache = cache_;
+  }
+  if (!cur) return Result::failure("shard: hot_swap needs an armed detector");
+  if (slice.size() < cur->index().size()) {
+    return Result::failure("shard: hot_swap slice shrank (epochs are append-only)");
+  }
+  // The appended tail determines the affected reference points (serving-index
+  // radius query at the RPD counting radius); everything else's counting
+  // statistics are unchanged, so the LRU carries those entries forward.
+  const double radius = cur->confidence().rpd().params().counting_radius_m;
+  std::unordered_set<std::size_t> affected;
+  for (std::size_t i = cur->index().size(); i < slice.size(); ++i) {
+    for (const std::size_t h : cur->index().within(slice[i].pos, radius)) {
+      affected.insert(h);
+    }
+  }
+  auto fresh =
+      wifi::RssiDetector::assemble(std::move(slice), det_config_, classifier_,
+                                   trained_points_, index_bounds_);
+  std::shared_ptr<ShardedRpdLruCache> next_cache =
+      cur_cache ? cur_cache->carry_forward(affected)
+                : std::make_shared<ShardedRpdLruCache>(cache_cfg_);
+  fresh->set_rpd_cache(next_cache);
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  detector_ = std::move(fresh);
+  cache_ = std::move(next_cache);
+  epoch_ = epoch;
+  return Result(epoch);
+}
+
+Expected<bool, std::string> ShardService::arm_verification(
+    const wifi::RssiDetectorConfig& config, gbt::GbtClassifier classifier,
+    std::size_t trained_points, const BoundingBox& index_bounds,
+    ShardedRpdLruCache::Config cache_cfg) {
+  using Result = Expected<bool, std::string>;
+  if (!store_) return Result::failure("shard: arm_verification needs a store");
+  if (detector_snapshot()) {
+    return Result::failure("shard: verification already armed");
+  }
+  det_config_ = config;
+  classifier_ = classifier;
+  trained_points_ = trained_points;
+  index_bounds_ = index_bounds;
+  cache_cfg_ = cache_cfg;
+  auto fresh = wifi::RssiDetector::assemble(store_->points(), config,
+                                            std::move(classifier), trained_points,
+                                            index_bounds);
+  auto cache = std::make_shared<ShardedRpdLruCache>(cache_cfg);
+  fresh->set_rpd_cache(cache);
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  detector_ = std::move(fresh);
+  cache_ = std::move(cache);
+  epoch_ = store_->observed_epoch();
+  return Result(true);
+}
+
+Expected<std::uint64_t, std::string> ShardService::refresh_from_store(
+    std::uint64_t epoch) {
+  using Result = Expected<std::uint64_t, std::string>;
+  if (!store_) return Result::failure("shard: refresh_from_store needs a store");
+  return hot_swap(store_->points(),
+                  epoch != 0 ? epoch : store_->observed_epoch());
+}
+
 void ShardService::evaluate_segment(const wifi::ScannedUpload& upload,
                                     std::size_t begin, std::size_t end,
                                     double* features, double* scores) const {
-  if (!detector_) throw std::logic_error("shard: no detector attached");
+  // One RCU snapshot per segment: a concurrent hot_swap cannot destroy the
+  // index this segment is walking — the segment finishes on its epoch.
+  const std::shared_ptr<const wifi::RssiDetector> detector = detector_snapshot();
+  if (!detector) throw std::logic_error("shard: no detector attached");
   if (begin > end || end > upload.positions.size() ||
       upload.positions.size() != upload.scans.size()) {
     throw std::invalid_argument("shard: bad segment bounds");
@@ -186,7 +320,7 @@ void ShardService::evaluate_segment(const wifi::ScannedUpload& upload,
 
   std::vector<double> seg_features;
   std::vector<double> seg_scores;
-  detector_->segment_features(segment, seg_features, seg_scores);
+  detector->segment_features(segment, seg_features, seg_scores);
   std::copy(seg_features.begin(), seg_features.end(), features);
   std::copy(seg_scores.begin(), seg_scores.end(), scores);
   segments_.fetch_add(1, std::memory_order_relaxed);

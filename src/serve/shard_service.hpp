@@ -102,7 +102,10 @@ class ShardReplica {
   /// Durably apply one shipped frame.  Returns true when the frame was
   /// appended, false when `seq` is stale (already applied — idempotent
   /// redelivery); a gap (`seq` beyond the next expected) is an error, the
-  /// follower must re-bootstrap rather than silently lose frames.
+  /// follower must re-bootstrap rather than silently lose frames.  Epoch
+  /// control frames ("#epoch N") pass through to the follower store's
+  /// observed epoch — followers learn about published model epochs from the
+  /// same WAL shipping that carries the points.
   Expected<bool, std::string> apply_frame(std::uint64_t seq,
                                           const std::string& payload);
 
@@ -158,12 +161,20 @@ class ShardService {
   ShardService& operator=(const ShardService&) = delete;
 
   std::size_t shard_id() const { return shard_id_; }
-  bool has_detector() const { return detector_ != nullptr; }
-  const wifi::RssiDetector& detector() const { return *detector_; }
-  /// The shard's bounded RPD LRU (null for an ingestion-only shard).
-  const ShardedRpdLruCache* cache() const { return cache_.get(); }
+  bool has_detector() const { return detector_snapshot() != nullptr; }
+  /// Shared-ownership handle on the shard's live detector (RCU snapshot):
+  /// holders keep their epoch alive across a concurrent hot_swap.
+  std::shared_ptr<const wifi::RssiDetector> detector_snapshot() const;
+  /// The live detector; requires has_detector().  Does not pin the epoch —
+  /// prefer detector_snapshot() when a hot-swap may run concurrently.
+  const wifi::RssiDetector& detector() const { return *detector_snapshot(); }
+  /// The shard's bounded RPD LRU (null for an ingestion-only shard).  Does
+  /// not pin the epoch.
+  const ShardedRpdLruCache* cache() const;
   /// The shard's durable store (null for a pure verification slice).
   const wifi::CrowdStore* store() const { return store_.get(); }
+  /// Model epoch this shard currently serves (0 until a swap/adopt).
+  std::uint64_t epoch() const;
 
   // -- Ingestion + replication (requires a store) ---------------------------
 
@@ -183,6 +194,40 @@ class ShardService {
 
   /// Frames acknowledged through ingest() so far.
   std::uint64_t acked_frames() const { return acked_; }
+
+  /// Journal + ship an epoch control frame ("#epoch N") exactly like a point
+  /// frame: leader-durable first, then applied on every follower before the
+  /// call returns.  The primary's publish path calls this after committing
+  /// the epoch's artifact.
+  Expected<std::uint64_t, std::string> ship_epoch_marker(std::uint64_t epoch);
+
+  // -- Epoch hot-swap -------------------------------------------------------
+
+  /// Replace the verification slice as a new epoch without dropping in-flight
+  /// segments (RCU flip; requires an existing detector).  `slice` must be the
+  /// previous slice plus appended points (append-only growth, same order) —
+  /// the appended tail determines the affected reference points, and the
+  /// shard's RPD LRU carries forward minus exactly those keys.  The index
+  /// keeps the pinned global grid bounds, so unaffected segment features stay
+  /// bit-identical to the previous epoch.
+  Expected<std::uint64_t, std::string> hot_swap(
+      std::vector<wifi::ReferencePoint> slice, std::uint64_t epoch);
+
+  /// Arm verification on a store-backed shard (the promoted-follower shape):
+  /// assemble a detector over the store's recovered points under the given
+  /// classifier/config and `index_bounds`, and adopt the store's observed
+  /// epoch.  Requires a store and no existing detector.
+  Expected<bool, std::string> arm_verification(
+      const wifi::RssiDetectorConfig& config, gbt::GbtClassifier classifier,
+      std::size_t trained_points, const BoundingBox& index_bounds,
+      ShardedRpdLruCache::Config cache_cfg = {});
+
+  /// Follower epoch adoption: after WAL frames (points + an "#epoch N"
+  /// marker) landed in the store, rebuild the detector over the store's
+  /// current points via the hot-swap path and serve the marker's epoch.
+  /// `epoch` = 0 adopts store()->observed_epoch().  Requires a store and an
+  /// armed detector.
+  Expected<std::uint64_t, std::string> refresh_from_store(std::uint64_t epoch = 0);
 
   // -- Segment evaluation (requires a detector) -----------------------------
 
@@ -209,8 +254,19 @@ class ShardService {
   void worker_loop();
 
   std::size_t shard_id_ = 0;
-  std::unique_ptr<wifi::RssiDetector> detector_;
+  // RCU state: detector_, cache_ and epoch_ swap together under swap_mu_;
+  // segment evaluation snapshots once per segment and never blocks a swap.
+  mutable std::mutex swap_mu_;
+  std::shared_ptr<wifi::RssiDetector> detector_;
   std::shared_ptr<ShardedRpdLruCache> cache_;
+  std::uint64_t epoch_ = 0;
+  // Assembly recipe of the serving detector, kept so hot_swap/refresh can
+  // rebuild the slice under the same classifier and pinned grid bounds.
+  wifi::RssiDetectorConfig det_config_;
+  gbt::GbtClassifier classifier_;
+  std::size_t trained_points_ = 0;
+  BoundingBox index_bounds_;
+  ShardedRpdLruCache::Config cache_cfg_;
   std::unique_ptr<wifi::CrowdStore> store_;
   std::vector<ShardReplica*> followers_;
   std::uint64_t acked_ = 0;

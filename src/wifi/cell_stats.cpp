@@ -1,0 +1,143 @@
+#include "wifi/cell_stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace trajkit::wifi {
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+CellStatsGrid::CellStatsGrid(double cell_size_m) : cell_size_m_(cell_size_m) {
+  if (!(cell_size_m > 0.0)) {
+    throw std::invalid_argument("CellStatsGrid: cell size must be positive");
+  }
+}
+
+CellStatsGrid::CellKey CellStatsGrid::cell_of(const Enu& pos) const {
+  return {static_cast<std::int64_t>(std::floor(pos.east / cell_size_m_)),
+          static_cast<std::int64_t>(std::floor(pos.north / cell_size_m_))};
+}
+
+const CellStatsGrid::Cell* CellStatsGrid::cell_at(const Enu& pos) const {
+  const auto it = cells_.find(cell_of(pos));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void CellStatsGrid::add(const ReferencePoint& point) {
+  Cell& cell = cells_[cell_of(point.pos)];
+  ++cell.count;
+  ++points_;
+  for (const auto& obs : point.scan) {
+    ApCellStats& ap = cell.aps[obs.mac];
+    const double rssi = static_cast<double>(obs.rssi_dbm);
+    ++ap.count;
+    ap.sum += rssi;
+    ap.sumsq += rssi * rssi;
+  }
+}
+
+std::string CellStatsGrid::serialize() const {
+  std::string out = "cellstats 1 ";
+  append_num(out, cell_size_m_);
+  out += ' ';
+  out += std::to_string(points_);
+  out += ' ';
+  out += std::to_string(cells_.size());
+  out += '\n';
+  for (const auto& [key, cell] : cells_) {
+    out += std::to_string(key.first);
+    out += ' ';
+    out += std::to_string(key.second);
+    out += ' ';
+    out += std::to_string(cell.count);
+    out += ' ';
+    out += std::to_string(cell.aps.size());
+    for (const auto& [mac, ap] : cell.aps) {
+      out += ' ';
+      out += std::to_string(mac);
+      out += ' ';
+      out += std::to_string(ap.count);
+      out += ' ';
+      append_num(out, ap.sum);
+      out += ' ';
+      append_num(out, ap.sumsq);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<CellStatsGrid, std::string> CellStatsGrid::deserialize(
+    const std::string& text) {
+  using Result = Expected<CellStatsGrid, std::string>;
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  double cell_size = 0.0;
+  std::uint64_t points = 0;
+  std::size_t cell_count = 0;
+  if (!(is >> magic >> version >> cell_size >> points >> cell_count) ||
+      magic != "cellstats" || version != 1) {
+    return Result::failure("cell stats: bad header");
+  }
+  if (!std::isfinite(cell_size) || cell_size <= 0.0) {
+    return Result::failure("cell stats: implausible cell size");
+  }
+  // A cell holds at least one point, so the claimed counts bound each other.
+  if (cell_count > points) {
+    return Result::failure("cell stats: more cells than points");
+  }
+  CellStatsGrid grid(cell_size);
+  grid.points_ = points;
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < cell_count; ++c) {
+    CellKey key;
+    Cell cell;
+    std::size_t ap_count = 0;
+    if (!(is >> key.first >> key.second >> cell.count >> ap_count)) {
+      return Result::failure("cell stats: truncated cell record");
+    }
+    for (std::size_t a = 0; a < ap_count; ++a) {
+      std::uint64_t mac = 0;
+      ApCellStats ap;
+      if (!(is >> mac >> ap.count >> ap.sum >> ap.sumsq)) {
+        return Result::failure("cell stats: truncated AP record");
+      }
+      if (!std::isfinite(ap.sum) || !std::isfinite(ap.sumsq)) {
+        return Result::failure("cell stats: non-finite accumulator");
+      }
+      if (!cell.aps.emplace(mac, ap).second) {
+        return Result::failure("cell stats: duplicate AP in cell");
+      }
+    }
+    total += cell.count;
+    if (!grid.cells_.emplace(key, std::move(cell)).second) {
+      return Result::failure("cell stats: duplicate cell");
+    }
+  }
+  if (total != points) {
+    return Result::failure("cell stats: cell counts do not sum to point count");
+  }
+  return Result(std::move(grid));
+}
+
+std::uint64_t CellStatsGrid::checksum() const {
+  const std::string text = serialize();
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace trajkit::wifi

@@ -1,0 +1,88 @@
+// Per-cell sufficient statistics of the crowdsourced reference world.
+//
+// The RPD layer derives its per-reference-point counting statistics from
+// radius queries, which makes "what changed when this scan arrived?" an O(n)
+// question.  This grid answers it in O(1): every ingested reference point
+// folds into exactly one cell (quantised east/north at a fixed cell size),
+// carrying the cell's membership count and, per AP heard there, the
+// sufficient statistics of its RSSI sample — observation count, sum and sum
+// of squares.  Those three numbers are enough to maintain mean/variance
+// drift signals incrementally, to stamp snapshots and published artifacts
+// with a cheap content fingerprint (checksum()), and to let CrowdStore
+// compaction reuse the already-current statistics instead of recomputing
+// them from every stored point.
+//
+// Determinism: cells and per-cell AP maps are ordered containers, and the
+// double accumulators are updated in ingestion order — so a grid rebuilt by
+// replaying the same points in the same order is bitwise-identical to one
+// maintained incrementally, which is exactly the equality the compaction
+// debug check asserts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/expected.hpp"
+#include "wifi/refindex.hpp"
+
+namespace trajkit::wifi {
+
+/// Sufficient statistics of one AP's RSSI sample inside one cell.
+struct ApCellStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;    ///< sum of RSSI dBm, in ingestion order
+  double sumsq = 0.0;  ///< sum of squared RSSI dBm, in ingestion order
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+  friend bool operator==(const ApCellStats&, const ApCellStats&) = default;
+};
+
+class CellStatsGrid {
+ public:
+  /// Cell coordinates: floor(east / cell), floor(north / cell).
+  using CellKey = std::pair<std::int64_t, std::int64_t>;
+
+  struct Cell {
+    std::uint64_t count = 0;  ///< reference points in the cell
+    std::map<std::uint64_t, ApCellStats> aps;
+
+    friend bool operator==(const Cell&, const Cell&) = default;
+  };
+
+  /// `cell_size_m` defaults to the reference index's grid pitch.
+  explicit CellStatsGrid(double cell_size_m = 4.0);
+
+  /// Fold one ingested reference point into its cell.
+  void add(const ReferencePoint& point);
+
+  CellKey cell_of(const Enu& pos) const;
+  /// The cell holding `pos`, or nullptr when nothing landed there yet.
+  const Cell* cell_at(const Enu& pos) const;
+
+  std::uint64_t point_count() const { return points_; }
+  std::size_t cell_count() const { return cells_.size(); }
+  double cell_size_m() const { return cell_size_m_; }
+  const std::map<CellKey, Cell>& cells() const { return cells_; }
+
+  /// Deterministic text rendering (%.17g doubles, so accumulators round-trip
+  /// exactly): the snapshot record format and the equality witness for the
+  /// compaction debug check.
+  std::string serialize() const;
+  static Expected<CellStatsGrid, std::string> deserialize(const std::string& text);
+
+  /// FNV-1a of serialize(): the content fingerprint snapshots and published
+  /// artifacts carry.
+  std::uint64_t checksum() const;
+
+  friend bool operator==(const CellStatsGrid&, const CellStatsGrid&) = default;
+
+ private:
+  double cell_size_m_;
+  std::uint64_t points_ = 0;
+  std::map<CellKey, Cell> cells_;
+};
+
+}  // namespace trajkit::wifi

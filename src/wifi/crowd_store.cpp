@@ -15,14 +15,18 @@ namespace trajkit::wifi {
 namespace {
 
 constexpr const char* kSnapshotTag = "crowd_snapshot";
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2 appends the incremental cell statistics as a trailing record and the
+// observed model epoch to the meta record; v1 snapshots still open.
+constexpr std::uint32_t kSnapshotVersion = 2;
 constexpr const char* kJournalTag = "crowd_journal";
 constexpr std::size_t kMaxSnapshotPoints = 5'000'000;
+constexpr const char* kEpochMarkerPrefix = "#epoch ";
 
 // Every point the store can hold must fit in one snapshot container (plus
-// its meta record), or compact() would commit a snapshot that open() can
-// never read back — a store that bricks itself at its first compaction.
-static_assert(kMaxSnapshotPoints + 1 <= durable::kMaxDurableRecords,
+// its meta and cell-stats records), or compact() would commit a snapshot
+// that open() can never read back — a store that bricks itself at its first
+// compaction.
+static_assert(kMaxSnapshotPoints + 2 <= durable::kMaxDurableRecords,
               "crowd snapshot capacity exceeds the durable record cap");
 
 std::string format_double(double v) {
@@ -83,6 +87,24 @@ Expected<ReferencePoint, std::string> CrowdStore::decode_point(
   return Result(std::move(p));
 }
 
+std::string CrowdStore::encode_epoch_marker(std::uint64_t epoch) {
+  return kEpochMarkerPrefix + std::to_string(epoch);
+}
+
+bool CrowdStore::is_epoch_marker(const std::string& payload, std::uint64_t* epoch) {
+  const std::size_t prefix_len = std::strlen(kEpochMarkerPrefix);
+  if (payload.compare(0, prefix_len, kEpochMarkerPrefix) != 0) return false;
+  const std::string digits = payload.substr(prefix_len);
+  if (digits.empty() || digits.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (epoch != nullptr) *epoch = value;
+  return true;
+}
+
 Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
     const std::string& dir, bool sync_each_append) {
   using Result = Expected<std::unique_ptr<CrowdStore>, std::string>;
@@ -107,24 +129,49 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
   if (::stat(snap.c_str(), &st) == 0) {
     auto contents = durable::read_durable_file(snap, kSnapshotTag);
     if (!contents) return Result::failure("crowd store: " + contents.error());
+    const std::uint32_t version = contents.value().version;
+    if (version < 1 || version > kSnapshotVersion) {
+      return Result::failure("crowd store: unsupported snapshot version " +
+                             std::to_string(version));
+    }
     const auto& records = contents.value().records;
     if (records.empty()) {
       return Result::failure("crowd store: snapshot missing meta record");
     }
+    // v1 layout: meta "next_seq point_count", then the points.
+    // v2 layout: meta "next_seq point_count observed_epoch", then the points,
+    // then one trailing cell-statistics record.
+    const std::size_t overhead = version >= 2 ? 2 : 1;
     std::istringstream meta(records[0]);
     std::size_t point_count = 0;
     if (!(meta >> snapshot_next_seq >> point_count) ||
-        point_count != records.size() - 1 || point_count > kMaxSnapshotPoints) {
+        point_count != records.size() - overhead ||
+        point_count > kMaxSnapshotPoints) {
       return Result::failure("crowd store: bad snapshot meta record");
     }
+    if (version >= 2 && !(meta >> store->observed_epoch_)) {
+      return Result::failure("crowd store: v2 snapshot meta missing epoch");
+    }
     store->points_.reserve(point_count);
-    for (std::size_t i = 1; i < records.size(); ++i) {
+    for (std::size_t i = 1; i <= point_count; ++i) {
       auto point = decode_point(records[i]);
       if (!point) {
         return Result::failure("crowd store: snapshot record " +
                                std::to_string(i - 1) + ": " + point.error());
       }
       store->points_.push_back(std::move(point).value());
+    }
+    if (version >= 2) {
+      auto grid = CellStatsGrid::deserialize(records.back());
+      if (!grid) return Result::failure("crowd store: " + grid.error());
+      if (grid.value().point_count() != point_count) {
+        return Result::failure(
+            "crowd store: snapshot cell stats disagree with point count");
+      }
+      store->cell_stats_ = std::move(grid).value();
+    } else {
+      // Pre-cell-stats snapshot: derive the grid once on upgrade.
+      for (const auto& point : store->points_) store->cell_stats_.add(point);
     }
   }
   store->snapshot_count_ = store->points_.size();
@@ -143,11 +190,23 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
       ++store->open_stats_.skipped_stale;
       continue;
     }
+    if (!record.payload.empty() && record.payload[0] == '#') {
+      std::uint64_t epoch = 0;
+      if (!is_epoch_marker(record.payload, &epoch)) {
+        return Result::failure("crowd store: journal seq " +
+                               std::to_string(record.seq) +
+                               ": unknown control frame");
+      }
+      if (epoch > store->observed_epoch_) store->observed_epoch_ = epoch;
+      ++store->open_stats_.replayed_records;
+      continue;
+    }
     auto point = decode_point(record.payload);
     if (!point) {
       return Result::failure("crowd store: journal seq " +
                              std::to_string(record.seq) + ": " + point.error());
     }
+    store->cell_stats_.add(point.value());
     store->points_.push_back(std::move(point).value());
     ++store->open_stats_.replayed_records;
   }
@@ -168,6 +227,17 @@ Expected<std::uint64_t, std::string> CrowdStore::append(const ReferencePoint& po
   // Only after the journal accepted (and fsynced) the record does it become
   // visible — what callers can query is always recoverable.
   points_.push_back(point);
+  cell_stats_.add(point);
+  ++journaled_;
+  return seq;
+}
+
+Expected<std::uint64_t, std::string> CrowdStore::append_epoch_marker(
+    std::uint64_t epoch) {
+  using Result = Expected<std::uint64_t, std::string>;
+  auto seq = journal_->append(encode_epoch_marker(epoch));
+  if (!seq) return Result::failure("crowd store: " + seq.error());
+  if (epoch > observed_epoch_) observed_epoch_ = epoch;
   ++journaled_;
   return seq;
 }
@@ -176,11 +246,29 @@ Expected<bool, std::string> CrowdStore::compact() {
   using Result = Expected<bool, std::string>;
   const std::uint64_t next_seq = journal_->next_seq();
 
+  // The cell statistics were maintained incrementally on every append, so
+  // compaction serialises the live grid instead of recomputing it.  The
+  // debug flag recomputes anyway and demands bitwise equality — any drift
+  // between the incremental and from-scratch paths fails loudly here rather
+  // than silently skewing the online model layer.
+  const std::string cell_stats_text = cell_stats_.serialize();
+  if (verify_cell_stats_) {
+    CellStatsGrid fresh(cell_stats_.cell_size_m());
+    for (const auto& point : points_) fresh.add(point);
+    if (fresh.serialize() != cell_stats_text) {
+      return Result::failure(
+          "crowd store: incremental cell stats diverged from recompute");
+    }
+  }
+
   // Stage 1: commit a fresh snapshot of everything, stamped with the journal
-  // seq it covers.  Atomic replace — a crash leaves the old snapshot.
+  // seq it covers and the highest observed model epoch.  Atomic replace — a
+  // crash leaves the old snapshot.
   durable::DurableWriter writer(kSnapshotTag, kSnapshotVersion);
-  writer.add_record(std::to_string(next_seq) + ' ' + std::to_string(points_.size()));
+  writer.add_record(std::to_string(next_seq) + ' ' + std::to_string(points_.size()) +
+                    ' ' + std::to_string(observed_epoch_));
   for (const auto& point : points_) writer.add_record(encode_point(point));
+  writer.add_record(cell_stats_text);
   auto committed = writer.commit(snapshot_path(dir_));
   if (!committed) return Result::failure("crowd store: " + committed.error());
 

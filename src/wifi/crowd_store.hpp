@@ -28,6 +28,7 @@
 
 #include "common/durable/journal.hpp"
 #include "common/expected.hpp"
+#include "wifi/cell_stats.hpp"
 #include "wifi/refindex.hpp"
 
 namespace trajkit::wifi {
@@ -61,12 +62,34 @@ class CrowdStore {
   /// seq it was accepted under.
   Expected<std::uint64_t, std::string> append(const ReferencePoint& point);
 
+  /// Journal an epoch control frame ("#epoch N").  Epoch markers ride the
+  /// same WAL as the points, so followers learn about published model epochs
+  /// through the existing frame-shipping path, and recovery restores the
+  /// highest epoch the store had observed.  Monotone: a marker never lowers
+  /// observed_epoch().  Returns the journal seq of the marker frame.
+  Expected<std::uint64_t, std::string> append_epoch_marker(std::uint64_t epoch);
+
   /// Fold the journal into a fresh snapshot, then reset the journal.  Safe to
   /// crash at any point inside; idempotent to re-run after recovery.
   Expected<bool, std::string> compact();
 
   /// The full recovered + appended reference set, in ingestion order.
   const std::vector<ReferencePoint>& points() const { return points_; }
+
+  /// Per-cell sufficient statistics (count/sum/sumsq per AP) maintained
+  /// incrementally on every append — always current with points(), so
+  /// compact() serialises them instead of recomputing, and the online model
+  /// layer reads densities without a scan over the dataset.
+  const CellStatsGrid& cell_stats() const { return cell_stats_; }
+
+  /// Highest model epoch marker this store has journaled, observed or
+  /// recovered (0 = none yet).
+  std::uint64_t observed_epoch() const { return observed_epoch_; }
+
+  /// Debug flag: when set, compact() recomputes the cell statistics from
+  /// scratch and fails (Expected) unless the incremental grid is bitwise
+  /// identical — the cheap-reuse path stays honest under test.
+  void set_verify_cell_stats(bool on) { verify_cell_stats_ = on; }
 
   /// Seq the next append will be assigned.
   std::uint64_t next_seq() const { return journal_->next_seq(); }
@@ -86,12 +109,22 @@ class CrowdStore {
   static std::string encode_point(const ReferencePoint& point);
   static Expected<ReferencePoint, std::string> decode_point(const std::string& line);
 
+  /// Control-frame codec.  Payloads starting with '#' are reserved for
+  /// control frames; "#epoch N" is the only kind today.  is_epoch_marker
+  /// parses the epoch into `epoch` when non-null.
+  static std::string encode_epoch_marker(std::uint64_t epoch);
+  static bool is_epoch_marker(const std::string& payload,
+                              std::uint64_t* epoch = nullptr);
+
  private:
   CrowdStore() = default;
 
   std::string dir_;
   std::unique_ptr<durable::Journal> journal_;
   std::vector<ReferencePoint> points_;
+  CellStatsGrid cell_stats_;
+  std::uint64_t observed_epoch_ = 0;
+  bool verify_cell_stats_ = false;
   std::size_t snapshot_count_ = 0;  ///< prefix of points_ covered by the snapshot
   std::size_t journaled_ = 0;
   OpenStats open_stats_;

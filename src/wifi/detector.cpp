@@ -136,29 +136,6 @@ VerdictReport RssiDetector::classify_features(std::vector<double> features,
   return report;
 }
 
-std::vector<double> RssiDetector::features(const ScannedUpload& upload) const {
-  return trajectory_features(estimator_, upload);
-}
-
-double RssiDetector::predict_proba(const ScannedUpload& upload) const {
-  return analyze(upload).p_real;
-}
-
-int RssiDetector::verify(const ScannedUpload& upload) const {
-  return analyze(upload).verdict;
-}
-
-int RssiDetector::verify(const ScannedUpload& upload, double threshold) const {
-  return analyze(upload).p_real >= threshold ? 1 : 0;
-}
-
-std::vector<double> RssiDetector::point_scores(const ScannedUpload& upload) const {
-  std::vector<double> features;
-  std::vector<double> scores;
-  analyze_points(upload, features, scores);
-  return scores;
-}
-
 void RssiDetector::set_rpd_cache(std::shared_ptr<RpdStatsCache> cache) {
   estimator_.set_rpd_cache(std::move(cache));
 }

@@ -7,10 +7,10 @@
 // The call surface is one entry point: analyze() runs the reference-index
 // queries once per point and returns everything a caller can want — the
 // verdict, the classifier probability, the Eq. 8 feature vector and the
-// per-point Eq. 7 suspicion scores.  The historical methods (features /
-// predict_proba / verify / point_scores) survive as thin deprecated wrappers;
-// each one re-walks the index, so calling several of them per upload does the
-// per-point work multiple times where analyze() does it once.
+// per-point Eq. 7 suspicion scores.  Geo-sharded deployments split the same
+// pass into segment_features() + classify_features().  (The pre-serving
+// per-question methods — features / predict_proba / verify / point_scores —
+// re-walked the index once each and are gone.)
 #pragma once
 
 #include <iosfwd>
@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
 #include "gbt/booster.hpp"
 #include "wifi/features.hpp"
@@ -101,31 +102,6 @@ class RssiDetector {
   VerdictReport classify_features(std::vector<double> features,
                                   std::vector<double> point_scores) const;
 
-  // -- Deprecated pre-serving surface (each call re-walks the index) --------
-
-  /// Eq. 8 features of one upload.
-  [[deprecated("use analyze().features")]]
-  std::vector<double> features(const ScannedUpload& upload) const;
-
-  /// Confidence that the upload is real, in [0, 1].
-  [[deprecated("use analyze().p_real")]]
-  double predict_proba(const ScannedUpload& upload) const;
-
-  /// The J function at the configured operating threshold.
-  [[deprecated("use analyze().verdict")]]
-  int verify(const ScannedUpload& upload) const;
-
-  /// The J function at an explicit threshold override.
-  [[deprecated("use analyze() and compare p_real yourself")]]
-  int verify(const ScannedUpload& upload, double threshold) const;
-
-  /// Per-point suspicion localisation (mean Eq. 7 confidence of each point's
-  /// top-k APs; higher = better supported by the crowd).
-  [[deprecated("use analyze().point_scores")]]
-  std::vector<double> point_scores(const ScannedUpload& upload) const;
-
-  // -------------------------------------------------------------------------
-
   const ReferenceIndex& index() const { return index_; }
   const ConfidenceEstimator& confidence() const { return estimator_; }
   const gbt::GbtClassifier& classifier() const { return classifier_; }
@@ -192,3 +168,22 @@ std::vector<ReferencePoint> flatten_history(
     const std::vector<ScannedUpload>& historical);
 
 }  // namespace trajkit::wifi
+
+namespace trajkit::durable {
+
+/// Detector artifacts for ArtifactStore::open<RssiDetector>/publish: the
+/// payload is the detector's own stream format (save/try_load), so epoch
+/// files and legacy single-file models stay byte-compatible.  Value is a
+/// unique_ptr because a live detector pins internal pointers and cannot move.
+template <>
+struct ArtifactCodec<wifi::RssiDetector> {
+  using Value = std::unique_ptr<wifi::RssiDetector>;
+  static void encode(const wifi::RssiDetector& value, std::ostream& os) {
+    value.save(os);
+  }
+  static Expected<Value, std::string> decode(std::istream& is) {
+    return wifi::RssiDetector::try_load(is);
+  }
+};
+
+}  // namespace trajkit::durable

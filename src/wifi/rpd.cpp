@@ -29,9 +29,24 @@ std::shared_ptr<const RpdPointStats> DenseRpdStatsCache::get_or_build(
   return slot.value;
 }
 
+void DenseRpdStatsCache::invalidate(const std::vector<std::size_t>& keys) {
+  for (const std::size_t h : keys) {
+    if (h >= slots_.size()) continue;  // appended past the slot table: never cached
+    Slot& slot = slots_[h];
+    std::lock_guard<std::mutex> lock(stripes_[h % stripes_.size()]);
+    if (!slot.ready.load(std::memory_order_relaxed)) continue;
+    // Unpublish before dropping the value so a racing fast-path reader either
+    // sees the old (complete) entry or takes the build path.
+    slot.ready.store(false, std::memory_order_release);
+    slot.value.reset();
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 RpdStatsCache::CacheStats DenseRpdStatsCache::stats() const {
   return {hits_.load(std::memory_order_relaxed),
-          misses_.load(std::memory_order_relaxed), 0};
+          misses_.load(std::memory_order_relaxed),
+          invalidations_.load(std::memory_order_relaxed)};
 }
 
 RpdEstimator::RpdEstimator(const ReferenceIndex& index, RpdParams params,

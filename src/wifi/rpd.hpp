@@ -66,19 +66,33 @@ class RpdStatsCache {
   virtual std::shared_ptr<const RpdPointStats> get_or_build(
       std::size_t h, const std::function<RpdPointStats()>& build) = 0;
 
+  /// Drop the cached stats of exactly these reference points (the online
+  /// ingestion path: a newly appended crowd scan only perturbs the counting
+  /// circles that contain it, so only those entries go stale).  Readers that
+  /// already fetched a shared_ptr keep their (old-epoch) value; the next
+  /// get_or_build rebuilds.  Default: nothing cached is ever stale (caches
+  /// over an immutable index need no invalidation path).
+  virtual void invalidate(const std::vector<std::size_t>& keys) { (void)keys; }
+
   virtual CacheStats stats() const = 0;
 };
 
 /// Default cache: one slot per reference point, built lazily under a striped
 /// mutex and published with an acquire/release flag, never evicted.  Memory
 /// grows with the number of *touched* reference points — fine for
-/// experiments, unbounded for a long-lived server.
+/// experiments, unbounded for a long-lived server.  invalidate() resets the
+/// named slots; unlike the serve-layer LRU it is NOT safe against concurrent
+/// get_or_build (the lock-free fast path may copy a slot being reset), so
+/// callers invalidate between evaluation rounds — the experiment-side
+/// incremental-refresh shape.  Serving hot-swaps use carry-forward on the
+/// sharded LRU instead (serve/rpd_lru_cache.hpp).
 class DenseRpdStatsCache final : public RpdStatsCache {
  public:
   explicit DenseRpdStatsCache(std::size_t slots);
 
   std::shared_ptr<const RpdPointStats> get_or_build(
       std::size_t h, const std::function<RpdPointStats()>& build) override;
+  void invalidate(const std::vector<std::size_t>& keys) override;
   CacheStats stats() const override;
 
  private:
@@ -91,6 +105,7 @@ class DenseRpdStatsCache final : public RpdStatsCache {
   std::array<std::mutex, 64> stripes_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 };
 
 class RpdEstimator {

@@ -1,12 +1,11 @@
-// Equivalence guarantees for the deprecated single-shot detector API: every
-// wrapper (features / predict_proba / verify / point_scores) must agree
-// exactly with the corresponding field of analyze()'s VerdictReport, for any
-// upload — the wrappers are documented as thin views over analyze and the
-// migration away from them relies on that being true.
+// Equivalence guarantees for the split detector surface: the geo-shard /
+// serving decomposition segment_features() + classify_features() must agree
+// exactly with the single-shot analyze() for any upload — the sharded router
+// and the hot-swap oracle comparisons rely on that being true bit for bit.
 //
 // Property-style: instead of one hand-built upload, sweep a stream of random
-// real and forged uploads from the shared linear-field world through every
-// wrapper.
+// real and forged uploads from the shared linear-field world through both
+// paths.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -20,10 +19,7 @@ namespace {
 
 namespace ts = test_support;
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(Equivalence, WrappersMatchAnalyzeAcrossRandomUploads) {
+TEST(Equivalence, SplitPipelineMatchesAnalyzeAcrossRandomUploads) {
   ts::LinearFieldWorld w;
   RssiDetector& detector = w.detector();
   Rng rng(1001);  // caller-owned stream: the sweep, not the world fixture
@@ -31,32 +27,38 @@ TEST(Equivalence, WrappersMatchAnalyzeAcrossRandomUploads) {
     const auto upload = w.upload(trial % 2 == 0, rng);
     const auto report = detector.analyze(upload);
     SCOPED_TRACE("trial " + std::to_string(trial));
-    EXPECT_EQ(detector.features(upload), report.features);
-    EXPECT_DOUBLE_EQ(detector.predict_proba(upload), report.p_real);
-    EXPECT_EQ(detector.verify(upload), report.verdict);
-    EXPECT_EQ(detector.point_scores(upload), report.point_scores);
+
+    std::vector<double> features;
+    std::vector<double> scores;
+    detector.segment_features(upload, features, scores);
+    EXPECT_EQ(features, report.features);
+    EXPECT_EQ(scores, report.point_scores);
+
+    const auto merged = detector.classify_features(features, scores);
+    EXPECT_EQ(merged.verdict, report.verdict);
+    EXPECT_DOUBLE_EQ(merged.p_real, report.p_real);
+    EXPECT_EQ(merged.features, report.features);
+    EXPECT_EQ(merged.point_scores, report.point_scores);
     EXPECT_EQ(report.threshold, detector.config().threshold);
   }
 }
 
-TEST(Equivalence, ThresholdedVerifyMatchesReportProbability) {
+TEST(Equivalence, VerdictIsInclusiveAtTheConfiguredThreshold) {
+  // verdict = 1 iff p_real >= threshold, for whatever threshold the detector
+  // was configured with — including the exact-boundary case.
   ts::LinearFieldWorld w;
   RssiDetector& detector = w.detector();
   Rng rng(2002);
   for (int trial = 0; trial < 6; ++trial) {
     const auto upload = w.upload(trial % 2 == 0, rng);
-    const double p = detector.analyze(upload).p_real;
-    for (const double threshold : {0.05, 0.25, 0.5, 0.75, 0.95}) {
-      EXPECT_EQ(detector.verify(upload, threshold), p >= threshold ? 1 : 0)
-          << "trial " << trial << " threshold " << threshold;
-    }
-    // The exact-boundary case is inclusive: p >= threshold passes.
-    EXPECT_EQ(detector.verify(upload, p), 1);
+    const auto report = detector.analyze(upload);
+    EXPECT_EQ(report.verdict, report.p_real >= report.threshold ? 1 : 0)
+        << "trial " << trial;
   }
 }
 
-TEST(Equivalence, PointScoresAreUntrainedSafeAndUnchangedByTraining) {
-  // point_scores only needs the reference index, so it must work before
+TEST(Equivalence, SegmentFeaturesAreUntrainedSafeAndUnchangedByTraining) {
+  // segment_features only needs the reference index, so it must work before
   // train() — and training must not change it (the classifier sits beside
   // the confidence pipeline, not inside it).
   Rng rng(55);
@@ -81,7 +83,9 @@ TEST(Equivalence, PointScoresAreUntrainedSafeAndUnchangedByTraining) {
   };
 
   const auto probe = make_upload(true);
-  const auto before = detector.point_scores(probe);  // untrained: must not throw
+  std::vector<double> features;
+  std::vector<double> before;
+  detector.segment_features(probe, features, before);  // untrained: must not throw
   ASSERT_EQ(before.size(), probe.positions.size());
 
   std::vector<ScannedUpload> train;
@@ -95,8 +99,6 @@ TEST(Equivalence, PointScoresAreUntrainedSafeAndUnchangedByTraining) {
   detector.train(train, labels);
   EXPECT_EQ(detector.analyze(probe).point_scores, before);
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace trajkit::wifi

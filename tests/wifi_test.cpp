@@ -339,12 +339,11 @@ TEST(Detector, PointScoresLocaliseMismatchedStretch) {
     upload.positions.push_back(j < 5 ? p : Enu{p.east + 20.0, p.north});
     upload.scans.push_back({{1, field(p)}});
   }
-  // point_scores is untrained-safe (it only needs the reference index), which
-  // is exactly why this test can skip training the classifier.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto scores = detector.point_scores(upload);
-#pragma GCC diagnostic pop
+  // segment_features is untrained-safe (it only needs the reference index),
+  // which is exactly why this test can skip training the classifier.
+  std::vector<double> features;
+  std::vector<double> scores;
+  detector.segment_features(upload, features, scores);
   ASSERT_EQ(scores.size(), 10u);
   double good = 0.0;
   double bad = 0.0;

@@ -37,8 +37,10 @@ run_leg() {
 # durability suites (durable_test, crash_recovery_test) join every leg: under
 # TSan/ASan/UBSan the corruption fuzz proves that a flipped byte is a clean
 # Expected error and never UB, and the fork-based crash matrix stays safe
-# because the children are single-threaded and I/O-only.
-TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels|Crc32|AtomicWrite|Durable|Journal|CorruptionFuzz|TrajCsv|Validate|CrowdStore|CrashRecovery|Shard|ConsistentHash'
+# because the children are single-threaded and I/O-only.  Hotswap/Artifact
+# joins too: the RCU epoch flip races real submitter threads against
+# publish_epoch, exactly the sharing TSan is for.
+TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels|Crc32|AtomicWrite|Durable|Journal|CorruptionFuzz|TrajCsv|Validate|CrowdStore|CrashRecovery|Shard|ConsistentHash|Hotswap|Artifact'
 
 case "${LEG}" in
   tsan) run_leg tsan thread "${TSAN_FILTER}" ;;
