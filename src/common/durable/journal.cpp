@@ -16,6 +16,7 @@ namespace {
 
 constexpr char kMagic[8] = {'T', 'K', 'J', 'R', 'N', 'L', '1', '\n'};
 constexpr char kRecordMagic[4] = {'T', 'K', 'J', 'R'};
+constexpr char kRecordMagicV2[4] = {'T', 'K', 'J', '2'};
 constexpr std::size_t kMaxTagLen = 256;
 constexpr std::size_t kMaxPayload = 1u << 26;  ///< 64 MiB per record
 
@@ -106,17 +107,23 @@ Expected<ParsedJournal, std::string> parse_journal(const std::string& bytes,
 
   // Replay intact records; stop at the first frame that is short, has a bad
   // magic/CRC or an out-of-order seq.  Everything from there on is a torn
-  // tail (or trailing corruption).
+  // tail (or trailing corruption).  v1 ("TKJR") and v2 ("TKJ2", with a
+  // provenance field) frames mix freely; a v1 frame replays as uploader 0.
   std::uint64_t next_seq = parsed.base_seq;
   parsed.good_end = cur.pos;
   while (cur.remaining() > 0) {
     char rec_magic[sizeof kRecordMagic];
     std::uint64_t seq = 0;
+    std::uint64_t uploader = 0;
     std::uint32_t len = 0;
     std::uint32_t crc = 0;
-    if (!cur.read_bytes(rec_magic, sizeof rec_magic) ||
-        std::memcmp(rec_magic, kRecordMagic, sizeof kRecordMagic) != 0 ||
-        !cur.read_u64(seq) || !cur.read_u32(len) || !cur.read_u32(crc)) {
+    if (!cur.read_bytes(rec_magic, sizeof rec_magic)) break;
+    const bool v2 = std::memcmp(rec_magic, kRecordMagicV2, sizeof kRecordMagicV2) == 0;
+    if (!v2 && std::memcmp(rec_magic, kRecordMagic, sizeof kRecordMagic) != 0) {
+      break;
+    }
+    if (!cur.read_u64(seq) || (v2 && !cur.read_u64(uploader)) ||
+        !cur.read_u32(len) || !cur.read_u32(crc)) {
       break;
     }
     if (seq != next_seq || len > kMaxPayload || len > cur.remaining()) {
@@ -124,8 +131,19 @@ Expected<ParsedJournal, std::string> parse_journal(const std::string& bytes,
     }
     std::string_view payload;
     cur.read_view(payload, len);
-    if (crc32(payload) != crc) break;
-    parsed.recovery.records.push_back({seq, std::string(payload)});
+    // The v2 CRC chains the provenance field in front of the payload, so a
+    // flipped uploader byte invalidates the whole frame — identity stamps
+    // are as tamper-evident as the data they stamp.
+    std::uint32_t expect = 0;
+    if (v2) {
+      char stamp[sizeof uploader];
+      std::memcpy(stamp, &uploader, sizeof stamp);
+      expect = crc32(payload.data(), payload.size(), crc32(stamp, sizeof stamp));
+    } else {
+      expect = crc32(payload);
+    }
+    if (expect != crc) break;
+    parsed.recovery.records.push_back({seq, std::string(payload), uploader});
     next_seq = seq + 1;
     parsed.good_end = cur.pos;
   }
@@ -226,7 +244,8 @@ std::string Journal::abort_append(off_t pre_append_size, std::string message) {
   return message;
 }
 
-Expected<std::uint64_t, std::string> Journal::append(std::string_view payload) {
+Expected<std::uint64_t, std::string> Journal::append(std::string_view payload,
+                                                     std::uint64_t uploader) {
   using Result = Expected<std::uint64_t, std::string>;
   if (fd_ < 0) return Result::failure("journal: not open");
   if (payload.size() > kMaxPayload) {
@@ -235,12 +254,27 @@ Expected<std::uint64_t, std::string> Journal::append(std::string_view payload) {
   auto& faults = global_faults();
   const std::uint64_t key = path_fault_key(path_);
 
+  // Anonymous appends keep the v1 frame so a provenance-free journal stays
+  // byte-identical to the pre-v2 format; a named uploader rides a v2 frame.
   std::string frame;
-  frame.reserve(payload.size() + 20);
-  frame.append(kRecordMagic, sizeof kRecordMagic);
-  append_u64(frame, next_seq_);
+  frame.reserve(payload.size() + 28);
+  std::uint32_t crc = 0;
+  if (uploader == 0) {
+    frame.append(kRecordMagic, sizeof kRecordMagic);
+    append_u64(frame, next_seq_);
+    crc = crc32(payload);
+  } else {
+    frame.append(kRecordMagicV2, sizeof kRecordMagicV2);
+    append_u64(frame, next_seq_);
+    append_u64(frame, uploader);
+    // Chain the provenance bytes into the CRC (see parse_journal): the
+    // identity stamp must be as tamper-evident as the payload it stamps.
+    char stamp[sizeof uploader];
+    std::memcpy(stamp, &uploader, sizeof stamp);
+    crc = crc32(payload.data(), payload.size(), crc32(stamp, sizeof stamp));
+  }
   append_u32(frame, static_cast<std::uint32_t>(payload.size()));
-  append_u32(frame, crc32(payload));
+  append_u32(frame, crc);
   frame += payload;
 
   const off_t start = ::lseek(fd_, 0, SEEK_CUR);

@@ -19,12 +19,17 @@
 //   "TKJRNL1\n"        8-byte magic
 //   u32 tag_len, tag
 //   u64 base_seq       seq of the first record this file may hold
-//   per record:
-//     "TKJR"           4-byte record magic
-//     u64 seq          strictly consecutive from the previous record
-//     u32 payload_len
-//     u32 crc32(payload)
-//     payload
+//   per record, one of two frame kinds (freely mixed in one file):
+//     v1 ("TKJR"):     u64 seq, u32 payload_len, u32 crc32(payload), payload
+//     v2 ("TKJ2"):     u64 seq, u64 uploader, u32 payload_len,
+//                      u32 crc32(uploader_bytes || payload), payload
+//
+// The v2 frame carries per-record *provenance*: a stable uploader id stamped
+// by the ingestion layer, so a crowdsourced record keeps its origin through
+// replay, compaction and follower WAL shipping.  Appends with an anonymous
+// uploader (id 0) emit v1 frames — a journal that never sees provenance is
+// byte-identical to the pre-v2 format — and v1 frames replay as uploader 0,
+// so pre-provenance journals recover unchanged.
 //
 // The append path carries fault/crash points (kFaultAppendPartial lands
 // mid-frame, kFaultAppendSync after the frame but before fsync).  A kCrash
@@ -57,6 +62,8 @@ class Journal {
   struct Record {
     std::uint64_t seq = 0;
     std::string payload;
+    /// Provenance of a v2 frame; 0 (anonymous) for v1 frames.
+    std::uint64_t uploader = 0;
   };
 
   /// What open() found on disk.
@@ -96,15 +103,18 @@ class Journal {
   std::uint64_t next_seq() const { return next_seq_; }
   const std::string& path() const { return path_; }
 
-  /// Append one record; returns the seq it was assigned.  With
-  /// sync_each_append the record is fsynced before returning (the WAL
+  /// Append one record; returns the seq it was assigned.  A non-zero
+  /// `uploader` stamps the record with its provenance (a v2 frame); 0 keeps
+  /// the anonymous v1 frame, byte-identical to the pre-provenance format.
+  /// With sync_each_append the record is fsynced before returning (the WAL
   /// contract); otherwise durability is deferred to sync()/the OS.  On
   /// failure the file is rolled back to its pre-append size (the record was
   /// never acknowledged, so it must not linger as a torn frame under later
   /// appends); if the rollback itself fails the journal is poisoned — every
   /// later append fails — rather than risk acknowledging records a future
   /// recovery would truncate away.
-  Expected<std::uint64_t, std::string> append(std::string_view payload);
+  Expected<std::uint64_t, std::string> append(std::string_view payload,
+                                              std::uint64_t uploader = 0);
 
   /// fsync the journal fd.
   Expected<bool, std::string> sync();

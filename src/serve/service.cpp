@@ -124,42 +124,59 @@ void VerifierService::install_detector(std::shared_ptr<wifi::RssiDetector> detec
 }
 
 Expected<std::uint64_t, std::string> VerifierService::publish_epoch(
-    wifi::CrowdStore& store, durable::ArtifactStore* artifacts) {
+    wifi::CrowdStore& store, durable::ArtifactStore* artifacts,
+    bool exclude_quarantined) {
   using Result = Expected<std::uint64_t, std::string>;
   std::shared_ptr<wifi::RssiDetector> cur;
   std::shared_ptr<ShardedRpdLruCache> cur_cache;
   std::uint64_t cur_epoch = 0;
   std::size_t covered = 0;
+  bool was_filtered = false;
   {
     std::lock_guard<std::mutex> lock(swap_mu_);
     cur = detector_;
     cur_cache = cache_;
     cur_epoch = epoch_;
     covered = published_points_;
+    was_filtered = filtered_epoch_;
   }
   if (!cur) return Result::failure("publish_epoch: no serving detector");
-  const auto& points = store.points();
-  if (points.size() < covered) {
-    return Result::failure("publish_epoch: store shrank below the serving epoch");
-  }
-  // Affected reference points: every serving-index point whose counting
-  // circle C_H(R) gains one of the appended scans.  Every other point's RPD
-  // statistics are integer histograms over an unchanged neighbour set, so
-  // their cached values stay bitwise valid in the next epoch — that is what
-  // lets the cache carry forward instead of going cold.
-  const double radius = cur->confidence().rpd().params().counting_radius_m;
+  // The carry-forward machinery below keys the LRU on reference-point
+  // indices of an append-only slice.  A quarantine-filtered set breaks that
+  // (points drop out of the middle), and so does publishing on top of a
+  // filtered epoch (covered no longer names a store prefix) — both take the
+  // cold path: full rebuild, fresh cache.
+  const bool cold = exclude_quarantined || was_filtered;
+  std::vector<wifi::ReferencePoint> points =
+      exclude_quarantined
+          ? store.trusted_points()
+          : std::vector<wifi::ReferencePoint>(store.points().begin(),
+                                              store.points().end());
+  const std::size_t folded = points.size();
   std::unordered_set<std::size_t> affected;
-  for (std::size_t i = covered; i < points.size(); ++i) {
-    for (const std::size_t h : cur->index().within(points[i].pos, radius)) {
-      affected.insert(h);
+  if (!cold) {
+    if (points.size() < covered) {
+      return Result::failure("publish_epoch: store shrank below the serving epoch");
+    }
+    // Affected reference points: every serving-index point whose counting
+    // circle C_H(R) gains one of the appended scans.  Every other point's RPD
+    // statistics are integer histograms over an unchanged neighbour set, so
+    // their cached values stay bitwise valid in the next epoch — that is what
+    // lets the cache carry forward instead of going cold.
+    const double radius = cur->confidence().rpd().params().counting_radius_m;
+    for (std::size_t i = covered; i < points.size(); ++i) {
+      for (const std::size_t h : cur->index().within(points[i].pos, radius)) {
+        affected.insert(h);
+      }
     }
   }
   // The replacement index keeps the serving epoch's grid bounds: within()
   // iteration order (and hence every float accumulation order downstream) is
   // pinned across epochs, so unaffected verdicts stay bit-identical.
-  auto fresh = wifi::RssiDetector::assemble(
-      {points.begin(), points.end()}, cur->config(), cur->classifier(),
-      cur->trained_points(), cur->index().bounds());
+  auto fresh = wifi::RssiDetector::assemble(std::move(points), cur->config(),
+                                            cur->classifier(),
+                                            cur->trained_points(),
+                                            cur->index().bounds());
   std::uint64_t next_epoch = cur_epoch + 1;
   if (artifacts != nullptr) {
     // Commit the artifact before anything becomes visible: a crash (or
@@ -174,9 +191,12 @@ Expected<std::uint64_t, std::string> VerifierService::publish_epoch(
   auto marker = store.append_epoch_marker(next_epoch);
   if (!marker) return Result::failure("publish_epoch: " + marker.error());
   std::shared_ptr<ShardedRpdLruCache> next_cache;
-  if (cur_cache) next_cache = cur_cache->carry_forward(affected);
-  install_detector(std::move(fresh), next_epoch, points.size(),
-                   std::move(next_cache));
+  if (!cold && cur_cache) next_cache = cur_cache->carry_forward(affected);
+  install_detector(std::move(fresh), next_epoch, folded, std::move(next_cache));
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    filtered_epoch_ = exclude_quarantined;
+  }
   return Result(next_epoch);
 }
 

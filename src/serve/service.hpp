@@ -303,9 +303,19 @@ class VerifierService {
   ///      frame is journaled through `store` so WAL-shipping followers adopt
   ///      it.
   ///
+  /// `exclude_quarantined` publishes the store's trusted_points() instead —
+  /// the quarantine stage that holds suspected-poisoned uploaders out of the
+  /// served model while review is pending.  A filtered set is not an
+  /// append-only extension of the serving slice, so the cache carry-forward
+  /// contract (steps 1 and 3 key the LRU on reference-point indices) does
+  /// not hold: a filtered publish cold-rebuilds with a fresh cache, and so
+  /// does the next publish after it (the serving slice is no longer a prefix
+  /// of the store).  Unfiltered steady-state publishes are unaffected.
+  ///
   /// Returns the new epoch number.
   Expected<std::uint64_t, std::string> publish_epoch(
-      wifi::CrowdStore& store, durable::ArtifactStore* artifacts = nullptr);
+      wifi::CrowdStore& store, durable::ArtifactStore* artifacts = nullptr,
+      bool exclude_quarantined = false);
 
   /// True while the circuit breaker is open (requests degrade immediately).
   bool breaker_open() const;
@@ -353,6 +363,10 @@ class VerifierService {
   std::shared_ptr<ShardedRpdLruCache> cache_;
   std::uint64_t epoch_ = 0;
   std::size_t published_points_ = 0;
+  // True when the serving epoch was published from a filtered (quarantine-
+  // excluding) point set: published_points_ then does not name a prefix of
+  // the store, so the next publish must cold-rebuild.
+  bool filtered_epoch_ = false;
   VerifierServiceConfig config_;
   const Clock* clock_;
   baseline::RuleBasedDetector fallback_;

@@ -75,14 +75,16 @@ Expected<std::unique_ptr<ShardReplica>, std::string> ShardReplica::bootstrap(
       wifi::CrowdStore::journal_path(leader_dir), wifi::CrowdStore::journal_tag());
   if (!tail) return Result::failure("shard replica: " + tail.error());
   for (const auto& record : tail.value().records) {
-    auto applied = replica.value()->apply_frame(record.seq, record.payload);
+    auto applied =
+        replica.value()->apply_frame(record.seq, record.payload, record.uploader);
     if (!applied) return Result::failure(applied.error());
   }
   return replica;
 }
 
 Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
-                                                      const std::string& payload) {
+                                                      const std::string& payload,
+                                                      wifi::UploaderId uploader) {
   using Result = Expected<bool, std::string>;
   const std::uint64_t next = store_->next_seq();
   if (seq < next) return Result(false);  // already applied; redelivery is a no-op
@@ -91,21 +93,19 @@ Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
                            ": got seq " + std::to_string(seq) + ", expected " +
                            std::to_string(next));
   }
-  // Control frames ride the same WAL as the points: an epoch marker updates
-  // the follower store's observed epoch instead of decoding as a point.
+  // Control frames ride the same WAL as the points: epoch markers and
+  // quarantine reviews re-journal verbatim instead of decoding as a point.
   if (!payload.empty() && payload[0] == '#') {
-    std::uint64_t epoch = 0;
-    if (!wifi::CrowdStore::is_epoch_marker(payload, &epoch)) {
-      return Result::failure("shard replica: unknown control frame at seq " +
-                             std::to_string(seq));
+    auto appended = store_->append_control(payload);
+    if (!appended) {
+      return Result::failure("shard replica: seq " + std::to_string(seq) + ": " +
+                             appended.error());
     }
-    auto appended = store_->append_epoch_marker(epoch);
-    if (!appended) return Result::failure("shard replica: " + appended.error());
     return Result(true);
   }
   auto point = wifi::CrowdStore::decode_point(payload);
   if (!point) return Result::failure("shard replica: " + point.error());
-  auto appended = store_->append(point.value());
+  auto appended = store_->append(point.value(), uploader);
   if (!appended) return Result::failure("shard replica: " + appended.error());
   return Result(true);
 }
@@ -151,12 +151,12 @@ void ShardService::attach_follower(ShardReplica* follower) {
 }
 
 Expected<std::uint64_t, std::string> ShardService::ingest(
-    const wifi::ReferencePoint& point) {
+    const wifi::ReferencePoint& point, wifi::UploaderId uploader) {
   using Result = Expected<std::uint64_t, std::string>;
   if (!store_) return Result::failure("shard: no store attached");
 
   // Leader-durable first: the WAL append fsyncs before returning a seq.
-  auto seq = store_->append(point);
+  auto seq = store_->append(point, uploader);
   if (!seq) return seq;
 
   // Ship the same frame to every follower; the acknowledgement below is
@@ -170,7 +170,7 @@ Expected<std::uint64_t, std::string> ShardService::ingest(
       return Result::failure("shard: injected fault shipping frame " +
                              std::to_string(seq.value()));
     }
-    auto applied = follower->apply_frame(seq.value(), payload);
+    auto applied = follower->apply_frame(seq.value(), payload, uploader);
     if (!applied) return Result::failure(applied.error());
     if (faults.should_fail_seq(kFaultShipApplied, seq.value())) {
       return Result::failure("shard: injected fault acknowledging frame " +
@@ -189,13 +189,17 @@ Expected<bool, std::string> ShardService::compact() {
 
 Expected<std::uint64_t, std::string> ShardService::ship_epoch_marker(
     std::uint64_t epoch) {
+  return ship_control(wifi::CrowdStore::encode_epoch_marker(epoch));
+}
+
+Expected<std::uint64_t, std::string> ShardService::ship_control(
+    const std::string& payload) {
   using Result = Expected<std::uint64_t, std::string>;
   if (!store_) return Result::failure("shard: no store attached");
-  auto seq = store_->append_epoch_marker(epoch);
+  auto seq = store_->append_control(payload);
   if (!seq) return seq;
   // Same shipping discipline (and fault points) as point frames: followers
   // hold the marker durably before it is acknowledged.
-  const std::string payload = wifi::CrowdStore::encode_epoch_marker(epoch);
   auto& faults = global_faults();
   for (ShardReplica* follower : followers_) {
     if (faults.should_fail_seq(kFaultShipFrame, seq.value())) {

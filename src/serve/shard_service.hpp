@@ -102,12 +102,16 @@ class ShardReplica {
   /// Durably apply one shipped frame.  Returns true when the frame was
   /// appended, false when `seq` is stale (already applied — idempotent
   /// redelivery); a gap (`seq` beyond the next expected) is an error, the
-  /// follower must re-bootstrap rather than silently lose frames.  Epoch
-  /// control frames ("#epoch N") pass through to the follower store's
-  /// observed epoch — followers learn about published model epochs from the
-  /// same WAL shipping that carries the points.
-  Expected<bool, std::string> apply_frame(std::uint64_t seq,
-                                          const std::string& payload);
+  /// follower must re-bootstrap rather than silently lose frames.  Control
+  /// frames ('#' payloads — epoch markers, quarantine reviews) re-journal
+  /// verbatim through the follower store's append_control, so followers
+  /// learn about published epochs and review actions from the same WAL
+  /// shipping that carries the points.  `uploader` is the frame's provenance
+  /// (v2 journal frames); the follower re-journals it unchanged, so a
+  /// promoted follower scores and quarantines exactly like its leader.
+  Expected<bool, std::string> apply_frame(
+      std::uint64_t seq, const std::string& payload,
+      wifi::UploaderId uploader = wifi::kAnonymousUploader);
 
   /// Seq of the next frame this follower expects.
   std::uint64_t next_seq() const { return store_->next_seq(); }
@@ -185,8 +189,11 @@ class ShardService {
   /// Validate + leader-durable append + ship to every follower; returns the
   /// acknowledged seq.  The returned seq is the durability promise: a
   /// crash anywhere inside — leader WAL, shipping, follower WAL — can only
-  /// lose frames that were never returned.
-  Expected<std::uint64_t, std::string> ingest(const wifi::ReferencePoint& point);
+  /// lose frames that were never returned.  `uploader` stamps the frame's
+  /// provenance end to end (leader WAL, wire, follower WALs).
+  Expected<std::uint64_t, std::string> ingest(
+      const wifi::ReferencePoint& point,
+      wifi::UploaderId uploader = wifi::kAnonymousUploader);
 
   /// Fold the leader store's journal into its snapshot (follower bootstraps
   /// read both, so compaction is transparent to replication).
@@ -200,6 +207,12 @@ class ShardService {
   /// call returns.  The primary's publish path calls this after committing
   /// the epoch's artifact.
   Expected<std::uint64_t, std::string> ship_epoch_marker(std::uint64_t epoch);
+
+  /// Journal + ship any '#' control frame (epoch markers, "#quarantine U",
+  /// "#clear U" review actions) with the same leader-durable-then-followers
+  /// discipline and fault points as point frames, so quarantine state stays
+  /// converged across the replica set.
+  Expected<std::uint64_t, std::string> ship_control(const std::string& payload);
 
   // -- Epoch hot-swap -------------------------------------------------------
 

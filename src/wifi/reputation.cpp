@@ -1,0 +1,116 @@
+#include "wifi/reputation.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace trajkit::wifi {
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+double ReputationBook::agreement(double deviation_db, const ReputationParams& params) {
+  const double dev = std::fabs(deviation_db);
+  if (dev <= params.agree_tol_db) return 1.0;
+  if (params.agree_falloff_db <= 0.0) return 0.0;
+  const double over = dev - params.agree_tol_db;
+  if (over >= params.agree_falloff_db) return 0.0;
+  return 1.0 - over / params.agree_falloff_db;
+}
+
+void ReputationBook::observe(UploaderId uploader, double agreement,
+                             const ReputationParams& params) {
+  if (uploader == kAnonymousUploader) return;
+  UploaderRecord& record = records_[uploader];
+  record.score = (1.0 - params.decay) * record.score + params.decay * agreement;
+  ++record.observations;
+  if (!record.quarantined && record.observations >= params.min_observations &&
+      record.score < params.quarantine_below) {
+    record.quarantined = true;
+  }
+}
+
+void ReputationBook::quarantine(UploaderId uploader) {
+  if (uploader == kAnonymousUploader) return;
+  records_[uploader].quarantined = true;
+}
+
+void ReputationBook::clear(UploaderId uploader) {
+  records_.erase(uploader);
+}
+
+bool ReputationBook::is_quarantined(UploaderId uploader) const {
+  const auto it = records_.find(uploader);
+  return it != records_.end() && it->second.quarantined;
+}
+
+UploaderRecord ReputationBook::record(UploaderId uploader) const {
+  const auto it = records_.find(uploader);
+  return it == records_.end() ? UploaderRecord{} : it->second;
+}
+
+std::vector<UploaderId> ReputationBook::quarantined() const {
+  std::vector<UploaderId> out;
+  for (const auto& [uploader, record] : records_) {
+    if (record.quarantined) out.push_back(uploader);
+  }
+  return out;
+}
+
+std::string ReputationBook::serialize() const {
+  std::string out = "repbook 1 ";
+  out += std::to_string(records_.size());
+  out += '\n';
+  for (const auto& [uploader, record] : records_) {
+    out += std::to_string(uploader);
+    out += ' ';
+    append_num(out, record.score);
+    out += ' ';
+    out += std::to_string(record.observations);
+    out += ' ';
+    out += record.quarantined ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<ReputationBook, std::string> ReputationBook::deserialize(
+    const std::string& text) {
+  using Result = Expected<ReputationBook, std::string>;
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "repbook" || version != 1) {
+    return Result::failure("reputation book: bad header");
+  }
+  ReputationBook book;
+  for (std::size_t i = 0; i < count; ++i) {
+    UploaderId uploader = 0;
+    UploaderRecord record;
+    int quarantined = 0;
+    if (!(is >> uploader >> record.score >> record.observations >> quarantined) ||
+        (quarantined != 0 && quarantined != 1)) {
+      return Result::failure("reputation book: truncated record");
+    }
+    if (!std::isfinite(record.score) || record.score < 0.0 || record.score > 1.0) {
+      return Result::failure("reputation book: implausible score");
+    }
+    record.quarantined = quarantined == 1;
+    if (uploader == kAnonymousUploader) {
+      return Result::failure("reputation book: anonymous uploader tracked");
+    }
+    if (!book.records_.emplace(uploader, record).second) {
+      return Result::failure("reputation book: duplicate uploader");
+    }
+  }
+  return Result(std::move(book));
+}
+
+}  // namespace trajkit::wifi

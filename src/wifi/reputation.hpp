@@ -1,0 +1,88 @@
+// Uploader reputation and the anomaly quarantine ledger.
+//
+// Every provenance-stamped upload is scored against the robust consensus the
+// *other* witnesses of its cells form (wifi/provenance.hpp): agreement 1
+// means the scan matches what the crowd already believes about those cells,
+// 0 means it contradicts them outright.  An uploader's reputation is the
+// exponentially-decayed average of its agreement history — decay keyed to
+// appends, not wall time, so replaying a journal reproduces the scores
+// bitwise — and an uploader whose reputation sinks below the quarantine
+// threshold (after enough observations to be fair) is quarantined: its
+// points stay durable in the store, but CrowdStore::trusted_points() holds
+// them out of compaction-published artifacts and epoch publishes until an
+// operator review clears it ("#clear" control frame).
+//
+// Properties the tests pin: observe(1) never lowers a score, observe(0)
+// strictly lowers it (down to 0), the update is a pure function of the
+// observation sequence, and quarantine entry/exit round-trips through the
+// snapshot + journal recovery path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "wifi/provenance.hpp"
+
+namespace trajkit::wifi {
+
+struct ReputationParams {
+  /// EWMA weight of the newest agreement: score' = (1-decay)*score +
+  /// decay*agreement.  Larger = faster to condemn and to forgive.
+  double decay = 0.2;
+  /// Deviation from consensus fully tolerated (GPS noise + shadowing), dB.
+  double agree_tol_db = 4.0;
+  /// Agreement falls linearly from 1 to 0 across this band past the
+  /// tolerance; beyond tol + falloff the observation counts as 0.
+  double agree_falloff_db = 8.0;
+  /// Reputation below this (with >= min_observations) triggers quarantine.
+  double quarantine_below = 0.5;
+  /// Scored appends before an uploader can be auto-quarantined.
+  std::uint64_t min_observations = 6;
+};
+
+/// One uploader's standing.  Scores start at 1 (innocent until measured).
+struct UploaderRecord {
+  double score = 1.0;
+  std::uint64_t observations = 0;  ///< scored appends folded into `score`
+  bool quarantined = false;
+
+  friend bool operator==(const UploaderRecord&, const UploaderRecord&) = default;
+};
+
+class ReputationBook {
+ public:
+  /// Agreement of one deviation-from-consensus, in [0, 1]: 1 inside the
+  /// tolerance, linear falloff, 0 beyond.
+  static double agreement(double deviation_db, const ReputationParams& params);
+
+  /// Fold one scored append into `uploader`'s reputation; auto-quarantines
+  /// when the decayed score crosses the threshold with enough history.
+  /// Anonymous uploads are never tracked (no-op).
+  void observe(UploaderId uploader, double agreement, const ReputationParams& params);
+
+  /// Review actions (journaled as "#quarantine"/"#clear" control frames by
+  /// the store).  clear() resets the uploader to a fresh record: review
+  /// decided the history was wrong, so it does not linger.
+  void quarantine(UploaderId uploader);
+  void clear(UploaderId uploader);
+
+  bool is_quarantined(UploaderId uploader) const;
+  /// The uploader's record, default (fresh) if never observed.
+  UploaderRecord record(UploaderId uploader) const;
+  std::vector<UploaderId> quarantined() const;
+  const std::map<UploaderId, UploaderRecord>& records() const { return records_; }
+
+  /// Deterministic text rendering (%.17g) — the snapshot record format.
+  std::string serialize() const;
+  static Expected<ReputationBook, std::string> deserialize(const std::string& text);
+
+  friend bool operator==(const ReputationBook&, const ReputationBook&) = default;
+
+ private:
+  std::map<UploaderId, UploaderRecord> records_;
+};
+
+}  // namespace trajkit::wifi

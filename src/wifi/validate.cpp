@@ -60,4 +60,22 @@ Valid validate_upload(const ScannedUpload& upload) {
   return Valid(true);
 }
 
+Expected<bool, std::string> UploaderRateLimiter::admit(UploaderId uploader,
+                                                       std::uint64_t tick) {
+  if (!policy_.enabled() || uploader == kAnonymousUploader) return Valid(true);
+  std::deque<std::uint64_t>& ticks = admitted_[uploader];
+  // Expire admissions that slid out of the window ending at `tick`.
+  while (!ticks.empty() && ticks.front() + policy_.window_appends <= tick) {
+    ticks.pop_front();
+  }
+  if (ticks.size() >= policy_.max_per_uploader) {
+    return Valid::failure("uploader " + std::to_string(uploader) +
+                          ": rate cap exceeded (" +
+                          std::to_string(policy_.max_per_uploader) + " per " +
+                          std::to_string(policy_.window_appends) + " appends)");
+  }
+  ticks.push_back(tick);
+  return Valid(true);
+}
+
 }  // namespace trajkit::wifi

@@ -8,10 +8,14 @@
 // diagnostic string via Expected — no exceptions, no partial acceptance.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
 
 #include "common/expected.hpp"
 #include "wifi/features.hpp"
+#include "wifi/provenance.hpp"
 #include "wifi/refindex.hpp"
 
 namespace trajkit::wifi {
@@ -43,5 +47,37 @@ Expected<bool, std::string> validate_reference_point(const ReferencePoint& p);
 /// Checks one uploaded trajectory: non-empty, positions/scans aligned, size
 /// bounded, every position finite and in-envelope, every scan valid.
 Expected<bool, std::string> validate_upload(const ScannedUpload& upload);
+
+/// Per-uploader ingestion rate cap.  Shape bounds (above) limit what one
+/// record can claim; this limits how *many* records one identity can land in
+/// a window, so a single Sybil cannot flood a cell's statistics between two
+/// reputation checkpoints.  The window is measured in accepted appends (the
+/// store's logical clock), not wall time, so admission decisions replay
+/// deterministically.  0 in either field disables the cap.
+struct UploaderRatePolicy {
+  std::uint64_t window_appends = 0;    ///< window length, in accepted appends
+  std::uint64_t max_per_uploader = 0;  ///< admissions per uploader per window
+  bool enabled() const { return window_appends > 0 && max_per_uploader > 0; }
+};
+
+/// Sliding-window admission over (uploader, append ordinal).  Anonymous
+/// uploads bypass the cap (no identity to account them to).  Not
+/// thread-safe; the store serialises appends.
+class UploaderRateLimiter {
+ public:
+  explicit UploaderRateLimiter(UploaderRatePolicy policy = {}) : policy_(policy) {}
+
+  /// Admit one upload by `uploader` at append ordinal `tick` (monotone
+  /// non-decreasing across calls).  Expected-based rejection names the
+  /// uploader and the cap.  An admitted upload consumes window budget;
+  /// a rejected one does not.
+  Expected<bool, std::string> admit(UploaderId uploader, std::uint64_t tick);
+
+  const UploaderRatePolicy& policy() const { return policy_; }
+
+ private:
+  UploaderRatePolicy policy_;
+  std::map<UploaderId, std::deque<std::uint64_t>> admitted_;  ///< ticks in window
+};
 
 }  // namespace trajkit::wifi

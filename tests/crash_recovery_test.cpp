@@ -272,6 +272,119 @@ TEST(CrashRecovery, CompactionCrashLosesAndDuplicatesNothing) {
   remove_store(dir);
 }
 
+TEST(CrashRecovery, PoisonQuarantineStateSurvivesEveryCompactionCrash) {
+  // The adversarial-layer state (per-uploader provenance, reputation scores,
+  // quarantine verdicts) rides the same snapshot + journal machinery as the
+  // points — so a crash at any compaction step must leave a store that still
+  // knows exactly who is quarantined, with the scores bitwise intact.
+  const std::string dir = "crash_test_poison_store";
+
+  std::vector<const char*> points(std::begin(durable::kAtomicWritePoints),
+                                  std::end(durable::kAtomicWritePoints));
+  points.push_back(wifi::kFaultStoreCompact);
+  points.push_back(durable::kFaultJournalReset);
+
+  for (const char* point : points) {
+    remove_store(dir);
+    std::string reputation;
+    std::uint64_t provenance_fnv = 0;
+    std::size_t trusted = 0;
+    {
+      auto store = wifi::CrowdStore::open(dir);
+      ASSERT_TRUE(store.has_value()) << store.error();
+      // Three uploaders agree about one cell; a review quarantines one of
+      // them, and a fourth is cleared after a (mistaken) quarantine — both
+      // marker kinds sit in the journal when the compaction crash hits.
+      for (int i = 0; i < 9; ++i) {
+        ASSERT_TRUE(store.value()
+                        ->append({{1.0 + 0.1 * i, 1.0}, {{5, -50}}, 1u},
+                                 static_cast<wifi::UploaderId>(1 + i % 3))
+                        .has_value());
+      }
+      ASSERT_TRUE(store.value()->append_quarantine_marker(2).has_value());
+      ASSERT_TRUE(store.value()->append_quarantine_marker(9).has_value());
+      ASSERT_TRUE(store.value()->append_clear_marker(9).has_value());
+      reputation = store.value()->reputation().serialize();
+      provenance_fnv = store.value()->provenance().checksum();
+      trusted = store.value()->trusted_points().size();
+      ASSERT_LT(trusted, store.value()->points().size());
+    }
+
+    const auto child = ts::crash_child_at(point, [&] {
+      auto store = wifi::CrowdStore::open(dir);
+      if (!store.has_value()) ::_exit(71);
+      (void)store.value()->compact();
+    });
+    ASSERT_TRUE(child.crashed_at_point())
+        << point << ": child " << child.describe();
+
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << point << ": " << store.error();
+    EXPECT_EQ(store.value()->reputation().serialize(), reputation) << point;
+    EXPECT_EQ(store.value()->provenance().checksum(), provenance_fnv) << point;
+    EXPECT_TRUE(store.value()->reputation().is_quarantined(2)) << point;
+    EXPECT_FALSE(store.value()->reputation().is_quarantined(9)) << point;
+    EXPECT_EQ(store.value()->trusted_points().size(), trusted) << point;
+    // Still operational: the review can proceed after the crash.
+    ASSERT_TRUE(store.value()->compact().has_value()) << point;
+    ASSERT_TRUE(store.value()->append_clear_marker(2).has_value()) << point;
+    EXPECT_EQ(store.value()->trusted_points().size(),
+              store.value()->points().size())
+        << point;
+  }
+  remove_store(dir);
+}
+
+TEST(CrashRecovery, PoisonQuarantineMarkerAppendCrashIsAtomic) {
+  // A crash inside the journal append of a "#quarantine" control frame
+  // leaves either a store that never heard of the review (torn frame,
+  // truncated) or one that fully applied it on replay — never a half state.
+  const std::string dir = "crash_test_poison_marker";
+
+  struct MarkerCase {
+    const char* point;
+    bool expect_applied;  ///< marker survives (page cache outlives _exit)
+  };
+  const MarkerCase cases[] = {
+      {durable::kFaultAppendPartial, false},
+      {durable::kFaultAppendSync, true},
+  };
+
+  for (const auto& c : cases) {
+    remove_store(dir);
+    {
+      auto store = wifi::CrowdStore::open(dir);
+      ASSERT_TRUE(store.has_value()) << store.error();
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(store.value()
+                        ->append({{1.0 + 0.1 * i, 1.0}, {{5, -50}}, 1u},
+                                 static_cast<wifi::UploaderId>(1 + i))
+                        .has_value());
+      }
+    }
+
+    const auto child = ts::crash_child_at(c.point, [&] {
+      auto store = wifi::CrowdStore::open(dir);
+      if (!store.has_value()) ::_exit(71);
+      (void)store.value()->append_quarantine_marker(3);
+    });
+    ASSERT_TRUE(child.crashed_at_point())
+        << c.point << ": child " << child.describe();
+
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << c.point << ": " << store.error();
+    EXPECT_EQ(store.value()->points().size(), 4u) << c.point;
+    EXPECT_EQ(store.value()->reputation().is_quarantined(3), c.expect_applied)
+        << c.point;
+    EXPECT_EQ(store.value()->trusted_points().size(), c.expect_applied ? 3u : 4u)
+        << c.point;
+    // Either way the review path still works from here.
+    ASSERT_TRUE(store.value()->append_quarantine_marker(3).has_value()) << c.point;
+    EXPECT_TRUE(store.value()->reputation().is_quarantined(3)) << c.point;
+  }
+  remove_store(dir);
+}
+
 // ---------------------------------------------------------------------------
 // End to end: cold start from a crashed store reproduces the goldens
 

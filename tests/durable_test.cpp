@@ -388,6 +388,104 @@ TEST(Journal, TagMismatchIsAnError) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, PoisonProvenanceFramesRoundTripAndMixWithAnonymous) {
+  // v2 frames carry the uploader id; anonymous appends keep the v1 frame.
+  // Both kinds interleave freely in one journal and recover with their
+  // provenance intact.
+  const std::string path = "durable_test_journal_prov.tmp";
+  std::remove(path.c_str());
+  const std::vector<std::pair<std::string, std::uint64_t>> frames = {
+      {"stamped a", 11},
+      {"anonymous b", 0},
+      {"stamped c", ~0ull},
+      {"", 42},  // empty payload still carries provenance
+  };
+  {
+    auto journal = durable::Journal::open(path, "prov_journal");
+    ASSERT_TRUE(journal.has_value()) << journal.error();
+    for (const auto& [payload, uploader] : frames) {
+      ASSERT_TRUE(journal.value()->append(payload, uploader).has_value());
+    }
+  }
+  auto reopened = durable::Journal::open(path, "prov_journal");
+  ASSERT_TRUE(reopened.has_value()) << reopened.error();
+  const auto& rec = reopened.value()->recovery();
+  EXPECT_EQ(rec.truncated_bytes, 0u);
+  ASSERT_EQ(rec.records.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(rec.records[i].payload, frames[i].first) << i;
+    EXPECT_EQ(rec.records[i].uploader, frames[i].second) << i;
+  }
+  // Appending continues across the recovered mix.
+  EXPECT_EQ(reopened.value()->append("tail", 7).value(), frames.size());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, PoisonAnonymousJournalStaysByteCompatibleWithV1) {
+  // A journal that never saw a provenance-stamped append must contain no v2
+  // frame magic at all — pre-provenance readers (and the format contract)
+  // see exactly the bytes the old writer produced.
+  const std::string path = "durable_test_journal_v1compat.tmp";
+  std::remove(path.c_str());
+  {
+    auto journal = durable::Journal::open(path, "compat_journal");
+    ASSERT_TRUE(journal.has_value());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(journal.value()->append("plain " + std::to_string(i)).has_value());
+    }
+  }
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(bytes.find("TKJ2"), std::string::npos);
+  EXPECT_NE(bytes.find("TKJR"), std::string::npos);
+  // Recovery reports every record as anonymous.
+  auto journal = durable::Journal::open(path, "compat_journal");
+  ASSERT_TRUE(journal.has_value());
+  for (const auto& record : journal.value()->recovery().records) {
+    EXPECT_EQ(record.uploader, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, PoisonTornTailAfterProvenanceFrameTruncatesToExactPrefix) {
+  // The torn-tail walk of TornTailIsTruncatedToExactRecordPrefix, with the
+  // victim frame a v2 provenance frame: every truncation inside it recovers
+  // the committed prefix — payloads *and* uploader ids — and cuts the file.
+  const std::string path = "durable_test_journal_prov_torn.tmp";
+  std::remove(path.c_str());
+  const std::vector<std::pair<std::string, std::uint64_t>> committed = {
+      {"anon first", 0}, {"stamped second", 31}};
+  {
+    auto journal = durable::Journal::open(path, "prov_torn_journal");
+    ASSERT_TRUE(journal.has_value());
+    for (const auto& [payload, uploader] : committed) {
+      ASSERT_TRUE(journal.value()->append(payload, uploader).has_value());
+    }
+  }
+  const std::size_t two_records = slurp(path).size();
+  {
+    auto journal = durable::Journal::open(path, "prov_torn_journal");
+    ASSERT_TRUE(journal.has_value());
+    ASSERT_TRUE(journal.value()->append("doomed third", 77).has_value());
+  }
+  const std::string intact = slurp(path);
+  ASSERT_GT(intact.size(), two_records);
+  for (std::size_t len = two_records; len < intact.size(); ++len) {
+    write_raw(path, intact.substr(0, len));
+    auto journal = durable::Journal::open(path, "prov_torn_journal");
+    ASSERT_TRUE(journal.has_value()) << "len " << len << ": " << journal.error();
+    const auto& rec = journal.value()->recovery();
+    ASSERT_EQ(rec.records.size(), committed.size()) << "len " << len;
+    for (std::size_t i = 0; i < committed.size(); ++i) {
+      EXPECT_EQ(rec.records[i].payload, committed[i].first) << "len " << len;
+      EXPECT_EQ(rec.records[i].uploader, committed[i].second) << "len " << len;
+    }
+    EXPECT_EQ(rec.truncated_bytes, len - two_records) << "len " << len;
+    journal.value().reset();
+    EXPECT_EQ(slurp(path).size(), two_records) << "len " << len;
+  }
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Model formats: durable round trip + legacy back-compat + validation
 
@@ -713,6 +811,82 @@ TEST(CorruptionFuzz, JournalMutationsRecoverAPrefixOrFailCleanly) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzz, PoisonProvenanceJournalRecoversAPairPrefixOrFailsCleanly) {
+  // The journal fuzz contract extended to v2 frames: any single-byte flip in
+  // a provenance-framed journal either fails the open cleanly (header
+  // damage) or recovers an exact prefix of the committed (payload, uploader)
+  // pairs — a flipped uploader field must take its whole frame (and the
+  // tail) with it, never survive as a different identity.
+  const std::string path = "durable_test_fuzz_journal_prov.tmp";
+  std::remove(path.c_str());
+  std::vector<std::pair<std::string, std::uint64_t>> committed;
+  {
+    auto journal = durable::Journal::open(path, "fuzz_prov_journal");
+    ASSERT_TRUE(journal.has_value());
+    for (int i = 0; i < 6; ++i) {
+      committed.emplace_back("payload " + std::to_string(i),
+                             i % 2 ? 0 : 1000 + static_cast<std::uint64_t>(i));
+      ASSERT_TRUE(journal.value()
+                      ->append(committed.back().first, committed.back().second)
+                      .has_value());
+    }
+  }
+  const std::string intact = slurp(path);
+  for (int t = 0; t < 64; ++t) {
+    Rng rng = Rng::substream(0xF17F, static_cast<std::uint64_t>(t));
+    std::string mutated = intact;
+    const auto offset = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(intact.size()) - 1));
+    const auto mask = static_cast<unsigned char>(rng.uniform_int(1, 255));
+    mutated[offset] =
+        static_cast<char>(static_cast<unsigned char>(mutated[offset]) ^ mask);
+    write_raw(path, mutated);
+    auto journal = durable::Journal::open(path, "fuzz_prov_journal");
+    if (!journal.has_value()) continue;  // header damage: clean error
+    const auto& records = journal.value()->recovery().records;
+    ASSERT_LE(records.size(), committed.size()) << "trial " << t;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].payload, committed[i].first)
+          << "trial " << t << ": flip 0x" << std::hex << int(mask) << std::dec
+          << " at byte " << offset << " produced a non-prefix recovery";
+      EXPECT_EQ(records[i].uploader, committed[i].second)
+          << "trial " << t << ": flip 0x" << std::hex << int(mask) << std::dec
+          << " at byte " << offset << " forged a provenance stamp";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzz, PoisonedCrowdSnapshotRejectsEveryMutation) {
+  // The v3 snapshot carries three extra trailing records (cell stats,
+  // provenance grid, reputation book).  Re-run the snapshot corruption fuzz
+  // over a store whose snapshot actually exercises them: provenance-stamped
+  // points and a quarantined uploader.
+  const std::string dir = "durable_test_fuzz_poison_store";
+  remove_tree(dir);
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(store.value()
+                      ->append({{double(i), double(i) / 2}, {{5, -50 - i}}, 1u},
+                               static_cast<wifi::UploaderId>(1 + i % 3))
+                      .has_value());
+    }
+    ASSERT_TRUE(store.value()->append_quarantine_marker(2).has_value());
+    ASSERT_TRUE(store.value()->compact().has_value());
+  }
+  const std::string snap = wifi::CrowdStore::snapshot_path(dir);
+  const std::string intact = slurp(snap);
+  fuzz_reject_all("poisoned crowd snapshot", intact,
+                  [&](const std::string& bytes) {
+                    write_raw(snap, bytes);
+                    return wifi::CrowdStore::open(dir).has_value();
+                  },
+                  0xF180, 48);
+  remove_tree(dir);
 }
 
 // ---------------------------------------------------------------------------

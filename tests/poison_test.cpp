@@ -1,0 +1,655 @@
+// Adversarial-crowdsourcing battery: uploader provenance, robust per-cell
+// aggregation, reputation scoring, quarantine, and the rate cap — the
+// defenses the crowd store raises against the paper's data-poisoning threat
+// (colluding uploaders feeding forged RSSI history into the reference store
+// the whole detector leans on).
+//
+// The scenario every store-level test shares: an honest crowd of distinct
+// uploaders seeds the full grid with the analytic linear field
+// (tests/support/fixtures: rssi = -40 - east dBm), then a small ring of
+// coordinated poisoners floods a 2x2-cell patch with observations shifted
+// 15 dB (the same cell-shift attack bench_poison sweeps).  The properties
+// pinned here:
+//
+//   * the observation-weighted pooled mean is dragged by the flood while the
+//     witness-weighted robust consensus (median of per-uploader means) holds;
+//   * with trimming disabled the robust path answers bitwise from the pooled
+//     accumulators (the exact-mean oracle contract);
+//   * every poisoner's reputation decays to auto-quarantine, no honest
+//     uploader's does, and quarantine/clear round-trips through journal
+//     replay, compaction and reopen;
+//   * reopening a store replays the adversarial state bitwise, arrival-order
+//     shuffles of the flood never change the quarantine verdict, and the
+//     global thread count is irrelevant to ingestion state;
+//   * the per-uploader rate cap refuses floods at admission, deterministically.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "serve/shard_service.hpp"
+#include "support/fixtures.hpp"
+#include "support/golden.hpp"
+#include "wifi/cell_stats.hpp"
+#include "wifi/crowd_store.hpp"
+#include "wifi/provenance.hpp"
+#include "wifi/reputation.hpp"
+#include "wifi/validate.hpp"
+
+namespace trajkit {
+namespace {
+
+namespace ts = test_support;
+using wifi::kAnonymousUploader;
+using wifi::UploaderId;
+
+void remove_store(const std::string& dir) {
+  for (const char* name : {"/crowd.snapshot", "/crowd.snapshot.tmp",
+                           "/crowd.journal", "/crowd.journal.tmp"}) {
+    std::remove((dir + name).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+int field_rssi(const Enu& p) { return ts::LinearFieldWorld::field_rssi(p); }
+
+wifi::ReferencePoint field_point(const Enu& pos, double heard_shift_east = 0.0) {
+  const Enu heard{pos.east + heard_shift_east, pos.north};
+  return {pos, {{1, field_rssi(heard)}}, 1u};
+}
+
+// ---------------------------------------------------------------------------
+// The shared Sybil-flood scenario
+//
+// 8x8 grid of 4 m cells.  Honest uploaders 1..4 each drop one observation in
+// every cell (distinct in-cell offsets, so their per-cell means differ by a
+// couple of dB — inside the agreement tolerance).  Poisoners 900..902 then
+// flood the patch cells cx, cy in {2, 3} with kRounds observations each,
+// every one shifted kShiftM east through the field (-15 dB).
+
+constexpr int kGridCells = 8;
+constexpr double kCellM = 4.0;
+constexpr double kShiftM = 15.0;
+constexpr int kRounds = 3;
+constexpr UploaderId kHonest[] = {1, 2, 3, 4};
+constexpr UploaderId kPoisoners[] = {900, 901, 902};
+constexpr Enu kPatchProbe{10.0, 10.0};  // inside patch cell (2, 2)
+
+Enu honest_pos(UploaderId u, int cx, int cy) {
+  return {cx * kCellM + 0.8 + 0.6 * static_cast<double>(u),
+          cy * kCellM + 2.0};
+}
+
+std::vector<std::pair<wifi::ReferencePoint, UploaderId>> honest_appends() {
+  std::vector<std::pair<wifi::ReferencePoint, UploaderId>> out;
+  for (const UploaderId u : kHonest) {
+    for (int cx = 0; cx < kGridCells; ++cx) {
+      for (int cy = 0; cy < kGridCells; ++cy) {
+        out.emplace_back(field_point(honest_pos(u, cx, cy)), u);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<wifi::ReferencePoint, UploaderId>> poison_appends() {
+  std::vector<std::pair<wifi::ReferencePoint, UploaderId>> out;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < std::size(kPoisoners); ++i) {
+      for (int cx = 2; cx <= 3; ++cx) {
+        for (int cy = 2; cy <= 3; ++cy) {
+          const Enu pos{cx * kCellM + 2.0 + 0.1 * static_cast<double>(i),
+                        cy * kCellM + 2.0};
+          out.emplace_back(field_point(pos, kShiftM), kPoisoners[i]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<wifi::CrowdStore> build_poisoned_store(const std::string& dir) {
+  auto store = wifi::CrowdStore::open(dir);
+  EXPECT_TRUE(store.has_value()) << store.error();
+  for (const auto& [point, uploader] : honest_appends()) {
+    EXPECT_TRUE(store.value()->append(point, uploader).has_value());
+  }
+  for (const auto& [point, uploader] : poison_appends()) {
+    EXPECT_TRUE(store.value()->append(point, uploader).has_value());
+  }
+  return std::move(store).value();
+}
+
+// ---------------------------------------------------------------------------
+// Trimmed-mean arithmetic
+
+TEST(Poison, TrimmedMeanMatchesItsSpec) {
+  // trim = 0: plain mean.
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({1.0, 2.0, 3.0, 10.0}, 0.0), 4.0);
+  // trim >= 0.5 degenerates to the median, odd and even.
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({5.0, 1.0, 9.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({4.0, 1.0, 9.0, 6.0}, 0.7), 5.0);
+  // trim = 0.25 over 4 values drops one from each end.
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({-100.0, 1.0, 3.0, 100.0}, 0.25), 2.0);
+  // The cap: trimming may never consume every value.
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({7.0}, 0.49), 7.0);
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({2.0, 4.0}, 0.49), 3.0);
+  // trim 0.2 over 5 witnesses drops one from each end: the -65 outlier goes,
+  // and so does the honest extreme -49.
+  EXPECT_DOUBLE_EQ(wifi::trimmed_mean({-65.0, -50.0, -51.0, -49.0, -50.0}, 0.2),
+                   (-51.0 - 50.0 - 50.0) / 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Provenance grid
+
+TEST(Poison, ProvenanceGridRoundTripsSerialisation) {
+  wifi::ProvenanceGrid grid;
+  Rng rng(11);
+  for (int i = 0; i < 64; ++i) {
+    const Enu pos{rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+    const UploaderId u = static_cast<UploaderId>(rng.uniform_int(0, 5));
+    grid.add({pos, {{1, field_rssi(pos)}, {2, -60}}, 1u}, u);
+  }
+  const std::string text = grid.serialize();
+  auto parsed = wifi::ProvenanceGrid::deserialize(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_TRUE(parsed.value() == grid);
+  EXPECT_EQ(parsed.value().checksum(), grid.checksum());
+  EXPECT_EQ(parsed.value().serialize(), text);
+
+  EXPECT_FALSE(wifi::ProvenanceGrid::deserialize("nonsense").has_value());
+  EXPECT_FALSE(wifi::ProvenanceGrid::deserialize("provgrid 9 4 0 0\n").has_value());
+}
+
+TEST(Poison, UploaderMeansExcludeTheScoredWitness) {
+  wifi::ProvenanceGrid grid;
+  const Enu pos{1.0, 1.0};
+  grid.add({pos, {{7, -50}}, 1u}, 1);
+  grid.add({pos, {{7, -52}}, 1u}, 2);
+  grid.add({pos, {{7, -90}}, 1u}, 3);
+  EXPECT_EQ(grid.uploader_means(pos, 7).size(), 3u);
+  const auto excl = grid.uploader_means(pos, 7, 3);
+  ASSERT_EQ(excl.size(), 2u);
+  EXPECT_DOUBLE_EQ(excl[0], -50.0);
+  EXPECT_DOUBLE_EQ(excl[1], -52.0);
+  // Excluding the anonymous uploader excludes nobody (anonymous is the
+  // "no identity" sentinel, not an identity).
+  EXPECT_EQ(grid.uploader_means(pos, 7, kAnonymousUploader).size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Robust aggregation vs the Sybil flood
+
+TEST(Poison, SybilFloodDragsPooledMeanButNotRobustConsensus) {
+  wifi::CellStatsGrid pooled;
+  wifi::ProvenanceGrid prov;
+  const Enu pos{1.0, 1.0};
+  auto add = [&](int rssi, UploaderId u) {
+    const wifi::ReferencePoint p{pos, {{7, rssi}}, 1u};
+    pooled.add(p);
+    prov.add(p, u);
+  };
+  // Five honest witnesses, one observation each.
+  for (UploaderId u = 1; u <= 5; ++u) add(-50, u);
+  // Two colluders flood 40 shifted observations each: the pooled mean weighs
+  // observations, so the flood owns it; the robust median weighs witnesses.
+  for (int i = 0; i < 40; ++i) {
+    add(-90, 600);
+    add(-90, 601);
+  }
+  const wifi::RobustCellAggregator median(pooled, prov, {0.5, 2});
+  double robust = 0.0;
+  ASSERT_TRUE(median.estimate(pos, 7, &robust));
+  EXPECT_DOUBLE_EQ(robust, -50.0);
+
+  const wifi::RobustCellAggregator exact(pooled, prov, {0.0, 2});
+  double mean = 0.0;
+  ASSERT_TRUE(exact.estimate(pos, 7, &mean));
+  EXPECT_LT(mean, -80.0);  // 80 of 85 observations are the flood
+
+  // A trim wide enough to drop both colluding witnesses (floor(0.3 * 7) = 2
+  // from each end) also survives this minority without going all the way to
+  // the median.
+  const wifi::RobustCellAggregator trimmed(pooled, prov, {0.3, 2});
+  double light = 0.0;
+  ASSERT_TRUE(trimmed.estimate(pos, 7, &light));
+  EXPECT_DOUBLE_EQ(light, -50.0);
+}
+
+TEST(Poison, TrimZeroIsBitwiseThePooledMean) {
+  wifi::CellStatsGrid pooled;
+  wifi::ProvenanceGrid prov;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    const Enu pos{rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)};
+    const std::uint64_t mac = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+    const int rssi = static_cast<int>(rng.uniform_int(-90, -40));
+    const UploaderId u = static_cast<UploaderId>(rng.uniform_int(0, 7));
+    const wifi::ReferencePoint p{pos, {{mac, rssi}}, 1u};
+    pooled.add(p);
+    prov.add(p, u);
+  }
+  const wifi::RobustCellAggregator agg(pooled, prov, {0.0, 2});
+  std::size_t checked = 0;
+  for (const auto& [key, cell] : pooled.cells()) {
+    const Enu probe{(static_cast<double>(key.first) + 0.5) * pooled.cell_size_m(),
+                    (static_cast<double>(key.second) + 0.5) * pooled.cell_size_m()};
+    for (const auto& [mac, stats] : cell.aps) {
+      double estimate = 0.0;
+      ASSERT_TRUE(agg.estimate(probe, mac, &estimate));
+      const double oracle = stats.mean();
+      // Bitwise, not approximately: the trim = 0 path must answer from the
+      // very same accumulators the pre-provenance estimator used.
+      std::uint64_t est_bits = 0, oracle_bits = 0;
+      std::memcpy(&est_bits, &estimate, sizeof est_bits);
+      std::memcpy(&oracle_bits, &oracle, sizeof oracle_bits);
+      EXPECT_EQ(est_bits, oracle_bits)
+          << "cell (" << key.first << ", " << key.second << ") mac " << mac;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Reputation
+
+TEST(PoisonReputation, AgreementIsToleranceThenLinearFalloff) {
+  const wifi::ReputationParams p;  // tol 4 dB, falloff 8 dB
+  EXPECT_DOUBLE_EQ(wifi::ReputationBook::agreement(0.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(wifi::ReputationBook::agreement(-4.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(wifi::ReputationBook::agreement(8.0, p), 0.5);
+  EXPECT_DOUBLE_EQ(wifi::ReputationBook::agreement(-12.0, p), 0.0);
+  EXPECT_DOUBLE_EQ(wifi::ReputationBook::agreement(40.0, p), 0.0);
+}
+
+TEST(PoisonReputation, ScoresAreMonotoneUnderAgreementAndDecayUnderDissent) {
+  const wifi::ReputationParams params;
+  wifi::ReputationBook book;
+  // Perfect agreement never lowers a score.
+  double prev = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    book.observe(5, 1.0, params);
+    const double score = book.record(5).score;
+    EXPECT_GE(score, prev);
+    prev = score;
+  }
+  EXPECT_FALSE(book.is_quarantined(5));
+  // Total dissent strictly lowers it every time, down to auto-quarantine.
+  prev = book.record(5).score;
+  bool crossed = false;
+  for (int i = 0; i < 40; ++i) {
+    book.observe(5, 0.0, params);
+    const double score = book.record(5).score;
+    EXPECT_LT(score, prev);
+    prev = score;
+    if (book.is_quarantined(5)) {
+      crossed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(crossed);
+  EXPECT_LT(book.record(5).score, params.quarantine_below);
+  // Anonymous is never tracked.
+  book.observe(kAnonymousUploader, 0.0, params);
+  EXPECT_TRUE(book.record(kAnonymousUploader) == wifi::UploaderRecord{});
+}
+
+TEST(PoisonReputation, BookSerialisationRoundTripsAndValidates) {
+  const wifi::ReputationParams params;
+  wifi::ReputationBook book;
+  for (int i = 0; i < 9; ++i) book.observe(3, i % 2 ? 1.0 : 0.25, params);
+  book.quarantine(8);
+  auto parsed = wifi::ReputationBook::deserialize(book.serialize());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  EXPECT_TRUE(parsed.value() == book);
+
+  EXPECT_FALSE(wifi::ReputationBook::deserialize("garbage").has_value());
+  EXPECT_FALSE(
+      wifi::ReputationBook::deserialize("repbook 1 1\n7 1.5 3 0\n").has_value());
+  EXPECT_FALSE(
+      wifi::ReputationBook::deserialize("repbook 1 1\n0 0.5 3 0\n").has_value());
+  EXPECT_FALSE(wifi::ReputationBook::deserialize("repbook 1 2\n7 0.5 3 0\n7 0.5 3 0\n")
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The store under the coordinated flood
+
+TEST(Poison, CoordinatedPoisonersAreAutoQuarantinedAndHonestCrowdIsNot) {
+  const std::string dir = "poison_test_flood";
+  remove_store(dir);
+  auto store = build_poisoned_store(dir);
+
+  for (const UploaderId u : kPoisoners) {
+    EXPECT_TRUE(store->reputation().is_quarantined(u)) << "poisoner " << u;
+  }
+  double min_honest = 1.0;
+  for (const UploaderId u : kHonest) {
+    EXPECT_FALSE(store->reputation().is_quarantined(u)) << "honest " << u;
+    min_honest = std::min(min_honest, store->reputation().record(u).score);
+  }
+  double max_poison = 0.0;
+  for (const UploaderId u : kPoisoners) {
+    max_poison = std::max(max_poison, store->reputation().record(u).score);
+  }
+  // The scores separate cleanly — this margin is what gives bench_poison its
+  // detection AUC of 1 at every swept poison fraction.
+  EXPECT_GT(min_honest, max_poison + 0.3);
+
+  const std::size_t honest_count = honest_appends().size();
+  const std::size_t poison_count = poison_appends().size();
+  EXPECT_EQ(store->points().size(), honest_count + poison_count);
+  EXPECT_EQ(store->trusted_points().size(), honest_count);
+  EXPECT_EQ(store->quarantined_point_count(), poison_count);
+
+  // In the flooded patch cell the pooled mean moved by several dB; the
+  // witness-weighted median barely noticed.
+  const wifi::RobustCellAggregator robust(store->cell_stats(), store->provenance(),
+                                          store->aggregation_params());
+  const wifi::RobustCellAggregator pooled(store->cell_stats(), store->provenance(),
+                                          {0.0, 2});
+  const double honest_field = static_cast<double>(field_rssi(kPatchProbe));
+  double robust_est = 0.0, pooled_est = 0.0;
+  ASSERT_TRUE(robust.estimate(kPatchProbe, 1, &robust_est));
+  ASSERT_TRUE(pooled.estimate(kPatchProbe, 1, &pooled_est));
+  EXPECT_NEAR(robust_est, honest_field, 3.0);
+  EXPECT_LT(pooled_est, robust_est - 5.0);
+}
+
+TEST(Poison, QuarantineAndClearMarkersRoundTripThroughRecovery) {
+  const std::string dir = "poison_test_review";
+  remove_store(dir);
+  const UploaderId suspect = 42;
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    ASSERT_TRUE(store.value()->append(field_point({5.0, 5.0}), suspect).has_value());
+    ASSERT_TRUE(store.value()->append(field_point({6.0, 5.0})).has_value());
+    EXPECT_EQ(store.value()->trusted_points().size(), 2u);
+    ASSERT_TRUE(store.value()->append_quarantine_marker(suspect).has_value());
+    EXPECT_TRUE(store.value()->reputation().is_quarantined(suspect));
+    EXPECT_EQ(store.value()->trusted_points().size(), 1u);
+    EXPECT_EQ(store.value()->quarantined_point_count(), 1u);
+  }
+  {
+    // Journal replay restores the review verdict.
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_TRUE(store.value()->reputation().is_quarantined(suspect));
+    EXPECT_EQ(store.value()->quarantined_point_count(), 1u);
+    ASSERT_TRUE(store.value()->compact().has_value());
+  }
+  {
+    // So does the v3 snapshot after compaction folded the journal away.
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->journaled_since_snapshot(), 0u);
+    EXPECT_TRUE(store.value()->reputation().is_quarantined(suspect));
+    EXPECT_EQ(store.value()->trusted_points().size(), 1u);
+    // Review clears the uploader: a fresh record, points trusted again.
+    ASSERT_TRUE(store.value()->append_clear_marker(suspect).has_value());
+    EXPECT_FALSE(store.value()->reputation().is_quarantined(suspect));
+    EXPECT_TRUE(store.value()->reputation().record(suspect) ==
+                wifi::UploaderRecord{});
+    EXPECT_EQ(store.value()->trusted_points().size(), 2u);
+  }
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_FALSE(store.value()->reputation().is_quarantined(suspect));
+    EXPECT_EQ(store.value()->trusted_points().size(), 2u);
+  }
+  remove_store(dir);
+}
+
+TEST(Poison, UnknownControlFramesAreRejected) {
+  const std::string dir = "poison_test_ctrl";
+  remove_store(dir);
+  auto store = wifi::CrowdStore::open(dir);
+  ASSERT_TRUE(store.has_value()) << store.error();
+  for (const char* bogus : {"#demote 3", "#epoch x", "#quarantine", "#clear -1",
+                            "#epoch 184467440737095516160"}) {
+    auto appended = store.value()->append_control(bogus);
+    EXPECT_FALSE(appended.has_value()) << bogus;
+    EXPECT_NE(appended.error().find("unknown control frame"), std::string::npos)
+        << appended.error();
+  }
+  // Nothing bogus was journaled: reopen sees a clean, empty store.
+  store.value().reset();
+  auto reopened = wifi::CrowdStore::open(dir);
+  ASSERT_TRUE(reopened.has_value()) << reopened.error();
+  EXPECT_EQ(reopened.value()->open_stats().replayed_records, 0u);
+  remove_store(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the adversarial layer
+
+TEST(PoisonDeterminism, ReopenReplaysAdversarialStateBitwise) {
+  const std::string dir = "poison_test_replay";
+  remove_store(dir);
+  std::uint64_t cells_fnv = 0, prov_fnv = 0;
+  std::string reputation;
+  {
+    auto store = build_poisoned_store(dir);
+    ASSERT_TRUE(store->append_quarantine_marker(77).has_value());
+    cells_fnv = store->cell_stats().checksum();
+    prov_fnv = store->provenance().checksum();
+    reputation = store->reputation().serialize();
+  }
+  {
+    // Journal-tail replay rescored every append — bitwise the same state.
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->cell_stats().checksum(), cells_fnv);
+    EXPECT_EQ(store.value()->provenance().checksum(), prov_fnv);
+    EXPECT_EQ(store.value()->reputation().serialize(), reputation);
+    // Compaction with the debug recompute check on: the incremental grids
+    // must match a from-scratch rebuild exactly.
+    store.value()->set_verify_cell_stats(true);
+    ASSERT_TRUE(store.value()->compact().has_value());
+  }
+  {
+    // Snapshot-only recovery (journal folded away) — still the same state.
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->open_stats().replayed_records, 0u);
+    EXPECT_EQ(store.value()->cell_stats().checksum(), cells_fnv);
+    EXPECT_EQ(store.value()->provenance().checksum(), prov_fnv);
+    EXPECT_EQ(store.value()->reputation().serialize(), reputation);
+  }
+  remove_store(dir);
+}
+
+TEST(PoisonDeterminism, FloodOrderAndThreadCountNeverChangeTheVerdict) {
+  // The quarantine verdict must be a property of *what* was uploaded, not of
+  // arrival interleaving or of the global thread count: shuffle the flood
+  // under different seeds and thread settings and demand the same outcome.
+  const std::string dir = "poison_test_shuffle";
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_global_threads(threads);
+    for (const std::uint64_t trial : {0ull, 1ull, 2ull}) {
+      remove_store(dir);
+      auto store = wifi::CrowdStore::open(dir);
+      ASSERT_TRUE(store.has_value()) << store.error();
+      for (const auto& [point, uploader] : honest_appends()) {
+        ASSERT_TRUE(store.value()->append(point, uploader).has_value());
+      }
+      auto flood = poison_appends();
+      Rng rng = Rng::substream(0xBADC0DE, trial);
+      rng.shuffle(flood);
+      for (const auto& [point, uploader] : flood) {
+        ASSERT_TRUE(store.value()->append(point, uploader).has_value());
+      }
+      for (const UploaderId u : kPoisoners) {
+        EXPECT_TRUE(store.value()->reputation().is_quarantined(u))
+            << "threads " << threads << " trial " << trial << " poisoner " << u;
+      }
+      for (const UploaderId u : kHonest) {
+        EXPECT_FALSE(store.value()->reputation().is_quarantined(u))
+            << "threads " << threads << " trial " << trial << " honest " << u;
+      }
+    }
+  }
+  set_global_threads(0);
+  remove_store(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Rate cap
+
+TEST(PoisonRateLimit, WindowCapAdmitsThenRefusesThenSlides) {
+  wifi::UploaderRateLimiter limiter({.window_appends = 10, .max_per_uploader = 3});
+  for (const std::uint64_t tick : {0u, 1u, 2u}) {
+    EXPECT_TRUE(limiter.admit(7, tick).has_value());
+  }
+  auto refused = limiter.admit(7, 3);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_NE(refused.error().find("rate cap exceeded"), std::string::npos)
+      << refused.error();
+  // A refused admission consumes no budget; the window slides on append
+  // ordinals, so by tick 12 the three admissions from ticks 0..2 expired.
+  EXPECT_FALSE(limiter.admit(7, 9).has_value());
+  EXPECT_TRUE(limiter.admit(7, 12).has_value());
+  // Anonymous uploads and other uploaders are unaffected throughout.
+  EXPECT_TRUE(limiter.admit(kAnonymousUploader, 3).has_value());
+  EXPECT_TRUE(limiter.admit(8, 3).has_value());
+  // A disabled policy admits everything.
+  wifi::UploaderRateLimiter off;
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_TRUE(off.admit(7, t).has_value());
+}
+
+TEST(PoisonRateLimit, StoreRefusesFloodsAtAdmissionDeterministically) {
+  const std::string dir = "poison_test_rate";
+  remove_store(dir);
+  wifi::CrowdStore::Tuning tuning;
+  tuning.rate_policy = {.window_appends = 100, .max_per_uploader = 5};
+  auto store = wifi::CrowdStore::open(dir, true, tuning);
+  ASSERT_TRUE(store.has_value()) << store.error();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        store.value()->append(field_point({double(i), 1.0}), 7).has_value());
+  }
+  const std::uint64_t next = store.value()->next_seq();
+  auto refused = store.value()->append(field_point({5.0, 1.0}), 7);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_NE(refused.error().find("rate cap exceeded"), std::string::npos)
+      << refused.error();
+  // The refusal journaled nothing and mutated nothing.
+  EXPECT_EQ(store.value()->next_seq(), next);
+  EXPECT_EQ(store.value()->points().size(), 5u);
+  // Anonymous and differently-identified uploads still land.
+  EXPECT_TRUE(store.value()->append(field_point({6.0, 1.0})).has_value());
+  EXPECT_TRUE(store.value()->append(field_point({7.0, 1.0}), 8).has_value());
+  remove_store(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Replication carries provenance and review actions
+
+TEST(Poison, ReplicationShipsProvenanceAndQuarantineToFollowers) {
+  const std::string leader_dir = "poison_test_leader";
+  const std::string follower_dir = "poison_test_follower";
+  const std::string boot_dir = "poison_test_boot";
+  remove_store(leader_dir);
+  remove_store(follower_dir);
+  remove_store(boot_dir);
+
+  auto leader = serve::ShardService::open_leader(0, leader_dir);
+  ASSERT_TRUE(leader.has_value()) << leader.error();
+  auto follower = serve::ShardReplica::open(follower_dir);
+  ASSERT_TRUE(follower.has_value()) << follower.error();
+  leader.value()->attach_follower(follower.value().get());
+
+  for (const auto& [point, uploader] : honest_appends()) {
+    ASSERT_TRUE(leader.value()->ingest(point, uploader).has_value());
+  }
+  for (const auto& [point, uploader] : poison_appends()) {
+    ASSERT_TRUE(leader.value()->ingest(point, uploader).has_value());
+  }
+  ASSERT_TRUE(leader.value()
+                  ->ship_control(wifi::CrowdStore::encode_quarantine_marker(77))
+                  .has_value());
+
+  const wifi::CrowdStore& ls = *leader.value()->store();
+  const wifi::CrowdStore& fs = follower.value()->store();
+  // The follower rescored the same frames under the same params: bitwise the
+  // same adversarial state, including the auto- and review quarantines.
+  EXPECT_EQ(fs.provenance().checksum(), ls.provenance().checksum());
+  EXPECT_EQ(fs.cell_stats().checksum(), ls.cell_stats().checksum());
+  EXPECT_EQ(fs.reputation().serialize(), ls.reputation().serialize());
+  for (const UploaderId u : kPoisoners) {
+    EXPECT_TRUE(fs.reputation().is_quarantined(u)) << u;
+  }
+  EXPECT_TRUE(fs.reputation().is_quarantined(77));
+
+  // A cold bootstrap from the leader's on-disk state converges to it too.
+  auto booted = serve::ShardReplica::bootstrap(leader_dir, boot_dir);
+  ASSERT_TRUE(booted.has_value()) << booted.error();
+  EXPECT_EQ(booted.value()->store().provenance().checksum(),
+            ls.provenance().checksum());
+  EXPECT_EQ(booted.value()->store().reputation().serialize(),
+            ls.reputation().serialize());
+
+  remove_store(leader_dir);
+  remove_store(follower_dir);
+  remove_store(boot_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Golden pin: the poisoned-store scenario's full adversarial verdict
+
+TEST(Golden, PoisonedStoreAdversarialStateIsPinned) {
+  const std::string dir = "poison_test_golden";
+  remove_store(dir);
+  auto store = build_poisoned_store(dir);
+
+  std::string out;
+  out += "points=" + std::to_string(store->points().size());
+  out += " trusted=" + std::to_string(store->trusted_points().size());
+  out += " quarantined_points=" + std::to_string(store->quarantined_point_count());
+  out += '\n';
+  const wifi::RobustCellAggregator robust(store->cell_stats(), store->provenance(),
+                                          store->aggregation_params());
+  const wifi::RobustCellAggregator pooled(store->cell_stats(), store->provenance(),
+                                          {0.0, 2});
+  for (int cx = 2; cx <= 3; ++cx) {
+    for (int cy = 2; cy <= 3; ++cy) {
+      const Enu probe{(cx + 0.5) * kCellM, (cy + 0.5) * kCellM};
+      double r = 0.0, m = 0.0;
+      ASSERT_TRUE(robust.estimate(probe, 1, &r));
+      ASSERT_TRUE(pooled.estimate(probe, 1, &m));
+      out += "cell " + std::to_string(cx) + ' ' + std::to_string(cy) +
+             " robust=" + ts::canonical_double(r) +
+             " pooled=" + ts::canonical_double(m) + '\n';
+    }
+  }
+  out += "reputation:\n";
+  out += store->reputation().serialize();
+  out += "provenance_fnv=" + hex64(store->provenance().checksum()) + '\n';
+  out += "cellstats_fnv=" + hex64(store->cell_stats().checksum()) + '\n';
+  EXPECT_TRUE(ts::matches_golden("poison_adversarial_state.txt", out));
+  remove_store(dir);
+}
+
+}  // namespace
+}  // namespace trajkit
