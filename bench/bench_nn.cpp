@@ -43,6 +43,8 @@
 #include "common/parallel.hpp"
 #include "core/trajkit.hpp"
 #include "dtw/dtw.hpp"
+#include "gbt/booster.hpp"
+#include "nn/quant_classifier.hpp"
 
 using namespace trajkit;
 
@@ -169,6 +171,39 @@ double dtw_leg(const Dataset& ds, std::size_t calls, bool pruned, Fnv& digest) {
   return static_cast<double>(calls) / (now_s() - t0);
 }
 
+/// Sequences/sec of one inference path over the dataset (several passes per
+/// timing so the clock resolution never dominates at smoke sizes).
+template <typename Predict>
+double infer_rate(const Dataset& ds, const Predict& predict) {
+  constexpr std::size_t kPasses = 8;
+  const double t0 = now_s();
+  double sink = 0.0;
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    for (const double v : predict(ds.xs)) sink += v;
+  }
+  const double rate =
+      static_cast<double>(kPasses * ds.xs.size()) / (now_s() - t0);
+  // Keep the optimizer honest without polluting the table.
+  if (sink == std::numeric_limits<double>::infinity()) std::printf(" ");
+  return rate;
+}
+
+/// Rows/sec of one GBT scoring path; first pass digested for the
+/// bit-identity check.
+template <typename Score>
+double gbt_rate(const std::vector<std::vector<double>>& rows,
+                const Score& score, Fnv& digest) {
+  constexpr std::size_t kPasses = 20;
+  const double t0 = now_s();
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    for (const auto& row : rows) {
+      const double v = score(row);
+      if (p == 0) digest.add(v);
+    }
+  }
+  return static_cast<double>(kPasses * rows.size()) / (now_s() - t0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,15 +274,92 @@ int main(int argc, char** argv) {
       max_rate([&] { return dtw_leg(ds, dtw_calls, false, dtw_full_digest); });
   const double dtw_pruned_cps =
       max_rate([&] { return dtw_leg(ds, dtw_calls, true, dtw_pruned_digest); });
+
+  // -- Quantized LSTM inference: fp64 batched vs int8/int16 serving lanes. --
+  // The quant lanes are NOT bit-identical (int rounding + polynomial
+  // activations); the QuantGate is the contract: zero thresholded-verdict
+  // disagreements and a bounded logit delta against the fp64 oracle, digested
+  // into one verdict checksum.
+  const auto quant8 =
+      nn::QuantizedLstm::quantize(trained, ds.xs, nn::QuantMode::kInt8);
+  const auto quant16 =
+      nn::QuantizedLstm::quantize(trained, ds.xs, nn::QuantMode::kInt16);
+  const auto gate8 = nn::quant_gate_check(trained, quant8, ds.xs, 0.1);
+  const auto gate16 = nn::quant_gate_check(trained, quant16, ds.xs, 0.1);
+  const double infer_fp64_sps = max_rate([&] {
+    return infer_rate(ds, [&](const std::vector<FeatureSequence>& xs) {
+      return trained.predict_proba_batch(xs);
+    });
+  });
+  const double infer_q8_sps = max_rate([&] {
+    return infer_rate(ds, [&](const std::vector<FeatureSequence>& xs) {
+      return quant8.predict_proba_batch(xs);
+    });
+  });
+  const double infer_q16_sps = max_rate([&] {
+    return infer_rate(ds, [&](const std::vector<FeatureSequence>& xs) {
+      return quant16.predict_proba_batch(xs);
+    });
+  });
+
+  // -- GBT scoring: scalar pointer-chasing walk vs the fused flat scorer
+  // (bit-identical by construction; asserted through the digests). --
+  gbt::GbtConfig gc;
+  gc.num_trees = 60;
+  gc.max_depth = 4;
+  std::vector<std::vector<double>> gbt_rows;
+  std::vector<int> gbt_labels;
+  {
+    Rng rng(777);
+    for (std::size_t i = 0; i < 400; ++i) {
+      std::vector<double> row(16);
+      double s = 0.0;
+      for (auto& v : row) {
+        v = rng.uniform(-1.0, 1.0);
+        s += v;
+      }
+      gbt_rows.push_back(std::move(row));
+      gbt_labels.push_back(s > 0.0 ? 1 : 0);
+    }
+  }
+  gbt::GbtClassifier gbt_model(gc);
+  gbt_model.train(gbt_rows, gbt_labels);
+  Fnv gbt_ref_digest;
+  Fnv gbt_fused_digest;
+  const double gbt_ref_rps = max_rate([&] {
+    Fnv fresh;
+    const double r = gbt_rate(
+        gbt_rows,
+        [&](const std::vector<double>& row) {
+          return gbt_model.predict_proba_reference(row);
+        },
+        fresh);
+    gbt_ref_digest = fresh;
+    return r;
+  });
+  const double gbt_fused_rps = max_rate([&] {
+    Fnv fresh;
+    const double r = gbt_rate(
+        gbt_rows,
+        [&](const std::vector<double>& row) { return gbt_model.predict_proba(row); },
+        fresh);
+    gbt_fused_digest = fresh;
+    return r;
+  });
   set_global_threads(0);
 
   const bool train_ok = train_ref_digest.h == train_bat_digest.h;
   const bool threads_ok = train_bat_digest.h == train_mt_digest.h;
   const bool attack_ok = attack_ref_digest.h == attack_fast_digest.h;
   const bool dtw_ok = dtw_full_digest.h == dtw_pruned_digest.h;
+  const bool gbt_ok = gbt_ref_digest.h == gbt_fused_digest.h;
+  const bool quant_ok = gate8.pass && gate16.pass;
   const double attack_speedup = attack_fast_ips / attack_ref_ips;
   const double epoch_speedup = epoch_ref_s / epoch_bat_s;
   const double dtw_speedup = dtw_pruned_cps / dtw_full_cps;
+  const double quant8_speedup = infer_q8_sps / infer_fp64_sps;
+  const double quant16_speedup = infer_q16_sps / infer_fp64_sps;
+  const double gbt_speedup = gbt_fused_rps / gbt_ref_rps;
 
   TextTable table({"stage", "reference", "fast", "speedup", "bit-identical"});
   table.add_row({"lstm epoch (s)", TextTable::num(epoch_ref_s, 3),
@@ -260,6 +372,19 @@ int main(int argc, char** argv) {
   table.add_row({"dtw (call/s)", TextTable::num(dtw_full_cps, 1),
                  TextTable::num(dtw_pruned_cps, 1),
                  TextTable::num(dtw_speedup, 2) + "x", dtw_ok ? "yes" : "NO"});
+  // The quant lanes trade bit-identity for the QuantGate's decision contract,
+  // so their last column reports the gate, not bitwise equality.
+  table.add_row({"lstm infer int8 (seq/s)", TextTable::num(infer_fp64_sps, 1),
+                 TextTable::num(infer_q8_sps, 1),
+                 TextTable::num(quant8_speedup, 2) + "x",
+                 gate8.pass ? "gate pass" : "GATE FAIL"});
+  table.add_row({"lstm infer int16 (seq/s)", TextTable::num(infer_fp64_sps, 1),
+                 TextTable::num(infer_q16_sps, 1),
+                 TextTable::num(quant16_speedup, 2) + "x",
+                 gate16.pass ? "gate pass" : "GATE FAIL"});
+  table.add_row({"gbt score (row/s)", TextTable::num(gbt_ref_rps, 1),
+                 TextTable::num(gbt_fused_rps, 1),
+                 TextTable::num(gbt_speedup, 2) + "x", gbt_ok ? "yes" : "NO"});
   table.print(std::cout);
   std::printf("\ntrain checksum ref/batched = %s / %s\n",
               train_ref_digest.hex().c_str(), train_bat_digest.hex().c_str());
@@ -270,10 +395,17 @@ int main(int argc, char** argv) {
               attack_ref_digest.hex().c_str(), attack_fast_digest.hex().c_str());
   std::printf("dtw checksum full/pruned   = %s / %s\n",
               dtw_full_digest.hex().c_str(), dtw_pruned_digest.hex().c_str());
+  std::printf("gbt checksum ref/fused     = %s / %s\n",
+              gbt_ref_digest.hex().c_str(), gbt_fused_digest.hex().c_str());
+  std::printf("quant gate int8/int16      = max logit delta %.2e / %.2e, "
+              "disagreements %zu / %zu, verdict checksum %016llx\n",
+              gate8.max_abs_logit_delta, gate16.max_abs_logit_delta,
+              gate8.disagreements, gate16.disagreements,
+              static_cast<unsigned long long>(gate8.verdict_checksum));
 
   // Emitted atomically (temp + rename): a crash or a concurrent reader can
   // see the previous complete report or the new one, never a torn JSON.
-  char json[2048];
+  char json[4096];
   std::snprintf(json, sizeof json,
                 "{\n"
                 "  \"lstm_epoch_s_reference\": %.6f,\n"
@@ -285,6 +417,19 @@ int main(int argc, char** argv) {
                 "  \"dtw_calls_per_sec_full\": %.3f,\n"
                 "  \"dtw_calls_per_sec_pruned\": %.3f,\n"
                 "  \"dtw_speedup\": %.3f,\n"
+                "  \"lstm_infer_seqs_per_sec_fp64\": %.3f,\n"
+                "  \"lstm_infer_seqs_per_sec_int8\": %.3f,\n"
+                "  \"lstm_infer_seqs_per_sec_int16\": %.3f,\n"
+                "  \"quant_int8_speedup\": %.3f,\n"
+                "  \"quant_int16_speedup\": %.3f,\n"
+                "  \"quant_int8_max_logit_delta\": %.6e,\n"
+                "  \"quant_int16_max_logit_delta\": %.6e,\n"
+                "  \"quant_verdict_checksum\": \"%016llx\",\n"
+                "  \"quant_gate_pass\": %s,\n"
+                "  \"gbt_rows_per_sec_reference\": %.3f,\n"
+                "  \"gbt_rows_per_sec_fused\": %.3f,\n"
+                "  \"gbt_speedup\": %.3f,\n"
+                "  \"gbt_bit_identical\": %s,\n"
                 "  \"train_checksum\": \"%s\",\n"
                 "  \"attack_checksum\": \"%s\",\n"
                 "  \"dtw_checksum\": \"%s\",\n"
@@ -293,16 +438,26 @@ int main(int argc, char** argv) {
                 "}\n",
                 epoch_ref_s, epoch_bat_s, epoch_speedup, attack_ref_ips,
                 attack_fast_ips, attack_speedup, dtw_full_cps, dtw_pruned_cps,
-                dtw_speedup, train_bat_digest.hex().c_str(),
+                dtw_speedup, infer_fp64_sps, infer_q8_sps, infer_q16_sps,
+                quant8_speedup, quant16_speedup, gate8.max_abs_logit_delta,
+                gate16.max_abs_logit_delta,
+                static_cast<unsigned long long>(gate8.verdict_checksum),
+                quant_ok ? "true" : "false", gbt_ref_rps, gbt_fused_rps,
+                gbt_speedup, gbt_ok ? "true" : "false",
+                train_bat_digest.hex().c_str(),
                 attack_fast_digest.hex().c_str(), dtw_pruned_digest.hex().c_str(),
-                train_ok && attack_ok && dtw_ok ? "true" : "false",
+                train_ok && attack_ok && dtw_ok && gbt_ok ? "true" : "false",
                 threads_ok ? "true" : "false");
   if (trajkit::durable::write_file_atomic("BENCH_nn.json", json)) {
     std::printf("\nwrote BENCH_nn.json\n");
   }
 
-  if (!(train_ok && attack_ok && dtw_ok && threads_ok)) {
+  if (!(train_ok && attack_ok && dtw_ok && threads_ok && gbt_ok)) {
     std::printf("FAILED: fast paths are not bit-identical\n");
+    return 1;
+  }
+  if (!quant_ok) {
+    std::printf("FAILED: quantized lanes did not pass the QuantGate\n");
     return 1;
   }
   return 0;

@@ -26,6 +26,20 @@
 // append.  The overhead column is the slowdown crash-safe ingestion costs
 // relative to the in-memory baseline; the recovered store must replay every
 // appended point byte-identically or the run fails.
+//
+// A fifth, motion-sidecar leg arms the same service with an LSTM motion
+// model and runs the request mix twice: fp64 lane vs the gated int8
+// quantized lane (nn/quant_classifier).  The quant lane's probabilities are
+// not bit-identical — the QuantGate budgets that — so the compared stream is
+// the *discrete* verdict stream: the (bit-identical) RSSI payload plus the
+// motion verdict at threshold 0.5, FNV-digested.  Exit is non-zero on any
+// disagreement; the speedup comes from the VNNI int8 GEMM + fused
+// polynomial activations and is reported, not asserted.  The default
+// --motion_hidden sizes the sidecar so the NN dominates the request cost —
+// the regime quantization exists for; at small hidden sizes the RSSI
+// evaluation dominates and Amdahl caps the end-to-end gain regardless of
+// kernel speed (bench_nn isolates the kernel-level ratios).  --quant_only=1
+// runs just this leg (the bench_quant_smoke CTest gate).
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -73,6 +87,15 @@ int main(int argc, char** argv) {
   const auto fault_seed = static_cast<std::uint64_t>(flags.get_int("fault_seed", 42));
   const auto ingest_count =
       static_cast<std::size_t>(flags.get_int("ingest", 1000));
+  // Motion-sidecar leg: sized so the NN annotation dominates the batch cost
+  // (that is the hot path the quantized lane accelerates).
+  const auto motion_hidden =
+      static_cast<std::size_t>(flags.get_int("motion_hidden", 384));
+  const auto motion_epochs =
+      static_cast<std::size_t>(flags.get_int("motion_epochs", 1));
+  const auto motion_reps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(flags.get_int("reps", 3)));
+  const bool quant_only = flags.get_int("quant_only", 0) != 0;
 
   std::printf("== Serving: stateless per-request baseline vs batched service ==\n");
   std::printf("%zu historical trajectories x %zu points, %zu requests, "
@@ -123,6 +146,125 @@ int main(int argc, char** argv) {
   std::vector<serve::VerificationRequest> requests;
   for (std::size_t r = 0; r < request_count; ++r) {
     requests.push_back({r, pool[r % pool.size()], 0});
+  }
+
+  // -- Motion sidecar: fp64 lane vs the gated int8 quantized lane ------------
+  auto motion_encoder = std::make_shared<DistAngleEncoder>();
+  auto motion_model = [&] {
+    std::vector<FeatureSequence> mxs;
+    std::vector<int> mys;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      if (train[i].positions.size() < 2) continue;
+      mxs.push_back(motion_encoder->encode(train[i].positions));
+      mys.push_back(labels[i]);
+    }
+    nn::LstmClassifierConfig mcfg;
+    mcfg.hidden_dim = motion_hidden;
+    auto model = std::make_shared<nn::LstmClassifier>(mcfg, 5);
+    model->train(mxs, mys, motion_epochs);
+    return model;
+  }();
+  // Calibration = the encoder's view of the request mix itself: the exact
+  // distribution the quantized lane will serve.
+  std::vector<FeatureSequence> calibration;
+  for (std::size_t r = 0; r < requests.size() && calibration.size() < 48; ++r) {
+    if (requests[r].upload.positions.size() < 2) continue;
+    calibration.push_back(motion_encoder->encode(requests[r].upload.positions));
+  }
+
+  struct MotionLeg {
+    double seconds = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    std::uint64_t checksum = 1469598103934665603ull;
+    std::uint64_t quant_batches = 0;
+    bool complete = true;
+  };
+  // Run the request mix through a motion-armed service; the discrete stream
+  // digests the (bit-identical) RSSI payload plus the motion verdict bit.
+  const auto motion_leg = [&](const serve::MotionPolicy& policy) {
+    MotionLeg leg;
+    serve::VerifierServiceConfig mcfg;
+    mcfg.max_batch = max_batch;
+    mcfg.max_queue = request_count + 1;
+    mcfg.cache.capacity = cache_capacity;
+    mcfg.motion = policy;
+    serve::VerifierService service(detector, mcfg);
+    double best = -1.0;
+    for (std::size_t rep = 0; rep < motion_reps; ++rep) {
+      std::vector<std::future<serve::VerdictResponse>> futures;
+      futures.reserve(requests.size());
+      const double t = now_s();
+      for (const auto& request : requests) futures.push_back(service.submit(request));
+      std::uint64_t checksum = 1469598103934665603ull;
+      for (auto& future : futures) {
+        const auto response = future.get();
+        if (response.outcome != serve::Outcome::kOk || !response.has_motion_p_real) {
+          leg.complete = false;
+          continue;
+        }
+        checksum = fnv1a(checksum, response.report.canonical_string());
+        checksum = fnv1a(checksum, response.motion_p_real >= 0.5 ? "1" : "0");
+      }
+      const double seconds = now_s() - t;
+      if (best < 0.0 || seconds < best) best = seconds;
+      leg.checksum = checksum;  // identical across reps when complete
+    }
+    leg.seconds = best;
+    const auto c = service.counters();
+    leg.p50_us = c.p50_us;
+    leg.p99_us = c.p99_us;
+    leg.quant_batches = c.motion_quant_batches;
+    service.stop();
+    return leg;
+  };
+
+  serve::MotionPolicy fp64_policy;
+  fp64_policy.model = motion_model;
+  fp64_policy.encoder = motion_encoder;
+  serve::MotionPolicy quant_policy = fp64_policy;
+  const auto gate = quant_policy.arm_quantized(calibration, nn::QuantMode::kInt8, 0.1);
+  if (!gate.pass) {
+    std::printf("FAILED: quantized motion lane did not pass its gate "
+                "(max logit delta %.3e, %zu disagreements)\n",
+                gate.max_abs_logit_delta, gate.disagreements);
+    return 1;
+  }
+  const MotionLeg fp64_leg = motion_leg(fp64_policy);
+  const MotionLeg quant_leg = motion_leg(quant_policy);
+  const bool motion_identical = fp64_leg.checksum == quant_leg.checksum;
+  const bool motion_complete =
+      fp64_leg.complete && quant_leg.complete && quant_leg.quant_batches > 0;
+
+  const auto print_motion = [&] {
+    const auto rate = [&](const MotionLeg& leg) {
+      return static_cast<double>(request_count) / leg.seconds;
+    };
+    std::printf("\n");
+    TextTable mt({"motion leg", "seconds", "verdicts/s", "p50 (us)", "p99 (us)",
+                  "speedup"});
+    mt.add_row({"fp64 lane", TextTable::num(fp64_leg.seconds, 3),
+                TextTable::num(rate(fp64_leg), 1),
+                TextTable::num(fp64_leg.p50_us, 1),
+                TextTable::num(fp64_leg.p99_us, 1), "1.00x"});
+    mt.add_row({"int8 quant lane", TextTable::num(quant_leg.seconds, 3),
+                TextTable::num(rate(quant_leg), 1),
+                TextTable::num(quant_leg.p50_us, 1),
+                TextTable::num(quant_leg.p99_us, 1),
+                TextTable::num(fp64_leg.seconds / quant_leg.seconds, 2) + "x"});
+    mt.print(std::cout);
+    std::printf("quant gate: max logit delta %.3e over %zu calibration seqs, "
+                "verdict checksum %016llx\n",
+                gate.max_abs_logit_delta, gate.checked,
+                static_cast<unsigned long long>(gate.verdict_checksum));
+    std::printf("motion verdict stream fp64/int8 = %016llx / %016llx (%s)\n",
+                static_cast<unsigned long long>(fp64_leg.checksum),
+                static_cast<unsigned long long>(quant_leg.checksum),
+                motion_identical ? "agree" : "DISAGREE");
+  };
+  if (quant_only) {
+    print_motion();
+    return motion_identical && motion_complete ? 0 : 1;
   }
 
   // -- Baseline: stateless, one at a time, cold RPD state per request -------
@@ -312,6 +454,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(counters.cache.hits +
                                               counters.cache.misses));
 
+  print_motion();
+
   const bool identical = baseline_checksum == service_checksum;
   const bool faulty_complete = faulty_dropped == 0;
   std::printf("checksum baseline = %016llx\n",
@@ -324,5 +468,12 @@ int main(int argc, char** argv) {
   std::printf("faulty mode: %s\n",
               faulty_complete ? "OK (every request answered)"
                               : "FAILED (requests dropped under faults!)");
-  return identical && faulty_complete && ingest_ok ? 0 : 1;
+  std::printf("motion lanes: %s\n",
+              motion_identical && motion_complete
+                  ? "OK (quant lane agrees on every discrete verdict)"
+                  : "FAILED (quant lane diverged or did not serve!)");
+  return identical && faulty_complete && ingest_ok && motion_identical &&
+                 motion_complete
+             ? 0
+             : 1;
 }

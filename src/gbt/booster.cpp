@@ -90,9 +90,20 @@ void GbtClassifier::train(const std::vector<std::vector<double>>& x,
     trees_.push_back(std::move(tree));
     if (progress) progress(round, logloss);
   }
+  rebuild_fused();
+}
+
+void GbtClassifier::rebuild_fused() {
+  fused_ = std::make_shared<const FusedForest>(
+      FusedForest::build(trees_, base_score_, config_.learning_rate));
 }
 
 double GbtClassifier::predict_proba(const std::vector<double>& row) const {
+  if (fused_ && fused_->valid()) return sigmoid(fused_->margin(row));
+  return predict_proba_reference(row);
+}
+
+double GbtClassifier::predict_proba_reference(const std::vector<double>& row) const {
   double margin = base_score_;
   for (const auto& tree : trees_) margin += config_.learning_rate * tree.predict(row);
   return sigmoid(margin);
@@ -154,6 +165,7 @@ Expected<GbtClassifier, std::string> GbtClassifier::try_load(std::istream& is) {
     for (std::size_t i = 0; i < tree_count; ++i) {
       model.trees_.push_back(Tree::load(is));
     }
+    model.rebuild_fused();
     return Result(std::move(model));
   } catch (const std::exception& e) {
     return Result::failure(std::string("gbt load: ") + e.what());

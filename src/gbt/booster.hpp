@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
+#include "gbt/fused.hpp"
 #include "gbt/tree.hpp"
 
 namespace trajkit::gbt {
@@ -45,9 +47,18 @@ class GbtClassifier {
   void train(const std::vector<std::vector<double>>& x, const std::vector<int>& y,
              const std::function<void(std::size_t, double)>& progress = {});
 
-  /// P(label == 1) for one raw feature row.
+  /// P(label == 1) for one raw feature row.  Served by the fused flat-array
+  /// scorer (gbt/fused.hpp) whenever the ensemble fits its encoding —
+  /// bit-identical to the scalar tree walk, so callers never see the switch.
   double predict_proba(const std::vector<double>& row) const;
   int predict(const std::vector<double>& row, double threshold = 0.5) const;
+
+  /// Scalar pointer-chasing walk — the oracle the fused scorer is asserted
+  /// against (tests/benches); always available.
+  double predict_proba_reference(const std::vector<double>& row) const;
+
+  /// The fused scorer, if the ensemble encoded (null/invalid otherwise).
+  const FusedForest* fused() const { return fused_.get(); }
 
   /// Total split gain per feature, normalised to sum to 1.
   std::vector<double> feature_importance(std::size_t num_features) const;
@@ -69,9 +80,15 @@ class GbtClassifier {
   static Expected<GbtClassifier, std::string> try_load_file(const std::string& path);
 
  private:
+  /// Rebuild fused_ from trees_; called wherever the ensemble changes
+  /// (train, load) so the serving path can rely on it without checks.
+  void rebuild_fused();
+
   GbtConfig config_;
   std::vector<Tree> trees_;
   double base_score_ = 0.0;  ///< initial margin (log-odds of the label prior)
+  // Shared, immutable: copies of a trained model share one fused image.
+  std::shared_ptr<const FusedForest> fused_;
 };
 
 }  // namespace trajkit::gbt

@@ -1,0 +1,79 @@
+// Fused forest scorer: all trees walked over a pre-binned feature row.
+//
+// Tree::predict pointer-chases TreeNode structs and compares raw doubles at
+// every node.  At serving rates that is one dependent cache-miss chain per
+// tree plus a double compare per level.  The fused scorer does the float
+// work once per *row* instead of once per *node*:
+//
+//  1. Build time: collect every distinct split threshold per feature across
+//     the whole ensemble into one sorted array, and flatten all trees into a
+//     single contiguous node array whose internal nodes hold the threshold's
+//     *rank* (index in that feature's sorted list) instead of its value.
+//     Leaves are folded into the child slots as negative indices into a
+//     value array — traversal never branches on node kind.
+//  2. Score time: bin the row once (one lower_bound per feature), then walk
+//     every tree with pure integer compares over the flat array.
+//
+// Exactness: rank(v) is defined as the first index j with threshold[j] >= v,
+// so  v <= t_j  <=>  rank(v) <= j  — an *exact* reformulation of the raw
+// comparison, not an approximation.  Leaf values add in tree order starting
+// from base_score, reproducing GbtClassifier::predict_proba's margin sum bit
+// for bit.  The scalar walk stays in the booster as the oracle
+// (predict_proba_reference) and the equivalence is asserted in tests.
+//
+// build() returns an invalid forest (valid() == false) instead of degrading
+// silently when the ensemble does not fit the compact encoding (feature or
+// rank beyond uint16) — callers keep the scalar path in that case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trajkit::gbt {
+
+class Tree;
+
+class FusedForest {
+ public:
+  FusedForest() = default;
+
+  /// Flatten `trees` (scored in order with `learning_rate`, seeded from
+  /// `base_score`).  Never throws: unencodable ensembles yield valid()==false.
+  static FusedForest build(const std::vector<Tree>& trees, double base_score,
+                           double learning_rate);
+
+  bool valid() const { return valid_; }
+  std::size_t tree_count() const { return roots_.size(); }
+  /// Distinct thresholds kept for feature f (diagnostics / tests).
+  std::size_t threshold_count(std::size_t f) const {
+    return f + 1 < thr_offset_.size() ? thr_offset_[f + 1] - thr_offset_[f] : 0;
+  }
+
+  /// Pre-sigmoid ensemble margin for one raw feature row; bit-identical to
+  /// base_score + sum_t lr * tree[t].predict(row).  `row` must cover every
+  /// feature the ensemble splits on.
+  double margin(const std::vector<double>& row) const;
+
+ private:
+  /// Internal node: go left iff bins[feature] <= rank.  A negative child is
+  /// ~index into leaves_.
+  struct Node {
+    std::uint16_t feature = 0;
+    std::uint16_t rank = 0;
+    std::int32_t left = 0;
+    std::int32_t right = 0;
+  };
+
+  bool valid_ = false;
+  double base_score_ = 0.0;
+  double lr_ = 0.0;
+  std::size_t num_features_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> leaves_;
+  std::vector<std::int32_t> roots_;        ///< per tree: node index or ~leaf
+  std::vector<double> thresholds_;         ///< per-feature ascending, concatenated
+  std::vector<std::uint32_t> thr_offset_;  ///< num_features_ + 1 entries
+};
+
+}  // namespace trajkit::gbt

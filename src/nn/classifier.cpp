@@ -416,9 +416,9 @@ TrainReport LstmClassifier::train(
   return report;
 }
 
-double LstmClassifier::predict_proba(const FeatureSequence& x) const {
+double LstmClassifier::predict_logit(const FeatureSequence& x) const {
   if (config_.backend == NnBackend::kReference) {
-    return sigmoid(forward_logit(x, nullptr));
+    return forward_logit(x, nullptr);
   }
   kernels::Workspace& ws = local_workspace();
   ws.reset();
@@ -429,14 +429,16 @@ double LstmClassifier::predict_proba(const FeatureSequence& x) const {
   double* h_last = ws.take(config_.hidden_dim);
   double logit = 0.0;
   forward_batched(&px, 1, ws, traces, spec, steps_buf, h_last, &logit);
-  return sigmoid(logit);
+  return logit;
 }
 
-std::vector<double> LstmClassifier::predict_proba_batch(
+std::vector<double> LstmClassifier::predict_logit_batch(
     const std::vector<FeatureSequence>& xs) const {
   std::vector<double> out(xs.size(), 0.0);
   if (config_.backend == NnBackend::kReference) {
-    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = predict_proba(xs[i]);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = forward_logit(xs[i], nullptr);
+    }
     return out;
   }
   kernels::Workspace& ws = local_workspace();
@@ -451,9 +453,20 @@ std::vector<double> LstmClassifier::predict_proba_batch(
     double* h_last = ws.take(bsz * config_.hidden_dim);
     double* logits = ws.take(bsz);
     forward_batched(ptrs, bsz, ws, traces, spec, steps_buf, h_last, logits);
-    for (std::size_t k = 0; k < bsz; ++k) out[i + k] = sigmoid(logits[k]);
+    for (std::size_t k = 0; k < bsz; ++k) out[i + k] = logits[k];
     i += bsz;
   }
+  return out;
+}
+
+double LstmClassifier::predict_proba(const FeatureSequence& x) const {
+  return sigmoid(predict_logit(x));
+}
+
+std::vector<double> LstmClassifier::predict_proba_batch(
+    const std::vector<FeatureSequence>& xs) const {
+  std::vector<double> out = predict_logit_batch(xs);
+  for (double& v : out) v = sigmoid(v);
   return out;
 }
 

@@ -78,6 +78,19 @@ class LstmClassifier {
   /// sequence; honours the backend switch for oracle comparisons).
   std::vector<double> predict_proba_batch(const std::vector<FeatureSequence>& xs) const;
 
+  /// Pre-sigmoid head output (predict_proba == sigmoid of this).  Exposed so
+  /// the quantized serving lane's QuantGate can bound its logit delta against
+  /// this fp64 oracle (nn/quant_classifier.hpp).
+  double predict_logit(const FeatureSequence& x) const;
+  std::vector<double> predict_logit_batch(const std::vector<FeatureSequence>& xs) const;
+
+  /// Read-only parameter access for derived inference artifacts (the int8 /
+  /// int16 quantizer reads weights and runs its calibration pass through the
+  /// reference layers).
+  std::size_t layer_count() const { return layers_.size(); }
+  const LstmLayer& layer(std::size_t l) const { return layers_[l]; }
+  const DenseLayer& head_layer() const { return head_; }
+
   /// Hard decision at the given threshold (1 = real, 0 = fake).
   int predict(const FeatureSequence& x, double threshold = 0.5) const;
 

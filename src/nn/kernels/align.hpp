@@ -12,10 +12,24 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <new>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace trajkit::nn::kernels {
+
+/// Loud runtime guard for the 64-byte storage contract.  The packed kernels
+/// assume cache-line-aligned operands; a view over foreign storage that
+/// misses the contract must fail here instead of silently taking (or worse,
+/// faulting in) the vector path.
+inline void require_aligned64(const void* p, const char* what) {
+  if ((reinterpret_cast<std::uintptr_t>(p) & std::uintptr_t{63}) != 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": storage is not 64-byte aligned");
+  }
+}
 
 template <typename T, std::size_t Alignment = 64>
 struct AlignedAllocator {

@@ -1,0 +1,267 @@
+// Quantized inference primitives for the verification hot path.
+//
+// The fp64 kernels (gemm.hpp) are the bit-exact oracle; everything here is
+// the reduced-precision serving lane behind the QuantGate accuracy check
+// (nn/quant_classifier.hpp).  Three pieces:
+//
+//  - Symmetric weight quantization + dot-product packing.  Weights quantize
+//    to int8 or int16 with one scale per row (callers pass per-gate scales
+//    broadcast over each gate's row range): q = clamp(round(w / s)).  The
+//    packed layout is NOT the fp64 panel scheme: rows group in blocks of
+//    kQuantGroup = 16 and the depth axis interleaves in dword-sized runs
+//    (4 int8 or 2 int16 coefficients), so each 64-byte slice of the pack
+//    holds one dword of 16 consecutive rows.  That is exactly the operand
+//    shape of the AVX512-VNNI dot-product instructions (vpdpbusd /
+//    vpdpwssd): one weight load + one activation broadcast per 64/32 MACs,
+//    versus one broadcast per 8 MACs in the fp64 panel loop.  On VNNI
+//    hardware the int8 GEMM runs several times *faster* than the fp64
+//    GEMM while touching 8x less weight memory; a portable scalar walk of
+//    the same layout (bit-identical results — integer sums are exact in any
+//    order) serves as the fallback elsewhere.
+//
+//  - Int GEMM, kLanes = 8 batch columns, int8 activations.  vpdpbusd is
+//    unsigned x signed, so int8-mode activations carry a +128 offset
+//    (offset-binary uint8) and the kernel subtracts 128 * rowsum(weights)
+//    from each accumulator — the row sums are derived from the pack at
+//    build/load time, never serialized.  int16 mode keeps signed int16
+//    activations (vpdpwssd is signed x signed) and needs no correction.
+//    Accumulation overflow is impossible by construction: int8 partials are
+//    bounded by 255 * 127 * depth (depth <= 65536 fits int32), int16
+//    partials spill to int64 every 512 depth.
+//
+//  - Fast vectorized activations.  The quant forward dequantizes gate
+//    pre-activations into doubles and applies polynomial exp-based
+//    sigmoid/tanh (~5e-9 relative error) on 8 lanes at once.  At small
+//    hidden sizes the scalar libm calls dominate the fp64 forward and this
+//    fusion carries the speedup; at large hidden sizes the VNNI GEMM does.
+//    The approximation error is orders of magnitude below the int8 weight
+//    rounding error the gate already budgets for.
+//
+// Rounding contract: quantization rounds half away from zero
+// (q = trunc(x/s ± 0.5)), implemented identically in the scalar and vector
+// paths, so calibration and serving produce the same integers on every
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/kernels/align.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/matrix.hpp"
+
+namespace trajkit::nn::kernels {
+
+/// Quantized weight width.  Activations are int8 in both modes.
+enum class QuantMode : std::uint8_t {
+  kInt8 = 0,   ///< weights int8  (|q| <= 127)
+  kInt16 = 1,  ///< weights int16 (|q| <= 32767)
+};
+
+/// May-alias scalar views: quantized scratch lives in the double Workspace
+/// arena and packed weights in byte buffers, so every access goes through
+/// these typedefs.  qu8 is the offset-binary activation view (int8 q + 128)
+/// the unsigned-by-signed VNNI dot product consumes.
+typedef std::int8_t qi8 __attribute__((may_alias));
+typedef std::uint8_t qu8 __attribute__((may_alias));
+typedef std::int16_t qi16 __attribute__((may_alias));
+typedef std::int32_t qi32 __attribute__((may_alias));
+typedef std::int64_t qi64 __attribute__((may_alias));
+
+// Vector lanes, same spelling as the fp64 kernels (gemm.cpp keeps its typedef
+// private; the quant elementwise fusion needs them across TUs).
+typedef double v8df __attribute__((vector_size(64), may_alias));
+typedef std::int64_t v8di __attribute__((vector_size(64), may_alias));
+typedef std::int32_t v8si __attribute__((vector_size(32), may_alias));
+typedef std::int8_t v8qi __attribute__((vector_size(8), may_alias));
+
+inline v8df vsplat(double x) { return v8df{x, x, x, x, x, x, x, x}; }
+
+inline v8df vload(const double* p) {
+  v8df v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void vstore(double* p, v8df v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// int64 accumulator lanes -> doubles (exact: |acc| < 2^53 always).
+inline v8df vcvt_i64(const qi64* p) {
+  v8di v;
+  std::memcpy(&v, p, sizeof(v));
+  return __builtin_convertvector(v, v8df);
+}
+
+/// Quantization maximum for a mode's weights.
+inline std::int32_t quant_qmax(QuantMode mode) {
+  return mode == QuantMode::kInt8 ? 127 : 32767;
+}
+
+/// Activation quantization maximum (activations are always 8-bit grid).
+inline constexpr std::int32_t kActQmax = 127;
+
+/// Rows per weight group in the quant pack: one zmm of int32 accumulators.
+inline constexpr std::size_t kQuantGroup = 16;
+
+/// The depth axis pads to a whole number of int8 dwords in both modes (int16
+/// packs two coefficients per dword but shares the 4-element quantum so the
+/// element count is mode-free).
+inline std::size_t quant_depth_pad(std::size_t depth) {
+  return (depth + 3) & ~std::size_t(3);
+}
+
+/// Elements (int8 or int16 each) needed to pack a rows x depth quant
+/// operand: rows pad to kQuantGroup, depth to the dword quantum.
+inline std::size_t quant_packed_elems(std::size_t rows, std::size_t depth) {
+  return ((rows + kQuantGroup - 1) / kQuantGroup) * kQuantGroup *
+         quant_depth_pad(depth);
+}
+
+/// Bytes of that pack for a mode (for sizing aligned byte buffers).
+inline std::size_t quant_packed_bytes(std::size_t rows, std::size_t depth,
+                                      QuantMode mode) {
+  return quant_packed_elems(rows, depth) *
+         (mode == QuantMode::kInt8 ? sizeof(qi8) : sizeof(qi16));
+}
+
+/// Scalar reference for the quantization rounding contract: round half away
+/// from zero after clamping to ±qmax.  The vector paths below compute the
+/// exact same operation lane-wise.
+inline std::int32_t quantize_value(double x, double inv_scale,
+                                   std::int32_t qmax) {
+  double t = x * inv_scale;
+  const double q = static_cast<double>(qmax);
+  t = t > q ? q : (t < -q ? -q : t);
+  t += t >= 0.0 ? 0.5 : -0.5;
+  return static_cast<std::int32_t>(t);  // truncation completes half-away
+}
+
+/// Largest |m(r, c)| over rows [r0, r1) x cols [c0, c1); 0 for empty ranges.
+double max_abs_block(const Matrix& m, std::size_t r0, std::size_t r1,
+                     std::size_t c0, std::size_t c1);
+
+/// Quantize + VNNI-pack the column slice [c0, c1) of `m` (all rows) with a
+/// per-row scale: pack element (r, k) = quantize(m(r, c0 + k) / row_scale[r]).
+/// Layout: row group g, dword run d, row-in-group j, coefficient-in-dword c
+/// at offset ((g * runs + d) * kQuantGroup + j) * per_dword + c, where
+/// per_dword is 4 for int8 and 2 for int16.  Tail rows and padded depth are
+/// zero.  `out` must hold quant_packed_elems(m.rows(), c1 - c0) elements and
+/// both m's storage and `out` must be 64-byte aligned — misalignment throws
+/// (require_aligned64) instead of silently degrading.
+void pack_quant_rows_i8(const Matrix& m, std::size_t c0, std::size_t c1,
+                        const double* row_inv_scale, qi8* out);
+void pack_quant_rows_i16(const Matrix& m, std::size_t c0, std::size_t c1,
+                         const double* row_inv_scale, qi16* out);
+
+/// Per-row coefficient sums of an int8 pack (rows int64s, tail rows of the
+/// last group excluded).  Derived data for the offset-binary activation
+/// correction — computed after pack/load, never serialized.
+void quant_row_sums_i8(const qi8* pack, std::size_t rows, std::size_t depth,
+                       qi64* out);
+
+/// Quantize n doubles to int8 with one scale (vectorized, any n; scalar tail
+/// matches the vector lanes bit for bit per the rounding contract).
+void quantize_i8(const double* x, std::size_t n, double inv_scale, qi8* out);
+
+/// Quantize one lane-minor activation block (depth x kLanes doubles, the
+/// fp64 runner layout) into the lane-major image the quant GEMM reads:
+/// out[l * depth_pad + k] for lane l.  The u8 variant stores q + 128
+/// (offset-binary, pad byte 128 == q 0); the i16 variant stores q signed
+/// (pad 0).  Rounding matches quantize_value per the contract.
+void quantize_act_u8(const double* block, std::size_t depth,
+                     std::size_t depth_pad, double inv_scale, qu8* out);
+void quantize_act_i16(const double* block, std::size_t depth,
+                      std::size_t depth_pad, double inv_scale, qi16* out);
+
+/// Int GEMM, convention "wx", kLanes = 8 batch columns:
+///   acc[r*8 + l] = sum_k w[r, k] * x_q[l, k]   (int64, overwritten)
+/// `w` is a quant pack (pack_quant_rows_*), `depth_pad` its padded depth
+/// (quant_depth_pad of the logical depth; the zero-padded tail contributes
+/// nothing).  int8 activations arrive offset-binary (quantize_act_u8) with
+/// the pack's row sums for the -128 correction; int16 activations arrive
+/// signed (quantize_act_i16).  `acc` holds rows * 8 int64 — group tail rows
+/// are not written.  Bias and dequantization are the caller's (fused into
+/// the gate loop in rnn_quant.cpp).  int8 requires depth_pad <= 65536 so a
+/// whole row fits one int32 accumulator chunk (throws otherwise).
+void gemm_q8x8(const qi8* w, const qi64* row_sums, std::size_t rows,
+               std::size_t depth_pad, const qu8* x, qi64* acc);
+void gemm_q16x8(const qi16* w, std::size_t rows, std::size_t depth_pad,
+                const qi16* x, qi64* acc);
+
+/// Workspace carve-outs for quantized scratch: the arena hands out doubles,
+/// these reinterpret whole 64-byte-aligned blocks.
+inline qi8* take_i8(Workspace& ws, std::size_t n) {
+  return reinterpret_cast<qi8*>(ws.take((n + 7) / 8));
+}
+inline qu8* take_u8(Workspace& ws, std::size_t n) {
+  return reinterpret_cast<qu8*>(ws.take((n + 7) / 8));
+}
+inline qi16* take_i16(Workspace& ws, std::size_t n) {
+  return reinterpret_cast<qi16*>(ws.take((n + 3) / 4));
+}
+inline qi64* take_i64(Workspace& ws, std::size_t n) {
+  return reinterpret_cast<qi64*>(ws.take(n));
+}
+
+// ---------------------------------------------------------------------------
+// Fast vectorized activations (inference lane only — never the fp64 oracle).
+// ---------------------------------------------------------------------------
+
+/// exp(x) on 8 lanes: range-reduced 2^k * e^r with a degree-7 polynomial on
+/// r in [-ln2/2, ln2/2]; ~5e-9 relative error, monotone clamp at ±708.
+inline v8df fast_exp8(v8df x) {
+  const v8df hi = vsplat(708.0), lo = vsplat(-708.0);
+  x = x > hi ? hi : x;
+  x = x < lo ? lo : x;
+  const v8df t = x * vsplat(1.4426950408889634074);  // x * log2(e)
+  // Round to nearest via the shift trick (|t| < 1022 so the low mantissa
+  // bits of t + 1.5*2^52 hold the rounded integer exactly).
+  const v8df magic = vsplat(6755399441055744.0);
+  const v8df kf = (t + magic) - magic;
+  const v8di ki = __builtin_convertvector(kf, v8di);
+  // r = x - k*ln2, split high/low to keep the reduction exact.
+  const v8df r = (x - kf * vsplat(6.93147180369123816490e-01)) -
+                 kf * vsplat(1.90821492927058770002e-10);
+  // e^r, Horner degree 7 (Taylor; max rel err ~5e-9 on the reduced range).
+  v8df p = vsplat(1.0 / 5040.0);
+  p = p * r + vsplat(1.0 / 720.0);
+  p = p * r + vsplat(1.0 / 120.0);
+  p = p * r + vsplat(1.0 / 24.0);
+  p = p * r + vsplat(1.0 / 6.0);
+  p = p * r + vsplat(0.5);
+  p = p * r + vsplat(1.0);
+  p = p * r + vsplat(1.0);
+  // 2^k by exponent-field construction (k in [-1022, 1022] after the clamp).
+  const v8di bits = (ki + 1023) << 52;
+  v8df two_k;
+  std::memcpy(&two_k, &bits, sizeof(two_k));
+  return p * two_k;
+}
+
+/// Numerically safe sigmoid on 8 lanes (same structure as nn::sigmoid:
+/// exp of a non-positive argument, then one division).
+inline v8df fast_sigmoid8(v8df x) {
+  const v8df zero = vsplat(0.0);
+  const v8df neg = x >= zero ? -x : x;  // -|x|
+  const v8df e = fast_exp8(neg);
+  const v8df num = x >= zero ? vsplat(1.0) : e;
+  return num / (vsplat(1.0) + e);
+}
+
+/// tanh on 8 lanes via e^{-2|x|}.
+inline v8df fast_tanh8(v8df x) {
+  const v8df zero = vsplat(0.0);
+  const v8df ax = x >= zero ? x : -x;
+  const v8df e2 = fast_exp8(vsplat(-2.0) * ax);
+  const v8df t = (vsplat(1.0) - e2) / (vsplat(1.0) + e2);
+  return x >= zero ? t : -t;
+}
+
+/// Scalar views of the fast activations (tests/benches): lane 0 of the
+/// vector op, so scalar and vector answers are identical by construction.
+inline double fast_sigmoid(double x) { return fast_sigmoid8(vsplat(x))[0]; }
+inline double fast_tanh(double x) { return fast_tanh8(vsplat(x))[0]; }
+inline double fast_exp(double x) { return fast_exp8(vsplat(x))[0]; }
+
+}  // namespace trajkit::nn::kernels

@@ -1,0 +1,156 @@
+// Quantized serving image of an LstmClassifier, plus the QuantGate check
+// that decides whether it may serve at all.
+//
+// QuantizedLstm is inference-only: it is built *from* a trained fp64
+// classifier (never trained itself) by `quantize()`, which
+//
+//  1. quantizes each layer's weight matrix per gate, symmetric, int8 or
+//     int16, with the input and recurrent column halves scaled separately
+//     (kernels/rnn_quant.hpp explains why), and
+//  2. runs a calibration pass over held-out trajectories through the fp64
+//     reference layers to fix the static int8 activation scales: sx for each
+//     layer's input stream, sh for its recurrent state.  Max-abs reduction is
+//     order-free, so calibration is bit-identical for any thread count.
+//
+// The dense head stays in fp64 (one dot product per sequence — nothing to
+// win) and runs over the quant lane's final hidden state.
+//
+// The quant lane is NOT bit-identical to the fp64 oracle — int8 rounding and
+// the polynomial activations both perturb the logit.  quant_gate_check()
+// therefore asserts the *decision contract* on a calibration set: thresholded
+// verdicts must agree exactly and the worst logit delta must stay under a
+// bound.  Serving (serve/service.hpp MotionPolicy) arms the quantized model
+// only when the gate passes and falls back to fp64 per model otherwise.
+//
+// Persistence: the packed integer image (not the fp64 weights) rides the
+// usual CRC-framed durable container ("quant_lstm") and the ArtifactStore
+// epoch path via ArtifactCodec<QuantizedLstm>, so followers adopt quantized
+// artifacts exactly like any other epoch-published model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/durable/artifact_store.hpp"
+#include "common/expected.hpp"
+#include "nn/classifier.hpp"
+#include "nn/kernels/quant.hpp"
+#include "nn/kernels/rnn_quant.hpp"
+
+namespace trajkit::nn {
+
+using QuantMode = kernels::QuantMode;
+
+class QuantizedLstm {
+ public:
+  QuantizedLstm() = default;
+
+  /// Quantize `model` with a calibration pass over `calibration` (held-out
+  /// feature sequences; must be non-empty so the activation scales are
+  /// data-backed).  Deterministic: same model + same calibration set give a
+  /// byte-identical artifact on any thread count.
+  static QuantizedLstm quantize(const LstmClassifier& model,
+                                const std::vector<FeatureSequence>& calibration,
+                                QuantMode mode);
+
+  QuantMode mode() const { return mode_; }
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  double predict_logit(const FeatureSequence& x) const;
+  double predict_proba(const FeatureSequence& x) const;
+  int predict(const FeatureSequence& x, double threshold = 0.5) const;
+
+  /// Batch predictions, kernels::kLanes sequences per GEMM panel — the
+  /// serving dispatcher feeds one micro-batch (trajectories from *different*
+  /// requests) straight through here.
+  std::vector<double> predict_logit_batch(const std::vector<FeatureSequence>& xs) const;
+  std::vector<double> predict_proba_batch(const std::vector<FeatureSequence>& xs) const;
+
+  /// Text stream / durable-file persistence of the packed integer image
+  /// (same container pattern as the fp64 models; tag "quant_lstm").
+  void save(std::ostream& os) const;
+  static Expected<QuantizedLstm, std::string> try_load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static Expected<QuantizedLstm, std::string> try_load_file(const std::string& path);
+
+ private:
+  using AlignedBytes =
+      std::vector<std::int8_t, kernels::AlignedAllocator<std::int8_t>>;
+
+  struct Layer {
+    std::size_t input = 0;
+    std::size_t hidden = 0;
+    AlignedBytes wx;  ///< packed quant image of W[:, :input]
+    AlignedBytes wh;  ///< packed quant image of W[:, input:]
+    /// Per-row coefficient sums of each pack (int8 mode only): derived from
+    /// the packed image after quantize/load — never serialized — for the
+    /// GEMM's offset-binary activation correction.
+    std::vector<std::int64_t> wx_row_sums;
+    std::vector<std::int64_t> wh_row_sums;
+    std::vector<double> bias;
+    double sw_x[4] = {1, 1, 1, 1};
+    double sw_h[4] = {1, 1, 1, 1};
+    double sx = 1.0;
+    double sh = 1.0;
+  };
+
+  kernels::QuantLstmLayerView view_of(const Layer& l) const;
+  static void derive_row_sums(Layer& l, QuantMode mode);
+  void predict_logit_group(const FeatureSequence* const* xs, std::size_t batch,
+                           double* logits) const;
+
+  QuantMode mode_ = QuantMode::kInt16;
+  std::size_t input_dim_ = 0;
+  std::size_t hidden_dim_ = 0;
+  std::vector<Layer> layers_;
+  std::vector<double> head_w_;
+  double head_b_ = 0.0;
+};
+
+/// Outcome of the fp64-vs-quant decision-contract check.
+struct QuantGateReport {
+  bool pass = false;
+  std::size_t checked = 0;
+  std::size_t disagreements = 0;        ///< thresholded verdict mismatches
+  double max_abs_logit_delta = 0.0;     ///< worst |logit_fp64 - logit_quant|
+  double logit_delta_bound = 0.0;
+  double threshold = 0.5;
+  /// FNV-1a over the paired (fp64, quant) verdict bits — equal-verdict
+  /// streams from independent runs digest identically, so benches can gate
+  /// on one number.
+  std::uint64_t verdict_checksum = 0;
+};
+
+/// Run the gate on a calibration set.  Pass requires zero verdict
+/// disagreements at `threshold` AND max logit delta <= `logit_delta_bound`
+/// over a non-empty set.
+QuantGateReport quant_gate_check(const LstmClassifier& ref,
+                                 const QuantizedLstm& quant,
+                                 const std::vector<FeatureSequence>& calibration,
+                                 double logit_delta_bound,
+                                 double threshold = 0.5);
+
+}  // namespace trajkit::nn
+
+namespace trajkit::durable {
+
+/// Quantized-LSTM artifacts for ArtifactStore::open/publish: the payload is
+/// the model's own stream format (save/try_load), so quantized serving
+/// images ride the same epoch files + durable CURRENT as every other model.
+template <>
+struct ArtifactCodec<nn::QuantizedLstm> {
+  using Value = nn::QuantizedLstm;
+  static void encode(const nn::QuantizedLstm& value, std::ostream& os) {
+    value.save(os);
+  }
+  static Expected<Value, std::string> decode(std::istream& is) {
+    return nn::QuantizedLstm::try_load(is);
+  }
+};
+
+}  // namespace trajkit::durable

@@ -511,7 +511,15 @@ void VerifierService::annotate_motion(
   if (ok_idx.empty()) return;
   // One batched-kernel pass over the whole micro-batch; per-sequence bits do
   // not depend on the grouping, so batch composition stays out of the payload.
-  const std::vector<double> probs = policy.model->predict_proba_batch(feats);
+  // When the gated quantized lane is armed it takes the whole batch; the fp64
+  // path below is both the default and the per-model fallback.
+  std::vector<double> probs;
+  if (policy.quant_armed()) {
+    probs = policy.quant->predict_proba_batch(feats);
+    motion_quant_batches_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    probs = policy.model->predict_proba_batch(feats);
+  }
   for (std::size_t k = 0; k < ok_idx.size(); ++k) {
     responses[ok_idx[k]].motion_p_real = probs[k];
     responses[ok_idx[k]].has_motion_p_real = true;
@@ -592,6 +600,7 @@ ServiceCounters VerifierService::counters() const {
   c.timed_out = timed_out_.load(std::memory_order_relaxed);
   c.errors = errors_.load(std::memory_order_relaxed);
   c.batches = batches_.load(std::memory_order_relaxed);
+  c.motion_quant_batches = motion_quant_batches_.load(std::memory_order_relaxed);
   c.retries = retries_.load(std::memory_order_relaxed);
   c.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   // Always read through the detector: correct whether the shared LRU or the
@@ -627,6 +636,7 @@ std::string VerifierService::counters_table() const {
   table.add_row({"timed out", std::to_string(c.timed_out)});
   table.add_row({"errors", std::to_string(c.errors)});
   table.add_row({"micro-batches", std::to_string(c.batches)});
+  table.add_row({"motion quant batches", std::to_string(c.motion_quant_batches)});
   table.add_row({"retries", std::to_string(c.retries)});
   table.add_row({"breaker opens", std::to_string(c.breaker_opens)});
   table.add_row({"rpd cache hits", std::to_string(c.cache.hits)});

@@ -53,6 +53,7 @@
 #include "common/durable/artifact_store.hpp"
 #include "common/expected.hpp"
 #include "nn/classifier.hpp"
+#include "nn/quant_classifier.hpp"
 #include "serve/rpd_lru_cache.hpp"
 #include "traj/features.hpp"
 #include "wifi/detector.hpp"
@@ -158,7 +159,39 @@ struct FallbackPolicy {
 struct MotionPolicy {
   std::shared_ptr<const nn::LstmClassifier> model;
   std::shared_ptr<const FeatureEncoder> encoder;
+  /// Quantized serving lane (nn/quant_classifier): installed only when the
+  /// verdict-agreement gate passed against `model` on a calibration set.  The
+  /// fp64 model stays resident as the oracle and the per-model fallback —
+  /// quant==nullptr (never armed, or gate failed) serves fp64 unchanged.
+  std::shared_ptr<const nn::QuantizedLstm> quant;
+  /// Gate evidence for the installed quant model (pass, max logit delta,
+  /// verdict checksum); meaningful only when quant != nullptr.
+  nn::QuantGateReport quant_gate;
   bool armed() const { return model != nullptr && encoder != nullptr; }
+  bool quant_armed() const { return armed() && quant != nullptr && quant_gate.pass; }
+
+  /// Quantize `model`, gate it against the fp64 oracle on `calibration`, and
+  /// install the quantized lane only if the gate passes (zero verdict
+  /// disagreements and max |logit delta| <= bound).  On gate failure the
+  /// policy is left untouched — serving falls back to fp64 — and the failing
+  /// report is returned so callers can log why.
+  nn::QuantGateReport arm_quantized(const std::vector<FeatureSequence>& calibration,
+                                    nn::QuantMode mode = nn::QuantMode::kInt8,
+                                    double logit_delta_bound = 0.05,
+                                    double threshold = 0.5) {
+    nn::QuantGateReport report;
+    // No model or no calibration data: nothing to gate against — report a
+    // (default) failing gate instead of letting quantize() throw.
+    if (!model || calibration.empty()) return report;
+    auto q = std::make_shared<nn::QuantizedLstm>(
+        nn::QuantizedLstm::quantize(*model, calibration, mode));
+    report = nn::quant_gate_check(*model, *q, calibration, logit_delta_bound, threshold);
+    if (report.pass) {
+      quant = std::move(q);
+      quant_gate = report;
+    }
+    return report;
+  }
 };
 
 struct VerifierServiceConfig {
@@ -184,6 +217,7 @@ struct ServiceCounters {
   std::uint64_t timed_out = 0;
   std::uint64_t errors = 0;
   std::uint64_t batches = 0;
+  std::uint64_t motion_quant_batches = 0;  ///< micro-batches served by the int8/int16 lane
   std::uint64_t retries = 0;        ///< re-evaluations after transient faults
   std::uint64_t breaker_opens = 0;  ///< times the circuit breaker tripped
   wifi::RpdStatsCache::CacheStats cache;
@@ -385,6 +419,8 @@ class VerifierService {
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
+  // Incremented from annotate_motion (const path) — hence mutable.
+  mutable std::atomic<std::uint64_t> motion_quant_batches_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> breaker_opens_{0};
   std::atomic<std::uint64_t> consecutive_failures_{0};

@@ -192,6 +192,11 @@ Expected<std::uint64_t, std::string> ShardService::ship_epoch_marker(
   return ship_control(wifi::CrowdStore::encode_epoch_marker(epoch));
 }
 
+Expected<std::uint64_t, std::string> ShardService::ship_motion_marker(
+    std::uint64_t epoch) {
+  return ship_control(wifi::CrowdStore::encode_motion_epoch_marker(epoch));
+}
+
 Expected<std::uint64_t, std::string> ShardService::ship_control(
     const std::string& payload) {
   using Result = Expected<std::uint64_t, std::string>;

@@ -208,6 +208,12 @@ class ShardService {
   /// the epoch's artifact.
   Expected<std::uint64_t, std::string> ship_epoch_marker(std::uint64_t epoch);
 
+  /// Journal + ship a motion-model epoch marker ("#motion_epoch N"): the
+  /// quantized motion classifier was published under ArtifactStore epoch N.
+  /// Followers observe it through the same WAL shipping as point frames and
+  /// load the artifact from their own store at that epoch.
+  Expected<std::uint64_t, std::string> ship_motion_marker(std::uint64_t epoch);
+
   /// Journal + ship any '#' control frame (epoch markers, "#quarantine U",
   /// "#clear U" review actions) with the same leader-durable-then-followers
   /// discipline and fault points as point frames, so quarantine state stays

@@ -17,12 +17,14 @@ constexpr const char* kSnapshotTag = "crowd_snapshot";
 // v2 appends the incremental cell statistics as a trailing record and the
 // observed model epoch to the meta record; v3 prefixes every point record
 // with its uploader id and appends the provenance grid and the reputation
-// book as two more trailing records.  v1/v2 snapshots still open (their
-// points recover under the anonymous uploader).
-constexpr std::uint32_t kSnapshotVersion = 3;
+// book as two more trailing records; v4 appends the observed motion-model
+// epoch to the meta record.  v1-v3 snapshots still open (their points
+// recover under the anonymous uploader, motion epoch recovers as 0).
+constexpr std::uint32_t kSnapshotVersion = 4;
 constexpr const char* kJournalTag = "crowd_journal";
 constexpr std::size_t kMaxSnapshotPoints = 5'000'000;
 constexpr const char* kEpochMarkerPrefix = "#epoch ";
+constexpr const char* kMotionEpochMarkerPrefix = "#motion_epoch ";
 constexpr const char* kQuarantineMarkerPrefix = "#quarantine ";
 constexpr const char* kClearMarkerPrefix = "#clear ";
 
@@ -111,6 +113,10 @@ std::string CrowdStore::encode_epoch_marker(std::uint64_t epoch) {
   return kEpochMarkerPrefix + std::to_string(epoch);
 }
 
+std::string CrowdStore::encode_motion_epoch_marker(std::uint64_t epoch) {
+  return kMotionEpochMarkerPrefix + std::to_string(epoch);
+}
+
 std::string CrowdStore::encode_quarantine_marker(UploaderId uploader) {
   return kQuarantineMarkerPrefix + std::to_string(uploader);
 }
@@ -125,6 +131,10 @@ Expected<CrowdStore::ControlFrame, std::string> CrowdStore::parse_control(
   ControlFrame frame;
   if (parse_marker_value(payload, kEpochMarkerPrefix, &frame.value)) {
     frame.kind = ControlFrame::Kind::kEpoch;
+    return Result(frame);
+  }
+  if (parse_marker_value(payload, kMotionEpochMarkerPrefix, &frame.value)) {
+    frame.kind = ControlFrame::Kind::kMotionEpoch;
     return Result(frame);
   }
   if (parse_marker_value(payload, kQuarantineMarkerPrefix, &frame.value)) {
@@ -188,6 +198,7 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
     // then one trailing cell-statistics record.
     // v3 layout: the v2 meta, then "<uploader> <point>" records, then three
     // trailing records — cell statistics, provenance grid, reputation book.
+    // v4 layout: v3 with "observed_motion_epoch" appended to the meta record.
     const std::size_t overhead = version >= 3 ? 4 : version >= 2 ? 2 : 1;
     std::istringstream meta(records[0]);
     std::size_t point_count = 0;
@@ -198,6 +209,9 @@ Expected<std::unique_ptr<CrowdStore>, std::string> CrowdStore::open(
     }
     if (version >= 2 && !(meta >> store->observed_epoch_)) {
       return Result::failure("crowd store: v2 snapshot meta missing epoch");
+    }
+    if (version >= 4 && !(meta >> store->observed_motion_epoch_)) {
+      return Result::failure("crowd store: v4 snapshot meta missing motion epoch");
     }
     store->points_.reserve(point_count);
     store->uploaders_.reserve(point_count);
@@ -323,6 +337,9 @@ void CrowdStore::apply_control(const ControlFrame& frame) {
     case ControlFrame::Kind::kEpoch:
       if (frame.value > observed_epoch_) observed_epoch_ = frame.value;
       break;
+    case ControlFrame::Kind::kMotionEpoch:
+      if (frame.value > observed_motion_epoch_) observed_motion_epoch_ = frame.value;
+      break;
     case ControlFrame::Kind::kQuarantine:
       reputation_.quarantine(frame.value);
       break;
@@ -370,6 +387,11 @@ Expected<std::uint64_t, std::string> CrowdStore::append_control(
 Expected<std::uint64_t, std::string> CrowdStore::append_epoch_marker(
     std::uint64_t epoch) {
   return append_control(encode_epoch_marker(epoch));
+}
+
+Expected<std::uint64_t, std::string> CrowdStore::append_motion_epoch_marker(
+    std::uint64_t epoch) {
+  return append_control(encode_motion_epoch_marker(epoch));
 }
 
 Expected<std::uint64_t, std::string> CrowdStore::append_quarantine_marker(
@@ -446,7 +468,8 @@ Expected<bool, std::string> CrowdStore::compact() {
   // find them intact.
   durable::DurableWriter writer(kSnapshotTag, kSnapshotVersion);
   writer.add_record(std::to_string(next_seq) + ' ' + std::to_string(points_.size()) +
-                    ' ' + std::to_string(observed_epoch_));
+                    ' ' + std::to_string(observed_epoch_) + ' ' +
+                    std::to_string(observed_motion_epoch_));
   for (std::size_t i = 0; i < points_.size(); ++i) {
     writer.add_record(std::to_string(uploaders_[i]) + ' ' + encode_point(points_[i]));
   }

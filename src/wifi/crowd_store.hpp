@@ -76,7 +76,7 @@ class CrowdStore {
   /// forced an uploader out), "#clear U" (review reinstated it) — so
   /// recovery and follower frame shipping replay operator actions exactly.
   struct ControlFrame {
-    enum class Kind { kEpoch, kQuarantine, kClear };
+    enum class Kind { kEpoch, kMotionEpoch, kQuarantine, kClear };
     Kind kind = Kind::kEpoch;
     std::uint64_t value = 0;  ///< epoch number or uploader id
   };
@@ -118,6 +118,13 @@ class CrowdStore {
   /// highest epoch the store had observed.  Monotone: a marker never lowers
   /// observed_epoch().  Returns the journal seq of the marker frame.
   Expected<std::uint64_t, std::string> append_epoch_marker(std::uint64_t epoch);
+
+  /// Journal a motion-model epoch marker ("#motion_epoch N"): the quantized
+  /// motion classifier published under ArtifactStore epoch N.  Same contract
+  /// as append_epoch_marker — rides the WAL, ships to followers verbatim,
+  /// monotone, survives recovery and compaction — but tracks the motion
+  /// sidecar's artifact lineage independently of the RSSI detector's.
+  Expected<std::uint64_t, std::string> append_motion_epoch_marker(std::uint64_t epoch);
 
   /// Review actions, journaled as control frames then applied: force an
   /// uploader into quarantine / clear it back to a fresh record.
@@ -177,6 +184,11 @@ class CrowdStore {
   /// recovered (0 = none yet).
   std::uint64_t observed_epoch() const { return observed_epoch_; }
 
+  /// Highest motion-model epoch marker journaled, observed or recovered
+  /// (0 = none yet) — the epoch followers load the quantized motion
+  /// classifier from after adopting shipped frames.
+  std::uint64_t observed_motion_epoch() const { return observed_motion_epoch_; }
+
   /// Debug flag: when set, compact() recomputes the cell statistics and the
   /// provenance grid from scratch and fails (Expected) unless the
   /// incremental state is bitwise identical — the cheap-reuse path stays
@@ -208,6 +220,7 @@ class CrowdStore {
   /// parses the epoch into `epoch` when non-null (kept for the shipping
   /// layer's fast path).
   static std::string encode_epoch_marker(std::uint64_t epoch);
+  static std::string encode_motion_epoch_marker(std::uint64_t epoch);
   static std::string encode_quarantine_marker(UploaderId uploader);
   static std::string encode_clear_marker(UploaderId uploader);
   static Expected<ControlFrame, std::string> parse_control(const std::string& payload);
@@ -234,6 +247,7 @@ class CrowdStore {
   RobustAggregationParams agg_params_;
   UploaderRateLimiter rate_limiter_;
   std::uint64_t observed_epoch_ = 0;
+  std::uint64_t observed_motion_epoch_ = 0;
   bool verify_cell_stats_ = false;
   std::size_t snapshot_count_ = 0;  ///< prefix of points_ covered by the snapshot
   std::size_t journaled_ = 0;

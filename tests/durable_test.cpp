@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "gbt/booster.hpp"
 #include "nn/classifier.hpp"
+#include "nn/quant_classifier.hpp"
 #include "support/crash.hpp"
 #include "support/fixtures.hpp"
 #include "traj/io.hpp"
@@ -722,6 +723,39 @@ TEST(CorruptionFuzz, LstmModelFileRejectsEveryMutation) {
                     return nn::LstmClassifier::try_load_file(path).has_value();
                   },
                   0xF17A, 48);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzz, QuantLstmFileRejectsEveryMutation) {
+  // The quantized serving image ("quant_lstm" container): packed int8
+  // weights, per-gate scales, activation scales.  Any flipped or missing
+  // byte must fail the load — a silently-perturbed quant model would serve
+  // wrong verdicts while claiming to have passed its gate.
+  nn::LstmClassifierConfig cfg;
+  cfg.hidden_dim = 5;
+  const nn::LstmClassifier model(cfg, 2);
+  Rng rng(91);
+  std::vector<FeatureSequence> calibration;
+  for (int i = 0; i < 4; ++i) {
+    FeatureSequence x;
+    x.dim = 2;
+    x.steps = 6;
+    for (std::size_t k = 0; k < x.steps * x.dim; ++k) {
+      x.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    calibration.push_back(std::move(x));
+  }
+  const auto quant =
+      nn::QuantizedLstm::quantize(model, calibration, nn::QuantMode::kInt8);
+  const std::string path = "durable_test_fuzz_quant.tmp";
+  quant.save_file(path);
+  const std::string intact = slurp(path);
+  fuzz_reject_all("quant lstm", intact,
+                  [&](const std::string& bytes) {
+                    write_raw(path, bytes);
+                    return nn::QuantizedLstm::try_load_file(path).has_value();
+                  },
+                  0x9A47, 48);
   std::remove(path.c_str());
 }
 

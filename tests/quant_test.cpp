@@ -1,0 +1,561 @@
+// Quantized verification hot path: kernel contracts, calibration
+// determinism, the QuantGate decision contract, artifact round-trips and the
+// serving integration.
+//
+// The quant lane is explicitly NOT bit-identical to the fp64 oracle, so this
+// file tests a different contract than kernels_test.cpp: the *integer* side
+// (rounding, packing, GEMM accumulation) is asserted exactly against scalar
+// references, while the end-to-end lane is asserted through the QuantGate —
+// zero thresholded-verdict disagreements and a bounded logit delta against
+// the fp64 model that stays resident as the oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/durable/artifact_store.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "nn/classifier.hpp"
+#include "nn/kernels/align.hpp"
+#include "nn/kernels/quant.hpp"
+#include "nn/matrix.hpp"
+#include "nn/quant_classifier.hpp"
+#include "serve/service.hpp"
+#include "serve/shard_service.hpp"
+#include "support/fixtures.hpp"
+#include "traj/features.hpp"
+#include "wifi/crowd_store.hpp"
+
+namespace trajkit {
+namespace {
+
+namespace ts = test_support;
+namespace qk = nn::kernels;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: a deterministically-trained trend classifier (the nn_test
+// toy task) plus calibration / held-out golden trajectory sets.
+
+FeatureSequence make_seq(const std::vector<double>& values, std::size_t dim) {
+  FeatureSequence f;
+  f.dim = dim;
+  f.steps = values.size() / dim;
+  f.values = values;
+  return f;
+}
+
+/// Class 1 trends upward, class 0 downward — separable in a few epochs so
+/// gate agreement on held-out samples is meaningful, not vacuous.
+void make_trend_dataset(Rng& rng, std::size_t count, std::size_t steps,
+                        std::vector<FeatureSequence>& xs, std::vector<int>& ys) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double slope = label ? 0.1 : -0.1;
+    std::vector<double> v;
+    double level = rng.uniform(-0.3, 0.3);
+    for (std::size_t t = 0; t < steps; ++t) {
+      level += slope + rng.normal(0.0, 0.03);
+      v.push_back(level);
+      v.push_back(rng.normal(0.0, 0.1));
+    }
+    xs.push_back(make_seq(v, 2));
+    ys.push_back(label);
+  }
+}
+
+nn::LstmClassifier trained_trend_model() {
+  Rng rng(6);
+  std::vector<FeatureSequence> xs;
+  std::vector<int> ys;
+  make_trend_dataset(rng, 120, 12, xs, ys);
+  nn::LstmClassifierConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden_dim = 8;
+  cfg.learning_rate = 5e-3;
+  nn::LstmClassifier model(cfg, 1);
+  model.train(xs, ys, 25);
+  return model;
+}
+
+std::vector<FeatureSequence> calibration_set(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<FeatureSequence> xs;
+  std::vector<int> ys;
+  make_trend_dataset(rng, n, 12, xs, ys);
+  return xs;
+}
+
+std::string serialized(const nn::QuantizedLstm& q) {
+  std::ostringstream os;
+  q.save(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel contracts.
+
+TEST(QuantKernels, RoundingContractScalarVsVector) {
+  Rng rng(31);
+  // Random values plus exact halfway points: half-away rounding is where a
+  // vector/scalar divergence would hide.
+  std::vector<double> xs;
+  for (int i = 0; i < 700; ++i) xs.push_back(rng.uniform(-200.0, 200.0));
+  for (int i = -130; i <= 130; ++i) xs.push_back(i + 0.5);
+  for (int i = -130; i <= 130; ++i) xs.push_back(i - 0.5);
+  const double inv_scale = 1.0;
+
+  std::vector<std::int8_t, qk::AlignedAllocator<std::int8_t>> out(xs.size());
+  qk::quantize_i8(xs.data(), xs.size(), inv_scale,
+                  reinterpret_cast<qk::qi8*>(out.data()));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::int32_t want = qk::quantize_value(xs[i], inv_scale, qk::kActQmax);
+    ASSERT_EQ(static_cast<std::int32_t>(out[i]), want)
+        << "element " << i << " value " << xs[i];
+  }
+}
+
+TEST(QuantKernels, ActivationImageMatchesScalarTranspose) {
+  // The GEMM reads lane-major activation images; check both encodings
+  // (offset-binary uint8 and signed int16) against quantize_value applied
+  // through the transpose, including a non-multiple-of-8 depth and the
+  // padded tail.
+  Rng rng(59);
+  for (std::size_t depth : {3u, 8u, 11u, 24u}) {
+    const std::size_t depth_pad = qk::quant_depth_pad(depth);
+    std::vector<double, qk::AlignedAllocator<double>> block(depth * 8);
+    for (auto& v : block) v = rng.uniform(-40.0, 40.0);
+    const double inv_scale = 1.0 / 0.3;
+
+    std::vector<std::uint8_t, qk::AlignedAllocator<std::uint8_t>> u8(
+        8 * depth_pad);
+    std::vector<std::int16_t, qk::AlignedAllocator<std::int16_t>> i16(
+        8 * depth_pad);
+    qk::quantize_act_u8(block.data(), depth, depth_pad, inv_scale,
+                        reinterpret_cast<qk::qu8*>(u8.data()));
+    qk::quantize_act_i16(block.data(), depth, depth_pad, inv_scale,
+                         reinterpret_cast<qk::qi16*>(i16.data()));
+    for (std::size_t l = 0; l < 8; ++l) {
+      for (std::size_t k = 0; k < depth_pad; ++k) {
+        const std::int32_t q =
+            k < depth
+                ? qk::quantize_value(block[k * 8 + l], inv_scale, qk::kActQmax)
+                : 0;
+        ASSERT_EQ(static_cast<std::int32_t>(u8[l * depth_pad + k]), q + 128)
+            << "depth " << depth << " lane " << l << " k " << k;
+        ASSERT_EQ(static_cast<std::int32_t>(i16[l * depth_pad + k]), q)
+            << "depth " << depth << " lane " << l << " k " << k;
+      }
+    }
+  }
+}
+
+// Shapes exercise both padding axes of the VNNI pack: rows pad to
+// kQuantGroup = 16 and depth to whole dwords.  The scalar triple loop over
+// raw int8 lane values is the ground truth the packed GEMM (VNNI or the
+// portable fallback — integer sums are exact either way) must reproduce.
+template <typename WT>
+void check_gemm_against_scalar(qk::QuantMode mode, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t shapes[][2] = {{1, 3}, {7, 5}, {8, 8}, {13, 9},
+                                   {16, 16}, {32, 20}, {33, 21}};
+  for (const auto& shape : shapes) {
+    const std::size_t rows = shape[0], depth = shape[1];
+    const std::size_t depth_pad = qk::quant_depth_pad(depth);
+    nn::Matrix w(rows, depth);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = rng.uniform(-2.0, 2.0);
+    }
+    std::vector<double> inv_scale(rows);
+    for (auto& s : inv_scale) s = 1.0 / rng.uniform(0.01, 0.2);
+
+    std::vector<WT, qk::AlignedAllocator<WT>> pack(
+        qk::quant_packed_elems(rows, depth));
+    std::vector<std::int64_t> row_sums(rows, 0);
+    if (mode == qk::QuantMode::kInt8) {
+      qk::pack_quant_rows_i8(w, 0, depth, inv_scale.data(),
+                             reinterpret_cast<qk::qi8*>(pack.data()));
+      qk::quant_row_sums_i8(reinterpret_cast<const qk::qi8*>(pack.data()),
+                            rows, depth, row_sums.data());
+    } else {
+      qk::pack_quant_rows_i16(w, 0, depth, inv_scale.data(),
+                              reinterpret_cast<qk::qi16*>(pack.data()));
+    }
+
+    // Raw int8 activation lanes, then the mode's GEMM image: offset-binary
+    // uint8 for int8 weights, signed int16 for int16 weights.  Pad entries
+    // are q == 0 (the padded weight coefficients are zero anyway).
+    std::vector<std::int8_t> x(depth * 8);
+    for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    std::vector<std::uint8_t, qk::AlignedAllocator<std::uint8_t>> xu(
+        8 * depth_pad, 128);
+    std::vector<std::int16_t, qk::AlignedAllocator<std::int16_t>> x16(
+        8 * depth_pad, 0);
+    for (std::size_t k = 0; k < depth; ++k) {
+      for (std::size_t l = 0; l < 8; ++l) {
+        xu[l * depth_pad + k] =
+            static_cast<std::uint8_t>(static_cast<int>(x[k * 8 + l]) + 128);
+        x16[l * depth_pad + k] = x[k * 8 + l];
+      }
+    }
+
+    std::vector<std::int64_t, qk::AlignedAllocator<std::int64_t>> acc(rows * 8);
+    if (mode == qk::QuantMode::kInt8) {
+      qk::gemm_q8x8(reinterpret_cast<const qk::qi8*>(pack.data()),
+                    row_sums.data(), rows, depth_pad,
+                    reinterpret_cast<const qk::qu8*>(xu.data()), acc.data());
+    } else {
+      qk::gemm_q16x8(reinterpret_cast<const qk::qi16*>(pack.data()), rows,
+                     depth_pad,
+                     reinterpret_cast<const qk::qi16*>(x16.data()),
+                     acc.data());
+    }
+
+    const std::int32_t qmax = qk::quant_qmax(mode);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t l = 0; l < 8; ++l) {
+        std::int64_t want = 0;
+        for (std::size_t k = 0; k < depth; ++k) {
+          const std::int64_t qw = qk::quantize_value(w(r, k), inv_scale[r], qmax);
+          want += qw * static_cast<std::int64_t>(x[k * 8 + l]);
+        }
+        ASSERT_EQ(acc[r * 8 + l], want)
+            << rows << "x" << depth << " row " << r << " lane " << l;
+      }
+    }
+  }
+}
+
+TEST(QuantKernels, GemmInt8MatchesScalarReference) {
+  check_gemm_against_scalar<std::int8_t>(qk::QuantMode::kInt8, 41);
+}
+
+TEST(QuantKernels, GemmInt16MatchesScalarReference) {
+  check_gemm_against_scalar<std::int16_t>(qk::QuantMode::kInt16, 43);
+}
+
+TEST(QuantKernels, FastActivationsTrackLibm) {
+  // The fast lane budgets ~5e-9 relative error; assert an order of magnitude
+  // of headroom under the int8 rounding error the gate absorbs (~1e-2).
+  for (double x = -30.0; x <= 30.0; x += 0.0137) {
+    EXPECT_NEAR(qk::fast_sigmoid(x), 1.0 / (1.0 + std::exp(-x)), 1e-7) << x;
+    EXPECT_NEAR(qk::fast_tanh(x), std::tanh(x), 1e-7) << x;
+  }
+  for (double x = -80.0; x <= 80.0; x += 0.417) {
+    const double want = std::exp(x);
+    EXPECT_NEAR(qk::fast_exp(x), want, 1e-7 * want) << x;
+  }
+  // Saturation: the ±708 exp clamp pins the tails to the limits (the
+  // negative sigmoid tail bottoms out at e^-708 ~ 3e-308, not exactly 0).
+  EXPECT_EQ(qk::fast_sigmoid(1000.0), 1.0);
+  EXPECT_LT(qk::fast_sigmoid(-1000.0), 1e-300);
+  EXPECT_EQ(qk::fast_tanh(1000.0), 1.0);
+  EXPECT_EQ(qk::fast_tanh(-1000.0), -1.0);
+}
+
+TEST(QuantKernels, PackRejectsMisalignedOutput) {
+  nn::Matrix w(8, 4, 0.5);
+  const double inv_scale[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<std::int8_t, qk::AlignedAllocator<std::int8_t>> buf(
+      qk::quant_packed_elems(8, 4) + 64);
+  // Aligned output: fine.
+  EXPECT_NO_THROW(qk::pack_quant_rows_i8(w, 0, 4, inv_scale,
+                                         reinterpret_cast<qk::qi8*>(buf.data())));
+  // Shift by one byte: the quant pack must fail loudly, not degrade.
+  EXPECT_THROW(qk::pack_quant_rows_i8(w, 0, 4, inv_scale,
+                                      reinterpret_cast<qk::qi8*>(buf.data() + 1)),
+               std::invalid_argument);
+  // Out-of-range column slice is rejected before any write.
+  EXPECT_THROW(qk::pack_quant_rows_i8(w, 0, 5, inv_scale,
+                                      reinterpret_cast<qk::qi8*>(buf.data())),
+               std::invalid_argument);
+}
+
+TEST(QuantKernels, RequireAligned64DetectsMisalignment) {
+  alignas(64) double block[16];
+  EXPECT_NO_THROW(qk::require_aligned64(block, "block"));
+  EXPECT_THROW(qk::require_aligned64(
+                   reinterpret_cast<const char*>(block) + 8, "shifted"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration determinism and the QuantGate.
+
+TEST(QuantizedLstm, CalibrationDeterministicAcrossThreads) {
+  const auto model = trained_trend_model();
+  const auto calibration = calibration_set(77, 24);
+
+  set_global_threads(1);
+  const auto q1 = nn::QuantizedLstm::quantize(model, calibration,
+                                              nn::QuantMode::kInt8);
+  set_global_threads(4);
+  const auto q4 = nn::QuantizedLstm::quantize(model, calibration,
+                                              nn::QuantMode::kInt8);
+  set_global_threads(0);
+
+  // Byte-identical artifacts, not merely equivalent predictions: the scales
+  // come from order-free max-abs reductions, so thread count cannot move
+  // a single bit of the serialized image.
+  EXPECT_EQ(serialized(q1), serialized(q4));
+}
+
+TEST(QuantizedLstm, GatePassesOnHeldOutTrajectories) {
+  const auto model = trained_trend_model();
+  const auto calibration = calibration_set(77, 24);
+  const auto held_out = calibration_set(991, 40);
+
+  // Held-out sequences come from a different stream than calibration, so
+  // the logit budget gets headroom over the calibration-set bound.
+  for (const auto mode : {nn::QuantMode::kInt8, nn::QuantMode::kInt16}) {
+    const auto q = nn::QuantizedLstm::quantize(model, calibration, mode);
+    const auto report = nn::quant_gate_check(model, q, held_out, 0.1);
+    EXPECT_TRUE(report.pass) << "mode " << static_cast<int>(mode)
+                             << ": max delta " << report.max_abs_logit_delta
+                             << ", disagreements " << report.disagreements;
+    EXPECT_EQ(report.checked, held_out.size());
+    EXPECT_EQ(report.disagreements, 0u);
+    EXPECT_LE(report.max_abs_logit_delta, 0.1);
+    // The decision contract, spelled out: same verdict on every sample.
+    for (const auto& x : held_out) {
+      EXPECT_EQ(q.predict(x), model.predict(x));
+    }
+  }
+}
+
+TEST(QuantizedLstm, GateNeverPassesOnEmptyCalibration) {
+  const auto model = trained_trend_model();
+  const auto q = nn::QuantizedLstm::quantize(model, calibration_set(77, 8),
+                                             nn::QuantMode::kInt16);
+  const auto report = nn::quant_gate_check(model, q, {}, 0.05);
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.checked, 0u);
+}
+
+TEST(QuantizedLstm, BatchMatchesSingleBitwise) {
+  // Grouping into kLanes panels must not change any sequence's logit: the
+  // serving dispatcher mixes trajectories from different requests into one
+  // panel, and batch composition must stay out of the payload.
+  const auto model = trained_trend_model();
+  const auto q = nn::QuantizedLstm::quantize(model, calibration_set(77, 8),
+                                             nn::QuantMode::kInt8);
+  const auto xs = calibration_set(555, 13);  // deliberately not a lane multiple
+  const auto batch = q.predict_proba_batch(xs);
+  ASSERT_EQ(batch.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batch[i], q.predict_proba(xs[i])) << "sequence " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: stream round-trip, ArtifactStore epochs, follower adoption.
+
+TEST(QuantizedLstm, StreamRoundTripIsBitIdentical) {
+  const auto model = trained_trend_model();
+  const auto calibration = calibration_set(77, 16);
+  for (const auto mode : {nn::QuantMode::kInt8, nn::QuantMode::kInt16}) {
+    const auto q = nn::QuantizedLstm::quantize(model, calibration, mode);
+    std::stringstream ss;
+    q.save(ss);
+    const auto loaded = nn::QuantizedLstm::try_load(ss);
+    ASSERT_TRUE(loaded.has_value()) << loaded.error();
+    for (const auto& x : calibration) {
+      EXPECT_EQ(loaded.value().predict_logit(x), q.predict_logit(x));
+    }
+    EXPECT_EQ(serialized(loaded.value()), serialized(q));
+  }
+}
+
+TEST(QuantizedLstm, TryLoadRejectsGarbage) {
+  std::istringstream ss("not a quant model");
+  const auto r = nn::QuantizedLstm::try_load(ss);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(QuantizedLstm, ArtifactStoreEpochRoundTrip) {
+  const std::string dir = "quant_artifact_store";
+  const auto model = trained_trend_model();
+  const auto calibration = calibration_set(77, 16);
+  const auto q = nn::QuantizedLstm::quantize(model, calibration,
+                                             nn::QuantMode::kInt8);
+
+  auto store = durable::ArtifactStore::open_dir(dir);
+  ASSERT_TRUE(store.has_value()) << store.error();
+  const auto epoch = store.value()->publish("motion_quant", q);
+  ASSERT_TRUE(epoch.has_value()) << epoch.error();
+  EXPECT_EQ(store.value()->current_epoch("motion_quant"), epoch.value());
+
+  // A second publish bumps the epoch; the first stays readable (in-flight
+  // work may still be pinned to it).
+  const auto epoch2 = store.value()->publish("motion_quant", q);
+  ASSERT_TRUE(epoch2.has_value()) << epoch2.error();
+  EXPECT_GT(epoch2.value(), epoch.value());
+
+  // Reopen cold (follower adoption shape: a fresh process resolving the
+  // durable CURRENT pointer) and compare the serving image byte for byte.
+  auto reopened = durable::ArtifactStore::open_dir(dir);
+  ASSERT_TRUE(reopened.has_value()) << reopened.error();
+  const auto adopted =
+      reopened.value()->open<nn::QuantizedLstm>("motion_quant", epoch.value());
+  ASSERT_TRUE(adopted.has_value()) << adopted.error();
+  EXPECT_EQ(serialized(adopted.value()), serialized(q));
+  const auto current = reopened.value()->open<nn::QuantizedLstm>("motion_quant");
+  ASSERT_TRUE(current.has_value()) << current.error();
+  for (const auto& x : calibration) {
+    EXPECT_EQ(current.value().predict_logit(x), q.predict_logit(x));
+  }
+
+  for (const std::uint64_t e : {epoch.value(), epoch2.value()}) {
+    std::remove(store.value()->artifact_path("motion_quant", e).c_str());
+  }
+  std::remove(durable::ArtifactStore::current_path(dir).c_str());
+  ::rmdir(dir.c_str());
+}
+
+void remove_crowd_store(const std::string& dir) {
+  for (const char* name : {"/crowd.snapshot", "/crowd.snapshot.tmp",
+                           "/crowd.journal", "/crowd.journal.tmp"}) {
+    std::remove((dir + name).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+TEST(QuantizedLstm, MotionEpochMarkerSurvivesRecoveryAndCompaction) {
+  const std::string dir = "quant_motion_epoch_store";
+  remove_crowd_store(dir);
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 0u);
+    ASSERT_TRUE(store.value()->append_motion_epoch_marker(3).has_value());
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 3u);
+    // Monotone: a stale marker never lowers the observed epoch.
+    ASSERT_TRUE(store.value()->append_motion_epoch_marker(2).has_value());
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 3u);
+    // Independent of the RSSI detector's model epoch.
+    ASSERT_TRUE(store.value()->append_epoch_marker(9).has_value());
+    EXPECT_EQ(store.value()->observed_epoch(), 9u);
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 3u);
+  }
+  {
+    // Journal replay restores it.
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 3u);
+    // Compaction folds it into the v4 snapshot meta.
+    ASSERT_TRUE(store.value()->compact().has_value());
+  }
+  {
+    auto store = wifi::CrowdStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    EXPECT_EQ(store.value()->observed_motion_epoch(), 3u);
+    EXPECT_EQ(store.value()->observed_epoch(), 9u);
+  }
+  remove_crowd_store(dir);
+}
+
+TEST(QuantizedLstm, MotionEpochMarkerShipsToFollower) {
+  const std::string leader_dir = "quant_ship_leader";
+  const std::string follower_dir = "quant_ship_follower";
+  remove_crowd_store(leader_dir);
+  remove_crowd_store(follower_dir);
+
+  auto leader = serve::ShardService::open_leader(0, leader_dir);
+  ASSERT_TRUE(leader.has_value()) << leader.error();
+  auto follower = serve::ShardReplica::open(follower_dir);
+  ASSERT_TRUE(follower.has_value()) << follower.error();
+  leader.value()->attach_follower(follower.value().get());
+
+  const auto seq = leader.value()->ship_motion_marker(5);
+  ASSERT_TRUE(seq.has_value()) << seq.error();
+  // The ack contract: by the time shipping returns, the follower holds the
+  // marker durably and has applied it.
+  EXPECT_EQ(leader.value()->store()->observed_motion_epoch(), 5u);
+  EXPECT_EQ(follower.value()->store().observed_motion_epoch(), 5u);
+
+  remove_crowd_store(leader_dir);
+  remove_crowd_store(follower_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Serving integration: the gated quant lane behind MotionPolicy.
+
+TEST(ServeQuant, ArmQuantizedInstallsOnlyOnGatePass) {
+  serve::MotionPolicy policy;
+  // Unarmed policy: arming is a no-op that reports failure.
+  EXPECT_FALSE(policy.arm_quantized({}).pass);
+  EXPECT_FALSE(policy.quant_armed());
+
+  policy.model = std::make_shared<nn::LstmClassifier>(trained_trend_model());
+  policy.encoder = std::make_shared<DistAngleEncoder>();
+  // Empty calibration can never pass the gate; fp64 keeps serving.
+  EXPECT_FALSE(policy.arm_quantized({}).pass);
+  EXPECT_FALSE(policy.quant_armed());
+  EXPECT_EQ(policy.quant, nullptr);
+
+  // The bound is per-deployment tuning: this toy model's int8 logit deltas
+  // sit near 0.11, so arm with an explicit budget above them.
+  const auto report = policy.arm_quantized(calibration_set(77, 24),
+                                           nn::QuantMode::kInt8, 0.15);
+  EXPECT_TRUE(report.pass) << "max delta " << report.max_abs_logit_delta;
+  EXPECT_TRUE(policy.quant_armed());
+  ASSERT_NE(policy.quant, nullptr);
+  EXPECT_EQ(policy.quant_gate.verdict_checksum, report.verdict_checksum);
+}
+
+TEST(ServeQuant, QuantLaneServesMotionVerdictsInService) {
+  ts::LinearFieldWorld w;
+  const auto probes = w.probe_mix(6);
+
+  serve::VerifierServiceConfig cfg;
+  cfg.auto_start = false;
+  cfg.motion.model = std::make_shared<nn::LstmClassifier>(trained_trend_model());
+  cfg.motion.encoder = std::make_shared<DistAngleEncoder>();
+  // Calibrate on the encoder's view of this world's uploads — the
+  // distribution the lane will actually serve.
+  std::vector<FeatureSequence> calibration;
+  for (const auto& u : w.probe_mix(16)) {
+    calibration.push_back(cfg.motion.encoder->encode(u.positions));
+  }
+  const auto report = cfg.motion.arm_quantized(calibration);
+  ASSERT_TRUE(report.pass) << "max delta " << report.max_abs_logit_delta;
+
+  // fp64 twin of the same service for the decision-contract comparison.
+  serve::VerifierServiceConfig fp_cfg;
+  fp_cfg.auto_start = false;
+  fp_cfg.motion.model = cfg.motion.model;
+  fp_cfg.motion.encoder = cfg.motion.encoder;
+
+  serve::VerifierService quant_service(w.detector(), cfg);
+  serve::VerifierService fp_service(w.detector(), fp_cfg);
+  std::vector<serve::VerificationRequest> requests;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    requests.push_back({i, probes[i], 0});
+  }
+  const auto qr = quant_service.verify_batch(requests);
+  const auto fr = fp_service.verify_batch(requests);
+  ASSERT_EQ(qr.size(), fr.size());
+  for (std::size_t i = 0; i < qr.size(); ++i) {
+    ASSERT_EQ(qr[i].outcome, serve::Outcome::kOk) << qr[i].error;
+    ASSERT_TRUE(qr[i].has_motion_p_real);
+    ASSERT_TRUE(fr[i].has_motion_p_real);
+    // Not bit-identical — that is the point of the gate.  The *verdict* at
+    // the serving threshold must agree, and the probability must sit within
+    // the gate's logit budget.
+    EXPECT_EQ(qr[i].motion_p_real >= 0.5, fr[i].motion_p_real >= 0.5)
+        << "request " << i;
+    EXPECT_NEAR(qr[i].motion_p_real, fr[i].motion_p_real, 0.05) << i;
+  }
+  EXPECT_EQ(quant_service.counters().motion_quant_batches, 1u);
+  EXPECT_EQ(fp_service.counters().motion_quant_batches, 0u);
+}
+
+}  // namespace
+}  // namespace trajkit

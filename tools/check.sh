@@ -40,7 +40,7 @@ run_leg() {
 # because the children are single-threaded and I/O-only.  Hotswap/Artifact
 # joins too: the RCU epoch flip races real submitter threads against
 # publish_epoch, exactly the sharing TSan is for.
-TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels|Crc32|AtomicWrite|Durable|Journal|CorruptionFuzz|TrajCsv|Validate|CrowdStore|CrashRecovery|Shard|ConsistentHash|Hotswap|Artifact|Poison'
+TSAN_FILTER='Parallel|ThreadPool|Determinism|GlobalThreads|RngSubstream|VerifierService|RpdLruCache|Chaos|Fault|Kernels|Crc32|AtomicWrite|Durable|Journal|CorruptionFuzz|TrajCsv|Validate|CrowdStore|CrashRecovery|Shard|ConsistentHash|Hotswap|Artifact|Poison|Quant'
 
 case "${LEG}" in
   tsan) run_leg tsan thread "${TSAN_FILTER}" ;;
