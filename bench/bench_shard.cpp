@@ -24,16 +24,33 @@
 // host with fewer cores than shards the legs can only measure fan-out
 // overhead — dedicated workers need real cores to run on.)  BENCH_shard.json
 // records both (written atomically, like every bench artifact).
+//
+// A second table prices the *transport* (serve/net_shard over src/net): the
+// same request pool through a 4-shard router whose segments are answered
+// in-process, over a clean SimNet loopback, over a SimNet chaos schedule
+// (drops + straggler delays + one fully partitioned shard, exercising retry,
+// hedged fan-out and local-fallback degradation), and over real Unix-domain
+// sockets.  Checksum equality with the oracle is asserted for every
+// transport leg — chaos may degrade *where* a segment is evaluated, never
+// the bits that come back.  --net_only=1 runs just this table (the
+// bench_net_smoke CTest gate).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/durable/durable_file.hpp"
 #include "core/trajkit.hpp"
+#include "net/sim.hpp"
+#include "net/uds.hpp"
+#include "serve/net_shard.hpp"
 #include "serve/shard_router.hpp"
 #include "support/fixtures.hpp"
 
@@ -73,6 +90,20 @@ struct LegResult {
   bool identical = false;
 };
 
+struct TransportLeg {
+  std::string name;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t checksum = 0;
+  std::uint64_t remote_segments = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t hedges = 0;
+  bool identical = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +116,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("requests", 96));
   const auto clients = static_cast<std::size_t>(flags.get_int("clients", 4));
   const double tile_m = flags.get_double("tile", 8.0);
+  const bool net_only = flags.get_int("net_only", 0) != 0;
 
   std::printf("== Geo-sharded serving: router legs vs single-shard oracle ==\n");
   std::printf("%d reference points over %.0fm x %.0fm, %zu requests x %zu-point "
@@ -132,6 +164,7 @@ int main(int argc, char** argv) {
   std::vector<LegResult> legs;
   bool all_identical = true;
   for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    if (net_only) break;
     serve::ShardRouterConfig rc;
     rc.shards = shards;
     rc.tile_m = tile_m;
@@ -180,24 +213,199 @@ int main(int argc, char** argv) {
     legs.push_back(leg);
   }
 
-  const double baseline_s = legs.front().seconds;
-  TextTable table({"shards", "seconds", "verdicts/s", "p50 us", "p99 us",
-                   "segments", "speedup", "identical"});
-  for (const auto& leg : legs) {
-    table.add_row({std::to_string(leg.shards), TextTable::num(leg.seconds, 3),
-                   TextTable::num(static_cast<double>(request_count) / leg.seconds, 1),
-                   TextTable::num(leg.p50_us, 1), TextTable::num(leg.p99_us, 1),
-                   std::to_string(leg.segments),
-                   TextTable::num(baseline_s / leg.seconds, 2) + "x",
-                   leg.identical ? "yes" : "NO"});
+  const double baseline_s = legs.empty() ? 0.0 : legs.front().seconds;
+  if (!net_only) {
+    TextTable table({"shards", "seconds", "verdicts/s", "p50 us", "p99 us",
+                     "segments", "speedup", "identical"});
+    for (const auto& leg : legs) {
+      table.add_row({std::to_string(leg.shards), TextTable::num(leg.seconds, 3),
+                     TextTable::num(static_cast<double>(request_count) / leg.seconds, 1),
+                     TextTable::num(leg.p50_us, 1), TextTable::num(leg.p99_us, 1),
+                     std::to_string(leg.segments),
+                     TextTable::num(baseline_s / leg.seconds, 2) + "x",
+                     leg.identical ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::printf("\noracle checksum = %016llx\n",
+                static_cast<unsigned long long>(oracle_checksum));
+    std::printf("verdicts: %s\n\n",
+                all_identical
+                    ? "OK (bitwise-identical across every shard count)"
+                    : "FAILED (sharding changed a verdict!)");
   }
-  table.print(std::cout);
-  std::printf("\noracle checksum = %016llx\n",
-              static_cast<unsigned long long>(oracle_checksum));
-  std::printf("verdicts: %s\n",
+
+  // -- Transport legs: the same pool over serve/net_shard backends -----------
+
+  const std::size_t top_k = world.detector().config().confidence.top_k;
+  const std::size_t net_shards = 4;
+
+  // Drive the pool through `router` with the configured client threads and
+  // fold per-request latencies + the order-independent verdict checksum.
+  const auto drive = [&](serve::ShardRouter& router, TransportLeg& leg) {
+    std::vector<std::uint64_t> checksums(clients, 0);
+    std::vector<std::vector<double>> lats(clients);
+    std::vector<std::thread> threads;
+    const double t0 = now_s();
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t r = c; r < pool.size(); r += clients) {
+          const double rt0 = now_s();
+          const auto response = router.verify(pool[r], r);
+          lats[c].push_back((now_s() - rt0) * 1e6);
+          if (response.outcome != serve::Outcome::kOk) {
+            std::fprintf(stderr, "[%s] request %zu failed: %s\n",
+                         leg.name.c_str(), r, response.error.c_str());
+            return;
+          }
+          checksums[c] ^= fnv1a(response.report.canonical_string());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    leg.seconds = now_s() - t0;
+    std::vector<double> latencies;
+    for (std::size_t c = 0; c < clients; ++c) {
+      leg.checksum ^= checksums[c];
+      latencies.insert(latencies.end(), lats[c].begin(), lats[c].end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    leg.p50_us = latency_percentile(latencies, 0.50);
+    leg.p99_us = latency_percentile(latencies, 0.99);
+    const auto counters = router.counters();
+    leg.remote_segments = counters.remote_segments;
+    leg.degraded = counters.degraded_shard_verdicts;
+    for (const auto& stats : counters.per_shard_net) {
+      leg.retries += stats.retries;
+      leg.timeouts += stats.timeouts;
+      leg.hedges += stats.hedges;
+    }
+    leg.identical = latencies.size() == pool.size() &&
+                    leg.checksum == oracle_checksum;
+  };
+
+  std::vector<TransportLeg> net_legs;
+
+  {  // In-process baseline: resident slices, no transport at all.
+    TransportLeg leg;
+    leg.name = "inproc";
+    serve::ShardRouterConfig rc;
+    rc.shards = net_shards;
+    rc.tile_m = tile_m;
+    serve::ShardRouter router(world.detector(), rc);
+    drive(router, leg);
+    net_legs.push_back(leg);
+  }
+
+  {  // Clean SimNet loopback: every segment over the simulated wire.
+    TransportLeg leg;
+    leg.name = "simnet";
+    net::SimNet sim(0x5eed);
+    serve::ShardRouterConfig rc;
+    rc.shards = net_shards;
+    rc.tile_m = tile_m;
+    serve::ShardRouter router(world.detector(), rc);
+    for (std::size_t s = 0; s < net_shards; ++s) {
+      sim.bind("seg-" + std::to_string(s),
+               serve::make_segment_handler(router.shard(s)));
+      router.set_remote_evaluator(
+          s, std::make_shared<serve::RemoteSegmentClient>(
+                 sim, std::vector<std::string>{"seg-" + std::to_string(s)},
+                 top_k));
+    }
+    drive(router, leg);
+    net_legs.push_back(leg);
+  }
+
+  {  // SimNet chaos: drops on both legs, a straggling primary replica per
+     // shard (hedged to a clean secondary), and shard 0 fully partitioned —
+     // its segments must degrade to the resident slice, bit-for-bit.
+    TransportLeg leg;
+    leg.name = "simnet-chaos";
+    net::SimNet sim(0xc4a05);
+    serve::ShardRouterConfig rc;
+    rc.shards = net_shards;
+    rc.tile_m = tile_m;
+    serve::ShardRouter router(world.detector(), rc);
+    net::SimFaultSpec primary;
+    primary.drop = 0.15;
+    primary.delay = 0.3;
+    primary.delay_min_us = 15'000;  // past the 10ms hedge deadline
+    primary.delay_max_us = 60'000;
+    net::SimFaultSpec resp;
+    resp.drop = 0.1;
+    for (std::size_t s = 0; s < net_shards; ++s) {
+      const std::string a = "seg-" + std::to_string(s) + "a";
+      const std::string b = "seg-" + std::to_string(s) + "b";
+      sim.bind(a, serve::make_segment_handler(router.shard(s)));
+      sim.bind(b, serve::make_segment_handler(router.shard(s)));
+      sim.set_faults(a, primary, resp);
+      router.set_remote_evaluator(
+          s, std::make_shared<serve::RemoteSegmentClient>(
+                 sim, std::vector<std::string>{a, b}, top_k));
+    }
+    sim.partition("seg-0a", net::SimNet::Partition::kFull);
+    sim.partition("seg-0b", net::SimNet::Partition::kFull);
+    drive(router, leg);
+    net_legs.push_back(leg);
+  }
+
+  {  // Real Unix-domain sockets: one server per shard, framed RPCs.
+    TransportLeg leg;
+    leg.name = "uds";
+    serve::ShardRouterConfig rc;
+    rc.shards = net_shards;
+    rc.tile_m = tile_m;
+    serve::ShardRouter router(world.detector(), rc);
+    net::UdsTransport transport;
+    serve::NetCallPolicy policy;
+    policy.rpc_deadline_us = 2'000'000;  // real I/O under load: generous
+    std::vector<std::unique_ptr<net::UdsServer>> servers;
+    bool uds_up = true;
+    for (std::size_t s = 0; s < net_shards; ++s) {
+      const std::string path =
+          "bench_shard_seg_" + std::to_string(::getpid()) + "_" +
+          std::to_string(s) + ".sock";
+      servers.push_back(std::make_unique<net::UdsServer>(
+          path, serve::make_segment_handler(router.shard(s))));
+      auto started = servers.back()->start();
+      if (!started.has_value()) {
+        std::fprintf(stderr, "uds leg: %s\n", started.error().c_str());
+        uds_up = false;
+        break;
+      }
+      router.set_remote_evaluator(
+          s, std::make_shared<serve::RemoteSegmentClient>(
+                 transport, std::vector<std::string>{path}, top_k, policy));
+    }
+    if (uds_up) {
+      drive(router, leg);
+      net_legs.push_back(leg);
+    }
+    for (auto& server : servers) {
+      server->stop();
+      ::unlink(server->path().c_str());
+    }
+  }
+
+  std::printf("== Transport legs: 4-shard router over serve/net_shard ==\n");
+  TextTable net_table({"transport", "seconds", "verdicts/s", "p50 us",
+                       "p99 us", "remote", "degraded", "retries", "timeouts",
+                       "hedges", "identical"});
+  for (const auto& leg : net_legs) {
+    net_table.add_row(
+        {leg.name, TextTable::num(leg.seconds, 3),
+         TextTable::num(static_cast<double>(request_count) / leg.seconds, 1),
+         TextTable::num(leg.p50_us, 1), TextTable::num(leg.p99_us, 1),
+         std::to_string(leg.remote_segments), std::to_string(leg.degraded),
+         std::to_string(leg.retries), std::to_string(leg.timeouts),
+         std::to_string(leg.hedges), leg.identical ? "yes" : "NO"});
+    all_identical = all_identical && leg.identical;
+  }
+  net_table.print(std::cout);
+  std::printf("\ntransport verdicts: %s\n",
               all_identical
-                  ? "OK (bitwise-identical across every shard count)"
-                  : "FAILED (sharding changed a verdict!)");
+                  ? "OK (bitwise-identical over every transport + chaos)"
+                  : "FAILED (a transport leg changed or lost a verdict!)");
 
   // Emitted atomically (temp + rename): readers see a complete report or the
   // previous one, never a torn JSON.
@@ -222,6 +430,27 @@ int main(int argc, char** argv) {
                   legs[i].p50_us, legs[i].p99_us,
                   baseline_s / legs[i].seconds,
                   legs[i].identical ? "true" : "false");
+    json += buf;
+  }
+  json += "\n  ],\n  \"transport_legs\": [";
+  for (std::size_t i = 0; i < net_legs.size(); ++i) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"transport\": \"%s\", \"seconds\": %.6f, "
+                  "\"verdicts_per_sec\": %.3f, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f, \"remote_segments\": %llu, "
+                  "\"degraded\": %llu, \"retries\": %llu, "
+                  "\"timeouts\": %llu, \"hedges\": %llu, \"identical\": %s}",
+                  i == 0 ? "" : ",", net_legs[i].name.c_str(),
+                  net_legs[i].seconds,
+                  static_cast<double>(request_count) / net_legs[i].seconds,
+                  net_legs[i].p50_us, net_legs[i].p99_us,
+                  static_cast<unsigned long long>(net_legs[i].remote_segments),
+                  static_cast<unsigned long long>(net_legs[i].degraded),
+                  static_cast<unsigned long long>(net_legs[i].retries),
+                  static_cast<unsigned long long>(net_legs[i].timeouts),
+                  static_cast<unsigned long long>(net_legs[i].hedges),
+                  net_legs[i].identical ? "true" : "false");
     json += buf;
   }
   json += "\n  ],\n  \"identical\": ";

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "common/durable/durable_file.hpp"
 #include "common/fault.hpp"
@@ -61,6 +62,38 @@ std::uint64_t max_epoch_on_disk(const std::string& dir, const std::string& kind)
   return max_epoch;
 }
 
+/// Reclaim stale "<kind>.<epoch>.tmp" files a crash inside DurableWriter's
+/// atomic commit left behind.  remove_stale_tmp() can only clean paths it is
+/// told about, and the epoch of an interrupted publish is unknowable after a
+/// restart — so open scans the directory once and unlinks every temp whose
+/// stem parses as a valid artifact name.  Only that exact shape is touched:
+/// anything else ending in .tmp is not ours to delete.
+void reclaim_stale_artifact_tmp(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> stale;
+  const std::string suffix = ".tmp";
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string stem = name.substr(0, name.size() - suffix.size());
+    const std::size_t dot = stem.rfind('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= stem.size()) continue;
+    if (!valid_kind(stem.substr(0, dot))) continue;
+    bool numeric = true;
+    for (std::size_t i = dot + 1; i < stem.size(); ++i) {
+      if (stem[i] < '0' || stem[i] > '9') { numeric = false; break; }
+    }
+    if (!numeric) continue;
+    stale.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  for (const std::string& path : stale) ::unlink(path.c_str());
+}
+
 }  // namespace
 
 std::string ArtifactStore::current_path(const std::string& dir) {
@@ -83,6 +116,7 @@ Expected<std::unique_ptr<ArtifactStore>, std::string> ArtifactStore::open_dir(
   // A crash inside a previous publish can strand temp files for either the
   // artifact being written or the CURRENT flip.
   remove_stale_tmp(current_path(dir));
+  reclaim_stale_artifact_tmp(dir);
 
   const std::string cur = current_path(dir);
   if (!path_exists(cur)) return Result(std::move(store));  // fresh store

@@ -1,0 +1,57 @@
+// Length-prefixed wire frames for the UDS transport.
+//
+// Every message on a stream socket is one frame:
+//
+//   offset  size  field
+//   0       4     magic "TKNF"
+//   4       4     payload length (LE, capped at kMaxFramePayload)
+//   8       8     msg id (LE) — echoed by the response so a client can
+//                 reject a frame that does not answer its in-flight call
+//   16      4     CRC32 of the payload bytes (LE, same polynomial as the
+//                 durable layer)
+//   20      n     payload
+//
+// The header is fixed-size so a reader can pull exactly kFrameHeaderBytes,
+// validate, then pull exactly the payload.  A bad magic, an implausible
+// length or a CRC mismatch is a hard framing error — the connection is
+// poisoned and must be closed, because stream framing cannot resynchronise
+// after corrupt bytes.  SimNet carries encoded frames too, so the codec is
+// exercised by both backends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+
+namespace trajkit::net {
+
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Generous for shard traffic (a segment RPC ships a few hundred points);
+/// small enough that a corrupt length can never drive a giant allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint64_t msg_id = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Serialize header + payload into one wire buffer.
+std::string encode_frame(std::uint64_t msg_id, std::string_view payload);
+
+/// Parse and validate a header (magic, length cap).  `bytes` must hold at
+/// least kFrameHeaderBytes.
+Expected<FrameHeader, std::string> decode_frame_header(std::string_view bytes);
+
+/// Validate a payload against its header's CRC.
+Expected<bool, std::string> check_frame_payload(const FrameHeader& header,
+                                                std::string_view payload);
+
+/// Decode one complete frame (header + payload) from `bytes`; rejects
+/// trailing garbage.  Returns the payload.
+Expected<std::string, std::string> decode_frame(std::string_view bytes,
+                                                std::uint64_t* msg_id = nullptr);
+
+}  // namespace trajkit::net

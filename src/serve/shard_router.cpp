@@ -93,6 +93,7 @@ ShardRouter::ShardRouter(const wifi::RssiDetector& oracle, ShardRouterConfig con
   }
 
   shards_.reserve(config_.shards);
+  remote_.resize(config_.shards);
   ShardServiceConfig shard_cfg;
   shard_cfg.cache = config_.cache;
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -124,11 +125,17 @@ std::vector<TrajectorySegment> ShardRouter::split(
   return segments;
 }
 
+void ShardRouter::set_remote_evaluator(
+    std::size_t shard, std::shared_ptr<SegmentEvaluator> evaluator) {
+  remote_.at(shard) = std::move(evaluator);
+}
+
 VerdictResponse ShardRouter::verify(const wifi::ScannedUpload& upload,
                                     std::uint64_t request_id) {
   VerdictResponse response;
   response.request_id = request_id;
   requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t start_us = steady_clock().now_us();
   try {
     const auto segments = split(upload);
     segments_.fetch_add(segments.size(), std::memory_order_relaxed);
@@ -139,17 +146,42 @@ VerdictResponse ShardRouter::verify(const wifi::ScannedUpload& upload,
     const std::size_t n = upload.positions.size();
     std::vector<double> features(2 * top_k_ * n, 0.0);
     std::vector<double> scores(n, 0.0);
+    // Segments owned by a shard with a remote evaluator go over the wire;
+    // everything else follows the local worker/sync paths.  A remote failure
+    // (post retry/hedge) degrades to the resident slice — same bits, so the
+    // verdict stays oracle-equal, and the degradation is counted.
+    bool degraded = false;
     bool workers = config_.start_workers;
+    const auto eval_remote = [&](const TrajectorySegment& seg) {
+      remote_segments_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        remote_[seg.shard]->evaluate(upload, seg.begin, seg.end,
+                                     features.data() + 2 * top_k_ * seg.begin,
+                                     scores.data() + seg.begin);
+        return true;
+      } catch (const std::exception&) {
+        degraded = true;  // resident slice answers instead
+        return false;
+      }
+    };
     if (workers) {
-      // Queue every segment on its owner's worker, then block until the last
-      // one lands.  Slots are disjoint, so no synchronisation beyond the
-      // barrier is needed; verify() owns the storage until wait() returns.
-      SegmentBarrier barrier(segments.size());
+      // Remote segments evaluate synchronously on the calling thread (their
+      // concurrency lives in the remote shard); local ones queue on their
+      // owner's worker, then verify() blocks until the last lands.  Slots
+      // are disjoint, so no synchronisation beyond the barrier is needed;
+      // verify() owns the storage until wait() returns.
+      std::vector<const TrajectorySegment*> local;
+      local.reserve(segments.size());
       for (const auto& seg : segments) {
-        shards_[seg.shard]->submit_segment(
-            {&upload, seg.begin, seg.end,
-             features.data() + 2 * top_k_ * seg.begin, scores.data() + seg.begin,
-             &barrier});
+        if (remote_[seg.shard] && eval_remote(seg)) continue;
+        local.push_back(&seg);
+      }
+      SegmentBarrier barrier(local.size());
+      for (const TrajectorySegment* seg : local) {
+        shards_[seg->shard]->submit_segment(
+            {&upload, seg->begin, seg->end,
+             features.data() + 2 * top_k_ * seg->begin,
+             scores.data() + seg->begin, &barrier});
       }
       barrier.wait();
       if (!barrier.first_error().empty()) {
@@ -157,11 +189,13 @@ VerdictResponse ShardRouter::verify(const wifi::ScannedUpload& upload,
       }
     } else {
       for (const auto& seg : segments) {
+        if (remote_[seg.shard] && eval_remote(seg)) continue;
         shards_[seg.shard]->evaluate_segment(
             upload, seg.begin, seg.end, features.data() + 2 * top_k_ * seg.begin,
             scores.data() + seg.begin);
       }
     }
+    if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
 
     // The classifier tail runs once over the merged vector — every shard
     // carries an identical classifier copy, so shard 0 speaks for all.  The
@@ -176,6 +210,7 @@ VerdictResponse ShardRouter::verify(const wifi::ScannedUpload& upload,
     response.error = e.what();
     errors_.fetch_add(1, std::memory_order_relaxed);
   }
+  latency_.add_us(steady_clock().now_us() - start_us);
   return response;
 }
 
@@ -195,10 +230,20 @@ ShardRouterCounters ShardRouter::counters() const {
   out.segments = segments_.load();
   out.boundary_crossings = crossings_.load();
   out.errors = errors_.load();
+  out.degraded_shard_verdicts = degraded_.load();
+  out.remote_segments = remote_segments_.load();
   out.per_shard_segments.reserve(shards_.size());
   for (const auto& shard : shards_) {
     out.per_shard_segments.push_back(shard->segments_evaluated());
   }
+  out.per_shard_net.reserve(remote_.size());
+  for (const auto& evaluator : remote_) {
+    out.per_shard_net.push_back(evaluator ? evaluator->stats()
+                                          : SegmentEvaluator::Stats{});
+  }
+  out.latency_count = latency_.count();
+  out.latency_p50_us = latency_.p50_us();
+  out.latency_p99_us = latency_.p99_us();
   return out;
 }
 

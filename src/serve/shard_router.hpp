@@ -42,11 +42,34 @@
 #include <memory>
 #include <vector>
 
+#include "common/counters.hpp"
 #include "geo/geo.hpp"
 #include "serve/service.hpp"
 #include "serve/shard_service.hpp"
 
 namespace trajkit::serve {
+
+/// How the router evaluates one segment on a shard that is not (only) local:
+/// serve/net_shard's RemoteSegmentClient implements this over a transport
+/// with deadlines, bounded retry and hedged fan-out.  evaluate() must either
+/// fill the slots bitwise-identically to the local path or throw — the
+/// router then falls back to its resident slice and counts the verdict
+/// degraded (degraded by *transport*, not by content: the fallback is the
+/// same bitwise-correct evaluation, just served locally).
+class SegmentEvaluator {
+ public:
+  struct Stats {
+    std::uint64_t rpcs = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t hedges = 0;
+  };
+
+  virtual ~SegmentEvaluator() = default;
+  virtual void evaluate(const wifi::ScannedUpload& upload, std::size_t begin,
+                        std::size_t end, double* features, double* scores) = 0;
+  virtual Stats stats() const { return {}; }
+};
 
 /// Consistent hashing of tiles onto shards: each shard contributes `vnodes`
 /// points to a ring keyed by a 64-bit mix, and a tile belongs to the first
@@ -99,7 +122,20 @@ struct ShardRouterCounters {
   std::uint64_t segments = 0;
   std::uint64_t boundary_crossings = 0;  ///< segments - requests, summed
   std::uint64_t errors = 0;
+  /// Verdicts that completed only because a remote segment evaluation failed
+  /// (after retries/hedging) and the router fell back to its resident slice.
+  /// The verdict itself is still bitwise-correct — this counts transport
+  /// degradation, the chaos-run observability satellite.
+  std::uint64_t degraded_shard_verdicts = 0;
+  std::uint64_t remote_segments = 0;  ///< segments answered by a remote shard
   std::vector<std::uint64_t> per_shard_segments;
+  /// Per-shard transport counters (rpcs/retries/timeouts/hedges) from the
+  /// attached SegmentEvaluators; zeros for shards without one.
+  std::vector<SegmentEvaluator::Stats> per_shard_net;
+  /// verify() end-to-end latency (sampled on every request).
+  std::uint64_t latency_count = 0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 class ShardRouter {
@@ -129,6 +165,14 @@ class ShardRouter {
   std::vector<VerdictResponse> verify_batch(
       const std::vector<VerificationRequest>& requests);
 
+  /// Route shard `i`'s segments through a remote evaluator (net_shard's
+  /// RemoteSegmentClient).  The resident slice stays as the bitwise fallback:
+  /// a remote failure degrades to local evaluation instead of failing the
+  /// verdict.  Not thread-safe against in-flight verify() calls — wire the
+  /// topology up before serving.
+  void set_remote_evaluator(std::size_t shard,
+                            std::shared_ptr<SegmentEvaluator> evaluator);
+
   std::size_t shards() const { return shards_.size(); }
   const ShardService& shard(std::size_t i) const { return *shards_[i]; }
   const ConsistentHashRing& ring() const { return ring_; }
@@ -144,11 +188,15 @@ class ShardRouter {
   double halo_m_ = 0.0;
   std::size_t top_k_ = 0;
   std::vector<std::unique_ptr<ShardService>> shards_;
+  std::vector<std::shared_ptr<SegmentEvaluator>> remote_;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> segments_{0};
   std::atomic<std::uint64_t> crossings_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> remote_segments_{0};
+  LatencyHistogram latency_;
 };
 
 }  // namespace trajkit::serve

@@ -84,8 +84,20 @@ Expected<std::unique_ptr<ShardReplica>, std::string> ShardReplica::bootstrap(
 
 Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
                                                       const std::string& payload,
-                                                      wifi::UploaderId uploader) {
+                                                      wifi::UploaderId uploader,
+                                                      std::uint64_t term) {
   using Result = Expected<bool, std::string>;
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  // Fencing: a frame from a term below the highest seen is a deposed
+  // leader's — refuse it before touching the WAL.  Equal terms are fine
+  // (the common single-leader case); a higher term adopts.
+  std::uint64_t seen = term_seen_.load(std::memory_order_relaxed);
+  if (term < seen) {
+    return Result::failure("shard replica: fenced: frame term " +
+                           std::to_string(term) + " < seen term " +
+                           std::to_string(seen));
+  }
+  if (term > seen) term_seen_.store(term, std::memory_order_relaxed);
   const std::uint64_t next = store_->next_seq();
   if (seq < next) return Result(false);  // already applied; redelivery is a no-op
   if (seq > next) {
@@ -110,6 +122,35 @@ Expected<bool, std::string> ShardReplica::apply_frame(std::uint64_t seq,
   return Result(true);
 }
 
+Expected<std::uint64_t, std::string> ShardReplica::heartbeat(
+    std::uint64_t term, std::uint64_t leader_next_seq) {
+  using Result = Expected<std::uint64_t, std::string>;
+  std::uint64_t seen = term_seen_.load(std::memory_order_relaxed);
+  while (term > seen &&
+         !term_seen_.compare_exchange_weak(seen, term, std::memory_order_relaxed)) {
+  }
+  if (term < seen) {
+    return Result::failure("shard replica: fenced: heartbeat term " +
+                           std::to_string(term) + " < seen term " +
+                           std::to_string(seen));
+  }
+  leader_next_seen_.store(leader_next_seq, std::memory_order_relaxed);
+  last_heartbeat_us_.store(clock_->now_us(), std::memory_order_relaxed);
+  return store_->next_seq();
+}
+
+bool ShardReplica::leader_alive(std::int64_t lease_us) const {
+  const std::int64_t last = last_heartbeat_us_.load(std::memory_order_relaxed);
+  if (last < 0) return false;
+  return clock_->now_us() - last <= lease_us;
+}
+
+std::uint64_t ShardReplica::promote() {
+  const std::uint64_t next_term = term_seen_.load(std::memory_order_relaxed) + 1;
+  term_seen_.store(next_term, std::memory_order_relaxed);
+  return next_term;
+}
+
 // ---------------------------------------------------------------------------
 // ShardService
 
@@ -124,7 +165,8 @@ ShardService::ShardService(std::size_t shard_id,
       classifier_(classifier),
       trained_points_(trained_points),
       index_bounds_(index_bounds),
-      cache_cfg_(cfg.cache) {
+      cache_cfg_(cfg.cache),
+      required_follower_acks_(cfg.required_follower_acks) {
   detector_ = wifi::RssiDetector::assemble(std::move(slice), config,
                                            std::move(classifier), trained_points,
                                            index_bounds);
@@ -132,22 +174,72 @@ ShardService::ShardService(std::size_t shard_id,
 }
 
 ShardService::ShardService(std::size_t shard_id,
-                           std::unique_ptr<wifi::CrowdStore> store)
-    : shard_id_(shard_id), store_(std::move(store)) {}
+                           std::unique_ptr<wifi::CrowdStore> store,
+                           ShardServiceConfig cfg)
+    : shard_id_(shard_id),
+      store_(std::move(store)),
+      required_follower_acks_(cfg.required_follower_acks) {}
 
 Expected<std::unique_ptr<ShardService>, std::string> ShardService::open_leader(
-    std::size_t shard_id, const std::string& dir, bool sync_each_append) {
+    std::size_t shard_id, const std::string& dir, bool sync_each_append,
+    ShardServiceConfig cfg) {
   using Result = Expected<std::unique_ptr<ShardService>, std::string>;
   auto store = wifi::CrowdStore::open(dir, sync_each_append);
   if (!store) return Result::failure("shard leader: " + store.error());
   return Result(std::unique_ptr<ShardService>(
-      new ShardService(shard_id, std::move(store).value())));
+      new ShardService(shard_id, std::move(store).value(), cfg)));
 }
 
 ShardService::~ShardService() { stop(); }
 
-void ShardService::attach_follower(ShardReplica* follower) {
+void ShardService::attach_follower(FollowerLink* follower) {
   followers_.push_back(follower);
+  follower_failures_.push_back(0);
+  follower_errors_.emplace_back();
+}
+
+std::size_t ShardService::required_acks() const {
+  return std::min(required_follower_acks_, followers_.size());
+}
+
+Expected<std::uint64_t, std::string> ShardService::ship_to_followers(
+    std::uint64_t seq, const std::string& payload, wifi::UploaderId uploader) {
+  using Result = Expected<std::uint64_t, std::string>;
+  // Ship the frame to every follower; the acknowledgement is issued only
+  // after the quorum's own WALs hold it.  The fault points bracket each
+  // follower append so the failover harness can kill the leader with the
+  // frame in every intermediate state.  A failed follower does not abort the
+  // fan-out — the rest still receive the frame, and the failure lands in
+  // follower_failures()/follower_errors() for the repair machinery.
+  auto& faults = global_faults();
+  std::size_t acks = 0;
+  std::string first_error;
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    std::string error;
+    if (faults.should_fail_seq(kFaultShipFrame, seq)) {
+      error = "shard: injected fault shipping frame " + std::to_string(seq);
+    } else {
+      auto applied = followers_[i]->apply_frame(seq, payload, uploader, term_);
+      if (!applied) {
+        error = applied.error();
+      } else if (faults.should_fail_seq(kFaultShipApplied, seq)) {
+        error = "shard: injected fault acknowledging frame " + std::to_string(seq);
+      }
+    }
+    if (error.empty()) {
+      ++acks;
+    } else {
+      ++follower_failures_[i];
+      follower_errors_[i] = error;
+      if (first_error.empty()) first_error = std::move(error);
+    }
+  }
+  if (acks < required_acks()) {
+    return Result::failure(first_error.empty() ? "shard: follower quorum not met"
+                                               : first_error);
+  }
+  ++acked_;
+  return Result(seq);
 }
 
 Expected<std::uint64_t, std::string> ShardService::ingest(
@@ -158,27 +250,23 @@ Expected<std::uint64_t, std::string> ShardService::ingest(
   // Leader-durable first: the WAL append fsyncs before returning a seq.
   auto seq = store_->append(point, uploader);
   if (!seq) return seq;
+  return ship_to_followers(seq.value(), wifi::CrowdStore::encode_point(point),
+                           uploader);
+}
 
-  // Ship the same frame to every follower; the acknowledgement below is
-  // issued only after each follower's own WAL holds it.  The fault points
-  // bracket the follower append so the failover harness can kill the leader
-  // with the frame in every intermediate state.
-  const std::string payload = wifi::CrowdStore::encode_point(point);
-  auto& faults = global_faults();
-  for (ShardReplica* follower : followers_) {
-    if (faults.should_fail_seq(kFaultShipFrame, seq.value())) {
-      return Result::failure("shard: injected fault shipping frame " +
-                             std::to_string(seq.value()));
-    }
-    auto applied = follower->apply_frame(seq.value(), payload, uploader);
-    if (!applied) return Result::failure(applied.error());
-    if (faults.should_fail_seq(kFaultShipApplied, seq.value())) {
-      return Result::failure("shard: injected fault acknowledging frame " +
-                             std::to_string(seq.value()));
+std::size_t ShardService::send_heartbeats() {
+  const std::uint64_t leader_next = store_ ? store_->next_seq() : 0;
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    auto ack = followers_[i]->heartbeat(term_, leader_next);
+    if (ack) {
+      ++answered;
+    } else {
+      ++follower_failures_[i];
+      follower_errors_[i] = ack.error();
     }
   }
-  ++acked_;
-  return seq;
+  return answered;
 }
 
 Expected<bool, std::string> ShardService::compact() {
@@ -205,21 +293,7 @@ Expected<std::uint64_t, std::string> ShardService::ship_control(
   if (!seq) return seq;
   // Same shipping discipline (and fault points) as point frames: followers
   // hold the marker durably before it is acknowledged.
-  auto& faults = global_faults();
-  for (ShardReplica* follower : followers_) {
-    if (faults.should_fail_seq(kFaultShipFrame, seq.value())) {
-      return Result::failure("shard: injected fault shipping frame " +
-                             std::to_string(seq.value()));
-    }
-    auto applied = follower->apply_frame(seq.value(), payload);
-    if (!applied) return Result::failure(applied.error());
-    if (faults.should_fail_seq(kFaultShipApplied, seq.value())) {
-      return Result::failure("shard: injected fault acknowledging frame " +
-                             std::to_string(seq.value()));
-    }
-  }
-  ++acked_;
-  return seq;
+  return ship_to_followers(seq.value(), payload, wifi::kAnonymousUploader);
 }
 
 std::shared_ptr<const wifi::RssiDetector> ShardService::detector_snapshot() const {

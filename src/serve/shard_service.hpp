@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/expected.hpp"
 #include "gbt/booster.hpp"
 #include "serve/rpd_lru_cache.hpp"
@@ -83,9 +84,41 @@ class SegmentBarrier {
   std::string error_;
 };
 
+/// How a leader reaches one follower.  ShardReplica implements it in-process
+/// (the PR 6 shape); serve/net_shard's RemoteFollower implements it over a
+/// net::Transport with deadlines, bounded retry and gap backfill.  Either
+/// way the contract is the same: apply_frame returns only after the frame is
+/// durable on the follower (or describes why it is not), and both calls are
+/// fenced by `term` — a deposed leader's traffic is refused, never applied.
+class FollowerLink {
+ public:
+  virtual ~FollowerLink() = default;
+
+  /// Durably apply one seq-stamped frame under the leader's term.  True =
+  /// appended, false = stale seq (idempotent redelivery).
+  virtual Expected<bool, std::string> apply_frame(std::uint64_t seq,
+                                                  const std::string& payload,
+                                                  wifi::UploaderId uploader,
+                                                  std::uint64_t term) = 0;
+
+  /// Lease renewal: deliver (term, leader_next_seq) so the follower can
+  /// refresh its lease clock and spot its own replication lag.  Returns the
+  /// follower's next expected seq.
+  virtual Expected<std::uint64_t, std::string> heartbeat(
+      std::uint64_t term, std::uint64_t leader_next_seq) = 0;
+};
+
 /// Follower end of shard replication: a durable CrowdStore that only accepts
 /// seq-stamped frames shipped from its leader.
-class ShardReplica {
+///
+/// Lease + fencing: the replica tracks the highest leader term it has seen
+/// (frames and heartbeats both carry one) and refuses anything from an older
+/// term — after a partition heals, a deposed leader cannot overwrite what
+/// the promoted one replicated (split-brain fencing).  leader_alive() turns
+/// heartbeat receipt into failure detection: a follower whose lease lapsed
+/// may promote() (bumping the term) without the fork+kill-only path PR 6
+/// needed.  The clock is injectable so lease tests advance time manually.
+class ShardReplica : public FollowerLink {
  public:
   /// Open (creating if needed) a follower store rooted at `dir`.
   static Expected<std::unique_ptr<ShardReplica>, std::string> open(
@@ -109,9 +142,34 @@ class ShardReplica {
   /// shipping that carries the points.  `uploader` is the frame's provenance
   /// (v2 journal frames); the follower re-journals it unchanged, so a
   /// promoted follower scores and quarantines exactly like its leader.
+  /// `term` below the highest term seen is refused ("fenced").  Safe to call
+  /// from concurrent transport threads (one frame applies at a time).
   Expected<bool, std::string> apply_frame(
       std::uint64_t seq, const std::string& payload,
-      wifi::UploaderId uploader = wifi::kAnonymousUploader);
+      wifi::UploaderId uploader = wifi::kAnonymousUploader,
+      std::uint64_t term = 0) override;
+
+  /// Record a leader heartbeat: fences stale terms, refreshes the lease
+  /// clock, remembers the leader's next seq (the follower's gap detector).
+  Expected<std::uint64_t, std::string> heartbeat(
+      std::uint64_t term, std::uint64_t leader_next_seq) override;
+
+  /// Lease check: a heartbeat arrived within the last `lease_us`.  False
+  /// before the first heartbeat.
+  bool leader_alive(std::int64_t lease_us) const;
+  /// Bump past every term seen and return the new term — the replica is now
+  /// fenced against its old leader.  (In-memory: a real multi-node election
+  /// would journal the vote; here promotion is the test- and operator-driven
+  /// takeover path.)
+  std::uint64_t promote();
+  /// Highest leader term observed (frames + heartbeats).
+  std::uint64_t term() const { return term_seen_.load(); }
+  /// Leader's next seq from the last heartbeat (0 before the first): when it
+  /// runs ahead of next_seq(), this follower has a gap to repair.
+  std::uint64_t leader_next_seen() const { return leader_next_seen_.load(); }
+
+  /// Substitute a manual clock for lease tests; must outlive the replica.
+  void set_clock(const Clock* clock) { clock_ = clock; }
 
   /// Seq of the next frame this follower expects.
   std::uint64_t next_seq() const { return store_->next_seq(); }
@@ -124,12 +182,27 @@ class ShardReplica {
 
   std::string dir_;
   std::unique_ptr<wifi::CrowdStore> store_;
+  /// Serializes frame application across transport threads.
+  std::mutex apply_mu_;
+  const Clock* clock_ = &steady_clock();
+  std::atomic<std::uint64_t> term_seen_{0};
+  std::atomic<std::uint64_t> leader_next_seen_{0};
+  std::atomic<std::int64_t> last_heartbeat_us_{-1};
 };
+
+/// required_follower_acks sentinel: every attached follower must ack.
+inline constexpr std::size_t kAllFollowers = static_cast<std::size_t>(-1);
 
 struct ShardServiceConfig {
   /// Per-shard RPD LRU slice (capacity bounds residency per shard, so a
   /// router over N shards holds at most N * capacity cached stats).
   ShardedRpdLruCache::Config cache;
+  /// Followers that must durably hold a frame before ingest acknowledges it.
+  /// kAllFollowers (default) preserves the PR 6 contract.  A smaller quorum
+  /// keeps ingestion available while a follower is partitioned — the lagging
+  /// follower develops a WAL gap and converges later through gap repair
+  /// (serve/net_shard), never by silently skipping frames.
+  std::size_t required_follower_acks = kAllFollowers;
 };
 
 class ShardService {
@@ -158,7 +231,8 @@ class ShardService {
   /// Ingestion-only leader shard: owns the durable CrowdStore at `dir`, no
   /// detector (verification capacity comes from promotion / reassembly).
   static Expected<std::unique_ptr<ShardService>, std::string> open_leader(
-      std::size_t shard_id, const std::string& dir, bool sync_each_append = true);
+      std::size_t shard_id, const std::string& dir, bool sync_each_append = true,
+      ShardServiceConfig cfg = {});
 
   ~ShardService();
   ShardService(const ShardService&) = delete;
@@ -182,18 +256,43 @@ class ShardService {
 
   // -- Ingestion + replication (requires a store) ---------------------------
 
-  /// Attach a follower; not owned, must outlive the shard.  Every subsequent
-  /// ingest is acknowledged only after this follower durably applied it.
-  void attach_follower(ShardReplica* follower);
+  /// Attach a follower link (in-process ShardReplica or a net_shard
+  /// RemoteFollower); not owned, must outlive the shard.  Every subsequent
+  /// ingest is acknowledged only after the configured quorum of followers
+  /// durably applied it.
+  void attach_follower(FollowerLink* follower);
 
   /// Validate + leader-durable append + ship to every follower; returns the
   /// acknowledged seq.  The returned seq is the durability promise: a
   /// crash anywhere inside — leader WAL, shipping, follower WAL — can only
   /// lose frames that were never returned.  `uploader` stamps the frame's
-  /// provenance end to end (leader WAL, wire, follower WALs).
+  /// provenance end to end (leader WAL, wire, follower WALs).  With the
+  /// default all-follower quorum any follower failure fails the ingest; a
+  /// smaller quorum tolerates partitioned followers (they fall behind and
+  /// gap-repair later).
   Expected<std::uint64_t, std::string> ingest(
       const wifi::ReferencePoint& point,
       wifi::UploaderId uploader = wifi::kAnonymousUploader);
+
+  /// Renew every follower's leader lease (term + leader next seq).  Returns
+  /// the number of followers that answered; shipping failures are recorded
+  /// in follower_failures().
+  std::size_t send_heartbeats();
+
+  /// The term this leader stamps on frames and heartbeats.  Raise it when a
+  /// shard resumes leadership after a takeover so the old leader is fenced.
+  std::uint64_t term() const { return term_; }
+  void set_term(std::uint64_t term) { term_ = term; }
+
+  std::size_t follower_count() const { return followers_.size(); }
+  /// Ship/heartbeat failures per attached follower (index = attach order).
+  const std::vector<std::uint64_t>& follower_failures() const {
+    return follower_failures_;
+  }
+  /// Last failure message per follower ("" when it never failed).
+  const std::vector<std::string>& follower_errors() const {
+    return follower_errors_;
+  }
 
   /// Fold the leader store's journal into its snapshot (follower bootstraps
   /// read both, so compaction is transparent to replication).
@@ -268,9 +367,15 @@ class ShardService {
   std::uint64_t segments_evaluated() const { return segments_.load(); }
 
  private:
-  ShardService(std::size_t shard_id, std::unique_ptr<wifi::CrowdStore> store);
+  ShardService(std::size_t shard_id, std::unique_ptr<wifi::CrowdStore> store,
+               ShardServiceConfig cfg);
 
   void worker_loop();
+  /// Shared shipping discipline for point and control frames: fault points,
+  /// per-follower failure accounting, quorum check, acked_ bump.
+  Expected<std::uint64_t, std::string> ship_to_followers(
+      std::uint64_t seq, const std::string& payload, wifi::UploaderId uploader);
+  std::size_t required_acks() const;
 
   std::size_t shard_id_ = 0;
   // RCU state: detector_, cache_ and epoch_ swap together under swap_mu_;
@@ -287,7 +392,11 @@ class ShardService {
   BoundingBox index_bounds_;
   ShardedRpdLruCache::Config cache_cfg_;
   std::unique_ptr<wifi::CrowdStore> store_;
-  std::vector<ShardReplica*> followers_;
+  std::vector<FollowerLink*> followers_;
+  std::vector<std::uint64_t> follower_failures_;
+  std::vector<std::string> follower_errors_;
+  std::size_t required_follower_acks_ = kAllFollowers;
+  std::uint64_t term_ = 0;
   std::uint64_t acked_ = 0;
 
   mutable std::atomic<std::uint64_t> segments_{0};

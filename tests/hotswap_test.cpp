@@ -17,6 +17,7 @@
 //     points, and a store-backed shard adopts them via refresh_from_store.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -266,6 +267,53 @@ TEST(Artifact, PublishReadRoundTripWithMonotoneEpochs) {
   // Kinds are path components and validated as such.
   EXPECT_FALSE(reopened.value()->publish_payload("Bad Kind!", "x").has_value());
   EXPECT_FALSE(reopened.value()->publish_payload("", "x").has_value());
+  remove_artifacts(dir, "blob");
+}
+
+TEST(Artifact, StaleArtifactTmpFilesReclaimedOnOpen) {
+  const std::string dir = "hotswap_test_artifacts_tmp";
+  remove_artifacts(dir, "blob");
+
+  {
+    auto store = durable::ArtifactStore::open_dir(dir);
+    ASSERT_TRUE(store.has_value()) << store.error();
+    ASSERT_TRUE(store.value()->publish_payload("blob", "payload 1").has_value());
+  }
+
+  // A crash inside the stage-1 DurableWriter commit strands the artifact's
+  // temp file (name known only to the crashed process), plus possibly a
+  // CURRENT flip temp.  Neighbours that merely *look* temp-ish must survive:
+  // they are not artifact publishes and not ours to delete.
+  const auto touch = [&](const std::string& name) {
+    std::ofstream out(dir + "/" + name);
+    out << "stale";
+  };
+  touch("blob.2.tmp");     // crashed publish — must be reclaimed
+  touch("CURRENT.tmp");    // crashed flip — must be reclaimed (old behavior)
+  touch("blob.x.tmp");     // non-numeric epoch: not an artifact temp
+  touch("Blob.3.tmp");     // invalid kind (uppercase): not an artifact temp
+  touch("notes.txt.tmp");  // unrelated user file
+
+  auto reopened = durable::ArtifactStore::open_dir(dir);
+  ASSERT_TRUE(reopened.has_value()) << reopened.error();
+
+  struct stat st {};
+  EXPECT_NE(::stat((dir + "/blob.2.tmp").c_str(), &st), 0);
+  EXPECT_NE(::stat((dir + "/CURRENT.tmp").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/blob.x.tmp").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/Blob.3.tmp").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/notes.txt.tmp").c_str(), &st), 0);
+
+  // A reclaimed temp is not an orphan *artifact*: the next publish proceeds
+  // from CURRENT, not from the crashed epoch number.
+  EXPECT_EQ(reopened.value()->current_epoch("blob"), 1u);
+  auto epoch = reopened.value()->publish_payload("blob", "payload 2");
+  ASSERT_TRUE(epoch.has_value()) << epoch.error();
+  EXPECT_EQ(epoch.value(), 2u);
+
+  std::remove((dir + "/blob.x.tmp").c_str());
+  std::remove((dir + "/Blob.3.tmp").c_str());
+  std::remove((dir + "/notes.txt.tmp").c_str());
   remove_artifacts(dir, "blob");
 }
 

@@ -538,6 +538,63 @@ TEST(PoisonRateLimit, WindowCapAdmitsThenRefusesThenSlides) {
   for (std::uint64_t t = 0; t < 100; ++t) EXPECT_TRUE(off.admit(7, t).has_value());
 }
 
+TEST(PoisonRateLimit, WindowBoundaryIsExactOnAppendOrdinals) {
+  // An admission at tick t expires exactly at t + window_appends — not one
+  // append earlier, not one later.  window=5/max=2 makes every edge visible.
+  wifi::UploaderRateLimiter limiter({.window_appends = 5, .max_per_uploader = 2});
+  EXPECT_TRUE(limiter.admit(7, 0).has_value());
+  EXPECT_TRUE(limiter.admit(7, 1).has_value());
+  // Budget exhausted for the whole of [0, 5): the admission from tick 0 is
+  // still inside the window at tick 4 (0 + 5 > 4).
+  for (const std::uint64_t tick : {2u, 3u, 4u}) {
+    EXPECT_FALSE(limiter.admit(7, tick).has_value()) << "tick " << tick;
+  }
+  // tick 5 is the exact edge: 0 + 5 <= 5 expires the first admission.
+  EXPECT_TRUE(limiter.admit(7, 5).has_value());
+  // The window now holds {1, 5}; a second admission at the same ordinal must
+  // refuse (1 + 5 > 5), and the next edge opens at tick 6.
+  EXPECT_FALSE(limiter.admit(7, 5).has_value());
+  EXPECT_TRUE(limiter.admit(7, 6).has_value());
+  // Far-future tick: everything expired, full budget again.
+  EXPECT_TRUE(limiter.admit(7, 100).has_value());
+  EXPECT_TRUE(limiter.admit(7, 100).has_value());
+  EXPECT_FALSE(limiter.admit(7, 100).has_value());
+}
+
+TEST(PoisonRateLimit, ReplayIsExemptFromATunedDownCap) {
+  // Admission runs at append time only.  Records the store durably accepted
+  // under yesterday's policy must replay in full under today's stricter one —
+  // re-litigating history would refuse to recover an acked journal.
+  const std::string dir = "poison_test_rate_replay";
+  remove_store(dir);
+  const std::size_t kAccepted = 6;
+  {
+    auto store = wifi::CrowdStore::open(dir);  // no cap configured
+    ASSERT_TRUE(store.has_value()) << store.error();
+    for (std::size_t i = 0; i < kAccepted; ++i) {
+      ASSERT_TRUE(
+          store.value()->append(field_point({double(i), 1.0}), 7).has_value());
+    }
+  }
+  wifi::CrowdStore::Tuning tuning;
+  tuning.rate_policy = {.window_appends = 100, .max_per_uploader = 1};
+  auto store = wifi::CrowdStore::open(dir, true, tuning);
+  ASSERT_TRUE(store.has_value()) << store.error();
+  // All six journaled appends survived replay despite exceeding today's cap.
+  EXPECT_EQ(store.value()->points().size(), kAccepted);
+  // The cap applies to *fresh* traffic from a clean window: one admission,
+  // then refusal — and the refusal journals nothing.
+  EXPECT_TRUE(
+      store.value()->append(field_point({8.0, 1.0}), 7).has_value());
+  const std::uint64_t next = store.value()->next_seq();
+  auto refused = store.value()->append(field_point({9.0, 1.0}), 7);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_NE(refused.error().find("rate cap exceeded"), std::string::npos);
+  EXPECT_EQ(store.value()->next_seq(), next);
+  EXPECT_EQ(store.value()->points().size(), kAccepted + 1);
+  remove_store(dir);
+}
+
 TEST(PoisonRateLimit, StoreRefusesFloodsAtAdmissionDeterministically) {
   const std::string dir = "poison_test_rate";
   remove_store(dir);
